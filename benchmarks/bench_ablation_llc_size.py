@@ -1,0 +1,74 @@
+"""Sensitivity study: how the LLC capacity gates the paper's result.
+
+The paper's §3.4 scopes when demand-aware scheduling helps: working sets
+must *individually* fit the cache but *collectively* exceed it.  Sweep the
+LLC capacity around the E5-2420's 15 MB on water_nsquared (12 × 3.6 MB of
+collective demand) and watch the benefit appear and disappear:
+
+* a small cache (4 MB) violates constraint (1): even one working set
+  spills, gating buys nothing;
+* the paper's 15 MB sits in the sweet spot: sets fit individually,
+  collectively 43 MB ≫ 15 MB — the full RDA benefit;
+* a huge cache (64 MB) violates constraint (2): everything fits at once,
+  the default policy never thrashes, and RDA's reduced concurrency is pure
+  cost.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CacheConfig, default_machine_config
+from repro.core.policy import StrictPolicy
+from repro.experiments.runner import run_workload
+from repro.units import kib
+from repro.workloads.splash2 import water_nsquared_workload
+from .conftest import one_round
+
+LLC_KIB = (4 * 1024, 15360, 64 * 1024)
+
+
+def with_llc(capacity_kib: int):
+    base = default_machine_config()
+    return replace(
+        base,
+        llc=CacheConfig(
+            "L3-Shared", kib(capacity_kib), associativity=16,
+            latency_s=base.llc.latency_s, shared=True,
+        ),
+    )
+
+
+def sweep_llc_sizes():
+    out = {}
+    for cap in LLC_KIB:
+        cfg = with_llc(cap)
+        default = run_workload(water_nsquared_workload(), None, config=cfg)
+        strict = run_workload(water_nsquared_workload(), StrictPolicy(), config=cfg)
+        out[cap] = {
+            "speedup": strict.gflops / default.gflops,
+            "energy_saving": 1.0 - strict.system_j / default.system_j,
+        }
+    return out
+
+
+@pytest.mark.paper_figure("ablation-llc-size")
+def test_benefit_window_tracks_cache_size(benchmark):
+    rows = one_round(benchmark, sweep_llc_sizes)
+    print()
+    for cap, r in rows.items():
+        print(
+            f"  LLC {cap // 1024:>3} MB: strict speedup {r['speedup']:.2f}x, "
+            f"energy saving {r['energy_saving']:+.0%}"
+        )
+
+    tiny, paper, huge = (rows[c] for c in LLC_KIB)
+    # the paper's configuration sits in the benefit window
+    assert paper["speedup"] > 1.3
+    assert paper["energy_saving"] > 0.35
+    # constraint (1) violated: individual sets spill a 4 MB cache; the
+    # starvation guard keeps things moving but the benefit shrinks a lot
+    assert tiny["speedup"] < paper["speedup"] - 0.2
+    # constraint (2) violated: a 64 MB cache never thrashes; RDA adds ~0
+    assert abs(huge["speedup"] - 1.0) < 0.08
+    assert abs(huge["energy_saving"]) < 0.08

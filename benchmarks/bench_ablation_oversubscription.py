@@ -1,0 +1,52 @@
+"""Ablation: the compromise policy's oversubscription factor.
+
+The paper fixes the factor at 2, "shown to be effective in attaining the
+best balance between energy efficiency and performance" (§3.3).  This
+sweep reproduces that design-space study on water_nsquared: factor 1.0 is
+RDA: Strict, large factors converge to the Linux default, and intermediate
+factors trade LLC efficiency for concurrency.
+"""
+
+import pytest
+
+from repro.core.policy import CompromisePolicy
+from repro.experiments.runner import run_policies, run_workload
+from repro.workloads.splash2 import water_nsquared_workload
+from .conftest import one_round
+
+FACTORS = (1.0, 1.5, 2.0, 3.0, 6.0)
+
+
+def sweep_factors():
+    results = {}
+    baseline = run_workload(water_nsquared_workload(), None)
+    results["default"] = baseline
+    for x in FACTORS:
+        results[f"x={x}"] = run_workload(
+            water_nsquared_workload(), CompromisePolicy(oversubscription=x)
+        )
+    return results
+
+
+@pytest.mark.paper_figure("ablation-oversubscription")
+def test_oversubscription_factor_sweep(benchmark):
+    results = one_round(benchmark, sweep_factors)
+    print()
+    for name, r in results.items():
+        print(
+            f"  {name:<8} {r.gflops:6.2f} GFLOPS  {r.system_j:6.1f} J  "
+            f"{r.gflops_per_watt:6.3f} GFLOPS/W"
+        )
+    base = results["default"]
+    strictish = results["x=1.0"]
+    loosest = results[f"x={FACTORS[-1]}"]
+
+    # factor 1.0 behaves like RDA: Strict — big energy savings
+    assert strictish.system_j < 0.7 * base.system_j
+    # a huge factor converges to the default scheduler's behaviour
+    assert loosest.system_j == pytest.approx(base.system_j, rel=0.15)
+    assert loosest.gflops == pytest.approx(base.gflops, rel=0.15)
+    # efficiency degrades monotonically as the factor loosens on this
+    # high-reuse, heavily oversubscribed workload
+    effs = [results[f"x={x}"].gflops_per_watt for x in FACTORS]
+    assert all(a >= b * 0.98 for a, b in zip(effs, effs[1:]))

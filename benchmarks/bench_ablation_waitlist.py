@@ -1,0 +1,84 @@
+"""Ablation: waitlist admission order (FIFO-with-skip vs strict FIFO).
+
+The paper's prototype scans the whole waitlist when capacity frees
+("attempting to schedule any waiting threads previously blocked"), so a
+small period can slip past a large head waiter.  The alternative — strict
+arrival order — trades utilization for fairness.  This study runs a
+mixed-demand workload (large 6 MB periods among small 1 MB ones) under
+both drain orders and measures throughput *and* the per-thread waiting
+distribution from the scheduling trace.
+"""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.core.rda import RdaScheduler
+from repro.perf.sched import analyze_trace
+from repro.perf.stat import PerfStat
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import KernelTracer
+from repro.workloads.base import Workload
+from .conftest import one_round
+
+from tests.conftest import make_phase  # reuse the toy phase builder
+
+
+def mixed_demand_workload():
+    from repro.workloads.base import ProcessSpec
+
+    procs = []
+    for k in range(36):
+        big = k % 3 == 0
+        phase = make_phase(
+            name="big" if big else "small",
+            wss_mb=6.0 if big else 1.0,
+            instructions=6_000_000,
+        )
+        procs.append(ProcessSpec(name="big" if big else "small", program=[phase] * 2))
+    return Workload(name="mixed-demand", processes=procs)
+
+
+def run_with(strict_fifo: bool):
+    scheduler = RdaScheduler(
+        policy=StrictPolicy(), strict_fifo_waitlist=strict_fifo
+    )
+    kernel = Kernel(extension=scheduler)
+    tracer = KernelTracer()
+    kernel.tracer = tracer
+    stat = PerfStat(kernel)
+    kernel.launch(mixed_demand_workload())
+    stat.start()
+    kernel.run(max_events=5_000_000)
+    return stat.stop(), analyze_trace(tracer)
+
+
+def sweep_orders():
+    skip_report, skip_sched = run_with(strict_fifo=False)
+    fifo_report, fifo_sched = run_with(strict_fifo=True)
+    return {
+        "fifo-skip": (skip_report, skip_sched),
+        "fifo-strict": (fifo_report, fifo_sched),
+    }
+
+
+@pytest.mark.paper_figure("ablation-waitlist")
+def test_admission_order_tradeoff(benchmark):
+    results = one_round(benchmark, sweep_orders)
+    print()
+    for name, (report, sched) in results.items():
+        print(
+            f"  {name:<12} wall {report.wall_s * 1e3:7.1f} ms  "
+            f"{report.gflops:5.2f} GFLOPS  "
+            f"max pp-wait {sched.max_pp_wait_s * 1e3:7.1f} ms  "
+            f"total pp-wait {sched.total_pp_wait_s * 1e3:8.1f} ms"
+        )
+    skip_report, skip_sched = results["fifo-skip"]
+    fifo_report, fifo_sched = results["fifo-strict"]
+
+    # both orders complete the same work in about the same makespan —
+    # the drain order is not a throughput lever on this machine
+    assert skip_report.flops == pytest.approx(fifo_report.flops, rel=1e-6)
+    assert skip_report.wall_s == pytest.approx(fifo_report.wall_s, rel=0.05)
+    # the real difference: skipping sharply reduces aggregate waiting
+    # (small periods stop queueing behind large head waiters)
+    assert skip_sched.total_pp_wait_s < 0.8 * fifo_sched.total_pp_wait_s

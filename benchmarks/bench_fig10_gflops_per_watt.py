@@ -1,0 +1,48 @@
+"""Figure 10: GFLOPS per watt of system power, per workload per policy.
+
+Shape reproduced from the paper:
+
+* energy efficiency is "tightly coupled to the direct performance": the
+  workloads whose GFLOPS improve also improve in GFLOPS/W;
+* large efficiency gains on the high-reuse workloads (paper's maxima:
+  2.05x raytrace, 1.68x water_nsq, 1.67x volrend, 1.36x ocean_cp);
+* no gain for the low-reuse workloads.
+"""
+
+import pytest
+
+from repro.experiments.metrics import compare_all
+from repro.experiments.report import render_figure10
+from repro.experiments.runner import run_policies
+from repro.workloads.suite import workload_by_name
+from .conftest import one_round
+
+
+@pytest.mark.paper_figure("figure10")
+def test_fig10_gflops_per_watt(benchmark, full_sweep):
+    one_round(benchmark, run_policies, lambda: workload_by_name("Volrend"))
+    print("\n" + render_figure10(full_sweep))
+
+    gains = {
+        name: {p: c.efficiency_gain for p, c in compare_all(name, reports).items()}
+        for name, reports in full_sweep.items()
+    }
+
+    # strong efficiency gains on the high-reuse workloads
+    assert max(gains["Raytrace"].values()) > 1.6
+    assert max(gains["Water_nsq"].values()) > 1.5
+    assert max(gains["Volrend"].values()) > 1.2
+    assert max(gains["Ocean_cp"].values()) > 1.2
+
+    # none for the low-reuse ones
+    for name in ("BLAS-1", "Water_sp"):
+        assert max(gains[name].values()) < 1.05, name
+
+    # efficiency tracks performance: speedup > 1 workloads also gain in eff.
+    speed = {
+        name: max(c.speedup for c in compare_all(name, reports).values())
+        for name, reports in full_sweep.items()
+    }
+    for name in gains:
+        if speed[name] > 1.15:
+            assert max(gains[name].values()) > 1.1, name

@@ -1,0 +1,40 @@
+"""Figure 11: progress-tracking overhead vs granularity.
+
+The paper breaks dgemm (three nested loops of 512 iterations) into progress
+periods at three levels and measures, with a single instance under the
+strict policy:
+
+* outermost loop (1 period)        — no observable overhead,
+* middle loop (512 periods)        — 19 % performance overhead,
+* innermost loop (262 144 periods) — 59 % performance overhead.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure11_overhead
+from repro.experiments.report import render_figure11
+from .conftest import one_round
+
+
+@pytest.mark.paper_figure("figure11")
+def test_fig11_tracking_overhead(benchmark):
+    reports = one_round(benchmark, figure11_overhead)
+    print("\n" + render_figure11(reports))
+
+    base = reports["outer"].wall_s
+    overhead_mid = reports["middle"].wall_s / base - 1.0
+    overhead_inner = reports["inner"].wall_s / base - 1.0
+
+    # outer: "no runtime overhead is observed"
+    assert overhead_mid > 0.0
+    assert abs(reports["outer"].gflops - reports["outer"].gflops) < 1e-9
+    # middle: ~19 %
+    assert 0.12 < overhead_mid < 0.28
+    # inner: ~59 %
+    assert 0.45 < overhead_inner < 0.70
+    # monotone in granularity
+    assert (
+        reports["outer"].gflops
+        > reports["middle"].gflops
+        > reports["inner"].gflops
+    )

@@ -1,0 +1,48 @@
+"""Figure 7: system (CPU + cache + DRAM) energy per workload per policy.
+
+Shape reproduced from the paper:
+
+* RDA reduces system energy for the medium/high-reuse workloads (BLAS-2,
+  BLAS-3, Water_nsq, Ocean_cp, Raytrace, Volrend);
+* the maximum decrease is large (paper: 48 % on water_nsquared, strict);
+* the low-reuse workloads (BLAS-1, Water_sp) do *not* benefit.
+"""
+
+import pytest
+
+from repro.experiments.metrics import compare_all
+from repro.experiments.report import render_comparison_summary, render_figure7
+from repro.experiments.runner import run_policies
+from repro.workloads.suite import workload_by_name
+from .conftest import one_round
+
+HIGH_REUSE = ("BLAS-3", "Water_nsq", "Ocean_cp", "Raytrace", "Volrend")
+LOW_REUSE = ("BLAS-1", "Water_sp")
+
+
+@pytest.mark.paper_figure("figure7")
+def test_fig7_system_energy(benchmark, full_sweep):
+    # benchmark one representative workload end to end; assert on the sweep
+    one_round(
+        benchmark, run_policies, lambda: workload_by_name("Water_nsq")
+    )
+    print("\n" + render_figure7(full_sweep))
+    print(render_comparison_summary(full_sweep))
+
+    decreases = {}
+    for name, reports in full_sweep.items():
+        cmp = compare_all(name, reports)
+        decreases[name] = {p: c.system_energy_decrease for p, c in cmp.items()}
+
+    # high/medium-reuse workloads save energy under at least one RDA policy
+    for name in HIGH_REUSE:
+        assert max(decreases[name].values()) > 0.10, name
+    # low-reuse workloads see no meaningful saving
+    for name in LOW_REUSE:
+        assert max(decreases[name].values()) < 0.05, name
+    # the headline: a large maximum decrease on a high-reuse workload
+    best = max(max(d.values()) for d in decreases.values())
+    assert 0.35 < best < 0.70  # paper: 48 %
+    # average saving across all workload/policy combinations is moderate
+    all_vals = [v for d in decreases.values() for v in d.values()]
+    assert 0.05 < sum(all_vals) / len(all_vals) < 0.35  # paper: 12 %

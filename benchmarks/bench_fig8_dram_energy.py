@@ -1,0 +1,48 @@
+"""Figure 8: DRAM-only energy per workload per policy.
+
+Shape reproduced from the paper (§4.2):
+
+* "the strict policy almost always resulted in better LLC utilization than
+  the compromise configuration" — strict's DRAM energy ≤ compromise's on
+  every workload where they differ meaningfully;
+* for water_nsquared the gap is large (paper: strict a further 73 % below
+  compromise);
+* for the low-reuse workloads DRAM energy is "almost identical" across
+  policies.
+"""
+
+import pytest
+
+from repro.experiments.report import render_figure8
+from repro.experiments.runner import run_policies
+from repro.workloads.suite import workload_by_name
+from .conftest import one_round
+
+
+@pytest.mark.paper_figure("figure8")
+def test_fig8_dram_energy(benchmark, full_sweep):
+    one_round(benchmark, run_policies, lambda: workload_by_name("Water_sp"))
+    print("\n" + render_figure8(full_sweep))
+
+    dram = {
+        name: {p: r.dram_j for p, r in reports.items()}
+        for name, reports in full_sweep.items()
+    }
+
+    # strict never draws meaningfully more DRAM energy than compromise
+    for name, row in dram.items():
+        assert row["RDA: Strict"] <= row["RDA: Compromise"] * 1.05, name
+
+    # water_nsquared: strict far below compromise (paper: 73 % further drop)
+    wnsq = dram["Water_nsq"]
+    assert wnsq["RDA: Strict"] < 0.6 * wnsq["RDA: Compromise"]
+
+    # low-reuse workloads: all three policies nearly identical
+    for name in ("BLAS-1", "Water_sp"):
+        row = dram[name]
+        assert max(row.values()) < 1.1 * min(row.values()), name
+
+    # high-reuse workloads: strict far below the default
+    for name in ("BLAS-3", "Water_nsq", "Raytrace", "Volrend"):
+        row = dram[name]
+        assert row["RDA: Strict"] < 0.6 * row["Linux Default"], name

@@ -1,0 +1,50 @@
+"""Figure 9: attained GFLOPS per workload per policy.
+
+Shape reproduced from the paper:
+
+* a large maximum speedup on raytrace (paper: 1.88x, strict);
+* medium/high-reuse workloads speed up under RDA;
+* water_spatial *slows down* slightly (paper: −6 %), BLAS-1 does not gain;
+* BLAS-2 shows the smallest improvement (paper: at most 1.02x).
+"""
+
+import pytest
+
+from repro.experiments.metrics import compare_all
+from repro.experiments.report import render_figure9
+from repro.experiments.runner import run_policies
+from repro.workloads.suite import workload_by_name
+from .conftest import one_round
+
+
+@pytest.mark.paper_figure("figure9")
+def test_fig9_gflops(benchmark, full_sweep):
+    one_round(benchmark, run_policies, lambda: workload_by_name("Raytrace"))
+    print("\n" + render_figure9(full_sweep))
+
+    speedups = {
+        name: {p: c.speedup for p, c in compare_all(name, reports).items()}
+        for name, reports in full_sweep.items()
+    }
+
+    # raytrace delivers the maximum speedup, under the strict policy
+    best_workload = max(speedups, key=lambda n: max(speedups[n].values()))
+    assert best_workload == "Raytrace"
+    best = max(speedups["Raytrace"].values())
+    assert 1.5 < best < 2.4  # paper: 1.88x
+
+    # high-reuse workloads gain
+    for name in ("Water_nsq", "Ocean_cp", "Raytrace"):
+        assert max(speedups[name].values()) > 1.1, name
+
+    # low-reuse / cache-fitting workloads do not gain (within a few %)
+    for name in ("BLAS-1", "BLAS-2", "Water_sp"):
+        assert max(speedups[name].values()) < 1.08, name
+
+    # water_spatial: RDA slightly *hurts* (paper: −6 %)
+    assert min(speedups["Water_sp"].values()) < 1.0
+
+    # average speedup across all runs is modest (paper: 1.16x)
+    all_vals = [v for d in speedups.values() for v in d.values()]
+    avg = sum(all_vals) / len(all_vals)
+    assert 1.0 < avg < 1.4

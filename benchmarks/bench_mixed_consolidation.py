@@ -1,0 +1,61 @@
+"""Extension study: multi-programmed consolidation (mixed reuse levels).
+
+The paper evaluates homogeneous workloads; its conclusion, though, is a
+*deployment* policy: "the traditional scheduling policy would be used for
+memory bound applications to maximize concurrency, [and] our resource
+demand aware scheduling policies would be used for programs that have at
+least a moderate level of data reuse".  A consolidated node runs both at
+once.  This study mixes raytrace (high reuse, big sets) with BLAS-1
+streams (low reuse) and checks the conclusion carries over:
+
+* the default scheduler lets the mix thrash exactly as raytrace alone
+  does;
+* RDA gates raytrace's scenes while the streams — whose small low-reuse
+  periods are always admissible — keep the remaining cores busy: both
+  halves of the mix end up scheduled by the policy that suits them, inside
+  one system.
+"""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.experiments.runner import run_workload
+from repro.workloads.base import mix_workloads
+from repro.workloads.splash2 import raytrace_workload
+from repro.workloads.suite import blas_workload
+from .conftest import one_round
+
+
+def mixed():
+    return mix_workloads(
+        raytrace_workload(n_processes=24),
+        blas_workload(1, n_processes=48),
+        name="raytrace+blas1",
+    )
+
+
+def sweep_mix():
+    return {
+        "default": run_workload(mixed(), None),
+        "strict": run_workload(mixed(), StrictPolicy()),
+    }
+
+
+@pytest.mark.paper_figure("extension-consolidation")
+def test_mixed_reuse_consolidation(benchmark):
+    results = one_round(benchmark, sweep_mix)
+    print()
+    for name, r in results.items():
+        print(
+            f"  {name:<8} {r.gflops:6.2f} GFLOPS  {r.system_j:7.1f} J  "
+            f"wall {r.wall_s * 1e3:8.1f} ms  denials {int(r.pp_denials)}"
+        )
+    default, strict = results["default"], results["strict"]
+
+    # the mix benefits from RDA: raytrace's thrash dominates the default run
+    assert strict.gflops > 1.2 * default.gflops
+    assert strict.system_j < 0.8 * default.system_j
+    # the streams were never the ones being gated: denials exist (raytrace)
+    # but the mix still finishes faster overall
+    assert strict.pp_denials > 0
+    assert strict.wall_s < default.wall_s

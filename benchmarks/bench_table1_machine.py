@@ -1,0 +1,24 @@
+"""Table 1: machine configuration.
+
+Regenerates the configuration block and checks every row against the
+paper's Table 1.
+"""
+
+import pytest
+
+from repro.config import default_machine_config
+from repro.experiments.figures import table1_machine
+
+
+@pytest.mark.paper_figure("table1")
+def test_table1_machine(benchmark):
+    text = benchmark(table1_machine)
+    print("\n" + text)
+    cfg = default_machine_config()
+    assert "Intel(R) Xeon(R) CPU E5-2420 1.90 GHz, 12 Cores" in text
+    assert "L1-Data" in text and "32 KBytes" in text
+    assert "L2-Private" in text and "256 KBytes" in text
+    assert "L3-Shared" in text and "15360 KBytes" in text
+    assert "16 GiB" in text
+    assert "CentOS 6.6, Linux 4.6.0" in text
+    assert cfg.cpu.n_cores == 12

@@ -1,0 +1,42 @@
+"""Table 2: the eight evaluated workloads.
+
+Regenerates the workload inventory (process counts, threads per process,
+per-period working sets and reuse levels) and checks it row by row against
+the paper's table.
+"""
+
+import pytest
+
+from repro.experiments.figures import table2_rows
+
+#: the paper's Table 2, transcribed
+PAPER_TABLE2 = {
+    "BLAS-1": dict(n=96, t=1, wss={0.6}, reuse={"low"}),
+    "BLAS-2": dict(n=96, t=1, wss={0.6}, reuse={"med"}),
+    "BLAS-3": dict(n=96, t=1, wss={1.6, 2.4, 3.2}, reuse={"high"}),
+    "Water_sp": dict(n=12, t=2, wss={1.6, 1.3}, reuse={"low"}),
+    "Water_nsq": dict(n=12, t=2, wss={3.6, 3.7}, reuse={"high"}),
+    "Ocean_cp": dict(n=48, t=2, wss={2.1, 0.76, 1.5, 0.59}, reuse={"high", "med"}),
+    "Raytrace": dict(n=48, t=4, wss={5.1, 5.2}, reuse={"high"}),
+    "Volrend": dict(n=48, t=4, wss={1.8, 1.7}, reuse={"high"}),
+}
+
+
+@pytest.mark.paper_figure("table2")
+def test_table2_workloads(benchmark):
+    rows = benchmark(table2_rows)
+    print()
+    header = f"{'Workload':<10} {'#Proc':>5} {'Thr/Proc':>8}  {'WSS (MB)':<22} Reuse"
+    print(header)
+    for r in rows:
+        print(
+            f"{r['workload']:<10} {r['n_processes']:>5} {r['threads_per_proc']:>8}"
+            f"  {str(r['wss_mb']):<22} {', '.join(r['reuses'])}"
+        )
+    by_name = {r["workload"]: r for r in rows}
+    for name, expect in PAPER_TABLE2.items():
+        row = by_name[name]
+        assert row["n_processes"] == expect["n"], name
+        assert row["threads_per_proc"] == expect["t"], name
+        assert set(row["wss_mb"]) == expect["wss"], name
+        assert set(row["reuses"]) == expect["reuse"], name

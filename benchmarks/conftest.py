@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The figures 7-10 benchmarks all view the same (workload x policy) sweep, so
+the sweep is computed once per session and each figure's benchmark measures
+its own end-to-end regeneration on a representative subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figures7to10
+from repro.workloads.suite import WORKLOAD_NAMES
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_figure(name): benchmark regenerates this figure/table"
+    )
+
+
+@pytest.fixture(scope="session")
+def full_sweep():
+    """The complete Table 2 x {default, strict, compromise} sweep."""
+    return figures7to10(WORKLOAD_NAMES)
+
+
+def one_round(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

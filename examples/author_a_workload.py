@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Authoring a new workload model, end to end.
+
+The paper's workflow for bringing an application into the demand-aware
+world (§2.4, §4.4):
+
+1. model (or capture) the application's memory behaviour,
+2. profile it to find its progress periods and their demands,
+3. annotate the application with ``pp_begin``/``pp_end`` declarations,
+4. run it under the scheduler and see whether gating helps.
+
+This example invents a small "graph analytics" application — alternating
+between a cache-friendly scoring phase over a node table and a streaming
+edge-scan — and walks all four steps with library APIs only.
+
+Run:  python examples/author_a_workload.py
+"""
+
+import numpy as np
+
+from repro import CompromisePolicy, StrictPolicy, run_policies
+from repro.core.progress_period import ReuseLevel
+from repro.experiments.metrics import compare_all
+from repro.mem.address import AddressSpace
+from repro.mem.trace import MemoryTrace
+from repro.profiler import DetectorConfig, ProfilerPipeline
+from repro.workloads.base import Phase, PpSpec, ProcessSpec, Workload
+
+MB = 1_000_000
+N_NODES = 40_000  # node record = 64 B -> 2.56 MB hot table
+N_EDGES = 2_000_000
+
+
+# ----------------------------------------------------------------------
+# 1. model the application's memory behaviour as a synthetic trace
+# ----------------------------------------------------------------------
+def app_trace(n_accesses_per_phase: int = 500_000) -> MemoryTrace:
+    space = AddressSpace()
+    nodes = space.alloc("nodes", N_NODES * 64)
+    edges = space.alloc("edges", N_EDGES * 16)
+    rng = np.random.default_rng(42)
+    slices = []
+    for _ in range(2):  # two iterations of score -> scan
+        # scoring: repeated sweeps over the node table (high reuse)
+        sweep = nodes.element_addr(
+            np.tile(np.arange(N_NODES, dtype=np.int64), 4), 64
+        )
+        slices.append(sweep[:n_accesses_per_phase])
+        # edge scan: one streaming pass, no reuse
+        scan = edges.element_addr(np.arange(n_accesses_per_phase, dtype=np.int64), 16)
+        slices.append(scan)
+    return MemoryTrace(np.concatenate(slices), label="graphapp")
+
+
+# ----------------------------------------------------------------------
+# 2. profile it
+# ----------------------------------------------------------------------
+def profile_it():
+    pipeline = ProfilerPipeline(
+        window_instructions=300_000,
+        detector=DetectorConfig(min_period_instructions=600_000),
+    )
+    profile = pipeline.profile(app_trace())
+    print(f"profiler found {len(profile.periods)} progress periods:")
+    for p in profile.periods:
+        print(
+            f"  windows [{p.first_window:>2}, {p.last_window:>2}]  "
+            f"WSS {p.wss_bytes / MB:5.2f} MB  reuse={p.reuse_level}"
+        )
+    return profile
+
+
+# ----------------------------------------------------------------------
+# 3. annotate a phase model with the profiled demands
+# ----------------------------------------------------------------------
+def build_workload(profile, n_processes: int = 24) -> Workload:
+    hot = max(profile.periods, key=lambda p: p.wss_bytes * p.reuse_ratio)
+    score_phase = Phase(
+        name="score",
+        instructions=12_000_000,
+        flops_per_instr=0.5,
+        mem_refs_per_instr=0.45,
+        llc_refs_per_memref=0.10,
+        wss_bytes=int(hot.wss_bytes),
+        reuse=0.9,
+        pp=PpSpec(demand_bytes=int(hot.wss_bytes), reuse=hot.reuse_level),
+    )
+    scan_phase = Phase(
+        name="edge-scan",
+        instructions=8_000_000,
+        flops_per_instr=0.1,
+        mem_refs_per_instr=0.5,
+        llc_refs_per_memref=0.125,
+        wss_bytes=int(0.5 * MB),
+        reuse=0.08,
+        pp=PpSpec(demand_bytes=int(0.5 * MB), reuse=ReuseLevel.LOW),
+    )
+    spec = ProcessSpec(name="graphapp", program=[score_phase, scan_phase] * 2)
+    return Workload(name="graph-analytics", processes=[spec] * n_processes)
+
+
+# ----------------------------------------------------------------------
+# 4. evaluate under the three policies
+# ----------------------------------------------------------------------
+def main() -> None:
+    profile = profile_it()
+    print()
+    reports = run_policies(lambda: build_workload(profile))
+    base = reports["Linux Default"]
+    print(f"{'policy':<16} {'GFLOPS':>8} {'energy (J)':>11}")
+    print(f"{'Linux Default':<16} {base.gflops:8.2f} {base.system_j:11.1f}")
+    for name, cmp in compare_all("graph", reports).items():
+        r = reports[name]
+        print(
+            f"{name:<16} {r.gflops:8.2f} {r.system_j:11.1f}   "
+            f"({cmp.speedup:.2f}x, energy {cmp.system_energy_decrease:+.0%})"
+        )
+    print()
+    print(
+        "24 score phases of ~2.5 MB collectively overflow the 15 MB LLC — "
+        "the §3.4 conditions hold, so the annotated application benefits "
+        "from demand-aware scheduling just like the paper's workloads."
+    )
+
+
+if __name__ == "__main__":
+    main()

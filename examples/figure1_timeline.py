@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Render the paper's figure 1 from an actual simulation.
+
+Figure 1 is a hand-drawn comparison of two cache-hungry processes under a
+round-robin policy (constant context switching, each switch reloading data
+from memory) versus demand-aware scheduling (conflicting durations run one
+after another).  Here we run that exact scenario — two processes, each
+wanting two thirds of the LLC, on one CPU — and print the *measured*
+timelines using the kernel tracer.
+
+Run:  python examples/figure1_timeline.py
+"""
+
+from dataclasses import replace
+
+from repro import StrictPolicy
+from repro.config import default_machine_config
+from repro.core.progress_period import ReuseLevel
+from repro.core.rda import RdaScheduler
+from repro.perf.stat import PerfStat
+from repro.sim import Kernel, KernelTracer, render_timeline
+from repro.workloads.base import Phase, PpSpec, ProcessSpec, Workload
+
+
+def scenario() -> tuple[Workload, "MachineConfig"]:
+    base = default_machine_config()
+    one_core = replace(base, cpu=replace(base.cpu, n_cores=1))
+    wss = int(base.llc_capacity * 0.66)
+    phase = Phase(
+        name="hot-loop",
+        instructions=30_000_000,
+        flops_per_instr=1.0,
+        mem_refs_per_instr=0.4,
+        llc_refs_per_memref=0.1,
+        wss_bytes=wss,
+        reuse=0.92,
+        pp=PpSpec(demand_bytes=wss, reuse=ReuseLevel.HIGH),
+    )
+    proc = ProcessSpec(name="hungry", program=[phase] * 3)
+    return Workload(name="fig1", processes=[proc] * 2), one_core
+
+
+def run(policy) -> None:
+    workload, config = scenario()
+    scheduler = RdaScheduler(policy=policy, config=config) if policy else None
+    kernel = Kernel(config=config, extension=scheduler)
+    tracer = KernelTracer()
+    kernel.tracer = tracer
+    stat = PerfStat(kernel)
+    kernel.launch(workload)
+    stat.start()
+    kernel.run()
+    report = stat.stop()
+    name = policy.name if policy else "Round robin (Linux default)"
+    print(f"== {name} ==")
+    print(render_timeline(tracer, kernel, width=68))
+    print(
+        f"wall {report.wall_s * 1e3:6.1f} ms   LLC misses {report.llc_misses:9.3e}   "
+        f"context switches {int(report.context_switches)}"
+    )
+    print()
+
+
+def main() -> None:
+    print("Two processes (A, B), each needing 2/3 of the LLC, on one CPU.\n")
+    run(None)
+    run(StrictPolicy())
+    print(
+        "Round robin interleaves A and B, reloading the cache at every "
+        "switch;\nthe demand-aware schedule runs each process's conflicting "
+        "periods back\nto back and finishes sooner with a fraction of the "
+        "memory traffic —\nexactly the behaviour figure 1 illustrates."
+    )
+
+
+if __name__ == "__main__":
+    main()

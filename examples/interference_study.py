@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Reproduce the paper's §4.4 interference study (figure 13) and show how
+demand-aware scheduling exploits its conclusion.
+
+The paper observes that for water_nsquared's largest progress period at the
+8000-molecule input, the shared LLC "can hold all data from 6 processes,
+but not twelve", so "co-scheduling the processes in groups of six will
+attain a higher performance than when running all instances together".
+
+Part 1 measures the interference grid (the figure itself, default policy).
+Part 2 runs the 12-instance case under RDA: Strict, which discovers the
+groups-of-six schedule automatically from the declared demands.
+
+Run:  python examples/interference_study.py
+"""
+
+from repro import StrictPolicy, run_workload
+from repro.experiments.figures import FIG13_INPUTS, FIG13_INSTANCES, figure13_interference
+from repro.experiments.report import render_figure13
+from repro.workloads.splash2.water_nsquared import interference_workload, wss_of_molecules
+
+
+def main() -> None:
+    print("Part 1: the interference grid (Linux default policy)")
+    grid = figure13_interference()
+    print(render_figure13(grid))
+    print()
+
+    n_mol = 8000
+    wss_mb = wss_of_molecules(n_mol) / 1e6
+    llc_mb = 15360 * 1024 / 1e6
+    fits = int(llc_mb // wss_mb)
+    print(f"Part 2: each instance holds {wss_mb:.2f} MB; the {llc_mb:.1f} MB "
+          f"LLC holds {fits} instances at once.")
+
+    default_12 = grid[n_mol][12]
+    strict_12 = run_workload(
+        interference_workload(n_mol, 12), StrictPolicy()
+    ).gflops
+    print(f"  12 instances, default policy:     {default_12:6.2f} GFLOPS")
+    print(f"  12 instances, RDA: Strict:        {strict_12:6.2f} GFLOPS")
+    print(f"  -> the strict policy recovers {strict_12 / default_12:.2f}x by "
+          f"running the instances in cache-sized groups, exactly the"
+          f" co-scheduling the paper derives from this figure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The §2.4 / §4.4 profiler pipeline, end to end.
+
+1. Generate a synthetic address trace for water_nsquared's pair sweep (the
+   PIN stand-in), with JMP samples and a modelled binary loop nest.
+2. Sample fixed-size instruction windows -> footprint / WSS / reuse ratio.
+3. Detect progress periods as runs of similar windows.
+4. Map the detected period to the outermost containing loop via the JMPs.
+5. Fit the logarithmic WSS predictor across input scales and use it to
+   annotate a workload phase for an input size never profiled.
+
+Run:  python examples/profile_and_annotate.py
+"""
+
+from repro.profiler import (
+    DetectorConfig,
+    SyntheticBinary,
+    annotate_workload_phase,
+    detect_periods,
+    fit_log_regression,
+    map_period_to_loop,
+    prediction_accuracy,
+    sample_windows,
+)
+from repro.workloads.splash2.water_nsquared import largest_pp_phase
+from repro.workloads.tracegen import water_pp1_trace
+
+WINDOW_INSTRUCTIONS = 1_000_000
+INPUT_SCALES = (8000, 15625, 32768, 64000)
+
+
+def build_binary() -> tuple[SyntheticBinary, dict]:
+    """The modelled water_nsquared binary: INTERF with two nested loops."""
+    binary = SyntheticBinary()
+    interf = binary.add_function("INTERF", 0x401000, 0x409000)
+    outer = binary.add_loop(interf, "rows(i)", 0x401100, 0x408F00, backedge=0x408E00)
+    binary.add_loop(
+        interf, "partners(j)", 0x401200, 0x408D00, backedge=0x408C00, parent=outer
+    )
+    layout = {"inner_backedge": 0x408C00, "outer_backedge": 0x408E00}
+    return binary, layout
+
+
+def main() -> None:
+    binary, layout = build_binary()
+
+    # --- profile the default input -----------------------------------
+    trace = water_pp1_trace(8000, jmp_layout=layout)
+    profile = sample_windows(trace, WINDOW_INSTRUCTIONS)
+    print(f"windows: {len(profile)}  mean WSS {profile.mean_wss_bytes / 1e6:.2f} MB  "
+          f"mean reuse ratio {profile.mean_reuse_ratio:.1f}")
+
+    periods = detect_periods(profile, DetectorConfig(min_period_instructions=3_000_000))
+    print(f"detected {len(periods)} progress period(s):")
+    for p in periods:
+        print(f"  windows [{p.first_window}, {p.last_window}]  "
+              f"WSS {p.wss_bytes / 1e6:.2f} MB  reuse {p.reuse_level}")
+
+    # --- locate the period in the binary ------------------------------
+    period = periods[0]
+    jmps = trace.jmps_in_window(period.first_window, WINDOW_INSTRUCTIONS)
+    loop = map_period_to_loop(binary, jmps)
+    assert loop is not None
+    print(f"period maps to outermost loop {loop.name!r} "
+          f"[{loop.start:#x}, {loop.end:#x})")
+
+    # --- input-scaling prediction (figure 12) -------------------------
+    wss = []
+    for n in INPUT_SCALES:
+        p = sample_windows(water_pp1_trace(n), WINDOW_INSTRUCTIONS)
+        wss.append(p.mean_wss_bytes)
+    reg = fit_log_regression(INPUT_SCALES[:3], wss[:3])
+    acc = prediction_accuracy(reg.predict(INPUT_SCALES[3]), wss[3])
+    print(f"log-regression predictor: wss = {reg.a / 1e6:.2f} MB + "
+          f"{reg.b / 1e6:.3f} MB * ln(molecules); "
+          f"accuracy on held-out 8x input: {acc:.0%}")
+
+    # --- annotate a phase for an unseen input --------------------------
+    unseen = 24_000
+    phase = largest_pp_phase(unseen)
+    annotated = annotate_workload_phase(
+        phase, period, input_size=unseen, wss_predictor=reg
+    )
+    assert annotated.pp is not None
+    print(f"annotated phase for {unseen} molecules: pp_begin(LLC, "
+          f"{annotated.pp.demand_bytes / 1e6:.2f} MB, {annotated.pp.reuse})")
+
+
+if __name__ == "__main__":
+    main()

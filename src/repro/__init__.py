@@ -1,0 +1,55 @@
+"""repro — reproduction of "Improving Resource Utilization through Demand
+Aware Process Scheduling" (Nesterenko, Yi & Rao, ICPP 2018).
+
+The package implements the paper's demand-aware scheduling extension
+(:mod:`repro.core`) on top of a simulated Linux-like kernel and Xeon
+E5-2420 machine model (:mod:`repro.sim`, :mod:`repro.mem`,
+:mod:`repro.energy`, :mod:`repro.perf`), the profiler that extracts
+progress periods (:mod:`repro.profiler`), the evaluated workloads
+(:mod:`repro.workloads`) and the experiment harness regenerating every
+table and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import run_workload, StrictPolicy, workload_by_name
+
+    report = run_workload(workload_by_name("Water_nsq"), StrictPolicy())
+    print(report.describe())
+"""
+
+from .config import MachineConfig, default_machine_config, E5_2420
+from .core import (
+    CompromisePolicy,
+    ProgressPeriodApi,
+    RdaScheduler,
+    ResourceKind,
+    ReuseLevel,
+    StrictPolicy,
+)
+from .experiments.runner import run_workload, run_policies, POLICIES
+from .perf import PerfReport
+from .sim import Kernel
+from .workloads import Workload, table2_workloads, workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "default_machine_config",
+    "E5_2420",
+    "CompromisePolicy",
+    "StrictPolicy",
+    "RdaScheduler",
+    "ProgressPeriodApi",
+    "ResourceKind",
+    "ReuseLevel",
+    "run_workload",
+    "run_policies",
+    "POLICIES",
+    "PerfReport",
+    "Kernel",
+    "Workload",
+    "table2_workloads",
+    "workload_by_name",
+    "__version__",
+]

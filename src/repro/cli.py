@@ -1,0 +1,207 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table1                 # machine configuration
+    python -m repro table2                 # workload inventory
+    python -m repro run Water_nsq --policy strict
+    python -m repro sweep                  # figures 7-10 (all workloads)
+    python -m repro fig 11                 # any of figures 1, 11, 12, 13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.policy import CompromisePolicy, SchedulingPolicy, StrictPolicy
+from .experiments import figures, report
+from .experiments.runner import run_policies, run_workload
+from .workloads.suite import WORKLOAD_NAMES, workload_by_name
+
+__all__ = ["main", "build_parser", "policy_by_name"]
+
+
+def policy_by_name(name: str) -> Optional[SchedulingPolicy]:
+    """Map a CLI policy name to a policy object (None = Linux default)."""
+    lowered = name.lower()
+    if lowered in ("default", "linux", "none"):
+        return None
+    if lowered == "strict":
+        return StrictPolicy()
+    if lowered.startswith("compromise"):
+        # "compromise" or "compromise:1.5"
+        if ":" in lowered:
+            factor = float(lowered.split(":", 1)[1])
+            return CompromisePolicy(oversubscription=factor)
+        return CompromisePolicy()
+    raise argparse.ArgumentTypeError(
+        f"unknown policy {name!r}; expected default, strict or compromise[:x]"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Demand-aware process scheduling (ICPP 2018) — experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the machine configuration (Table 1)")
+    sub.add_parser("table2", help="print the workload inventory (Table 2)")
+
+    run_p = sub.add_parser("run", help="run one workload under one policy")
+    run_p.add_argument("workload", choices=WORKLOAD_NAMES)
+    run_p.add_argument(
+        "--policy", type=policy_by_name, default=None,
+        help="default | strict | compromise[:factor]",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="figures 7-10: every workload under every policy"
+    )
+    sweep_p.add_argument(
+        "--workloads", nargs="*", choices=WORKLOAD_NAMES, default=WORKLOAD_NAMES,
+    )
+    sweep_p.add_argument(
+        "--chart", action="store_true", help="render bar charts instead of tables"
+    )
+
+    fig_p = sub.add_parser("fig", help="regenerate one figure")
+    fig_p.add_argument("number", type=int, choices=(1, 11, 12, 13))
+    fig_p.add_argument(
+        "--chart", action="store_true", help="render a chart instead of a table"
+    )
+
+    return parser
+
+
+def _cmd_run(args) -> int:
+    workload = workload_by_name(args.workload)
+    rep = run_workload(workload, args.policy)
+    policy_name = args.policy.name if args.policy else "Linux Default"
+    print(f"# {args.workload} under {policy_name}")
+    print(rep.describe())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .experiments.charts import grouped_bar_chart
+
+    sweep = {
+        name: run_policies(lambda n=name: workload_by_name(n))
+        for name in args.workloads
+    }
+    if args.chart:
+        for metric, title, unit in (
+            ("system_j", "Figure 7: system energy", "J"),
+            ("dram_j", "Figure 8: DRAM energy", "J"),
+            ("gflops", "Figure 9: performance", "GFLOPS"),
+            ("gflops_per_watt", "Figure 10: efficiency", "GFLOPS/W"),
+        ):
+            groups = {
+                wl: {p: getattr(r, metric) for p, r in reports.items()}
+                for wl, reports in sweep.items()
+            }
+            print(grouped_bar_chart(groups, title=title, unit=unit))
+            print()
+    else:
+        for renderer in (
+            report.render_figure7,
+            report.render_figure8,
+            report.render_figure9,
+            report.render_figure10,
+        ):
+            print(renderer(sweep))
+            print()
+    print(report.render_comparison_summary(sweep))
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    from .experiments.charts import bar_chart, line_chart
+
+    chart = getattr(args, "chart", False)
+    if args.number == 1:
+        points = figures.figure1_timeline()
+        if chart:
+            print(bar_chart(
+                {n: p.wall_s * 1e3 for n, p in points.items()},
+                title="Figure 1: wall time of two conflicting processes",
+                unit="ms",
+            ))
+        else:
+            for name, p in points.items():
+                print(
+                    f"{name:<16} wall {p.wall_s * 1e3:7.1f} ms  "
+                    f"LLC misses {p.llc_misses:9.3e}  switches "
+                    f"{int(p.context_switches)}"
+                )
+    elif args.number == 11:
+        reports = figures.figure11_overhead()
+        if chart:
+            print(bar_chart(
+                {k: r.gflops for k, r in reports.items()},
+                title="Figure 11: dgemm GFLOPS vs tracking granularity",
+                unit="GFLOPS",
+            ))
+        else:
+            print(report.render_figure11(reports))
+    elif args.number == 12:
+        curves = figures.figure12_wss_prediction()
+        if chart:
+            series = {
+                c.name: list(zip(c.input_sizes, c.measured_mb)) for c in curves
+            }
+            print(line_chart(
+                series,
+                title="Figure 12: measured WSS (MB) vs input size",
+                x_label="input size",
+                y_label="WSS (MB)",
+                logx=True,
+            ))
+        else:
+            print(report.render_figure12(curves))
+    elif args.number == 13:
+        grid = figures.figure13_interference()
+        if chart:
+            series = {
+                f"n={n}": [(i, g) for i, g in row.items()]
+                for n, row in grid.items()
+            }
+            print(line_chart(
+                series,
+                title="Figure 13: GFLOPS vs concurrent instances",
+                x_label="instances",
+                y_label="GFLOPS",
+            ))
+        else:
+            print(report.render_figure13(grid))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(figures.table1_machine())
+        return 0
+    if args.command == "table2":
+        for row in figures.table2_rows():
+            print(
+                f"{row['workload']:<10} procs={row['n_processes']:<3} "
+                f"thr/proc={row['threads_per_proc']}  wss={row['wss_mb']} MB  "
+                f"reuse={row['reuses']}"
+            )
+        return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "fig":
+        return _cmd_fig(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""The user-level progress-period API (paper §2.3, figure 4).
+
+The paper's applications call::
+
+    pp_id = pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH);
+    DGEMM(n, A, B, C);
+    pp_end(pp_id);
+
+:class:`ProgressPeriodApi` is the direct analogue for code driving the
+scheduler outside the simulated kernel — unit tests, the examples, and any
+host application that wants to exercise admission logic directly.  Inside
+the simulation, workloads declare periods on their phases and the kernel
+performs the equivalent calls at phase boundaries.
+
+``MB`` and the ``RESOURCE_*`` / ``REUSE_*`` constants mirror the paper's C
+macros so figure 4 transliterates one-to-one (see ``examples/quickstart.py``).
+"""
+
+from __future__ import annotations
+
+from ..errors import BlockingSyncInPeriodError, ProgressPeriodError
+from .progress_monitor import ProgressMonitor
+from .progress_period import (
+    PeriodRequest,
+    PeriodState,
+    ProgressPeriod,
+    ResourceKind,
+    ReuseLevel,
+)
+
+__all__ = [
+    "MB",
+    "KB",
+    "RESOURCE_LLC",
+    "REUSE_LOW",
+    "REUSE_MED",
+    "REUSE_HIGH",
+    "ProgressPeriodApi",
+]
+
+
+def MB(x: float) -> int:
+    """``MB(6.3)`` of figure 4 — mebibytes to bytes."""
+    return int(x * 1024 * 1024)
+
+
+def KB(x: float) -> int:
+    return int(x * 1024)
+
+
+RESOURCE_LLC = ResourceKind.LLC
+REUSE_LOW = ReuseLevel.LOW
+REUSE_MED = ReuseLevel.MEDIUM
+REUSE_HIGH = ReuseLevel.HIGH
+
+
+class ProgressPeriodApi:
+    """Figure-4-style begin/end calls over a progress monitor.
+
+    The API also enforces the §3.4 restriction that progress periods must
+    not contain blocking synchronization: callers flag blocking operations
+    through :meth:`blocking_sync`, which raises if any period is open for
+    that caller.
+    """
+
+    def __init__(self, monitor: ProgressMonitor, owner: object = None) -> None:
+        self.monitor = monitor
+        self.owner = owner if owner is not None else self
+        self._open: dict[int, ProgressPeriod] = {}
+
+    # ------------------------------------------------------------------
+    def pp_begin(
+        self,
+        resource: ResourceKind,
+        demand_bytes: int,
+        reuse: ReuseLevel,
+        label: str = "",
+    ) -> int:
+        """Start a progress period; returns its unique identifier.
+
+        The calling process is expected to proceed only if the period was
+        admitted; check :meth:`is_admitted` (the simulated kernel instead
+        blocks the thread on its wait queue).
+        """
+        request = PeriodRequest(
+            resource=resource,
+            demand_bytes=demand_bytes,
+            reuse=reuse,
+            label=label,
+        )
+        period = self.monitor.begin(self.owner, request)
+        self._open[period.pp_id] = period
+        return period.pp_id
+
+    def pp_end(self, pp_id: int) -> None:
+        """End a progress period previously returned by :meth:`pp_begin`."""
+        if pp_id not in self._open:
+            raise ProgressPeriodError(
+                f"pp_end({pp_id}): not an open period of this caller"
+            )
+        del self._open[pp_id]
+        self.monitor.end(pp_id)
+
+    # ------------------------------------------------------------------
+    def is_admitted(self, pp_id: int) -> bool:
+        period = self._open.get(pp_id)
+        if period is None:
+            raise ProgressPeriodError(f"unknown open period {pp_id}")
+        return period.state is PeriodState.RUNNING
+
+    def blocking_sync(self) -> None:
+        """Declare a blocking synchronization point (barrier, lock, ...).
+
+        Raises :class:`BlockingSyncInPeriodError` if any progress period is
+        open: "we currently do not allow progress periods to contain
+        blocking synchronizations" (§3.4).
+        """
+        if self._open:
+            open_ids = sorted(self._open)
+            raise BlockingSyncInPeriodError(
+                f"blocking synchronization inside open progress period(s) "
+                f"{open_ids}; synchronize outside periods and let the "
+                f"default OS policy schedule that duration"
+            )
+
+    def period(self, pp_id: int) -> ProgressPeriod:
+        """Access the live period record (tests, introspection)."""
+        period = self._open.get(pp_id)
+        if period is None:
+            raise ProgressPeriodError(f"unknown open period {pp_id}")
+        return period
+
+    @property
+    def open_count(self) -> int:
+        return len(self._open)

@@ -1,0 +1,168 @@
+"""ITKO-style co-scheduling baseline (Kihm, Settle, Janiszewski & Connors).
+
+The paper's §5 describes its closest prior work: "a scheduling extension
+based on predicting inter-thread kickouts (ITKO) to co-schedule threads
+that are less likely to evict each other's data.  Their strategy is
+initially profiling an application ... and writing a bit to a file
+indicating whether or not that interval exceeded an ITKO threshold.  They
+pass this file to the OS, which ... schedules jobs based on whether or not
+the threshold was reached."  The paper positions itself against it: "Our
+approach is similar to this work; however, [it] maps the behavior to a
+static code location ... allowing our scheduler to be less reliant on
+input sensitivity."
+
+:class:`ItkoScheduler` implements that baseline faithfully enough to test
+the comparison: admission decisions come from a **static offline profile**
+(phase name → working-set size measured at profiling time), not from the
+application's just-in-time declarations.  Phases whose *profiled* working
+set exceeds the hot threshold are "hot"; at most ``hot_slots`` hot phases
+(sized so the profiled sets fill the LLC) run concurrently.  When the
+production input differs from the profiled input, the bits are stale — the
+input-sensitivity weakness the paper calls out.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Mapping, Optional, Sequence
+
+from ..config import MachineConfig, default_machine_config
+from ..errors import SchedulerError
+from ..sim.kernel import AdmissionDecision, SchedulingExtension
+from ..sim.process import Thread
+from ..workloads.base import PhaseKind, Workload
+
+__all__ = ["ItkoScheduler", "profile_workload"]
+
+
+def profile_workload(workload: Workload) -> Dict[str, int]:
+    """Offline profiling pass: phase name → working-set size.
+
+    Stands in for the Valgrind profiling run of the ITKO paper; the values
+    are whatever the workload's phases exhibit *at this input size* — run
+    it on a differently-scaled workload and the profile goes stale.
+    """
+    profile: Dict[str, int] = {}
+    for spec in workload.processes:
+        for t in range(spec.n_threads):
+            for phase in spec.program_for(t):
+                if phase.kind is PhaseKind.COMPUTE:
+                    profile.setdefault(phase.name, phase.wss_bytes)
+    return profile
+
+
+class ItkoScheduler(SchedulingExtension):
+    """Static-profile co-scheduler limiting concurrently-hot phases.
+
+    Args:
+        profile: the offline profile (phase name → profiled WSS bytes).
+        hot_threshold_bytes: a profiled set at or above this is "hot"
+            (exceeded the ITKO threshold); default: 1/12 of the LLC — a
+            core's fair share.
+        config: machine description (LLC capacity sizes the hot slots).
+    """
+
+    def __init__(
+        self,
+        profile: Mapping[str, int],
+        config: Optional[MachineConfig] = None,
+        hot_threshold_bytes: Optional[int] = None,
+    ) -> None:
+        self.config = config or default_machine_config()
+        self.profile = dict(profile)
+        capacity = self.config.llc_capacity
+        if hot_threshold_bytes is None:
+            hot_threshold_bytes = capacity // 12
+        self.hot_threshold_bytes = int(hot_threshold_bytes)
+        hot_sizes = [w for w in self.profile.values() if w >= self.hot_threshold_bytes]
+        if hot_sizes:
+            mean_hot = sum(hot_sizes) / len(hot_sizes)
+            self.hot_slots = max(1, int(capacity // mean_hot))
+        else:
+            self.hot_slots = 1 << 30  # nothing is hot; never gate
+        self._hot_running = 0
+        self._waiting: Deque[tuple[int, Thread]] = deque()
+        #: pp_id -> slot key (None for cold periods)
+        self._hot_periods: Dict[int, Optional[tuple]] = {}
+        #: slot key -> holder refcount (sibling threads share one slot)
+        self._slot_holders: Dict[tuple, int] = {}
+        self._next_id = 1
+        #: phases missing from the profile (never gated) — staleness signal
+        self.unprofiled = 0
+
+    @property
+    def name(self) -> str:
+        return "ITKO (static profile)"
+
+    # ------------------------------------------------------------------
+    def _is_hot(self, label: str) -> bool:
+        profiled = self.profile.get(label)
+        if profiled is None:
+            self.unprofiled += 1
+            return False
+        return profiled >= self.hot_threshold_bytes
+
+    def _slot_key(self, thread: Thread, label: str) -> tuple:
+        """Sibling threads working on one data set share one hot slot."""
+        return (thread.process.pid, label)
+
+    def _acquire(self, key: tuple) -> bool:
+        held = self._slot_holders.get(key, 0)
+        if held:
+            self._slot_holders[key] = held + 1
+            return True
+        if self._hot_running < self.hot_slots:
+            self._hot_running += 1
+            self._slot_holders[key] = 1
+            return True
+        return False
+
+    def on_pp_begin(
+        self, thread: Thread, request
+    ) -> tuple[int, AdmissionDecision]:
+        pp_id = self._next_id
+        self._next_id += 1
+        if not self._is_hot(request.label):
+            self._hot_periods[pp_id] = None
+            return pp_id, AdmissionDecision.RUN
+        key = self._slot_key(thread, request.label)
+        self._hot_periods[pp_id] = key
+        if self._acquire(key):
+            return pp_id, AdmissionDecision.RUN
+        self._waiting.append((pp_id, thread))
+        return pp_id, AdmissionDecision.WAIT
+
+    def on_pp_end(self, thread: Thread, pp_id: int) -> Sequence[Thread]:
+        if pp_id not in self._hot_periods:
+            raise SchedulerError(f"ITKO: unknown period {pp_id}")
+        key = self._hot_periods.pop(pp_id)
+        if key is None:
+            return ()
+        held = self._slot_holders.get(key, 0)
+        if held <= 0:  # pragma: no cover - defensive
+            raise SchedulerError("ITKO: slot refcount went negative")
+        if held > 1:
+            self._slot_holders[key] = held - 1
+            return ()
+        del self._slot_holders[key]
+        self._hot_running -= 1
+        # Re-try every waiter once: new slots go out FIFO, and siblings of
+        # already-held slots join for free regardless of position.
+        woken: list[Thread] = []
+        kept: Deque[tuple[int, Thread]] = deque()
+        while self._waiting:
+            pp, waiter = self._waiting.popleft()
+            if self._acquire(self._hot_periods[pp]):
+                woken.append(waiter)
+            else:
+                kept.append((pp, waiter))
+        self._waiting = kept
+        return woken
+
+    def on_thread_exit(self, thread: Thread) -> Sequence[Thread]:
+        # A dying thread cannot be woken later: drop its queued requests.
+        # (Running periods are ended by the kernel before the exit.)
+        self._waiting = deque(
+            (pid, t) for pid, t in self._waiting if t is not thread
+        )
+        return ()

@@ -1,0 +1,101 @@
+"""Cache-partitioning scheduling extension (the paper's §6 future work).
+
+Combines two pieces:
+
+* hardware: a :class:`repro.mem.partition.PartitionedLlcModel` that confines
+  streaming working sets to a small partition, and
+* scheduling: :class:`PartitioningRdaScheduler`, which admits only the
+  *protected* (reusable) periods against the main partition's capacity and
+  lets streaming periods run immediately — gating a stream buys nothing,
+  because "it would fetch most data from main memory regardless".
+
+Use :func:`partitioned_kernel` to assemble a kernel with matching hardware
+and scheduler settings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..config import MachineConfig, default_machine_config
+from ..mem.partition import PartitionedLlcModel
+from ..sim.kernel import AdmissionDecision, Kernel
+from ..sim.machine import Machine
+from ..sim.process import Thread
+from .policy import SchedulingPolicy
+from .progress_period import PeriodRequest, ReuseLevel
+from .rda import RdaScheduler
+
+__all__ = ["PartitioningRdaScheduler", "partitioned_kernel"]
+
+
+class PartitioningRdaScheduler(RdaScheduler):
+    """RDA admission over the main partition; streams bypass to the pen.
+
+    A period is *streaming* when it declares LOW reuse or a demand larger
+    than the whole cache.  Streaming periods are never charged to the
+    managed resource and never waitlisted — the hardware partition already
+    isolates them.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[SchedulingPolicy] = None,
+        config: Optional[MachineConfig] = None,
+        streaming_partition_bytes: Optional[int] = None,
+        starvation_guard: bool = True,
+    ) -> None:
+        config = config or default_machine_config()
+        if streaming_partition_bytes is None:
+            streaming_partition_bytes = config.llc_capacity // 8
+        self.streaming_partition_bytes = int(streaming_partition_bytes)
+        super().__init__(
+            policy=policy, config=config, starvation_guard=starvation_guard
+        )
+        # Re-register the managed capacity as the *main* partition only.
+        self.llc.capacity_bytes = config.llc_capacity - self.streaming_partition_bytes
+        #: streaming periods that bypassed admission, for reporting
+        self.bypassed = 0
+
+    def is_streaming(self, request: PeriodRequest) -> bool:
+        return (
+            request.reuse is ReuseLevel.LOW
+            or request.demand_bytes > self.config.llc_capacity
+        )
+
+    def on_pp_begin(
+        self, thread: Thread, request: PeriodRequest
+    ) -> tuple[int, AdmissionDecision]:
+        if self.is_streaming(request):
+            self.bypassed += 1
+            return 0, AdmissionDecision.RUN
+        return super().on_pp_begin(thread, request)
+
+    def on_pp_end(self, thread: Thread, pp_id: int) -> Sequence[Thread]:
+        if pp_id == 0:  # a bypassed streaming period holds nothing
+            return ()
+        return super().on_pp_end(thread, pp_id)
+
+
+def partitioned_kernel(
+    policy: Optional[SchedulingPolicy] = None,
+    config: Optional[MachineConfig] = None,
+    streaming_partition_bytes: Optional[int] = None,
+    streaming_reuse_threshold: float = 0.15,
+) -> Kernel:
+    """A kernel whose LLC is way-partitioned and whose RDA matches it."""
+    config = config or default_machine_config()
+    if streaming_partition_bytes is None:
+        streaming_partition_bytes = config.llc_capacity // 8
+    model = PartitionedLlcModel(
+        config.llc_capacity,
+        streaming_partition_bytes=streaming_partition_bytes,
+        streaming_reuse_threshold=streaming_reuse_threshold,
+    )
+    scheduler = PartitioningRdaScheduler(
+        policy=policy,
+        config=config,
+        streaming_partition_bytes=streaming_partition_bytes,
+    )
+    machine = Machine(config, llc_model=model)
+    return Kernel(config=config, extension=scheduler, machine=machine)

@@ -1,0 +1,134 @@
+"""The progress monitor (paper §3.1, figures 5 and 6).
+
+Responsibilities, verbatim from the paper:
+
+* communicate with applications (receive ``pp_begin`` / ``pp_end``),
+* maintain all progress-period related information (the registry),
+* attempt to schedule waiting threads previously blocked due to resource
+  constraints (drain the waitlist when capacity frees up).
+
+The monitor is deliberately kernel-agnostic: it records decisions and
+returns them; :class:`repro.core.rda.RdaScheduler` translates decisions into
+actual thread pause/wake calls on the simulated kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ProgressPeriodError
+from .predicate import Decision, SchedulingPredicate
+from .progress_period import PeriodRequest, PeriodState, ProgressPeriod
+from .registry import PeriodRegistry
+from .resource_monitor import ResourceMonitor
+from .waitlist import Waitlist
+
+__all__ = ["ProgressMonitor"]
+
+
+class ProgressMonitor:
+    """Tracks progress-period entry/exit and drives admission decisions."""
+
+    def __init__(
+        self,
+        resources: ResourceMonitor,
+        predicate: SchedulingPredicate,
+        clock: Callable[[], float],
+        registry: Optional[PeriodRegistry] = None,
+        waitlist: Optional[Waitlist] = None,
+    ) -> None:
+        self.resources = resources
+        self.predicate = predicate
+        self.clock = clock
+        self.registry = registry if registry is not None else PeriodRegistry()
+        self.waitlist = waitlist if waitlist is not None else Waitlist()
+        #: completed periods kept for post-run analysis
+        self.history: list[ProgressPeriod] = []
+
+    # ------------------------------------------------------------------
+    # figure 5: application begins a progress period
+    def begin(self, owner: object, request: PeriodRequest) -> ProgressPeriod:
+        """Handle ``pp_begin``: create, register and try to schedule a period.
+
+        Returns the period; its ``state`` tells the caller whether the owner
+        may continue running (``RUNNING``) or must pause (``WAITING``).
+        """
+        now = self.clock()
+        period = ProgressPeriod(request=request, owner=owner, begin_time=now)
+        self.registry.add(period)
+        decision = self.predicate.try_schedule(period)
+        if decision is Decision.RUN:
+            period.state = PeriodState.RUNNING
+            period.admit_time = now
+        else:
+            period.state = PeriodState.WAITING
+            self.waitlist.park(period)
+        return period
+
+    # ------------------------------------------------------------------
+    # figure 6: application ends a progress period
+    def end(self, pp_id: int) -> tuple[ProgressPeriod, list[ProgressPeriod]]:
+        """Handle ``pp_end``: release the demand and re-try waiting periods.
+
+        Returns ``(completed, admitted)`` where ``admitted`` lists the
+        previously waiting periods that the freed capacity let in; the
+        caller must wake their owners.
+        """
+        period = self.registry.remove(pp_id)
+        if period.state is PeriodState.RUNNING:
+            self.resources.release_load(period.request)
+        elif period.state is PeriodState.WAITING:
+            # The owner is blocked, so a well-formed application cannot end a
+            # waiting period; tolerate it for robustness (e.g. owner killed).
+            self.waitlist.remove(period)
+        else:  # pragma: no cover - defensive
+            raise ProgressPeriodError(
+                f"period #{pp_id} ended in unexpected state {period.state}"
+            )
+        now = self.clock()
+        period.state = PeriodState.COMPLETED
+        period.end_time = now
+        self.history.append(period)
+        admitted = self._retry_waiters(period)
+        return period, admitted
+
+    def _retry_waiters(self, completed: ProgressPeriod) -> list[ProgressPeriod]:
+        """Figure 6's "attempt to schedule waiting threads" step."""
+        now = self.clock()
+        admitted = self.waitlist.drain_admissible(
+            completed.resource,
+            lambda p: self.predicate.try_schedule(p) is Decision.RUN,
+        )
+        for p in admitted:
+            p.state = PeriodState.RUNNING
+            p.admit_time = now
+        return admitted
+
+    # ------------------------------------------------------------------
+    def abandon_owner(self, owner: object) -> list[ProgressPeriod]:
+        """Clean up periods left open by a dying thread.
+
+        Releases running demands, unparks waiting ones, and returns any
+        waiters admitted by the freed capacity.
+        """
+        admitted: list[ProgressPeriod] = []
+        for period in self.registry.of_owner(owner):
+            self.registry.remove(period.pp_id)
+            if period.state is PeriodState.RUNNING:
+                self.resources.release_load(period.request)
+                admitted.extend(self._retry_waiters(period))
+            elif period.state is PeriodState.WAITING:
+                self.waitlist.remove(period)
+            period.state = PeriodState.COMPLETED
+            period.end_time = self.clock()
+            self.history.append(period)
+        return admitted
+
+    # ------------------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self.registry)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self.waitlist)

@@ -1,0 +1,64 @@
+"""Registry of active progress periods (paper §3.1).
+
+"The progress monitor stores all active progress period information in a
+registry, so the resource usage footprint of each progress period can be
+removed from our environment after the period completes."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import ProgressPeriodError, UnknownProgressPeriodError
+from .progress_period import PeriodState, ProgressPeriod
+
+__all__ = ["PeriodRegistry"]
+
+
+class PeriodRegistry:
+    """Index of live (requested / running / waiting) progress periods."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, ProgressPeriod] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[ProgressPeriod]:
+        return iter(list(self._by_id.values()))
+
+    def __contains__(self, pp_id: int) -> bool:
+        return pp_id in self._by_id
+
+    def add(self, period: ProgressPeriod) -> None:
+        if period.pp_id in self._by_id:
+            raise ProgressPeriodError(f"duplicate progress period id {period.pp_id}")
+        if period.state is PeriodState.COMPLETED:
+            raise ProgressPeriodError("cannot register a completed period")
+        self._by_id[period.pp_id] = period
+
+    def get(self, pp_id: int) -> ProgressPeriod:
+        try:
+            return self._by_id[pp_id]
+        except KeyError:
+            raise UnknownProgressPeriodError(pp_id) from None
+
+    def find(self, pp_id: int) -> Optional[ProgressPeriod]:
+        return self._by_id.get(pp_id)
+
+    def remove(self, pp_id: int) -> ProgressPeriod:
+        """Drop a period after completion; returns the removed record."""
+        try:
+            return self._by_id.pop(pp_id)
+        except KeyError:
+            raise UnknownProgressPeriodError(pp_id) from None
+
+    def running(self) -> list[ProgressPeriod]:
+        return [p for p in self._by_id.values() if p.state is PeriodState.RUNNING]
+
+    def waiting(self) -> list[ProgressPeriod]:
+        return [p for p in self._by_id.values() if p.state is PeriodState.WAITING]
+
+    def of_owner(self, owner: object) -> list[ProgressPeriod]:
+        """All live periods opened by one thread."""
+        return [p for p in self._by_id.values() if p.owner is owner]

@@ -1,0 +1,77 @@
+"""Task-pool guard (paper §3.4).
+
+"Scheduling processes by progress periods may also interfere with task-pool
+based programming models ... if one of these threads enters a progress
+period and is unable to run, our scheduler temporarily disables the whole
+thread pool until there is sufficient resources for all of them."
+
+:class:`ThreadPoolGuard` implements that rule over the progress monitor: a
+pool declares its member demands up front; when any member's period is
+denied, the guard reports the whole pool must pause, and it re-enables the
+pool only when the *aggregate* demand of all members is admissible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..errors import ProgressPeriodError
+from .predicate import SchedulingPredicate
+from .progress_period import ResourceKind
+
+__all__ = ["ThreadPoolGuard"]
+
+
+class ThreadPoolGuard:
+    """Gate a task pool's members behind their aggregate resource demand."""
+
+    def __init__(
+        self,
+        predicate: SchedulingPredicate,
+        resource: ResourceKind = ResourceKind.LLC,
+    ) -> None:
+        self.predicate = predicate
+        self.resource = resource
+        self._disabled = False
+        self._member_demands: dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    def register_member(self, member: Hashable, demand_bytes: int) -> None:
+        if demand_bytes < 0:
+            raise ProgressPeriodError("member demand must be non-negative")
+        self._member_demands[member] = demand_bytes
+
+    def unregister_member(self, member: Hashable) -> None:
+        self._member_demands.pop(member, None)
+
+    @property
+    def aggregate_demand(self) -> int:
+        return sum(self._member_demands.values())
+
+    @property
+    def disabled(self) -> bool:
+        return self._disabled
+
+    # ------------------------------------------------------------------
+    def on_member_denied(self) -> bool:
+        """A member's period was denied: disable the whole pool.
+
+        Returns True if this call transitioned the pool to disabled.
+        """
+        was = self._disabled
+        self._disabled = True
+        return not was
+
+    def try_enable(self) -> bool:
+        """Re-enable the pool when the aggregate demand is now admissible.
+
+        Called when resources free up (a progress period elsewhere ended).
+        """
+        if not self._disabled:
+            return True
+        state = self.predicate.resources.state(self.resource)
+        outcome = state.remaining_bytes - self.aggregate_demand
+        if self.predicate.policy.allows(outcome, state):
+            self._disabled = False
+            return True
+        return False

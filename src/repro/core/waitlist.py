@@ -1,0 +1,96 @@
+"""The resource waitlist (paper §3.1 / figures 5–6).
+
+Processes whose progress period is denied are "placed on a resource waitlist
+so they may be rescheduled later when another progress period completes and
+releases sufficient resources".  The list is FIFO per resource, which gives
+the oldest waiter the first chance at freed capacity and guarantees absence
+of starvation under any policy that admits a lone period that fits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, Optional
+
+from .progress_period import ProgressPeriod, ResourceKind
+
+__all__ = ["Waitlist"]
+
+
+class Waitlist:
+    """FIFO queues of denied progress periods, one per resource kind.
+
+    Args:
+        strict_fifo: when True, :meth:`drain_admissible` stops at the first
+            waiter the predicate rejects — strict arrival-order fairness,
+            at the cost of head-of-line blocking.  The default (False)
+            matches the paper's prototype: scan the whole queue so a small
+            period can slip past a large head waiter and keep cores busy.
+            ``benchmarks/bench_ablation_waitlist.py`` quantifies the trade.
+    """
+
+    def __init__(self, strict_fifo: bool = False) -> None:
+        self._queues: Dict[ResourceKind, Deque[ProgressPeriod]] = {}
+        self.strict_fifo = strict_fifo
+
+    def park(self, period: ProgressPeriod) -> None:
+        """Append a denied period to its resource's queue."""
+        self._queues.setdefault(period.resource, deque()).append(period)
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def waiting_on(self, resource: ResourceKind) -> int:
+        return len(self._queues.get(resource, ()))
+
+    def peek(self, resource: ResourceKind) -> Optional[ProgressPeriod]:
+        q = self._queues.get(resource)
+        return q[0] if q else None
+
+    def remove(self, period: ProgressPeriod) -> bool:
+        """Drop a specific period (e.g. its owner died).  True if found."""
+        q = self._queues.get(period.resource)
+        if not q:
+            return False
+        try:
+            q.remove(period)
+        except ValueError:
+            return False
+        return True
+
+    def drain_admissible(
+        self,
+        resource: ResourceKind,
+        admit: Callable[[ProgressPeriod], bool],
+    ) -> list[ProgressPeriod]:
+        """Admit waiters in FIFO order while the predicate accepts them.
+
+        Called when a progress period completes and frees capacity.  Walks
+        the whole queue once: every waiter the predicate now accepts is
+        removed and returned; the rest keep their relative order.  Scanning
+        past the first rejection lets a small period slip past a large head
+        waiter — the same choice the paper's prototype makes to keep cores
+        busy ("attempting to schedule any waiting threads previously blocked
+        due to resource constraints").
+        """
+        q = self._queues.get(resource)
+        if not q:
+            return []
+        admitted: list[ProgressPeriod] = []
+        kept: Deque[ProgressPeriod] = deque()
+        while q:
+            period = q.popleft()
+            if admit(period):
+                admitted.append(period)
+            elif self.strict_fifo:
+                kept.append(period)
+                kept.extend(q)  # head blocked: everyone behind it waits too
+                q.clear()
+            else:
+                kept.append(period)
+        self._queues[resource] = kept
+        return admitted
+
+    def all_waiting(self) -> Iterable[ProgressPeriod]:
+        for q in self._queues.values():
+            yield from q

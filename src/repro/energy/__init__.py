@@ -1,0 +1,29 @@
+"""Energy substrate: component power model and RAPL-style accounting.
+
+The paper measures energy with Intel's Running Average Power Limit (RAPL)
+interface, reading the package (CPU + caches) and DRAM domains.  This
+package reproduces those observables for the simulated machine: the power
+model integrates component power over simulated time and exposes the same
+two domains.
+"""
+
+from .power import PowerModel, PowerBreakdown
+from .rapl import RaplDomain, RaplMeter, RaplSample
+from .dvfs import (
+    Governor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+
+__all__ = [
+    "PowerModel",
+    "PowerBreakdown",
+    "RaplDomain",
+    "RaplMeter",
+    "RaplSample",
+    "Governor",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+]

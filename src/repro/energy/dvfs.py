@@ -1,0 +1,103 @@
+"""DVFS frequency governors.
+
+The paper's introduction cites Kambadur & Kim's finding that "effective
+parallelization can lead to better energy savings compared to Linux's
+frequency tuning algorithms".  To let the reproduction test that claim
+directly, this module models package-level dynamic voltage/frequency
+scaling: a governor observes core utilization over fixed intervals and
+picks a frequency scale; dynamic core power follows the classic ``V²f ∝
+f³`` law while memory latency stays fixed (so scaling down hurts
+compute-bound code more than memory-bound code).
+
+Governors mirror the classic cpufreq policies:
+
+* :class:`PerformanceGovernor` — pin the maximum frequency,
+* :class:`PowersaveGovernor` — pin the minimum,
+* :class:`OndemandGovernor` — jump to maximum above a utilization
+  threshold, decay proportionally below it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Governor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "OndemandGovernor",
+]
+
+
+class Governor(ABC):
+    """Maps observed utilization to a frequency scale in (0, 1]."""
+
+    name: str = "governor"
+    #: governor evaluation period (seconds) — cpufreq's sampling rate
+    interval_s: float = 0.010
+
+    @abstractmethod
+    def target_scale(self, utilization: float) -> float:
+        """Frequency scale for the next interval given the last one's
+        utilization (busy core-time / total core-time, in [0, 1])."""
+
+    def _check(self, utilization: float) -> float:
+        if not 0.0 <= utilization <= 1.0 + 1e-9:
+            raise ConfigError(f"utilization out of range: {utilization}")
+        return min(1.0, utilization)
+
+
+@dataclass
+class PerformanceGovernor(Governor):
+    """Always run at maximum frequency."""
+
+    name: str = "performance"
+
+    def target_scale(self, utilization: float) -> float:
+        self._check(utilization)
+        return 1.0
+
+
+@dataclass
+class PowersaveGovernor(Governor):
+    """Always run at minimum frequency."""
+
+    min_scale: float = 0.5
+    name: str = "powersave"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_scale <= 1.0:
+            raise ConfigError("min_scale must be in (0, 1]")
+
+    def target_scale(self, utilization: float) -> float:
+        self._check(utilization)
+        return self.min_scale
+
+
+@dataclass
+class OndemandGovernor(Governor):
+    """cpufreq-ondemand: max frequency when busy, scale down when idle.
+
+    Above ``up_threshold`` utilization the governor requests the maximum
+    frequency; below it the frequency tracks utilization down to
+    ``min_scale``.
+    """
+
+    up_threshold: float = 0.80
+    min_scale: float = 0.5
+    name: str = "ondemand"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_scale <= 1.0:
+            raise ConfigError("min_scale must be in (0, 1]")
+        if not 0.0 < self.up_threshold <= 1.0:
+            raise ConfigError("up_threshold must be in (0, 1]")
+
+    def target_scale(self, utilization: float) -> float:
+        u = self._check(utilization)
+        if u >= self.up_threshold:
+            return 1.0
+        return max(self.min_scale, self.min_scale + (1.0 - self.min_scale) * u / self.up_threshold)

@@ -1,0 +1,105 @@
+"""RAPL-style energy accounting.
+
+Intel's Running Average Power Limit interface exposes monotonically
+increasing energy counters per *domain*.  The paper reads two of them:
+
+* ``package`` — CPU cores + caches + uncore, and
+* ``dram`` — the memory DIMMs,
+
+and reports "system" energy as their sum (CPU + cache + DRAM).  This module
+reproduces that interface for the simulated machine: the kernel's execution
+model calls :meth:`RaplMeter.accrue` as simulated time advances, and
+experiment code takes before/after :class:`RaplSample` snapshots exactly
+like reading ``/sys/class/powercap`` around a run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..config import PowerConfig
+from ..errors import SimulationError
+from .power import PowerModel
+
+__all__ = ["RaplDomain", "RaplSample", "RaplMeter"]
+
+
+class RaplDomain(enum.Enum):
+    PACKAGE = "package-0"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class RaplSample:
+    """Snapshot of the energy counters at one instant."""
+
+    time_s: float
+    package_j: float
+    dram_j: float
+
+    @property
+    def system_j(self) -> float:
+        """CPU + cache + DRAM, the paper's "system" energy."""
+        return self.package_j + self.dram_j
+
+    def __sub__(self, earlier: "RaplSample") -> "RaplSample":
+        """Energy consumed between two snapshots."""
+        return RaplSample(
+            time_s=self.time_s - earlier.time_s,
+            package_j=self.package_j - earlier.package_j,
+            dram_j=self.dram_j - earlier.dram_j,
+        )
+
+
+class RaplMeter:
+    """Monotonic per-domain energy counters for the simulated machine."""
+
+    def __init__(self, power: PowerConfig, n_cores: int) -> None:
+        self.model = PowerModel(power, n_cores)
+        self._package_j = 0.0
+        self._dram_j = 0.0
+        self._last_time = 0.0
+
+    # ------------------------------------------------------------------
+    def accrue(
+        self,
+        now_s: float,
+        n_active_cores: int,
+        dram_accesses: float = 0.0,
+        context_switches: int = 0,
+        freq_scale: float = 1.0,
+    ) -> None:
+        """Integrate power over the interval since the previous call."""
+        dt = now_s - self._last_time
+        if dt < -1e-15:
+            raise SimulationError(
+                f"RAPL accrual moved backwards ({now_s} < {self._last_time})"
+            )
+        dt = max(0.0, dt)
+        self._package_j += self.model.package_energy(dt, n_active_cores, freq_scale)
+        self._package_j += self.model.context_switch_energy(context_switches)
+        self._dram_j += self.model.dram_energy(dt, dram_accesses)
+        self._last_time = now_s
+
+    def add_dram_accesses(self, accesses: float) -> None:
+        """Charge access energy outside a time interval (e.g. cache reload)."""
+        if accesses < 0:
+            raise SimulationError("negative DRAM access count")
+        self._dram_j += self.model.config.dram_energy_per_access_j * accesses
+
+    # ------------------------------------------------------------------
+    def read(self, domain: RaplDomain) -> float:
+        """Read one domain's counter, like ``perf stat -e power/energy-.../``."""
+        if domain is RaplDomain.PACKAGE:
+            return self._package_j
+        if domain is RaplDomain.DRAM:
+            return self._dram_j
+        raise SimulationError(f"unknown RAPL domain {domain}")
+
+    def sample(self) -> RaplSample:
+        return RaplSample(
+            time_s=self._last_time,
+            package_j=self._package_j,
+            dram_j=self._dram_j,
+        )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "SchedulerError",
+    "ProgressPeriodError",
+    "UnknownProgressPeriodError",
+    "BlockingSyncInPeriodError",
+    "ResourceError",
+    "ProfilerError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine or policy configuration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulerError(ReproError):
+    """The OS scheduler substrate was misused (e.g. waking a dead thread)."""
+
+
+class ProgressPeriodError(ReproError):
+    """Misuse of the progress-period API."""
+
+
+class UnknownProgressPeriodError(ProgressPeriodError):
+    """``pp_end`` was called with an identifier that is not registered."""
+
+    def __init__(self, pp_id: int) -> None:
+        super().__init__(f"unknown progress period id {pp_id!r}")
+        self.pp_id = pp_id
+
+
+class BlockingSyncInPeriodError(ProgressPeriodError):
+    """A thread attempted a blocking synchronization inside a progress period.
+
+    The paper (section 3.4) forbids blocking synchronization within a progress
+    period because a paused sibling could deadlock the group; durations that
+    contain synchronization must run under the default OS policy instead.
+    """
+
+
+class ResourceError(ReproError):
+    """Resource accounting violated an invariant (e.g. negative load)."""
+
+
+class ProfilerError(ReproError):
+    """Profiling or period detection failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is malformed."""

@@ -1,0 +1,57 @@
+"""Experiment harness: run (workload × policy) combinations and regenerate
+every table and figure of the paper's evaluation section.
+"""
+
+from .runner import (
+    run_workload,
+    run_workload_full,
+    run_policies,
+    run_repeated,
+    RunResult,
+    RepeatedResult,
+    POLICIES,
+)
+from .metrics import PolicyComparison, compare, compare_all
+from .store import ResultStore, diff_results, report_to_dict
+from .sweep import sweep, resolve_policy
+from .validation import ValidationPoint, validate_hit_rates
+from . import charts
+from .figures import (
+    table1_machine,
+    table2_rows,
+    figure1_timeline,
+    figures7to10,
+    figure11_overhead,
+    figure12_wss_prediction,
+    figure13_interference,
+)
+from . import report
+
+__all__ = [
+    "run_workload",
+    "run_workload_full",
+    "run_policies",
+    "run_repeated",
+    "RunResult",
+    "RepeatedResult",
+    "POLICIES",
+    "ResultStore",
+    "diff_results",
+    "report_to_dict",
+    "sweep",
+    "resolve_policy",
+    "ValidationPoint",
+    "validate_hit_rates",
+    "charts",
+    "PolicyComparison",
+    "compare",
+    "compare_all",
+    "table1_machine",
+    "table2_rows",
+    "figure1_timeline",
+    "figures7to10",
+    "figure11_overhead",
+    "figure12_wss_prediction",
+    "figure13_interference",
+    "report",
+]

@@ -1,0 +1,130 @@
+"""Text chart rendering for the paper's figures.
+
+The environment has no plotting stack, so figures render as Unicode
+bar/line charts good enough to eyeball the shapes the paper prints:
+grouped bars for figures 7-10 (one group per workload, one bar per
+policy), simple bars for figure 11, and multi-series line charts for
+figures 12 and 13.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "line_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A horizontal bar of ``width`` cells with eighth-block resolution."""
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    rem = int((cells - full) * 8)
+    bar = "█" * full
+    if rem and full < width:
+        bar += _BLOCKS[rem]
+    return bar
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """One bar per labelled value."""
+    if not values:
+        return "(no data)"
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, v in values.items():
+        lines.append(
+            f"{label:<{label_w}} |{_bar(v, vmax, width):<{width}}| "
+            f"{v:,.2f}{(' ' + unit) if unit else ''}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Figure 7-10 style: one group per workload, one bar per policy."""
+    if not groups:
+        return "(no data)"
+    vmax = max(v for g in groups.values() for v in g.values())
+    series = list(next(iter(groups.values())).keys())
+    label_w = max(len(s) for s in series) + 2
+    lines = [title] if title else []
+    for group, bars in groups.items():
+        lines.append(f"{group}")
+        for name in series:
+            v = bars[name]
+            lines.append(
+                f"  {name:<{label_w}} |{_bar(v, vmax, width):<{width}}| "
+                f"{v:,.2f}{(' ' + unit) if unit else ''}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series is a sequence of (x, y) points; series are drawn with
+    distinct glyphs and a legend is appended.  ``logx`` spaces the x axis
+    logarithmically (figure 12's input scales, figure 13's inputs).
+    """
+    import math
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+
+    def fx(x: float) -> float:
+        return math.log(x) if logx else x
+
+    x_lo, x_hi = min(map(fx, xs)), max(map(fx, xs))
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*#@%&"
+    for glyph, (name, pts) in zip(glyphs, series.items()):
+        for x, y in pts:
+            col = int((fx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[max(0, min(height - 1, row))][max(0, min(width - 1, col))] = glyph
+
+    lines = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    for r, row in enumerate(grid):
+        y_val = y_hi - r / (height - 1) * y_span
+        prefix = f"{y_val:8.2f} |" if r % 4 == 0 else "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    if x_label:
+        lines.append(f"{'':9} {x_label}{' (log scale)' if logx else ''}")
+    legend = "  ".join(
+        f"{g}={name}" for g, name in zip(glyphs, series.keys())
+    )
+    lines.append(f"{'':9} {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Data series for every table and figure of the paper's evaluation.
+
+Each ``figure*`` function runs the relevant experiment on the simulated
+machine and returns plain data structures (dictionaries keyed like the
+paper's figure legends); :mod:`repro.experiments.report` renders them as
+text tables.  The benchmarks under ``benchmarks/`` call these functions and
+assert the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..config import MachineConfig, default_machine_config
+from ..core.policy import StrictPolicy
+from ..perf.stat import PerfReport
+from ..profiler.detect import DetectorConfig, detect_periods
+from ..profiler.regression import fit_log_regression, prediction_accuracy
+from ..profiler.sampling import sample_windows
+from ..sim.kernel import Kernel
+from ..workloads.base import Workload
+from ..workloads.blas import dgemm_process
+from ..workloads.splash2.water_nsquared import interference_workload
+from ..workloads.suite import WORKLOAD_NAMES, workload_by_name
+from ..workloads import tracegen
+from .runner import POLICIES, run_policies, run_workload
+
+__all__ = [
+    "table1_machine",
+    "table2_rows",
+    "figure1_timeline",
+    "figures7to10",
+    "figure11_overhead",
+    "figure12_wss_prediction",
+    "figure13_interference",
+    "POLICY_NAMES",
+]
+
+POLICY_NAMES = tuple(POLICIES.keys())
+
+
+# ----------------------------------------------------------------------
+# Table 1 / Table 2
+# ----------------------------------------------------------------------
+def table1_machine(config: Optional[MachineConfig] = None) -> str:
+    """Table 1: the machine configuration block."""
+    return (config or default_machine_config()).describe()
+
+
+def table2_rows() -> list[dict]:
+    """Table 2: workload inventory (processes, threads, WSS, reuse)."""
+    rows = []
+    for name in WORKLOAD_NAMES:
+        wl = workload_by_name(name)
+        pps: dict[str, tuple[float, str]] = {}
+        for spec in wl.processes:
+            for t in range(spec.n_threads):
+                for phase in spec.program_for(t):
+                    if phase.pp is not None and phase.name not in pps:
+                        pps[phase.name] = (
+                            phase.declared_demand() / 1e6,
+                            str(phase.declared_reuse()),
+                        )
+        rows.append(
+            {
+                "workload": name,
+                "n_processes": wl.n_processes,
+                "threads_per_proc": wl.processes[0].n_threads,
+                "wss_mb": [round(v, 2) for v, _ in pps.values()],
+                "reuses": [r for _, r in pps.values()],
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 1: motivating timeline (round robin vs demand aware)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TimelinePoint:
+    policy: str
+    wall_s: float
+    llc_misses: float
+    context_switches: float
+
+
+def figure1_timeline(config: Optional[MachineConfig] = None) -> Dict[str, TimelinePoint]:
+    """The paper's motivating scenario: two cache-hungry processes, one CPU.
+
+    Under round-robin the processes continually reload each other's data
+    from memory ("the processes spend extra time and energy by having to
+    reload their data from memory into cache"); the demand-aware scheduler
+    runs their conflicting durations one after another.  Reported: wall
+    time, LLC misses, context switches.
+    """
+    from dataclasses import replace
+
+    from ..workloads.base import Phase, PpSpec, ProcessSpec
+    from ..core.progress_period import ReuseLevel
+
+    base = config or default_machine_config()
+    one_core = replace(base, cpu=replace(base.cpu, n_cores=1))
+    # Each process wants ~2/3 of the LLC with high reuse; together they
+    # thrash it, alone each fits comfortably.
+    wss = int(base.llc_capacity * 0.66)
+    phase = Phase(
+        name="hot-loop",
+        instructions=30_000_000,
+        flops_per_instr=1.0,
+        mem_refs_per_instr=0.4,
+        llc_refs_per_memref=0.1,
+        wss_bytes=wss,
+        reuse=0.92,
+        pp=PpSpec(demand_bytes=wss, reuse=ReuseLevel.HIGH),
+    )
+    proc = ProcessSpec(name="hungry", program=[phase] * 3)
+    workload = Workload(name="fig1", processes=[proc] * 2)
+    out: Dict[str, TimelinePoint] = {}
+    for name, policy in POLICIES.items():
+        report = run_workload(workload, policy, config=one_core)
+        out[name] = TimelinePoint(
+            policy=name,
+            wall_s=report.wall_s,
+            llc_misses=report.llc_misses,
+            context_switches=report.context_switches,
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 7-10: energy / DRAM energy / GFLOPS / GFLOPS-per-watt
+# ----------------------------------------------------------------------
+def figures7to10(
+    workload_names: Sequence[str] = WORKLOAD_NAMES,
+    config: Optional[MachineConfig] = None,
+) -> Dict[str, Dict[str, PerfReport]]:
+    """The main evaluation sweep: every workload under every policy.
+
+    Returns ``{workload: {policy: PerfReport}}``; figures 7, 8, 9 and 10
+    are the ``system_j``, ``dram_j``, ``gflops`` and ``gflops_per_watt``
+    views of the same data.
+    """
+    return {
+        name: run_policies(lambda n=name: workload_by_name(n), config=config)
+        for name in workload_names
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 11: progress-tracking overhead vs granularity
+# ----------------------------------------------------------------------
+def figure11_overhead(
+    config: Optional[MachineConfig] = None,
+) -> Dict[str, PerfReport]:
+    """dgemm tracked at the outer / middle / inner loop (1 / 512 / 512²).
+
+    "a single instance of the kernel was the only active user process run
+    on the host machine with the strict policy active."
+    """
+    out: Dict[str, PerfReport] = {}
+    for label, subperiods in (("outer", 1), ("middle", 512), ("inner", 512 * 512)):
+        workload = Workload(
+            name=f"dgemm-{label}", processes=[dgemm_process(subperiods)]
+        )
+        out[label] = run_workload(workload, StrictPolicy(), config=config)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 12: WSS growth across input scales + log-regression prediction
+# ----------------------------------------------------------------------
+#: the paper's four input scales per application
+WATER_INPUTS = (8000, 15625, 32768, 64000)
+OCEAN_INPUTS = (514, 1026, 2050, 4098)
+
+_FIG12_SUBJECTS = (
+    ("Wnsq PP1", tracegen.water_pp1_trace, WATER_INPUTS),
+    ("Wnsq PP2", tracegen.water_pp2_trace, WATER_INPUTS),
+    ("Ocp PP1", tracegen.ocean_pp1_trace, OCEAN_INPUTS),
+    ("Ocp PP2", tracegen.ocean_pp2_trace, OCEAN_INPUTS),
+)
+
+
+@dataclass(frozen=True)
+class WssPrediction:
+    """One curve of figure 12: measured WSS plus the fitted predictor."""
+
+    name: str
+    input_sizes: tuple[int, ...]
+    measured_mb: tuple[float, ...]
+    predicted_mb: tuple[float, ...]
+    accuracy: float  # on the held-out fourth input
+
+
+def figure12_wss_prediction(
+    window_instructions: int = 1_000_000,
+    n_accesses: int = 2_000_000,
+) -> list[WssPrediction]:
+    """Profile the top two PPs of water_nsquared and ocean_cp at 1x-8x.
+
+    For each curve, fit ``wss = a + b·ln(input)`` on the first three
+    scales and validate on the fourth (the paper's 92/80/95/94 % figures).
+    """
+    results = []
+    for name, generator, inputs in _FIG12_SUBJECTS:
+        measured = []
+        for n in inputs:
+            trace = generator(n, n_accesses=n_accesses)
+            profile = sample_windows(trace, window_instructions)
+            measured.append(profile.mean_wss_bytes / 1e6)
+        reg = fit_log_regression(inputs[:3], measured[:3])
+        predicted = tuple(float(reg.predict(n)) for n in inputs)
+        accuracy = prediction_accuracy(predicted[3], measured[3])
+        results.append(
+            WssPrediction(
+                name=name,
+                input_sizes=tuple(inputs),
+                measured_mb=tuple(round(m, 3) for m in measured),
+                predicted_mb=tuple(round(p, 3) for p in predicted),
+                accuracy=accuracy,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 13: LLC interference vs concurrency
+# ----------------------------------------------------------------------
+FIG13_INPUTS = (512, 3375, 8000, 32768)
+FIG13_INSTANCES = (1, 6, 12)
+
+
+def figure13_interference(
+    config: Optional[MachineConfig] = None,
+) -> Dict[int, Dict[int, float]]:
+    """GFLOPS of N concurrent instances of water_nsquared's largest PP.
+
+    Run under the default policy (the experiment *measures* interference;
+    gating it away would hide the effect being studied).
+    Returns ``{input_size: {n_instances: gflops}}``.
+    """
+    out: Dict[int, Dict[int, float]] = {}
+    for n_mol in FIG13_INPUTS:
+        out[n_mol] = {}
+        for n_inst in FIG13_INSTANCES:
+            report = run_workload(
+                interference_workload(n_mol, n_inst), None, config=config
+            )
+            out[n_mol][n_inst] = report.gflops
+    return out

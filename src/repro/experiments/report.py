@@ -1,0 +1,125 @@
+"""Text rendering of the paper's tables and figure series.
+
+Keeps formatting out of the experiment logic so benchmarks and examples
+print the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..perf.stat import PerfReport
+from .figures import WssPrediction
+from .metrics import compare_all
+
+__all__ = [
+    "render_policy_table",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "render_figure10",
+    "render_figure11",
+    "render_figure12",
+    "render_figure13",
+    "render_comparison_summary",
+]
+
+
+def _metric_table(
+    sweep: Mapping[str, Mapping[str, PerfReport]],
+    metric: str,
+    title: str,
+    fmt: str = "{:10.2f}",
+) -> str:
+    policies = list(next(iter(sweep.values())).keys())
+    header = f"{title}\n" + f"{'workload':<11}" + "".join(
+        f"{p:>18}" for p in policies
+    )
+    lines = [header]
+    for workload, reports in sweep.items():
+        cells = "".join(
+            f"{fmt.format(getattr(r, metric)):>18}" for r in reports.values()
+        )
+        lines.append(f"{workload:<11}" + cells)
+    return "\n".join(lines)
+
+
+def render_policy_table(sweep, metric: str, title: str) -> str:
+    """Generic workload × policy table for any PerfReport metric."""
+    return _metric_table(sweep, metric, title)
+
+
+def render_figure7(sweep) -> str:
+    """Figure 7: system (CPU + cache + DRAM) energy in joules."""
+    return _metric_table(sweep, "system_j", "Figure 7: system energy (J)")
+
+
+def render_figure8(sweep) -> str:
+    """Figure 8: DRAM-only energy in joules."""
+    return _metric_table(sweep, "dram_j", "Figure 8: DRAM energy (J)")
+
+
+def render_figure9(sweep) -> str:
+    """Figure 9: attained GFLOPS."""
+    return _metric_table(sweep, "gflops", "Figure 9: performance (GFLOPS)")
+
+
+def render_figure10(sweep) -> str:
+    """Figure 10: GFLOPS per watt of system power."""
+    return _metric_table(
+        sweep, "gflops_per_watt", "Figure 10: GFLOPS per Watt",
+    )
+
+
+def render_figure11(reports: Mapping[str, PerfReport]) -> str:
+    """Figure 11: dgemm GFLOPS at each tracking granularity."""
+    base = reports["outer"].wall_s
+    lines = ["Figure 11: dgemm progress-tracking overhead"]
+    for label, r in reports.items():
+        overhead = r.wall_s / base - 1.0
+        lines.append(
+            f"  {label:<7} {r.gflops:7.2f} GFLOPS   wall {r.wall_s * 1e3:8.1f} ms"
+            f"   overhead {overhead:+7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure12(curves: Sequence[WssPrediction]) -> str:
+    """Figure 12: measured vs predicted WSS across input scales."""
+    lines = ["Figure 12: working-set size vs input scale (MB)"]
+    for c in curves:
+        lines.append(f"  {c.name}")
+        lines.append(
+            "    input:     " + "".join(f"{n:>10}" for n in c.input_sizes)
+        )
+        lines.append(
+            "    measured:  " + "".join(f"{m:>10.2f}" for m in c.measured_mb)
+        )
+        lines.append(
+            "    predicted: " + "".join(f"{p:>10.2f}" for p in c.predicted_mb)
+        )
+        lines.append(f"    accuracy on held-out input: {c.accuracy:.0%}")
+    return "\n".join(lines)
+
+
+def render_figure13(grid: Mapping[int, Mapping[int, float]]) -> str:
+    """Figure 13: GFLOPS vs concurrent instances per input size."""
+    instances = sorted(next(iter(grid.values())).keys())
+    lines = [
+        "Figure 13: LLC interference (GFLOPS of N concurrent instances)",
+        f"{'input':>8}" + "".join(f"{i:>10}" for i in instances),
+    ]
+    for n_mol, row in grid.items():
+        lines.append(
+            f"{n_mol:>8}" + "".join(f"{row[i]:>10.2f}" for i in instances)
+        )
+    return "\n".join(lines)
+
+
+def render_comparison_summary(sweep) -> str:
+    """The §4.2 headline numbers: per-workload policy comparisons."""
+    lines = ["Policy comparison vs Linux default"]
+    for workload, reports in sweep.items():
+        for cmp in compare_all(workload, reports).values():
+            lines.append("  " + cmp.describe())
+    return "\n".join(lines)

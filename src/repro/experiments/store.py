@@ -1,0 +1,138 @@
+"""Persisting experiment results as JSON.
+
+Lets the benchmark harness (or a CI job) record each figure's measured
+series and diff later runs against a stored reference — catching model
+regressions the way the paper's shape assertions catch gross breakage, but
+with full-precision history.
+
+Format: one JSON document per result set::
+
+    {
+      "name": "figures7to10",
+      "created_unix": 1234.5,          # caller-supplied
+      "meta": {...},                   # free-form provenance
+      "results": {...}                 # nested dicts/lists of numbers
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..errors import ReproError
+from ..perf.stat import PerfReport
+
+__all__ = ["ResultStore", "report_to_dict", "diff_results"]
+
+#: PerfReport fields persisted for each run
+_REPORT_FIELDS = (
+    "wall_s",
+    "instructions",
+    "flops",
+    "llc_refs",
+    "llc_misses",
+    "context_switches",
+    "package_j",
+    "dram_j",
+)
+
+
+def report_to_dict(report: PerfReport) -> dict[str, float]:
+    """Serializable view of a perf report (raw fields + derived metrics)."""
+    out = {k: getattr(report, k) for k in _REPORT_FIELDS}
+    out["system_j"] = report.system_j
+    out["gflops"] = report.gflops
+    out["gflops_per_watt"] = report.gflops_per_watt
+    return out
+
+
+class ResultStore:
+    """A directory of named JSON result documents."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ReproError(f"invalid result name {name!r}")
+        return self.root / f"{name}.json"
+
+    def save(
+        self,
+        name: str,
+        results: Any,
+        meta: Optional[Mapping[str, Any]] = None,
+        created_unix: float = 0.0,
+    ) -> Path:
+        """Write a result document; returns the file path."""
+        doc = {
+            "name": name,
+            "created_unix": created_unix,
+            "meta": dict(meta or {}),
+            "results": results,
+        }
+        path = self._path(name)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        return path
+
+    def load(self, name: str) -> dict:
+        path = self._path(name)
+        if not path.exists():
+            raise ReproError(f"no stored result named {name!r} in {self.root}")
+        return json.loads(path.read_text())
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).exists()
+
+    def names(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+
+def diff_results(
+    reference: Any, candidate: Any, rel_tolerance: float = 0.05, _path: str = ""
+) -> list[str]:
+    """Recursively compare two result trees; returns human-readable drifts.
+
+    Numbers differing by more than ``rel_tolerance`` (relative to the
+    reference, absolute floor 1e-12), missing keys and shape mismatches are
+    reported; an empty list means the candidate matches the reference.
+    """
+    drifts: list[str] = []
+    where = _path or "<root>"
+    if isinstance(reference, Mapping) and isinstance(candidate, Mapping):
+        for key in reference:
+            if key not in candidate:
+                drifts.append(f"{where}: missing key {key!r}")
+            else:
+                drifts.extend(
+                    diff_results(
+                        reference[key], candidate[key], rel_tolerance,
+                        f"{where}.{key}",
+                    )
+                )
+        for key in candidate:
+            if key not in reference:
+                drifts.append(f"{where}: unexpected key {key!r}")
+    elif isinstance(reference, (list, tuple)) and isinstance(candidate, (list, tuple)):
+        if len(reference) != len(candidate):
+            drifts.append(
+                f"{where}: length {len(candidate)} != {len(reference)}"
+            )
+        else:
+            for i, (r, c) in enumerate(zip(reference, candidate)):
+                drifts.extend(diff_results(r, c, rel_tolerance, f"{where}[{i}]"))
+    elif isinstance(reference, (int, float)) and isinstance(candidate, (int, float)):
+        scale = max(abs(float(reference)), 1e-12)
+        if not math.isclose(
+            float(reference), float(candidate), rel_tol=rel_tolerance, abs_tol=1e-12
+        ):
+            drift = (float(candidate) - float(reference)) / scale
+            drifts.append(f"{where}: {candidate!r} vs {reference!r} ({drift:+.1%})")
+    elif reference != candidate:
+        drifts.append(f"{where}: {candidate!r} != {reference!r}")
+    return drifts

@@ -1,0 +1,95 @@
+"""Generic parameter-sweep harness.
+
+Runs a cartesian product of factor levels through the simulator and
+returns tidy rows — the structure a downstream user needs for their own
+design-space studies (the kind the paper's §4 performs by hand).
+
+Example::
+
+    from repro.experiments.sweep import sweep
+    from repro.workloads.splash2 import water_nsquared_workload
+
+    rows = sweep(
+        workload=lambda input_scale: water_nsquared_workload(
+            input_scale=input_scale
+        ),
+        factors={
+            "policy": ["default", "strict", "compromise"],
+            "input_scale": [1.0, 2.0],
+        },
+    )
+    for r in rows:
+        print(r["policy"], r["input_scale"], r["gflops"], r["system_j"])
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+from ..config import MachineConfig
+from ..core.policy import CompromisePolicy, SchedulingPolicy, StrictPolicy
+from ..errors import ReproError
+from ..workloads.base import Workload
+from .runner import run_workload
+from .store import report_to_dict
+
+__all__ = ["sweep", "resolve_policy"]
+
+_POLICY_SHORTHAND = {
+    "default": None,
+    "strict": StrictPolicy(),
+    "compromise": CompromisePolicy(),
+}
+
+
+def resolve_policy(value) -> Optional[SchedulingPolicy]:
+    """Accept policy objects, None, or the shorthand strings."""
+    if value is None or isinstance(value, SchedulingPolicy):
+        return value
+    if isinstance(value, str) and value in _POLICY_SHORTHAND:
+        return _POLICY_SHORTHAND[value]
+    raise ReproError(
+        f"unknown policy {value!r}; expected a SchedulingPolicy, None, or "
+        f"one of {sorted(_POLICY_SHORTHAND)}"
+    )
+
+
+def sweep(
+    workload: Callable[..., Workload],
+    factors: Mapping[str, Sequence[Any]],
+    config: Optional[MachineConfig] = None,
+    extra_metrics: Optional[
+        Mapping[str, Callable[..., float]]
+    ] = None,
+) -> list[Dict[str, Any]]:
+    """Run every combination of factor levels; return one row per run.
+
+    Args:
+        workload: called with every factor except ``policy`` as keyword
+            arguments; must return a fresh :class:`Workload`.
+        factors: factor name → levels.  The special factor ``policy``
+            selects the scheduler (shorthand strings accepted) and is not
+            passed to the workload builder.
+        extra_metrics: name → ``f(report)`` computed per row.
+
+    Returns rows containing the factor levels plus every
+    :func:`~repro.experiments.store.report_to_dict` metric.
+    """
+    if not factors:
+        raise ReproError("at least one factor required")
+    names = list(factors.keys())
+    rows: list[Dict[str, Any]] = []
+    for combo in itertools.product(*(factors[n] for n in names)):
+        level = dict(zip(names, combo))
+        policy = resolve_policy(level.get("policy"))
+        kwargs = {k: v for k, v in level.items() if k != "policy"}
+        wl = workload(**kwargs)
+        report = run_workload(wl, policy, config=config)
+        row: Dict[str, Any] = dict(level)
+        row["workload"] = wl.name
+        row.update(report_to_dict(report))
+        for metric, fn in (extra_metrics or {}).items():
+            row[metric] = fn(report)
+        rows.append(row)
+    return rows

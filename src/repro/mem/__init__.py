@@ -1,0 +1,31 @@
+"""Memory-hierarchy substrate.
+
+Two complementary models live here:
+
+* a **trace-driven set-associative cache simulator** (:mod:`repro.mem.cache`,
+  :mod:`repro.mem.hierarchy`) used by the profiler experiments and to
+  validate the analytical model, and
+* an **analytical shared-LLC contention model**
+  (:mod:`repro.mem.contention`) that gives each co-running phase an LLC
+  share proportional to its demand and derives its hit fraction, DRAM
+  traffic and CPI.  This is the mechanism behind every figure in the
+  paper's evaluation.
+"""
+
+from .contention import LlcDemand, SharedLlcModel, ContentionPoint
+from .cache import Cache, ReplacementPolicy
+from .hierarchy import CacheHierarchy, AccessResult
+from .working_set import WindowStats, window_stats, reuse_level_of_ratio
+
+__all__ = [
+    "LlcDemand",
+    "SharedLlcModel",
+    "ContentionPoint",
+    "Cache",
+    "ReplacementPolicy",
+    "CacheHierarchy",
+    "AccessResult",
+    "WindowStats",
+    "window_stats",
+    "reuse_level_of_ratio",
+]

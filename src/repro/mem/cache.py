@@ -1,0 +1,131 @@
+"""Trace-driven set-associative cache simulator.
+
+Used to validate the analytical contention model of
+:mod:`repro.mem.contention` and to drive the profiler experiments on
+synthetic address traces.  Single-level; :mod:`repro.mem.hierarchy` stacks
+several instances into an L1/L2/LLC hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..config import CacheConfig
+from .replacement import ReplacementState, make_replacement
+
+__all__ = ["Cache", "CacheStats", "ReplacementPolicy"]
+
+#: accepted replacement policy names
+ReplacementPolicy = str
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.evictions = 0
+
+
+class Cache:
+    """A set-associative cache over 64-bit byte addresses.
+
+    >>> from repro.config import CacheConfig
+    >>> c = Cache(CacheConfig("toy", 4096, line_bytes=64, associativity=2))
+    >>> c.access(0)      # cold miss
+    False
+    >>> c.access(0)      # now resident
+    True
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        replacement: ReplacementPolicy = "lru",
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.line_bytes = config.line_bytes
+        self.n_sets = config.n_sets
+        self.n_ways = config.associativity
+        self._line_shift = self.line_bytes.bit_length() - 1
+        # tags[set, way]; -1 marks an invalid (empty) way
+        self._tags = np.full((self.n_sets, self.n_ways), -1, dtype=np.int64)
+        self._repl: ReplacementState = make_replacement(
+            replacement, self.n_sets, self.n_ways, seed=seed
+        )
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> tuple[int, int]:
+        """Map a byte address to (set index, tag)."""
+        line = address >> self._line_shift
+        return line % self.n_sets, line // self.n_sets
+
+    def lookup(self, address: int) -> bool:
+        """Check residency without updating any state."""
+        set_idx, tag = self._locate(address)
+        return bool((self._tags[set_idx] == tag).any())
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; fill on miss.  Returns hit (True)/miss."""
+        set_idx, tag = self._locate(address)
+        ways = self._tags[set_idx]
+        hits = np.nonzero(ways == tag)[0]
+        self.stats.accesses += 1
+        if hits.size:
+            way = int(hits[0])
+            self._repl.on_access(set_idx, way)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        empty = np.nonzero(ways == -1)[0]
+        if empty.size:
+            way = int(empty[0])
+        else:
+            way = self._repl.victim(set_idx)
+            self.stats.evictions += 1
+        ways[way] = tag
+        self._repl.on_access(set_idx, way)
+        return False
+
+    def access_trace(self, addresses: Iterable[int]) -> CacheStats:
+        """Run a whole trace; returns the (cumulative) stats object."""
+        for a in addresses:
+            self.access(int(a))
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def invalidate_all(self) -> None:
+        """Flush the cache (keeps statistics)."""
+        self._tags.fill(-1)
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return int((self._tags != -1).sum())
+
+    def resident_bytes(self) -> int:
+        """Bytes of data currently held."""
+        return self.resident_lines() * self.line_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cache {self.config.name} {self.config.capacity_bytes}B "
+            f"{self.n_sets}x{self.n_ways} hit_rate={self.stats.hit_rate:.3f}>"
+        )

@@ -1,0 +1,132 @@
+"""Multi-level cache hierarchy (L1D → L2 → shared LLC → DRAM).
+
+Trace-driven counterpart of the analytical model: addresses are pushed
+through the levels, and the result records which level serviced the access
+and the latency it cost.  Multiple "cores" may front the same shared LLC,
+which is how the contention experiments of figure 13 are cross-validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..config import MachineConfig, default_machine_config
+from .cache import Cache
+
+__all__ = ["AccessResult", "CoreCaches", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one memory access through the hierarchy."""
+
+    level: str  # "L1", "L2", "LLC" or "DRAM"
+    latency_s: float
+
+    @property
+    def dram(self) -> bool:
+        return self.level == "DRAM"
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level access counts for one core's view of the hierarchy."""
+
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    dram_accesses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.l2_hits + self.llc_hits + self.dram_accesses
+
+    @property
+    def llc_miss_ratio(self) -> float:
+        """Fraction of LLC lookups that went to DRAM."""
+        lookups = self.llc_hits + self.dram_accesses
+        return self.dram_accesses / lookups if lookups else 0.0
+
+
+class CoreCaches:
+    """The private L1D and L2 of one core."""
+
+    def __init__(self, config: MachineConfig, seed: Optional[int] = None) -> None:
+        self.l1 = Cache(config.l1d, seed=seed)
+        self.l2 = Cache(config.l2, seed=seed)
+
+
+class CacheHierarchy:
+    """N private L1/L2 pairs in front of one shared LLC.
+
+    >>> h = CacheHierarchy(n_cores=2)
+    >>> h.access(core=0, address=0).level
+    'DRAM'
+    >>> h.access(core=0, address=0).level
+    'L1'
+    """
+
+    def __init__(
+        self,
+        n_cores: int = 1,
+        config: Optional[MachineConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.config = config or default_machine_config()
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        self.cores = [CoreCaches(self.config, seed=seed) for _ in range(n_cores)]
+        self.llc = Cache(self.config.llc, seed=seed)
+        self.stats = [HierarchyStats() for _ in range(n_cores)]
+
+    # ------------------------------------------------------------------
+    def access(self, core: int, address: int) -> AccessResult:
+        """Push one byte address through core-private levels into the LLC."""
+        cfg = self.config
+        caches = self.cores[core]
+        st = self.stats[core]
+        if caches.l1.access(address):
+            st.l1_hits += 1
+            return AccessResult("L1", cfg.l1d.latency_s)
+        if caches.l2.access(address):
+            st.l2_hits += 1
+            return AccessResult("L2", cfg.l1d.latency_s + cfg.l2.latency_s)
+        base = cfg.l1d.latency_s + cfg.l2.latency_s
+        if self.llc.access(address):
+            st.llc_hits += 1
+            return AccessResult("LLC", base + cfg.llc.latency_s)
+        st.dram_accesses += 1
+        return AccessResult(
+            "DRAM", base + cfg.llc.latency_s + cfg.memory.latency_s
+        )
+
+    def access_trace(self, core: int, addresses: Iterable[int]) -> HierarchyStats:
+        """Run a trace on one core; returns that core's cumulative stats."""
+        for a in addresses:
+            self.access(core, int(a))
+        return self.stats[core]
+
+    def interleave(self, traces: Sequence[Sequence[int]]) -> list[HierarchyStats]:
+        """Round-robin-interleave one trace per core through the hierarchy.
+
+        Models concurrent execution: core *i* issues ``traces[i][k]`` in
+        lockstep rounds, which is how co-running processes pressure the
+        shared LLC simultaneously.
+        """
+        if len(traces) > len(self.cores):
+            raise ValueError("more traces than cores")
+        longest = max((len(t) for t in traces), default=0)
+        for k in range(longest):
+            for core, trace in enumerate(traces):
+                if k < len(trace):
+                    self.access(core, int(trace[k]))
+        return [self.stats[i] for i in range(len(traces))]
+
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Invalidate every level (statistics retained)."""
+        for c in self.cores:
+            c.l1.invalidate_all()
+            c.l2.invalidate_all()
+        self.llc.invalidate_all()

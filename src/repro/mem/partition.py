@@ -1,0 +1,94 @@
+"""Partitioned shared-LLC model (the paper's §6 future-work extension).
+
+"For future work, we believe extending our scheduler with cache
+partitioning would be highly beneficial for two reasons.  First, if an
+application whose working set size is larger than the LLC is scheduled
+(e.g., streaming applications), we can partition the cache and give this
+application only a small portion of the cache because it would fetch most
+data from main memory regardless.  Second, if an LLC intensive application
+that doesn't specify any progress periods is run alongside instrumented
+programs, ... allowing the instrumented programs to share a large cache
+partition would allow them to use the resource without external
+interference."
+
+:class:`PartitionedLlcModel` implements exactly that: demands classified as
+*streaming* (low reuse, or a working set larger than the whole cache) are
+confined to a small dedicated partition, and everyone else shares the
+remainder without interference from the streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ResourceError
+from .contention import ContentionPoint, LlcDemand, SharedLlcModel
+
+__all__ = ["PartitionedLlcModel"]
+
+
+class PartitionedLlcModel(SharedLlcModel):
+    """Two-partition LLC: a streaming pen plus a protected main partition.
+
+    Args:
+        capacity_bytes: total LLC capacity.
+        streaming_partition_bytes: size of the partition streams are
+            confined to (the "small portion"); the main partition is the
+            rest.
+        streaming_reuse_threshold: a demand with ``reuse`` at or below this
+            is classified as streaming, as is any demand whose working set
+            exceeds the total capacity.
+        gamma: LRU-cliff exponent, as in :class:`SharedLlcModel`.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        streaming_partition_bytes: Optional[int] = None,
+        streaming_reuse_threshold: float = 0.15,
+        gamma: float = 2.0,
+    ) -> None:
+        super().__init__(capacity_bytes, gamma=gamma)
+        if streaming_partition_bytes is None:
+            streaming_partition_bytes = capacity_bytes // 8
+        if not 0 < streaming_partition_bytes < capacity_bytes:
+            raise ResourceError(
+                "streaming partition must be positive and smaller than the LLC"
+            )
+        if not 0.0 <= streaming_reuse_threshold <= 1.0:
+            raise ResourceError("reuse threshold must be in [0, 1]")
+        self.streaming_partition_bytes = int(streaming_partition_bytes)
+        self.streaming_reuse_threshold = float(streaming_reuse_threshold)
+
+    # ------------------------------------------------------------------
+    def is_streaming(self, demand: LlcDemand) -> bool:
+        """Classification rule from the paper's §6."""
+        return (
+            demand.reuse <= self.streaming_reuse_threshold
+            or demand.wss_bytes > self.capacity_bytes
+        )
+
+    @property
+    def main_partition_bytes(self) -> int:
+        return self.capacity_bytes - self.streaming_partition_bytes
+
+    def resolve(self, demands: Sequence[LlcDemand]) -> list[ContentionPoint]:
+        """Resolve each group inside its own partition.
+
+        Streams contend only with streams inside the small partition; the
+        protected demands share the main partition among themselves.
+        """
+        streaming_idx = [i for i, d in enumerate(demands) if self.is_streaming(d)]
+        protected_idx = [i for i, d in enumerate(demands) if not self.is_streaming(d)]
+        points: list[Optional[ContentionPoint]] = [None] * len(demands)
+        for idx, capacity in (
+            (streaming_idx, self.streaming_partition_bytes),
+            (protected_idx, self.main_partition_bytes),
+        ):
+            if not idx:
+                continue
+            sub = SharedLlcModel(capacity, gamma=self.gamma)
+            for i, pt in zip(idx, sub.resolve([demands[i] for i in idx])):
+                points[i] = pt
+        assert all(p is not None for p in points)
+        return points  # type: ignore[return-value]

@@ -1,0 +1,92 @@
+"""Replacement policies for the set-associative cache simulator.
+
+Policies operate per cache set.  A policy tracks access order metadata and
+answers "which way should be evicted".  They are written so the cache's hot
+loop stays allocation-free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ReplacementState", "LruState", "FifoState", "RandomState", "make_replacement"]
+
+
+class ReplacementState(ABC):
+    """Per-set replacement metadata for all sets of one cache."""
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        self.n_sets = n_sets
+        self.n_ways = n_ways
+
+    @abstractmethod
+    def on_access(self, set_idx: int, way: int) -> None:
+        """Record a hit (or fill) of ``way`` in ``set_idx``."""
+
+    @abstractmethod
+    def victim(self, set_idx: int) -> int:
+        """Return the way to evict from ``set_idx``."""
+
+
+class LruState(ReplacementState):
+    """True LRU via a per-set monotonically increasing timestamp array."""
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        self._stamp = np.zeros((n_sets, n_ways), dtype=np.int64)
+        self._clock = 0
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx, way] = self._clock
+
+    def victim(self, set_idx: int) -> int:
+        return int(np.argmin(self._stamp[set_idx]))
+
+
+class FifoState(ReplacementState):
+    """First-in first-out: a round-robin fill pointer per set."""
+
+    def __init__(self, n_sets: int, n_ways: int) -> None:
+        super().__init__(n_sets, n_ways)
+        self._ptr = np.zeros(n_sets, dtype=np.int64)
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        # FIFO ignores hits; only fills advance the pointer, handled in victim.
+        pass
+
+    def victim(self, set_idx: int) -> int:
+        way = int(self._ptr[set_idx])
+        self._ptr[set_idx] = (way + 1) % self.n_ways
+        return way
+
+
+class RandomState(ReplacementState):
+    """Random replacement with a seeded generator (reproducible)."""
+
+    def __init__(self, n_sets: int, n_ways: int, seed: int = 0) -> None:
+        super().__init__(n_sets, n_ways)
+        self._rng = np.random.default_rng(seed)
+
+    def on_access(self, set_idx: int, way: int) -> None:
+        pass
+
+    def victim(self, set_idx: int) -> int:
+        return int(self._rng.integers(self.n_ways))
+
+
+def make_replacement(
+    name: str, n_sets: int, n_ways: int, seed: Optional[int] = None
+) -> ReplacementState:
+    """Factory: ``"lru"``, ``"fifo"`` or ``"random"``."""
+    lowered = name.lower()
+    if lowered == "lru":
+        return LruState(n_sets, n_ways)
+    if lowered == "fifo":
+        return FifoState(n_sets, n_ways)
+    if lowered == "random":
+        return RandomState(n_sets, n_ways, seed=seed or 0)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,112 @@
+"""Memory-trace containers.
+
+A :class:`MemoryTrace` is what the PIN-replacement profiler consumes: the
+sequence of virtual addresses touched by load/store instructions, plus the
+sampled linear addresses of retired JMP instructions that
+:mod:`repro.profiler.loopmap` uses to locate periods in the binary's loop
+structure (§2.4: "we sample the linear memory addresses of the JMP
+instructions retired within each window").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ProfilerError
+
+__all__ = ["MemoryTrace", "concat_traces"]
+
+
+@dataclass
+class MemoryTrace:
+    """Addresses of one modelled execution (or slice of one).
+
+    Attributes:
+        addresses: int64 array of byte addresses, one per load/store retired.
+        instructions_per_access: how many instructions one access stands
+            for; lets the profiler convert its instruction-count window size
+            into an access-count window.
+        jmp_addresses: instruction addresses of retired JMPs, sampled one
+            per ``jmp_sample_stride`` accesses (aligned with ``addresses``).
+    """
+
+    addresses: np.ndarray
+    instructions_per_access: float = 3.0
+    jmp_addresses: Optional[np.ndarray] = None
+    jmp_sample_stride: int = 256
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.addresses = np.ascontiguousarray(self.addresses, dtype=np.int64)
+        if self.addresses.ndim != 1:
+            raise ProfilerError("trace addresses must be one-dimensional")
+        if self.instructions_per_access <= 0:
+            raise ProfilerError("instructions_per_access must be positive")
+        if self.jmp_addresses is not None:
+            self.jmp_addresses = np.ascontiguousarray(
+                self.jmp_addresses, dtype=np.int64
+            )
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    @property
+    def instructions(self) -> float:
+        """Instructions this trace slice stands for."""
+        return self.addresses.size * self.instructions_per_access
+
+    # ------------------------------------------------------------------
+    def window_accesses(self, window_instructions: int) -> int:
+        """Convert a window size in instructions to one in accesses."""
+        n = int(round(window_instructions / self.instructions_per_access))
+        if n <= 0:
+            raise ProfilerError(
+                f"window of {window_instructions} instructions is smaller "
+                f"than one access ({self.instructions_per_access} instr/access)"
+            )
+        return n
+
+    def windows(self, window_instructions: int) -> Iterator[np.ndarray]:
+        """Yield consecutive fixed-size windows of addresses.
+
+        The trailing partial window is dropped, as a fixed-size sampling
+        profiler would only report completed windows.
+        """
+        step = self.window_accesses(window_instructions)
+        for start in range(0, len(self) - step + 1, step):
+            yield self.addresses[start : start + step]
+
+    def jmps_in_window(self, window_idx: int, window_instructions: int) -> np.ndarray:
+        """JMP samples retired within one window."""
+        if self.jmp_addresses is None:
+            return np.empty(0, dtype=np.int64)
+        step = self.window_accesses(window_instructions)
+        lo = window_idx * step // self.jmp_sample_stride
+        hi = (window_idx + 1) * step // self.jmp_sample_stride
+        return self.jmp_addresses[lo:hi]
+
+
+def concat_traces(traces: Sequence[MemoryTrace], label: str = "") -> MemoryTrace:
+    """Concatenate trace slices (e.g. the stages of one timestep)."""
+    if not traces:
+        raise ProfilerError("cannot concatenate zero traces")
+    ipa = traces[0].instructions_per_access
+    for t in traces:
+        if t.instructions_per_access != ipa:
+            raise ProfilerError("traces disagree on instructions_per_access")
+    jmps = [t.jmp_addresses for t in traces]
+    cat_jmps = (
+        np.concatenate([j for j in jmps if j is not None])
+        if any(j is not None for j in jmps)
+        else None
+    )
+    return MemoryTrace(
+        addresses=np.concatenate([t.addresses for t in traces]),
+        instructions_per_access=ipa,
+        jmp_addresses=cat_jmps,
+        jmp_sample_stride=traces[0].jmp_sample_stride,
+        label=label or "+".join(t.label for t in traces if t.label),
+    )

@@ -1,0 +1,95 @@
+"""Footprint, working-set-size and reuse-ratio computation over windows.
+
+Implements the per-window statistics of the paper's preliminary profiler
+(section 2.4): within one fixed-size sampling window of instructions, an
+array keeps the number of times each unique address is accessed; at the end
+of the window
+
+* the **memory footprint** is the number of unique addresses touched,
+* the **working-set size** is the number of entries accessed at least a
+  pre-configured number of times, and
+* the **reuse ratio** is the average access count per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.progress_period import ReuseLevel
+
+__all__ = ["WindowStats", "window_stats", "reuse_level_of_ratio"]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Statistics of one sampling window of memory accesses."""
+
+    n_accesses: int
+    footprint_bytes: int
+    wss_bytes: int
+    reuse_ratio: float
+
+    def similar_to(self, other: "WindowStats", tolerance: float = 0.25) -> bool:
+        """Relative similarity used by the period-detection algorithm.
+
+        Two windows are "sufficiently similar" (paper's wording) when both
+        working-set size and reuse ratio agree within ``tolerance`` relative
+        difference.
+        """
+
+        def close(a: float, b: float) -> bool:
+            scale = max(abs(a), abs(b), 1.0)
+            return abs(a - b) / scale <= tolerance
+
+        return close(self.wss_bytes, other.wss_bytes) and close(
+            self.reuse_ratio, other.reuse_ratio
+        )
+
+
+def window_stats(
+    addresses: Sequence[int],
+    granularity_bytes: int = 64,
+    min_accesses: int = 2,
+) -> WindowStats:
+    """Compute footprint / WSS / reuse ratio of one window of addresses.
+
+    Args:
+        addresses: virtual byte addresses of the load/store instructions
+            retired in this window.
+        granularity_bytes: tracking granularity (cache-line by default, as a
+            PIN tool would coalesce accesses to the same line).
+        min_accesses: an address counts toward the working set when touched
+            at least this many times (the paper's "pre-configured number").
+    """
+    arr = np.asarray(addresses, dtype=np.int64)
+    if arr.size == 0:
+        return WindowStats(0, 0, 0, 0.0)
+    lines = arr // granularity_bytes
+    _, counts = np.unique(lines, return_counts=True)
+    footprint = int(counts.size) * granularity_bytes
+    wss = int((counts >= min_accesses).sum()) * granularity_bytes
+    reuse_ratio = float(counts.mean())
+    return WindowStats(
+        n_accesses=int(arr.size),
+        footprint_bytes=footprint,
+        wss_bytes=wss,
+        reuse_ratio=reuse_ratio,
+    )
+
+
+def reuse_level_of_ratio(reuse_ratio: float) -> ReuseLevel:
+    """Categorize a raw reuse ratio into the paper's low/med/high levels.
+
+    The thresholds mirror the workload taxonomy of Table 2: BLAS-1 streams
+    (each line touched about once per sweep) are *low*; BLAS-2 re-touches
+    vectors but streams the matrix — *medium*; blocked BLAS-3 re-touches
+    blocks many times — *high*.
+    """
+    if reuse_ratio < 2.0:
+        return ReuseLevel.LOW
+    if reuse_ratio < 8.0:
+        return ReuseLevel.MEDIUM
+    return ReuseLevel.HIGH

@@ -1,0 +1,23 @@
+"""perf-like measurement layer.
+
+The paper measures everything with Linux ``perf``: FLOPs via hardware
+counters and energy via the RAPL events.  This package provides the same
+observables for the simulated machine: :class:`~repro.perf.counters.CounterSet`
+emulates the hardware counters the execution model increments, and
+:class:`~repro.perf.stat.PerfStat` wraps a measurement session the way
+``perf stat`` wraps a command.
+"""
+
+from .counters import CounterSet, HwCounter
+from .stat import PerfStat, PerfReport
+from .sched import SchedReport, ThreadSchedStats, analyze_trace
+
+__all__ = [
+    "CounterSet",
+    "HwCounter",
+    "PerfStat",
+    "PerfReport",
+    "SchedReport",
+    "ThreadSchedStats",
+    "analyze_trace",
+]

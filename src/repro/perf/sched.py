@@ -1,0 +1,110 @@
+"""``perf sched``-style analysis of a kernel trace.
+
+Builds per-thread scheduling statistics from a
+:class:`repro.sim.tracing.KernelTracer` the way ``perf sched latency``
+summarizes a recorded trace: runtime, number of switches, and for
+demand-aware runs the time spent parked on the resource waitlist — the
+quantity the paper's scheduling predicate trades against cache efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.tracing import KernelTracer, TraceKind
+
+__all__ = ["ThreadSchedStats", "SchedReport", "analyze_trace"]
+
+
+@dataclass
+class ThreadSchedStats:
+    """Scheduling behaviour of one thread over a traced run."""
+
+    tid: int
+    dispatches: int = 0
+    preemptions: int = 0
+    pp_denials: int = 0
+    pp_wait_s: float = 0.0
+    barrier_waits: int = 0
+    barrier_wait_s: float = 0.0
+    first_dispatch_s: Optional[float] = None
+    exit_s: Optional[float] = None
+
+
+@dataclass
+class SchedReport:
+    """Whole-trace summary."""
+
+    threads: Dict[int, ThreadSchedStats]
+
+    @property
+    def total_dispatches(self) -> int:
+        return sum(t.dispatches for t in self.threads.values())
+
+    @property
+    def total_pp_wait_s(self) -> float:
+        return sum(t.pp_wait_s for t in self.threads.values())
+
+    @property
+    def max_pp_wait_s(self) -> float:
+        return max((t.pp_wait_s for t in self.threads.values()), default=0.0)
+
+    def describe(self, top: int = 10) -> str:
+        """perf-sched-latency-style table, longest PP waiters first."""
+        rows = sorted(
+            self.threads.values(), key=lambda t: t.pp_wait_s, reverse=True
+        )[:top]
+        lines = [
+            f"{'tid':>6} {'dispatches':>10} {'preempts':>8} "
+            f"{'pp-denials':>10} {'pp-wait(ms)':>12} {'barrier(ms)':>12}"
+        ]
+        for t in rows:
+            lines.append(
+                f"{t.tid:>6} {t.dispatches:>10} {t.preemptions:>8} "
+                f"{t.pp_denials:>10} {t.pp_wait_s * 1e3:>12.2f} "
+                f"{t.barrier_wait_s * 1e3:>12.2f}"
+            )
+        lines.append(
+            f"total: {self.total_dispatches} dispatches, "
+            f"{self.total_pp_wait_s * 1e3:.2f} ms aggregate pp-wait"
+        )
+        return "\n".join(lines)
+
+
+def analyze_trace(tracer: KernelTracer) -> SchedReport:
+    """Fold a kernel trace into per-thread scheduling statistics."""
+    threads: Dict[int, ThreadSchedStats] = {}
+    pending_deny: Dict[int, float] = {}
+    pending_barrier: Dict[int, float] = {}
+
+    def stats(tid: int) -> ThreadSchedStats:
+        if tid not in threads:
+            threads[tid] = ThreadSchedStats(tid=tid)
+        return threads[tid]
+
+    for e in tracer.events:
+        s = stats(e.tid)
+        if e.kind is TraceKind.DISPATCH:
+            s.dispatches += 1
+            if s.first_dispatch_s is None:
+                s.first_dispatch_s = e.time_s
+        elif e.kind is TraceKind.PREEMPT:
+            s.preemptions += 1
+        elif e.kind is TraceKind.PP_DENY:
+            s.pp_denials += 1
+            pending_deny[e.tid] = e.time_s
+        elif e.kind is TraceKind.PP_WAKE:
+            start = pending_deny.pop(e.tid, None)
+            if start is not None:
+                s.pp_wait_s += e.time_s - start
+        elif e.kind is TraceKind.BARRIER_WAIT:
+            s.barrier_waits += 1
+            pending_barrier[e.tid] = e.time_s
+        elif e.kind is TraceKind.BARRIER_RELEASE:
+            start = pending_barrier.pop(e.tid, None)
+            if start is not None:
+                s.barrier_wait_s += e.time_s - start
+        elif e.kind is TraceKind.EXIT:
+            s.exit_s = e.time_s
+    return SchedReport(threads=threads)

@@ -1,0 +1,115 @@
+"""``perf stat``-style measurement sessions over the simulated machine.
+
+The paper measures each workload by wrapping its execution in ``perf`` and
+reading FLOP counters plus the RAPL package and DRAM energy domains.
+:class:`PerfStat` does the same against a :class:`repro.sim.kernel.Kernel`:
+snapshot at start, snapshot at stop, report the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..energy.rapl import RaplSample
+from ..errors import SimulationError
+from .counters import CounterSnapshot, HwCounter
+
+__all__ = ["PerfReport", "PerfStat"]
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Everything the paper reports for one (workload, policy) run."""
+
+    wall_s: float
+    instructions: float
+    cycles: float
+    flops: float
+    llc_refs: float
+    llc_misses: float
+    context_switches: float
+    pp_begin_calls: float
+    pp_denials: float
+    package_j: float
+    dram_j: float
+
+    # ----- derived metrics (the paper's figures 7-10) -----------------
+    @property
+    def system_j(self) -> float:
+        """Figure 7: energy of CPU + cache + DRAM."""
+        return self.package_j + self.dram_j
+
+    @property
+    def gflops(self) -> float:
+        """Figure 9: attained GFLOPS over the run."""
+        return self.flops / self.wall_s / 1e9 if self.wall_s > 0 else 0.0
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """Figure 10: total FLOPs divided by total system energy."""
+        return self.flops / self.system_j / 1e9 if self.system_j > 0 else 0.0
+
+    @property
+    def avg_system_power_w(self) -> float:
+        return self.system_j / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def llc_miss_ratio(self) -> float:
+        return self.llc_misses / self.llc_refs if self.llc_refs > 0 else 0.0
+
+    def describe(self) -> str:
+        """perf-stat-like text block."""
+        return "\n".join(
+            [
+                f"{self.wall_s:>18.6f}  seconds time elapsed",
+                f"{self.instructions:>18.3e}  instructions",
+                f"{self.flops:>18.3e}  fp_arith_inst_retired",
+                f"{self.llc_misses:>18.3e}  LLC-load-misses",
+                f"{int(self.context_switches):>18d}  context-switches",
+                f"{self.package_j:>18.2f}  Joules power/energy-pkg/",
+                f"{self.dram_j:>18.2f}  Joules power/energy-ram/",
+                f"{self.gflops:>18.3f}  GFLOPS",
+                f"{self.gflops_per_watt:>18.3f}  GFLOPS/Watt",
+            ]
+        )
+
+
+class PerfStat:
+    """Bracketing measurement session: ``start()`` ... ``stop()``."""
+
+    def __init__(self, kernel) -> None:
+        self.kernel = kernel
+        self._t0: Optional[float] = None
+        self._counters0: Optional[CounterSnapshot] = None
+        self._rapl0: Optional[RaplSample] = None
+
+    def start(self) -> None:
+        self.kernel.sync()
+        self._t0 = self.kernel.now
+        self._counters0 = self.kernel.machine.counters.snapshot()
+        self._rapl0 = self.kernel.machine.rapl.sample()
+
+    def stop(self) -> PerfReport:
+        if self._t0 is None or self._counters0 is None or self._rapl0 is None:
+            raise SimulationError("PerfStat.stop() before start()")
+        self.kernel.sync()
+        counters = self.kernel.machine.counters.snapshot() - self._counters0
+        rapl = self.kernel.machine.rapl.sample() - self._rapl0
+        return PerfReport(
+            wall_s=self.kernel.now - self._t0,
+            instructions=counters[HwCounter.INSTRUCTIONS],
+            cycles=counters[HwCounter.CYCLES],
+            flops=counters[HwCounter.FP_OPS],
+            llc_refs=counters[HwCounter.LLC_REFERENCES],
+            llc_misses=counters[HwCounter.LLC_MISSES],
+            context_switches=counters[HwCounter.CONTEXT_SWITCHES],
+            pp_begin_calls=counters[HwCounter.PP_BEGIN_CALLS],
+            pp_denials=counters[HwCounter.PP_DENIALS],
+            package_j=rapl.package_j,
+            dram_j=rapl.dram_j,
+        )

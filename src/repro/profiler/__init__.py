@@ -1,0 +1,46 @@
+"""The preliminary profiler of §2.4 (PIN replacement).
+
+Pipeline, exactly as the paper describes it:
+
+1. :mod:`repro.profiler.sampling` — collect runtime virtual addresses from
+   each load/store within fixed-size sampling windows; per window compute
+   the memory footprint, working-set size (entries touched at least a
+   configured number of times) and reuse ratio (average touches per entry).
+2. :mod:`repro.profiler.detect` — find progress periods as maximal runs of
+   sufficiently similar consecutive windows, at a granularity given by the
+   window size ``x`` and minimum period length ``y``.
+3. :mod:`repro.profiler.loopmap` — map detected periods onto the binary's
+   loop-nest structure via the sampled JMP addresses (Dyninst ParseAPI
+   substitute); the outermost containing loop bounds the period.
+4. :mod:`repro.profiler.regression` — predict working-set size across input
+   scales with a logarithmic regression (figure 12).
+5. :mod:`repro.profiler.annotate` — turn a profile into the ``pp_begin``
+   annotations an application (here: a workload model) would carry.
+"""
+
+from .sampling import WindowProfile, sample_windows
+from .detect import DetectedPeriod, detect_periods, DetectorConfig
+from .loopmap import Loop, LoopNest, SyntheticBinary, map_period_to_loop
+from .regression import LogRegression, fit_log_regression, prediction_accuracy
+from .annotate import period_annotation, annotate_workload_phase
+from .pipeline import ApplicationProfile, ProfilerPipeline, ScalingStudy
+
+__all__ = [
+    "ApplicationProfile",
+    "ProfilerPipeline",
+    "ScalingStudy",
+    "WindowProfile",
+    "sample_windows",
+    "DetectedPeriod",
+    "detect_periods",
+    "DetectorConfig",
+    "Loop",
+    "LoopNest",
+    "SyntheticBinary",
+    "map_period_to_loop",
+    "LogRegression",
+    "fit_log_regression",
+    "prediction_accuracy",
+    "period_annotation",
+    "annotate_workload_phase",
+]

@@ -1,0 +1,56 @@
+"""Closing the loop: profiles → progress-period annotations (§4.4).
+
+"The main component that needed developer intervention is actually
+inserting the API calls into the application."  In this reproduction the
+"application" is a workload phase model, so annotation means attaching a
+:class:`~repro.workloads.base.PpSpec` built from the profiler's measured
+demand — which is exactly what a source-level compiler or binary
+translator would automate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..errors import ProfilerError
+from ..workloads.base import Phase, PpSpec
+from .detect import DetectedPeriod
+from .regression import LogRegression
+
+__all__ = ["period_annotation", "annotate_workload_phase"]
+
+
+def period_annotation(
+    period: DetectedPeriod,
+    input_size: Optional[float] = None,
+    wss_predictor: Optional[LogRegression] = None,
+) -> PpSpec:
+    """Build the ``pp_begin`` declaration for a detected period.
+
+    When a fitted input-scaling predictor is available, the declared demand
+    is parameterized by the (possibly unseen) input size — the §4.4
+    automation study; otherwise the profiled average is used directly.
+    """
+    if wss_predictor is not None:
+        if input_size is None:
+            raise ProfilerError("input_size required when using a predictor")
+        demand = int(max(0.0, wss_predictor.predict(input_size)))
+    else:
+        demand = int(period.wss_bytes)
+    return PpSpec(demand_bytes=demand, reuse=period.reuse_level)
+
+
+def annotate_workload_phase(
+    phase: Phase,
+    period: DetectedPeriod,
+    input_size: Optional[float] = None,
+    wss_predictor: Optional[LogRegression] = None,
+) -> Phase:
+    """Return a copy of ``phase`` carrying the profiled PP declaration.
+
+    Mirrors "manually modifying the application to communicate the relevant
+    information to the operating system" — but automatically.
+    """
+    spec = period_annotation(period, input_size, wss_predictor)
+    return replace(phase, pp=spec)

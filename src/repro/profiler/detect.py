@@ -1,0 +1,125 @@
+"""Progress-period detection over window statistics (§2.4, second stage).
+
+The paper's algorithm, for loop granularity ``(x, y)`` — windows of ``x``
+instructions, periods of at least ``y`` instructions:
+
+    The overall application runtime is decomposed into consecutive runtime
+    periods p0, p1, ..., pn.  Then for each y/x consecutive execution
+    periods, say pi ... p(i+y-1), if their runtime statistics are
+    sufficiently similar based on a predetermined threshold, these
+    execution periods can be determined to be the beginning of a
+    significant repetition.  The loop is then extended by considering
+    p(i+y), p(i+y+1), etc., until a period pj is reached that has
+    significantly different behavior.  [...]  The whole process starts by
+    examining the y/x consecutive periods starting at p1.  If p1...pj is
+    identified to be a progress period, the next y/x periods starting at
+    p(j+1) are examined; otherwise the next y/x periods starting at p2 are
+    examined.  The whole process repeats until the last period pn has been
+    examined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.progress_period import ReuseLevel
+from ..mem.working_set import WindowStats, reuse_level_of_ratio
+from .sampling import WindowProfile
+
+__all__ = ["DetectorConfig", "DetectedPeriod", "detect_periods"]
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Granularity and similarity settings of the detector.
+
+    Attributes:
+        min_period_instructions: the paper's ``y`` — a repetition shorter
+            than this is not worth a progress period.
+        similarity_tolerance: the "predetermined threshold" for two windows
+            to be sufficiently similar (relative difference of WSS and
+            reuse ratio).
+    """
+
+    min_period_instructions: int = 4_000_000
+    similarity_tolerance: float = 0.25
+
+    def min_windows(self, window_instructions: int) -> int:
+        """The paper's ``y/x``: windows required to open a period."""
+        k = -(-self.min_period_instructions // window_instructions)  # ceil
+        return max(2, k)
+
+
+@dataclass(frozen=True)
+class DetectedPeriod:
+    """One detected progress period (a run of similar windows)."""
+
+    first_window: int
+    last_window: int  # inclusive
+    wss_bytes: float
+    reuse_ratio: float
+    window_instructions: int
+
+    @property
+    def n_windows(self) -> int:
+        return self.last_window - self.first_window + 1
+
+    @property
+    def instructions(self) -> int:
+        return self.n_windows * self.window_instructions
+
+    @property
+    def reuse_level(self) -> ReuseLevel:
+        return reuse_level_of_ratio(self.reuse_ratio)
+
+
+def _run_is_similar(
+    windows: tuple[WindowStats, ...], start: int, count: int, tol: float
+) -> bool:
+    """All ``count`` windows from ``start`` mutually similar to the first."""
+    anchor = windows[start]
+    return all(
+        windows[start + k].similar_to(anchor, tol) for k in range(1, count)
+    )
+
+
+def detect_periods(
+    profile: WindowProfile,
+    config: Optional[DetectorConfig] = None,
+) -> list[DetectedPeriod]:
+    """Find all progress periods in a window profile.
+
+    Returns periods ordered by first window.  Resource demands are set "by
+    averaging the metrics from all windows that make up the progress
+    period" (§2.4).
+    """
+    config = config or DetectorConfig()
+    windows = profile.windows
+    n = len(windows)
+    need = config.min_windows(profile.window_instructions)
+    tol = config.similarity_tolerance
+    periods: list[DetectedPeriod] = []
+    i = 0
+    while i + need <= n:
+        if not _run_is_similar(windows, i, need, tol):
+            i += 1  # "otherwise the next y/x periods starting at p(i+1)"
+            continue
+        anchor = windows[i]
+        j = i + need
+        while j < n and windows[j].similar_to(anchor, tol):
+            j += 1
+        span = windows[i:j]
+        periods.append(
+            DetectedPeriod(
+                first_window=i,
+                last_window=j - 1,
+                wss_bytes=float(np.mean([w.wss_bytes for w in span])),
+                reuse_ratio=float(np.mean([w.reuse_ratio for w in span])),
+                window_instructions=profile.window_instructions,
+            )
+        )
+        i = j  # "the next y/x periods starting at p(j+1)"
+    return periods

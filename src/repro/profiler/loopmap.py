@@ -1,0 +1,182 @@
+"""Mapping detected periods to source structure (§2.4, third stage).
+
+"To correlate the detected runtime information with the source code of an
+application, we sample the linear memory addresses of the JMP instructions
+retired within each window, and use Dyninst ParseAPI to locate these JMPs
+within the loop nest structure of the binary.  The outermost loop that
+contains the identified progress period is then used as the beginning and
+ending of the period."
+
+We cannot parse a real ELF binary here, so :class:`SyntheticBinary` models
+what ParseAPI would return: functions containing loop nests, each loop an
+address interval with a backedge JMP.  The mapping algorithm on top is the
+paper's: majority-vote the sampled JMPs into their innermost loop, then
+walk up to the outermost enclosing loop of the same function.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ProfilerError
+
+__all__ = ["Loop", "Function", "LoopNest", "SyntheticBinary", "map_period_to_loop"]
+
+
+@dataclass
+class Loop:
+    """One natural loop: an address interval plus its backedge JMP."""
+
+    name: str
+    start: int
+    end: int  # exclusive
+    backedge: int
+    parent: Optional["Loop"] = None
+    children: list["Loop"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.start <= self.backedge < self.end:
+            raise ProfilerError(
+                f"loop {self.name!r}: backedge outside loop body"
+            )
+
+    def contains_addr(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def contains(self, other: "Loop") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def outermost(self) -> "Loop":
+        """Walk up to the outermost enclosing loop."""
+        loop = self
+        while loop.parent is not None:
+            loop = loop.parent
+        return loop
+
+    def depth(self) -> int:
+        d, loop = 0, self
+        while loop.parent is not None:
+            d, loop = d + 1, loop.parent
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Loop {self.name} [{self.start:#x},{self.end:#x})>"
+
+
+@dataclass
+class Function:
+    """A function: an address interval holding a forest of loops."""
+
+    name: str
+    start: int
+    end: int
+    loops: list[Loop] = field(default_factory=list)
+
+    def contains_addr(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+class LoopNest:
+    """The loop forest of one function, with innermost-lookup by address."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self._all: list[Loop] = []
+        stack = list(function.loops)
+        while stack:
+            loop = stack.pop()
+            self._all.append(loop)
+            stack.extend(loop.children)
+
+    def innermost_containing(self, addr: int) -> Optional[Loop]:
+        """Deepest loop whose body contains the address."""
+        best: Optional[Loop] = None
+        for loop in self._all:
+            if loop.contains_addr(addr):
+                if best is None or loop.depth() > best.depth():
+                    best = loop
+        return best
+
+
+class SyntheticBinary:
+    """What ParseAPI would give us: functions with loop nests.
+
+    >>> b = SyntheticBinary()
+    >>> f = b.add_function("interf", 0x1000, 0x9000)
+    >>> outer = b.add_loop(f, "rows", 0x1100, 0x8f00, backedge=0x8e00)
+    >>> inner = b.add_loop(f, "partners", 0x1200, 0x8d00,
+    ...                    backedge=0x8c00, parent=outer)
+    """
+
+    def __init__(self) -> None:
+        self.functions: list[Function] = []
+
+    def add_function(self, name: str, start: int, end: int) -> Function:
+        if start >= end:
+            raise ProfilerError(f"function {name!r}: empty address range")
+        for f in self.functions:
+            if start < f.end and f.start < end:
+                raise ProfilerError(f"function {name!r} overlaps {f.name!r}")
+        fn = Function(name=name, start=start, end=end)
+        self.functions.append(fn)
+        return fn
+
+    def add_loop(
+        self,
+        function: Function,
+        name: str,
+        start: int,
+        end: int,
+        backedge: int,
+        parent: Optional[Loop] = None,
+    ) -> Loop:
+        if not (function.start <= start and end <= function.end):
+            raise ProfilerError(f"loop {name!r} outside function {function.name!r}")
+        loop = Loop(name=name, start=start, end=end, backedge=backedge, parent=parent)
+        if parent is None:
+            function.loops.append(loop)
+        else:
+            if not parent.contains(loop):
+                raise ProfilerError(f"loop {name!r} not nested in {parent.name!r}")
+            parent.children.append(loop)
+        return loop
+
+    def function_of(self, addr: int) -> Optional[Function]:
+        for f in self.functions:
+            if f.contains_addr(addr):
+                return f
+        return None
+
+
+def map_period_to_loop(
+    binary: SyntheticBinary,
+    jmp_samples: Sequence[int] | np.ndarray,
+) -> Optional[Loop]:
+    """Locate a detected period in the binary's loop structure.
+
+    Majority-votes the sampled JMP addresses into loops and returns the
+    *outermost* loop containing the winner — the paper uses the outermost
+    containing loop as the period's beginning and ending (and §4.3 shows
+    why: outer placement minimizes tracking overhead).
+    """
+    samples = np.asarray(jmp_samples, dtype=np.int64)
+    if samples.size == 0:
+        return None
+    loop_by_id: dict[int, Loop] = {}
+    counts: Counter = Counter()
+    for addr in samples:
+        fn = binary.function_of(int(addr))
+        if fn is None:
+            continue
+        loop = LoopNest(fn).innermost_containing(int(addr))
+        if loop is not None:
+            loop_by_id[id(loop)] = loop
+            counts[id(loop)] += 1
+    if not counts:
+        return None
+    winner_id, _ = counts.most_common(1)[0]
+    return loop_by_id[winner_id].outermost()

@@ -1,0 +1,68 @@
+"""Working-set prediction across input scales (§4.4, figure 12).
+
+"It can be seen that the working set size does not grow linearly with
+respect to the input size, but rather in the shape of a logarithmic curve.
+Therefore, to predict the change in working set size, we run a logarithmic
+regression over the first three inputs from each progress period to
+generate prediction functions."
+
+The model is ``wss = a + b·ln(input)``, least-squares fitted; accuracy on a
+held-out input is ``1 − |predicted − actual| / actual`` (this is how the
+paper's 92 %/80 %/95 %/94 % figures are computed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ProfilerError
+
+__all__ = ["LogRegression", "fit_log_regression", "prediction_accuracy"]
+
+
+@dataclass(frozen=True)
+class LogRegression:
+    """A fitted ``wss = a + b·ln(input)`` prediction function."""
+
+    a: float
+    b: float
+
+    def predict(self, input_size) -> np.ndarray | float:
+        x = np.asarray(input_size, dtype=np.float64)
+        if np.any(x <= 0):
+            raise ProfilerError("input sizes must be positive")
+        result = self.a + self.b * np.log(x)
+        return float(result) if result.ndim == 0 else result
+
+    def __call__(self, input_size):
+        return self.predict(input_size)
+
+
+def fit_log_regression(
+    input_sizes: Sequence[float], wss_values: Sequence[float]
+) -> LogRegression:
+    """Least-squares fit of ``wss = a + b·ln(input)``.
+
+    The paper fits the first three input scales and validates on the
+    fourth; any >= 2 points are accepted here.
+    """
+    x = np.asarray(input_sizes, dtype=np.float64)
+    y = np.asarray(wss_values, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ProfilerError("input_sizes and wss_values must be 1-D and equal length")
+    if x.size < 2:
+        raise ProfilerError("need at least two points to fit")
+    if np.any(x <= 0):
+        raise ProfilerError("input sizes must be positive")
+    b, a = np.polyfit(np.log(x), y, deg=1)
+    return LogRegression(a=float(a), b=float(b))
+
+
+def prediction_accuracy(predicted: float, actual: float) -> float:
+    """The paper's accuracy metric: ``1 − |pred − actual| / actual``."""
+    if actual == 0:
+        raise ProfilerError("actual value must be nonzero")
+    return 1.0 - abs(predicted - actual) / abs(actual)

@@ -1,0 +1,158 @@
+"""Discrete-event simulation core: a priority queue of timestamped callbacks.
+
+The engine is deliberately minimal — the OS model in :mod:`repro.sim.kernel`
+builds everything else on top of :meth:`Engine.schedule` and
+:meth:`Engine.cancel`.  Events at equal timestamps fire in scheduling order
+(FIFO), which makes simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Engine", "EventHandle"]
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., Any]] = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and self.callback is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.9f} seq={self.seq} {state}>"
+
+
+class Engine:
+    """Simulated clock plus an event queue.
+
+    >>> eng = Engine()
+    >>> fired = []
+    >>> _ = eng.schedule(1.5, fired.append, "a")
+    >>> _ = eng.schedule(0.5, fired.append, "b")
+    >>> eng.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., Any], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        handle.cancel()
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled or handle.callback is None:
+                continue
+            if handle.time < self._now:
+                raise SimulationError("event queue went backwards in time")
+            self._now = handle.time
+            callback, args = handle.callback, handle.args
+            handle.cancel()  # consumed
+            self.events_processed += 1
+            callback(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the event queue.
+
+        Args:
+            until: stop (leaving later events queued) once the next event lies
+                strictly beyond this simulated time; the clock is advanced to
+                ``until``.
+            max_events: safety valve against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine now={self._now:.9f} pending={len(self._queue)}>"

@@ -1,0 +1,71 @@
+"""The simulated machine: cores, shared LLC model, energy meter, counters.
+
+One :class:`Machine` bundles everything hardware-side that the kernel
+drives: the contention model resolving co-running demands, the execution
+model turning demands into rates, the RAPL meter and the PMU counter bank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import MachineConfig, default_machine_config
+from ..energy.rapl import RaplMeter, RaplSample
+from ..mem.contention import SharedLlcModel
+from ..perf.counters import CounterSet, HwCounter
+from .cpu import ExecutionModel
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """Hardware-side state of the simulation.
+
+    Args:
+        llc_model: contention model for the shared LLC; defaults to the
+            demand-proportional :class:`SharedLlcModel`.  Pass a
+            :class:`repro.mem.partition.PartitionedLlcModel` to simulate
+            way-partitioned hardware (the paper's §6 extension).
+    """
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        llc_model: Optional[SharedLlcModel] = None,
+    ) -> None:
+        self.config = config or default_machine_config()
+        self.llc_model = llc_model or SharedLlcModel(self.config.llc_capacity)
+        self.exec_model = ExecutionModel(self.config)
+        self.rapl = RaplMeter(self.config.power, self.config.cpu.n_cores)
+        self.counters = CounterSet()
+
+    @property
+    def n_cores(self) -> int:
+        return self.config.cpu.n_cores
+
+    # ------------------------------------------------------------------
+    def accrue_interval(
+        self,
+        now_s: float,
+        n_active_cores: int,
+        dram_accesses: float,
+        context_switches: int = 0,
+        freq_scale: float = 1.0,
+    ) -> None:
+        """Integrate energy and machine-wide counters over an interval."""
+        self.rapl.accrue(
+            now_s,
+            n_active_cores,
+            dram_accesses=dram_accesses,
+            context_switches=context_switches,
+            freq_scale=freq_scale,
+        )
+        if dram_accesses:
+            self.counters.add(HwCounter.LLC_MISSES, dram_accesses)
+        if context_switches:
+            self.counters.add(HwCounter.CONTEXT_SWITCHES, context_switches)
+
+    def rapl_sample(self, now_s: float, n_active_cores: int) -> RaplSample:
+        """Bring the meter up to ``now`` and return a snapshot."""
+        self.rapl.accrue(now_s, n_active_cores)
+        return self.rapl.sample()

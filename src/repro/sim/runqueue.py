@@ -1,0 +1,71 @@
+"""Run queue ordered by virtual runtime.
+
+The substrate uses a single global queue (a deliberate simplification of
+per-CPU queues plus load balancing — with symmetric cores and no affinity,
+the steady state is the same and the simulation stays deterministic).
+Equal-vruntime ties are broken by a multiplicative hash of the tid rather
+than the tid itself: consecutive tids belong to threads of one process
+(they are created together), and raw-tid ordering would systematically
+co-schedule siblings — an artificial grouping a real SMP scheduler, with
+its per-CPU queues and noisy wakeup timing, does not exhibit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..errors import SchedulerError
+from .process import Thread
+
+__all__ = ["RunQueue"]
+
+
+def _mix(seq: int) -> int:
+    """Fibonacci-hash a launch sequence number to decorrelate queue order
+    from creation order."""
+    return (seq * 2654435761) & 0xFFFFFFFF
+
+
+class RunQueue:
+    """Min-heap of runnable threads ordered by virtual runtime."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Thread]] = []
+        self._enqueued: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._enqueued)
+
+    def __contains__(self, thread: Thread) -> bool:
+        return thread.tid in self._enqueued
+
+    def push(self, thread: Thread) -> None:
+        if thread.tid in self._enqueued:
+            raise SchedulerError(f"thread {thread.tid} already enqueued")
+        self._enqueued.add(thread.tid)
+        heapq.heappush(
+            self._heap, (thread.vruntime, _mix(thread.queue_seq), thread.tid, thread)
+        )
+
+    def pop(self) -> Optional[Thread]:
+        """Remove and return the thread with minimum vruntime."""
+        while self._heap:
+            _, _, tid, thread = heapq.heappop(self._heap)
+            if tid in self._enqueued:
+                self._enqueued.discard(tid)
+                return thread
+            # else: stale entry for a thread removed out-of-band
+        return None
+
+    def remove(self, thread: Thread) -> bool:
+        """Lazily remove a specific thread (e.g. it exited while queued)."""
+        if thread.tid in self._enqueued:
+            self._enqueued.discard(thread.tid)
+            return True
+        return False
+
+    def min_vruntime(self) -> Optional[float]:
+        while self._heap and self._heap[0][2] not in self._enqueued:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,60 @@
+"""Kernel wait queues with wake events.
+
+"To pause and resume threads, our scheduling extension utilizes a wait queue
+with wake events inside the Linux kernel" (§3).  This module provides that
+mechanism for the simulated kernel: threads are parked on a queue and later
+woken individually or en masse.  The queue does not change thread states
+itself — the kernel does — so it can back both the RDA resource waitlist and
+ordinary blocking primitives (barriers).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from ..errors import SchedulerError
+from .process import Thread
+
+__all__ = ["WaitQueue"]
+
+
+class WaitQueue:
+    """FIFO queue of parked threads (insertion-ordered, O(1) removal)."""
+
+    def __init__(self, name: str = "waitqueue") -> None:
+        self.name = name
+        self._waiters: "OrderedDict[int, Thread]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def __contains__(self, thread: Thread) -> bool:
+        return thread.tid in self._waiters
+
+    def park(self, thread: Thread) -> None:
+        if thread.tid in self._waiters:
+            raise SchedulerError(
+                f"{self.name}: thread {thread.tid} is already parked"
+            )
+        self._waiters[thread.tid] = thread
+
+    def wake_one(self) -> Optional[Thread]:
+        """Remove and return the oldest waiter, or None when empty."""
+        if not self._waiters:
+            return None
+        _, thread = self._waiters.popitem(last=False)
+        return thread
+
+    def wake(self, thread: Thread) -> bool:
+        """Remove a specific thread.  True when it was parked here."""
+        return self._waiters.pop(thread.tid, None) is not None
+
+    def wake_all(self) -> list[Thread]:
+        """Remove and return every waiter in FIFO order."""
+        woken = list(self._waiters.values())
+        self._waiters.clear()
+        return woken
+
+    def waiters(self) -> Iterable[Thread]:
+        return iter(self._waiters.values())

@@ -1,0 +1,130 @@
+"""Unit helpers used throughout the simulator.
+
+All internal quantities use base SI-ish units:
+
+* time      — seconds (float)
+* energy    — joules (float)
+* capacity  — bytes (int)
+* frequency — hertz (float)
+
+These helpers exist so that configuration code reads like the paper
+("15360 KBytes", "1.9 GHz") rather than as raw magic numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KHZ",
+    "MHZ",
+    "GHZ",
+    "NS",
+    "US",
+    "MS",
+    "kib",
+    "mib",
+    "gib",
+    "khz",
+    "mhz",
+    "ghz",
+    "ns",
+    "us",
+    "ms",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_energy",
+]
+
+# Multiplicative constants.  Cache and memory sizes in the paper are given in
+# binary units (KBytes/MBytes as used by Intel datasheets), so KB/MB/GB here
+# are binary (1024-based).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def kib(n: float) -> int:
+    """``n`` kibibytes as an integer byte count."""
+    return int(n * KB)
+
+
+def mib(n: float) -> int:
+    """``n`` mebibytes as an integer byte count."""
+    return int(n * MB)
+
+
+def gib(n: float) -> int:
+    """``n`` gibibytes as an integer byte count."""
+    return int(n * GB)
+
+
+def khz(n: float) -> float:
+    """``n`` kilohertz in hertz."""
+    return n * KHZ
+
+
+def mhz(n: float) -> float:
+    """``n`` megahertz in hertz."""
+    return n * MHZ
+
+
+def ghz(n: float) -> float:
+    """``n`` gigahertz in hertz."""
+    return n * GHZ
+
+
+def ns(n: float) -> float:
+    """``n`` nanoseconds in seconds."""
+    return n * NS
+
+
+def us(n: float) -> float:
+    """``n`` microseconds in seconds."""
+    return n * US
+
+
+def ms(n: float) -> float:
+    """``n`` milliseconds in seconds."""
+    return n * MS
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.4g} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds == 0:
+        return "0 s"
+    if abs(seconds) < US:
+        return f"{seconds / NS:.4g} ns"
+    if abs(seconds) < MS:
+        return f"{seconds / US:.4g} us"
+    if abs(seconds) < 1.0:
+        return f"{seconds / MS:.4g} ms"
+    return f"{seconds:.4g} s"
+
+
+def fmt_energy(joules: float) -> str:
+    """Human-readable energy."""
+    if abs(joules) >= 1.0 or joules == 0:
+        return f"{joules:.4g} J"
+    if abs(joules) >= MS:
+        return f"{joules * 1e3:.4g} mJ"
+    return f"{joules * 1e6:.4g} uJ"

@@ -1,0 +1,35 @@
+"""Workload models: the 12 BLAS kernels and five SPLASH-2 applications.
+
+Applications are modelled as per-thread *programs* — sequences of
+:class:`~repro.workloads.base.Phase` objects carrying instruction counts,
+operational intensity and working-set behaviour.  The scheduler only ever
+observes (a) the declared progress periods and (b) the physics the machine
+model derives from the phase parameters, which is the same information the
+paper's kernel extension sees.
+"""
+
+from .base import (
+    Phase,
+    PhaseKind,
+    PpSpec,
+    ProcessSpec,
+    Workload,
+    compute_phase,
+    barrier_phase,
+    mix_workloads,
+)
+from .suite import table2_workloads, workload_by_name, WORKLOAD_NAMES
+
+__all__ = [
+    "Phase",
+    "PhaseKind",
+    "PpSpec",
+    "ProcessSpec",
+    "Workload",
+    "compute_phase",
+    "barrier_phase",
+    "mix_workloads",
+    "table2_workloads",
+    "workload_by_name",
+    "WORKLOAD_NAMES",
+]

@@ -1,0 +1,289 @@
+"""Workload abstractions: phases, programs, processes and workloads.
+
+A *phase* is the unit of modelled execution: a stretch of instructions with
+constant operational intensity and working-set behaviour.  Phases optionally
+carry a :class:`PpSpec` that turns them into declared progress periods —
+exactly the paper's model, where "a single progress period describes a
+duration of an application execution where its resource demand for data
+storage remains roughly constant".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Hashable, Optional, Sequence
+
+from ..core.progress_period import PeriodRequest, ResourceKind, ReuseLevel
+from ..errors import WorkloadError
+
+__all__ = [
+    "PhaseKind",
+    "PpSpec",
+    "Phase",
+    "ProcessSpec",
+    "Workload",
+    "compute_phase",
+    "barrier_phase",
+]
+
+
+class PhaseKind(enum.Enum):
+    COMPUTE = "compute"
+    BARRIER = "barrier"  # blocking sync with process siblings (outside PPs)
+
+
+@dataclass(frozen=True)
+class PpSpec:
+    """Progress-period declaration attached to a phase.
+
+    Attributes:
+        demand_bytes: declared working-set size (``None`` → the phase's
+            actual ``wss_bytes``; letting them differ models inaccurate
+            annotations).
+        reuse: declared reuse level (``None`` → derived from the phase's
+            numeric reuse fraction).
+        subperiods: how many equal sub-periods the phase is broken into —
+            the granularity experiment of figure 11 (1 = outermost loop).
+    """
+
+    demand_bytes: Optional[int] = None
+    reuse: Optional[ReuseLevel] = None
+    subperiods: int = 1
+
+    def __post_init__(self) -> None:
+        if self.subperiods < 1:
+            raise WorkloadError("subperiods must be >= 1")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One modelled stretch of execution with constant resource behaviour.
+
+    Attributes:
+        name: label (also the default working-set sharing scope).
+        instructions: dynamic instructions retired by this phase.
+        flops_per_instr: double-precision FLOPs per instruction.
+        mem_refs_per_instr: loads+stores per instruction.
+        llc_refs_per_memref: fraction of memory references that miss the
+            private L1/L2 and reach the shared LLC.
+        wss_bytes: live working-set size held in the LLC.
+        reuse: fraction of LLC references that re-touch the working set and
+            hit when it is fully resident (numeric counterpart of the
+            paper's low/med/high levels).
+        memory_overlap: per-phase override of the machine's memory-level
+            parallelism (fraction of a miss's latency hidden by out-of-order
+            overlap and prefetching); ``None`` uses the machine default.
+            Streaming sweeps prefetch well (high overlap); pointer chasing
+            does not.
+        pp: progress-period declaration, or ``None`` for un-instrumented
+            stretches (scheduled by the default OS policy).
+        shared: when True, sibling threads of one process share this phase's
+            working set (counted once in the LLC).
+        kind: COMPUTE or BARRIER.
+    """
+
+    name: str
+    instructions: int = 0
+    flops_per_instr: float = 0.0
+    mem_refs_per_instr: float = 0.3
+    llc_refs_per_memref: float = 0.1
+    wss_bytes: int = 0
+    reuse: float = 0.0
+    pp: Optional[PpSpec] = None
+    shared: bool = False
+    kind: PhaseKind = PhaseKind.COMPUTE
+    memory_overlap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is PhaseKind.COMPUTE and self.instructions <= 0:
+            raise WorkloadError(f"phase {self.name!r}: instructions must be positive")
+        if self.instructions < 0:
+            raise WorkloadError(f"phase {self.name!r}: negative instructions")
+        for attr in ("flops_per_instr", "mem_refs_per_instr", "llc_refs_per_memref"):
+            if getattr(self, attr) < 0:
+                raise WorkloadError(f"phase {self.name!r}: negative {attr}")
+        if self.llc_refs_per_memref > 1.0:
+            raise WorkloadError(
+                f"phase {self.name!r}: llc_refs_per_memref must be <= 1"
+            )
+        if not 0.0 <= self.reuse <= 1.0:
+            raise WorkloadError(f"phase {self.name!r}: reuse must be in [0, 1]")
+        if self.wss_bytes < 0:
+            raise WorkloadError(f"phase {self.name!r}: negative working set")
+        if self.memory_overlap is not None and not 0.0 <= self.memory_overlap < 1.0:
+            raise WorkloadError(f"phase {self.name!r}: memory_overlap must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    @property
+    def flops(self) -> float:
+        return self.flops_per_instr * self.instructions
+
+    @property
+    def mem_refs(self) -> float:
+        return self.mem_refs_per_instr * self.instructions
+
+    def declared_reuse(self) -> ReuseLevel:
+        """Reuse level carried by this phase's PP declaration."""
+        if self.pp is not None and self.pp.reuse is not None:
+            return self.pp.reuse
+        return ReuseLevel.from_fraction(self.reuse)
+
+    def declared_demand(self) -> int:
+        """Working-set size carried by this phase's PP declaration."""
+        if self.pp is not None and self.pp.demand_bytes is not None:
+            return self.pp.demand_bytes
+        return self.wss_bytes
+
+    def period_request(self, pid: int) -> PeriodRequest:
+        """Build the ``pp_begin`` request a thread in this phase issues."""
+        if self.pp is None:
+            raise WorkloadError(f"phase {self.name!r} declares no progress period")
+        return PeriodRequest(
+            resource=ResourceKind.LLC,
+            demand_bytes=self.declared_demand(),
+            reuse=self.declared_reuse(),
+            sharing_key=(pid, self.name) if self.shared else None,
+            label=self.name,
+        )
+
+    def sharing_scope(self, pid: int) -> Optional[Hashable]:
+        """Key under which the *physical* working set is shared (contention
+        model); independent of whether a PP is declared."""
+        return (pid, self.name) if self.shared else None
+
+    def with_subperiods(self, n: int) -> "Phase":
+        """Return a copy split into ``n`` tracked sub-periods (figure 11)."""
+        if self.pp is None:
+            raise WorkloadError("cannot set sub-periods on an unannotated phase")
+        return replace(self, pp=replace(self.pp, subperiods=n))
+
+
+def compute_phase(
+    name: str,
+    instructions: int,
+    *,
+    flops_per_instr: float = 0.0,
+    mem_refs_per_instr: float = 0.3,
+    llc_refs_per_memref: float = 0.1,
+    wss_bytes: int = 0,
+    reuse: float = 0.0,
+    declare_pp: bool = True,
+    declared_demand: Optional[int] = None,
+    declared_reuse: Optional[ReuseLevel] = None,
+    shared: bool = False,
+    subperiods: int = 1,
+) -> Phase:
+    """Convenience constructor for an (optionally PP-annotated) compute phase."""
+    pp = (
+        PpSpec(demand_bytes=declared_demand, reuse=declared_reuse, subperiods=subperiods)
+        if declare_pp
+        else None
+    )
+    return Phase(
+        name=name,
+        instructions=instructions,
+        flops_per_instr=flops_per_instr,
+        mem_refs_per_instr=mem_refs_per_instr,
+        llc_refs_per_memref=llc_refs_per_memref,
+        wss_bytes=wss_bytes,
+        reuse=reuse,
+        pp=pp,
+        shared=shared,
+    )
+
+
+def barrier_phase(name: str = "barrier") -> Phase:
+    """A blocking synchronization point with all process siblings.
+
+    Barriers sit *between* progress periods: the paper forbids blocking
+    synchronization inside a period (§3.4), so durations containing sync run
+    under the default OS policy — here, a plain unannotated phase.
+    """
+    return Phase(name=name, instructions=0, kind=PhaseKind.BARRIER)
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """Blueprint of one process: per-thread programs.
+
+    All threads run the same program unless ``per_thread_programs`` is given.
+    ``nice`` is the Unix niceness (−20…19); the fair scheduler converts it
+    to a CFS-style weight so nicer processes accumulate virtual runtime
+    faster and receive proportionally less CPU.
+    """
+
+    name: str
+    program: Sequence[Phase]
+    n_threads: int = 1
+    per_thread_programs: Optional[Sequence[Sequence[Phase]]] = None
+    nice: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_threads < 1:
+            raise WorkloadError("n_threads must be >= 1")
+        if self.per_thread_programs is not None and len(
+            self.per_thread_programs
+        ) != self.n_threads:
+            raise WorkloadError("per_thread_programs length must equal n_threads")
+        if not -20 <= self.nice <= 19:
+            raise WorkloadError("nice must be in [-20, 19]")
+
+    def program_for(self, thread_index: int) -> Sequence[Phase]:
+        if self.per_thread_programs is not None:
+            return self.per_thread_programs[thread_index]
+        return self.program
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named collection of processes launched together (one Table 2 row)."""
+
+    name: str
+    processes: Sequence[ProcessSpec]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.processes:
+            raise WorkloadError(f"workload {self.name!r} has no processes")
+
+    @property
+    def n_processes(self) -> int:
+        return len(self.processes)
+
+    @property
+    def n_threads(self) -> int:
+        return sum(p.n_threads for p in self.processes)
+
+    def total_flops(self) -> float:
+        """FLOPs the workload retires, for GFLOPS accounting."""
+        total = 0.0
+        for proc in self.processes:
+            for t in range(proc.n_threads):
+                total += sum(ph.flops for ph in proc.program_for(t))
+        return total
+
+
+def mix_workloads(*workloads: Workload, name: str = "") -> Workload:
+    """Consolidate several workloads into one multi-programmed mix.
+
+    Processes are interleaved round-robin across the inputs so no single
+    application's processes arrive as a contiguous block — the arrival
+    pattern of independent jobs landing on a shared node.  This builds the
+    consolidation scenarios the paper motivates ("when scheduling multiple
+    processes together, their concurrent resource accesses may cause
+    interferences") beyond its single-application workloads.
+    """
+    if not workloads:
+        raise WorkloadError("need at least one workload to mix")
+    lanes = [list(w.processes) for w in workloads]
+    mixed: list[ProcessSpec] = []
+    while any(lanes):
+        for lane in lanes:
+            if lane:
+                mixed.append(lane.pop(0))
+    return Workload(
+        name=name or "+".join(w.name for w in workloads),
+        processes=mixed,
+        description="mix of: " + "; ".join(w.name for w in workloads),
+    )

@@ -1,0 +1,249 @@
+"""Phase models of the 12 BLAS kernels (Table 2).
+
+The paper groups the kernels by BLAS level:
+
+* **BLAS-1** (daxpy, dcopy, dscal, dswap) — vector-vector, working set
+  0.6 MB, *low* cache reuse (pure streaming; every sweep touches each line
+  about once).
+* **BLAS-2** (dgemv N/T, dtrmv, dtrsv) — matrix-vector, 0.6 MB, *medium*
+  reuse (the matrix is streamed within a call but re-swept every call; the
+  vectors live in the private caches).
+* **BLAS-3** (dgemm, dsyrk, dtrmm, dtrsm) — matrix-matrix, 1.6 / 2.4 / 2.4 /
+  3.2 MB, *high* reuse (loop-blocked so each block is touched many times;
+  "each BLAS kernel ... has been optimized with loop blocking so that
+  individually its working set size fits within the last-level cache").
+
+Each kernel is modelled by its operational intensity: FLOPs and memory
+references per instruction from the kernel's arithmetic, the fraction of
+references reaching the LLC from its blocking structure (streaming kernels
+miss the private caches once per 64-byte line → 1/8 per reference; blocked
+kernels filter most traffic in L2), and the Table 2 working set and reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.progress_period import ReuseLevel
+from ..errors import WorkloadError
+from .base import Phase, PpSpec, ProcessSpec
+
+__all__ = [
+    "BlasKernelModel",
+    "BLAS1_KERNELS",
+    "BLAS2_KERNELS",
+    "BLAS3_KERNELS",
+    "ALL_KERNELS",
+    "kernel_model",
+    "kernel_phase",
+    "kernel_process",
+    "dgemm_process",
+]
+
+MB = 1_000_000  # Table 2 working-set sizes are decimal megabytes
+
+
+@dataclass(frozen=True)
+class BlasKernelModel:
+    """Operational model of one BLAS kernel."""
+
+    name: str
+    level: int
+    wss_bytes: int
+    reuse: float
+    reuse_level: ReuseLevel
+    flops_per_instr: float
+    mem_refs_per_instr: float
+    llc_refs_per_memref: float
+    instructions: int  # per kernel invocation (problem sized per Table 2)
+    repetitions: int  # invocations per process
+
+    def scaled(self, factor: float) -> "BlasKernelModel":
+        """This kernel at a different problem size.
+
+        ``factor`` scales the matrix/vector dimension.  Work scales with
+        the kernel's algorithmic order (level 1/2/3 → n / n² / n³) and the
+        working set with its storage order (n for vectors, n² for
+        matrices); the intensity parameters are preserved by the blocking.
+        """
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        from dataclasses import replace
+
+        work_order = {1: 1.0, 2: 2.0, 3: 3.0}[self.level]
+        wss_order = 1.0 if self.level == 1 else 2.0
+        return replace(
+            self,
+            name=f"{self.name}@{factor:g}x",
+            wss_bytes=int(self.wss_bytes * factor**wss_order),
+            instructions=int(self.instructions * factor**work_order),
+        )
+
+    def phase(self, subperiods: int = 1, declare_pp: bool = True) -> Phase:
+        """The kernel as one progress period (the paper's configuration)."""
+        pp: Optional[PpSpec] = None
+        if declare_pp:
+            pp = PpSpec(
+                demand_bytes=self.wss_bytes,
+                reuse=self.reuse_level,
+                subperiods=subperiods,
+            )
+        return Phase(
+            name=self.name,
+            instructions=self.instructions * self.repetitions,
+            flops_per_instr=self.flops_per_instr,
+            mem_refs_per_instr=self.mem_refs_per_instr,
+            llc_refs_per_memref=self.llc_refs_per_memref,
+            wss_bytes=self.wss_bytes,
+            reuse=self.reuse,
+            pp=pp,
+        )
+
+
+# ----------------------------------------------------------------------
+# BLAS-1: vector-vector, n sized so the vectors total 0.6 MB.
+# daxpy streams x and y (2 FLOPs per element over ~5 instructions);
+# dcopy/dswap move data with no FLOPs; dscal touches one vector.
+# Streaming reaches the LLC once per line: 1/8 of references.
+# ----------------------------------------------------------------------
+_BLAS1_COMMON = dict(
+    level=1,
+    wss_bytes=int(0.6 * MB),
+    reuse=0.08,
+    reuse_level=ReuseLevel.LOW,
+    llc_refs_per_memref=0.125,
+)
+
+BLAS1_KERNELS: tuple[BlasKernelModel, ...] = (
+    BlasKernelModel(
+        name="daxpy",
+        flops_per_instr=0.40,
+        mem_refs_per_instr=0.60,
+        instructions=187_500,  # 5 instr/element, n = 37 500 (two vectors)
+        repetitions=160,
+        **_BLAS1_COMMON,
+    ),
+    BlasKernelModel(
+        name="dcopy",
+        flops_per_instr=0.0,
+        mem_refs_per_instr=0.50,
+        instructions=150_000,  # 4 instr/element
+        repetitions=200,
+        **_BLAS1_COMMON,
+    ),
+    BlasKernelModel(
+        name="dscal",
+        flops_per_instr=0.25,
+        mem_refs_per_instr=0.50,
+        instructions=300_000,  # one 0.6 MB vector, n = 75 000
+        repetitions=100,
+        **_BLAS1_COMMON,
+    ),
+    BlasKernelModel(
+        name="dswap",
+        flops_per_instr=0.0,
+        mem_refs_per_instr=0.67,
+        instructions=225_000,  # 6 instr/element (2 loads + 2 stores)
+        repetitions=130,
+        **_BLAS1_COMMON,
+    ),
+)
+
+# ----------------------------------------------------------------------
+# BLAS-2: matrix-vector with n = 274 (n^2 doubles = 0.6 MB).  The matrix
+# streams through the LLC (re-swept every invocation: medium reuse); the
+# vectors stay in L1/L2, so only matrix traffic reaches the LLC.
+# ----------------------------------------------------------------------
+_BLAS2_COMMON = dict(
+    level=2,
+    wss_bytes=int(0.6 * MB),
+    reuse=0.55,
+    reuse_level=ReuseLevel.MEDIUM,
+    llc_refs_per_memref=0.07,
+    instructions=190_000,  # ~2.5 instr per matrix element
+)
+
+BLAS2_KERNELS: tuple[BlasKernelModel, ...] = (
+    BlasKernelModel(
+        name="dgemvN", flops_per_instr=0.80, mem_refs_per_instr=0.80,
+        repetitions=260, **_BLAS2_COMMON,
+    ),
+    BlasKernelModel(
+        name="dgemvT", flops_per_instr=0.80, mem_refs_per_instr=0.80,
+        repetitions=260, **_BLAS2_COMMON,
+    ),
+    BlasKernelModel(
+        name="dtrmv", flops_per_instr=0.78, mem_refs_per_instr=0.80,
+        repetitions=300, **_BLAS2_COMMON,
+    ),
+    BlasKernelModel(
+        name="dtrsv", flops_per_instr=0.75, mem_refs_per_instr=0.82,
+        repetitions=300, **_BLAS2_COMMON,
+    ),
+)
+
+# ----------------------------------------------------------------------
+# BLAS-3: loop-blocked matrix-matrix (n = 512 for dgemm: 2n^3 = 268 MFLOPs
+# over ~134 M instructions at 2 FLOPs/instruction).  Blocking keeps most
+# traffic in L2; the LLC holds the Table 2 working set with high reuse.
+# ----------------------------------------------------------------------
+_BLAS3_COMMON = dict(
+    level=3,
+    reuse=0.92,
+    reuse_level=ReuseLevel.HIGH,
+    llc_refs_per_memref=0.038,
+    mem_refs_per_instr=0.50,
+    repetitions=1,
+)
+
+BLAS3_KERNELS: tuple[BlasKernelModel, ...] = (
+    BlasKernelModel(
+        name="dgemm", wss_bytes=int(1.6 * MB), flops_per_instr=2.0,
+        instructions=134_000_000, **_BLAS3_COMMON,
+    ),
+    BlasKernelModel(
+        name="dsyrk", wss_bytes=int(2.4 * MB), flops_per_instr=2.0,
+        instructions=100_000_000, **_BLAS3_COMMON,
+    ),
+    BlasKernelModel(
+        name="dtrmm", wss_bytes=int(2.4 * MB), flops_per_instr=1.9,
+        instructions=100_000_000, **_BLAS3_COMMON,
+    ),
+    BlasKernelModel(
+        name="dtrsm", wss_bytes=int(3.2 * MB), flops_per_instr=1.8,
+        instructions=110_000_000, **_BLAS3_COMMON,
+    ),
+)
+
+ALL_KERNELS: tuple[BlasKernelModel, ...] = (
+    BLAS1_KERNELS + BLAS2_KERNELS + BLAS3_KERNELS
+)
+
+
+def kernel_model(name: str) -> BlasKernelModel:
+    """Look up a kernel model by name."""
+    for k in ALL_KERNELS:
+        if k.name == name:
+            return k
+    raise WorkloadError(f"unknown BLAS kernel {name!r}")
+
+
+def kernel_phase(name: str, subperiods: int = 1, declare_pp: bool = True) -> Phase:
+    """Convenience: one kernel's phase."""
+    return kernel_model(name).phase(subperiods=subperiods, declare_pp=declare_pp)
+
+
+def kernel_process(name: str, subperiods: int = 1) -> ProcessSpec:
+    """One single-threaded process running one kernel as one progress period."""
+    return ProcessSpec(name=name, program=[kernel_phase(name, subperiods)])
+
+
+def dgemm_process(subperiods: int = 1) -> ProcessSpec:
+    """The figure 11 subject: dgemm with configurable tracking granularity.
+
+    ``subperiods=1`` places the progress period at the outermost loop,
+    ``512`` at the middle loop, and ``512 ** 2 = 262144`` at the innermost
+    loop — the paper's three decomposition strategies.
+    """
+    return kernel_process("dgemm", subperiods=subperiods)

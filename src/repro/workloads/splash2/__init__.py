@@ -1,0 +1,29 @@
+"""Phase models of the five SPLASH-2 applications of Table 2.
+
+Each application is "broken into multiple progress periods, with an input
+size that restricts the working set sizes of all progress periods to
+individually fit within the last level cache".  The per-period working sets
+and reuse levels are the paper's own (Table 2); phase structure, barrier
+placement and instruction mixes follow the published SPLASH-2
+characterizations (Woo et al. 1995).
+"""
+
+from .water_nsquared import water_nsquared_process, water_nsquared_workload, wss_of_molecules
+from .water_spatial import water_spatial_process, water_spatial_workload
+from .ocean_cp import ocean_cp_process, ocean_cp_workload
+from .raytrace import raytrace_process, raytrace_workload
+from .volrend import volrend_process, volrend_workload
+
+__all__ = [
+    "water_nsquared_process",
+    "water_nsquared_workload",
+    "wss_of_molecules",
+    "water_spatial_process",
+    "water_spatial_workload",
+    "ocean_cp_process",
+    "ocean_cp_workload",
+    "raytrace_process",
+    "raytrace_workload",
+    "volrend_process",
+    "volrend_workload",
+]

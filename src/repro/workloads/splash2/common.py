@@ -1,0 +1,62 @@
+"""Shared construction helpers for the SPLASH-2 application models."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core.progress_period import ReuseLevel
+from ..base import Phase, PpSpec, barrier_phase
+
+__all__ = ["splash_phase", "timestep_program"]
+
+
+def splash_phase(
+    name: str,
+    *,
+    instructions: int,
+    wss_bytes: int,
+    reuse: float,
+    reuse_level: ReuseLevel,
+    flops_per_instr: float,
+    mem_refs_per_instr: float = 0.40,
+    llc_refs_per_memref: float = 0.12,
+    declare_pp: bool = True,
+    shared: bool = True,
+) -> Phase:
+    """One SPLASH progress-period phase.
+
+    ``shared=True`` is the usual SPLASH-2 model: the threads of one process
+    cooperate on a single data set (molecules, grids, the scene), so the
+    working set occupies the LLC once per process, not once per thread.
+    Pass ``shared=False`` for stages where each thread works on private
+    data (e.g. volrend's independent image tiles).
+    """
+    return Phase(
+        name=name,
+        instructions=instructions,
+        flops_per_instr=flops_per_instr,
+        mem_refs_per_instr=mem_refs_per_instr,
+        llc_refs_per_memref=llc_refs_per_memref,
+        wss_bytes=wss_bytes,
+        reuse=reuse,
+        pp=PpSpec(demand_bytes=wss_bytes, reuse=reuse_level) if declare_pp else None,
+        shared=shared,
+    )
+
+
+def timestep_program(
+    step_phases: Sequence[Phase], timesteps: int, barrier_between: bool = True
+) -> list[Phase]:
+    """Repeat a timestep's phases, with barriers separating the phases.
+
+    Barriers model the SPLASH-2 global synchronization between computation
+    stages; per §3.4 they sit *outside* the progress periods, so the
+    durations containing synchronization run under the default OS policy.
+    """
+    program: list[Phase] = []
+    for step in range(timesteps):
+        for i, phase in enumerate(step_phases):
+            program.append(phase)
+            if barrier_between:
+                program.append(barrier_phase(f"{phase.name}.b{step}.{i}"))
+    return program

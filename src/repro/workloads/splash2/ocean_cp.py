@@ -1,0 +1,75 @@
+"""ocean_cp: contiguous-partition ocean current simulation.
+
+Table 2: 48 processes × 2 threads, periods of 2.1 / 0.76 / 1.5 / 0.59 MB
+with high / med / high / med reuse.  The paper's §6 notes the structure we
+model: the ``slave2`` function "contains three progress periods because the
+function has multiple phases", while ``relax`` (the red-black SOR solver)
+"has a consistent behavior throughout its execution, therefore allowing a
+single progress period to contain all of its instructions".
+"""
+
+from __future__ import annotations
+
+from ...core.progress_period import ReuseLevel
+from ..base import ProcessSpec, Workload
+from .common import splash_phase, timestep_program
+
+__all__ = ["ocean_cp_process", "ocean_cp_workload"]
+
+MB = 1_000_000
+
+
+def ocean_cp_process(timesteps: int = 2) -> ProcessSpec:
+    """One ocean_cp process (2 threads): slave2's three periods + relax."""
+    step = [
+        splash_phase(
+            "slave2.jacobcalc",
+            instructions=11_000_000,
+            wss_bytes=int(2.1 * MB),
+            reuse=0.88,
+            reuse_level=ReuseLevel.HIGH,
+            flops_per_instr=0.60,
+            llc_refs_per_memref=0.15,
+        ),
+        splash_phase(
+            "slave2.laplacalc",
+            instructions=6_000_000,
+            wss_bytes=int(0.76 * MB),
+            reuse=0.55,
+            reuse_level=ReuseLevel.MEDIUM,
+            flops_per_instr=0.55,
+            llc_refs_per_memref=0.15,
+        ),
+        splash_phase(
+            "slave2.tidal",
+            instructions=9_000_000,
+            wss_bytes=int(1.5 * MB),
+            reuse=0.88,
+            reuse_level=ReuseLevel.HIGH,
+            flops_per_instr=0.60,
+            llc_refs_per_memref=0.15,
+        ),
+        splash_phase(
+            "relax",
+            instructions=8_000_000,
+            wss_bytes=int(0.59 * MB),
+            reuse=0.55,
+            reuse_level=ReuseLevel.MEDIUM,
+            flops_per_instr=0.58,
+            llc_refs_per_memref=0.15,
+        ),
+    ]
+    return ProcessSpec(
+        name="ocean_cp",
+        program=timestep_program(step, timesteps),
+        n_threads=2,
+    )
+
+
+def ocean_cp_workload(n_processes: int = 48, timesteps: int = 2) -> Workload:
+    """Table 2 row: 48 processes × 2 threads."""
+    return Workload(
+        name="Ocean_cp",
+        processes=[ocean_cp_process(timesteps) for _ in range(n_processes)],
+        description="ocean currents; PPs 2.1/0.76/1.5/0.59 MB, high/med reuse",
+    )

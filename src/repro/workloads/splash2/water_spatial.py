@@ -1,0 +1,74 @@
+"""water_spatial: spatially-decomposed molecular dynamics.
+
+Table 2: 12 processes × 2 threads, periods of 1.6 / 1.3 / 1.3 / 1.6 MB, all
+*low* reuse — the cell-list decomposition visits each molecule's cell once
+per stage, so there is little temporal locality to protect.  This is one of
+the two workloads the paper reports RDA *hurting* (≈6 % slowdown, ≈4 % more
+energy): constraining concurrency buys nothing when the data is not reused.
+"""
+
+from __future__ import annotations
+
+from ...core.progress_period import ReuseLevel
+from ..base import ProcessSpec, Workload
+from .common import splash_phase, timestep_program
+
+__all__ = ["water_spatial_process", "water_spatial_workload"]
+
+MB = 1_000_000
+
+
+def water_spatial_process(timesteps: int = 2) -> ProcessSpec:
+    """One water_spatial process (2 threads) with Table 2's four periods."""
+    step = [
+        splash_phase(
+            "predic",
+            instructions=16_000_000,
+            wss_bytes=int(1.6 * MB),
+            reuse=0.10,
+            reuse_level=ReuseLevel.LOW,
+            flops_per_instr=0.70,
+            llc_refs_per_memref=0.13,
+        ),
+        splash_phase(
+            "intraf",
+            instructions=14_000_000,
+            wss_bytes=int(1.3 * MB),
+            reuse=0.10,
+            reuse_level=ReuseLevel.LOW,
+            flops_per_instr=0.75,
+            llc_refs_per_memref=0.13,
+        ),
+        splash_phase(
+            "interf-cells",
+            instructions=18_000_000,
+            wss_bytes=int(1.3 * MB),
+            reuse=0.12,
+            reuse_level=ReuseLevel.LOW,
+            flops_per_instr=0.80,
+            llc_refs_per_memref=0.13,
+        ),
+        splash_phase(
+            "correc",
+            instructions=14_000_000,
+            wss_bytes=int(1.6 * MB),
+            reuse=0.10,
+            reuse_level=ReuseLevel.LOW,
+            flops_per_instr=0.70,
+            llc_refs_per_memref=0.13,
+        ),
+    ]
+    return ProcessSpec(
+        name="water_sp",
+        program=timestep_program(step, timesteps),
+        n_threads=2,
+    )
+
+
+def water_spatial_workload(n_processes: int = 12, timesteps: int = 2) -> Workload:
+    """Table 2 row: 12 processes × 2 threads."""
+    return Workload(
+        name="Water_sp",
+        processes=[water_spatial_process(timesteps) for _ in range(n_processes)],
+        description="cell-list molecular dynamics; PPs 1.6/1.3/1.3/1.6 MB, low reuse",
+    )

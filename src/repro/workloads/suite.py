@@ -1,0 +1,97 @@
+"""The eight workloads of Table 2.
+
+========== ======= ============= ===================== =====================
+Workload   # Proc  Threads/Proc  Work-set sizes (MB)   Data reuses
+========== ======= ============= ===================== =====================
+BLAS-1     96      1             .6                    low
+BLAS-2     96      1             .6                    med
+BLAS-3     96      1             1.6, 2.4, 2.4, 3.2    high
+Water_sp   12      2             1.6, 1.3, 1.3, 1.6    low ×4
+Water_nsq  12      2             3.6, 3.6, 3.7         high ×3
+Ocean_cp   48      2             2.1, 0.76, 1.5, 0.59  high, med, high, med
+Raytrace   48      4             5.1, 5.2              high, high
+Volrend    48      4             1.8, 1.7              high, high
+========== ======= ============= ===================== =====================
+
+Each BLAS level groups its four kernels into one 96-process workload
+(24 processes per kernel); each SPLASH-2 application is its own workload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import WorkloadError
+from .base import ProcessSpec, Workload
+from .blas import BLAS1_KERNELS, BLAS2_KERNELS, BLAS3_KERNELS, kernel_process
+from .splash2 import (
+    ocean_cp_workload,
+    raytrace_workload,
+    volrend_workload,
+    water_nsquared_workload,
+    water_spatial_workload,
+)
+
+__all__ = ["WORKLOAD_NAMES", "table2_workloads", "workload_by_name", "blas_workload"]
+
+#: canonical workload order used by every figure
+WORKLOAD_NAMES = (
+    "BLAS-1",
+    "BLAS-2",
+    "BLAS-3",
+    "Water_sp",
+    "Water_nsq",
+    "Ocean_cp",
+    "Raytrace",
+    "Volrend",
+)
+
+
+def blas_workload(level: int, n_processes: int = 96) -> Workload:
+    """A 96-process workload of one BLAS level's four kernels."""
+    kernels = {1: BLAS1_KERNELS, 2: BLAS2_KERNELS, 3: BLAS3_KERNELS}.get(level)
+    if kernels is None:
+        raise WorkloadError(f"no BLAS level {level}")
+    if n_processes % len(kernels):
+        raise WorkloadError(
+            f"n_processes={n_processes} not divisible by {len(kernels)} kernels"
+        )
+    per_kernel = n_processes // len(kernels)
+    processes: list[ProcessSpec] = []
+    # Interleave kernels so arrival order does not group identical demands.
+    for i in range(per_kernel):
+        for k in kernels:
+            processes.append(kernel_process(k.name))
+    names = ", ".join(k.name for k in kernels)
+    return Workload(
+        name=f"BLAS-{level}",
+        processes=processes,
+        description=f"{n_processes} single-thread processes: {names}",
+    )
+
+
+_BUILDERS: Dict[str, Callable[[], Workload]] = {
+    "BLAS-1": lambda: blas_workload(1),
+    "BLAS-2": lambda: blas_workload(2),
+    "BLAS-3": lambda: blas_workload(3),
+    "Water_sp": water_spatial_workload,
+    "Water_nsq": water_nsquared_workload,
+    "Ocean_cp": ocean_cp_workload,
+    "Raytrace": raytrace_workload,
+    "Volrend": volrend_workload,
+}
+
+
+def workload_by_name(name: str) -> Workload:
+    """Build one Table 2 workload by its canonical name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; expected one of {WORKLOAD_NAMES}"
+        ) from None
+
+
+def table2_workloads() -> dict[str, Workload]:
+    """All eight workloads, in the canonical order."""
+    return {name: workload_by_name(name) for name in WORKLOAD_NAMES}

@@ -1,0 +1,83 @@
+"""Shared fixtures: small machines and toy workloads for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CpuConfig,
+    MachineConfig,
+    MemoryConfig,
+    PowerConfig,
+    SchedulerConfig,
+    default_machine_config,
+)
+from repro.core.progress_period import ReuseLevel
+from repro.units import kib, mib, us
+from repro.workloads.base import (
+    Phase,
+    PpSpec,
+    ProcessSpec,
+    Workload,
+    barrier_phase,
+)
+
+
+@pytest.fixture
+def paper_machine() -> MachineConfig:
+    """Table 1: the paper's Xeon E5-2420."""
+    return default_machine_config()
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """A 2-core machine with a tiny LLC, for fast and readable tests."""
+    return MachineConfig(
+        cpu=CpuConfig(n_cores=2),
+        llc=CacheConfig(
+            "L3-Shared", kib(1024), associativity=16, shared=True
+        ),
+    )
+
+
+def make_phase(
+    name: str = "work",
+    instructions: int = 1_000_000,
+    wss_mb: float = 0.4,
+    reuse: float = 0.9,
+    declare_pp: bool = True,
+    shared: bool = False,
+    subperiods: int = 1,
+    flops_per_instr: float = 1.0,
+) -> Phase:
+    """Terse compute-phase builder used across the suite."""
+    wss = int(wss_mb * 1_000_000)
+    return Phase(
+        name=name,
+        instructions=instructions,
+        flops_per_instr=flops_per_instr,
+        mem_refs_per_instr=0.4,
+        llc_refs_per_memref=0.1,
+        wss_bytes=wss,
+        reuse=reuse,
+        pp=PpSpec(demand_bytes=wss, subperiods=subperiods) if declare_pp else None,
+        shared=shared,
+    )
+
+
+def make_workload(
+    n_processes: int = 4,
+    n_threads: int = 1,
+    phases=None,
+    name: str = "toy",
+) -> Workload:
+    """A workload of identical processes."""
+    program = phases if phases is not None else [make_phase()]
+    spec = ProcessSpec(name=name, program=program, n_threads=n_threads)
+    return Workload(name=name, processes=[spec] * n_processes)
+
+
+@pytest.fixture
+def toy_workload() -> Workload:
+    return make_workload()

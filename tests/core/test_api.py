@@ -1,0 +1,95 @@
+"""User-level API tests (§2.3, figure 4)."""
+
+import pytest
+
+from repro.core.api import (
+    KB,
+    MB,
+    RESOURCE_LLC,
+    REUSE_HIGH,
+    REUSE_LOW,
+    REUSE_MED,
+    ProgressPeriodApi,
+)
+from repro.core.policy import StrictPolicy
+from repro.core.predicate import SchedulingPredicate
+from repro.core.progress_monitor import ProgressMonitor
+from repro.core.progress_period import ResourceKind, ReuseLevel
+from repro.core.resource_monitor import ResourceMonitor
+from repro.errors import BlockingSyncInPeriodError, ProgressPeriodError
+
+CAP = 16 * 1024 * 1024
+
+
+@pytest.fixture
+def api():
+    resources = ResourceMonitor()
+    resources.register(ResourceKind.LLC, CAP)
+    monitor = ProgressMonitor(
+        resources, SchedulingPredicate(resources, StrictPolicy()), clock=lambda: 0.0
+    )
+    return ProgressPeriodApi(monitor)
+
+
+class TestConstants:
+    def test_mb_macro_matches_figure4(self):
+        assert MB(6.3) == int(6.3 * 1024 * 1024)
+        assert KB(32) == 32768
+
+    def test_reuse_constants(self):
+        assert REUSE_LOW is ReuseLevel.LOW
+        assert REUSE_MED is ReuseLevel.MEDIUM
+        assert REUSE_HIGH is ReuseLevel.HIGH
+        assert RESOURCE_LLC is ResourceKind.LLC
+
+
+class TestFigure4Flow:
+    def test_begin_run_end(self, api):
+        pp_id = api.pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH, label="DGEMM")
+        assert api.is_admitted(pp_id)
+        assert api.open_count == 1
+        api.pp_end(pp_id)
+        assert api.open_count == 0
+
+    def test_denied_period_reports_not_admitted(self, api):
+        api.pp_begin(RESOURCE_LLC, MB(10), REUSE_HIGH)
+        second = api.pp_begin(RESOURCE_LLC, MB(10), REUSE_HIGH)
+        assert not api.is_admitted(second)
+
+    def test_end_twice_raises(self, api):
+        pp_id = api.pp_begin(RESOURCE_LLC, MB(1), REUSE_LOW)
+        api.pp_end(pp_id)
+        with pytest.raises(ProgressPeriodError):
+            api.pp_end(pp_id)
+
+    def test_end_foreign_id_raises(self, api):
+        with pytest.raises(ProgressPeriodError):
+            api.pp_end(999)
+
+    def test_is_admitted_unknown_raises(self, api):
+        with pytest.raises(ProgressPeriodError):
+            api.is_admitted(1)
+
+    def test_period_accessor(self, api):
+        pp_id = api.pp_begin(RESOURCE_LLC, MB(2), REUSE_MED, label="x")
+        assert api.period(pp_id).request.label == "x"
+
+
+class TestBlockingSyncRestriction:
+    def test_sync_outside_periods_allowed(self, api):
+        api.blocking_sync()  # no open periods: fine
+
+    def test_sync_inside_period_raises(self, api):
+        api.pp_begin(RESOURCE_LLC, MB(1), REUSE_HIGH)
+        with pytest.raises(BlockingSyncInPeriodError):
+            api.blocking_sync()
+
+    def test_sync_allowed_again_after_end(self, api):
+        pp_id = api.pp_begin(RESOURCE_LLC, MB(1), REUSE_HIGH)
+        api.pp_end(pp_id)
+        api.blocking_sync()
+
+    def test_error_names_the_open_periods(self, api):
+        pp_id = api.pp_begin(RESOURCE_LLC, MB(1), REUSE_HIGH)
+        with pytest.raises(BlockingSyncInPeriodError, match=str(pp_id)):
+            api.blocking_sync()

@@ -1,0 +1,104 @@
+"""ITKO static-profile baseline tests."""
+
+import pytest
+
+from repro.core.itko import ItkoScheduler, profile_workload
+from repro.sim.kernel import AdmissionDecision, Kernel
+from repro.workloads.base import ProcessSpec, Workload
+from repro.workloads.splash2 import water_nsquared_workload
+
+from ..conftest import make_phase, make_workload
+
+MB = 1_000_000
+
+
+class TestProfiling:
+    def test_profile_records_phase_wss(self):
+        wl = make_workload(n_processes=2, phases=[make_phase("hot", wss_mb=4.0)])
+        profile = profile_workload(wl)
+        assert profile == {"hot": 4 * MB}
+
+    def test_profile_covers_water(self):
+        profile = profile_workload(water_nsquared_workload())
+        assert set(profile) == {"predic+intraf", "interf", "correc+kineti"}
+
+    def test_profile_ignores_barriers(self):
+        profile = profile_workload(water_nsquared_workload())
+        assert not any("b0" in name for name in profile)
+
+
+class TestHotClassification:
+    def test_threshold_default_is_core_share(self):
+        sched = ItkoScheduler({"a": 1}, hot_threshold_bytes=None)
+        assert sched.hot_threshold_bytes == sched.config.llc_capacity // 12
+
+    def test_slots_sized_by_mean_hot_set(self):
+        sched = ItkoScheduler(
+            {"hot": 4 * MB, "cold": 1000}, hot_threshold_bytes=1 * MB
+        )
+        assert sched.hot_slots == sched.config.llc_capacity // (4 * MB)
+
+    def test_all_cold_profile_never_gates(self):
+        sched = ItkoScheduler({"cold": 1000}, hot_threshold_bytes=1 * MB)
+        assert sched.hot_slots > 10**6
+
+    def test_unprofiled_phase_counts_staleness(self):
+        wl = make_workload(n_processes=2, phases=[make_phase("new-code", wss_mb=4.0)])
+        sched = ItkoScheduler({"other": 4 * MB})
+        kernel = Kernel(extension=sched)
+        kernel.launch(wl)
+        kernel.run(max_events=100_000)
+        assert kernel.all_exited
+        assert sched.unprofiled >= 2  # never gated, but noticed
+
+
+class TestGating:
+    def run(self, workload, profile=None, threshold=1 * MB):
+        profile = profile if profile is not None else profile_workload(workload)
+        sched = ItkoScheduler(profile, hot_threshold_bytes=threshold)
+        kernel = Kernel(extension=sched)
+        kernel.launch(workload)
+        kernel.run(max_events=2_000_000)
+        return kernel, sched
+
+    def test_hot_phases_limited_to_slots(self):
+        wl = make_workload(n_processes=10, phases=[make_phase("hot", wss_mb=5.0)])
+        kernel, sched = self.run(wl)
+        assert kernel.all_exited
+        assert sched.hot_slots == 3  # 15.7 MB / 5 MB
+        assert sched._hot_running == 0  # all released
+
+    def test_cold_phases_unlimited(self):
+        wl = make_workload(n_processes=10, phases=[make_phase("cold", wss_mb=0.5)])
+        kernel, sched = self.run(wl)
+        assert kernel.all_exited
+        report = kernel.machine.counters
+        from repro.perf.counters import HwCounter
+
+        assert report.read(HwCounter.PP_DENIALS) == 0
+
+    def test_siblings_share_one_slot(self):
+        wl = make_workload(
+            n_processes=4, n_threads=2,
+            phases=[make_phase("hot", wss_mb=5.0, shared=True)],
+        )
+        kernel, sched = self.run(wl)
+        assert kernel.all_exited
+
+    def test_stale_profile_underestimates(self):
+        """Gating with 1x-profiled sizes over a 2x-sized reality."""
+        profile = profile_workload(water_nsquared_workload(input_scale=1.0))
+        wl = water_nsquared_workload(input_scale=2.0)
+        sched = ItkoScheduler(profile)
+        kernel = Kernel(extension=sched)
+        kernel.launch(wl)
+        kernel.run(max_events=5_000_000)
+        assert kernel.all_exited
+        # slots were computed from 1x sizes: 15.7 / 3.63 -> 4 co-running
+        # processes whose *actual* sets are ~2x bigger: oversubscribed
+        actual_wss = wl.processes[0].program[0].wss_bytes
+        assert sched.hot_slots * actual_wss > sched.config.llc_capacity
+
+    def test_input_scale_validation(self):
+        with pytest.raises(ValueError):
+            water_nsquared_workload(input_scale=0.0)

@@ -1,0 +1,63 @@
+"""Multi-resource management tests (§6: "configurable to allow multiple
+hardware resources to be targeted")."""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.core.progress_period import PeriodRequest, ResourceKind, ReuseLevel
+from repro.core.rda import RdaScheduler
+from repro.sim.kernel import AdmissionDecision, Kernel
+from repro.workloads.base import Phase, PpSpec, ProcessSpec, Workload
+
+from ..conftest import make_phase
+
+
+class TestExtraResources:
+    def test_registering_a_second_resource(self):
+        sched = RdaScheduler(
+            policy=StrictPolicy(),
+            extra_resources={ResourceKind.MEMORY_BANDWIDTH: 19_000_000_000},
+        )
+        assert sched.resources.known(ResourceKind.MEMORY_BANDWIDTH)
+        assert ResourceKind.MEMORY_BANDWIDTH in sched.managed_kinds
+
+    def test_admission_gates_on_the_declared_resource(self):
+        sched = RdaScheduler(
+            policy=StrictPolicy(),
+            extra_resources={ResourceKind.MEMORY_BANDWIDTH: 1000},
+        )
+        kernel = Kernel(extension=sched)
+
+        bw_request = PeriodRequest(
+            ResourceKind.MEMORY_BANDWIDTH, 800, ReuseLevel.LOW
+        )
+        # fabricate two thread-like owners via a tiny workload
+        wl = Workload(
+            name="w",
+            processes=[ProcessSpec(name="p", program=[make_phase()])] * 2,
+        )
+        procs = [kernel.spawn(s) for s in wl.processes]
+        t1, t2 = procs[0].threads[0], procs[1].threads[0]
+
+        _, d1 = sched.on_pp_begin(t1, bw_request)
+        _, d2 = sched.on_pp_begin(t2, bw_request)
+        assert d1 is AdmissionDecision.RUN
+        assert d2 is AdmissionDecision.WAIT  # 1600 > 1000
+        state = sched.resources.state(ResourceKind.MEMORY_BANDWIDTH)
+        assert state.usage_bytes == 800
+
+    def test_llc_admission_unaffected_by_extra_resource(self):
+        sched = RdaScheduler(
+            policy=StrictPolicy(),
+            extra_resources={ResourceKind.MEMORY_BANDWIDTH: 1000},
+        )
+        kernel = Kernel(extension=sched)
+        wl = Workload(
+            name="w",
+            processes=[ProcessSpec(name="p", program=[make_phase(wss_mb=2.0)])] * 3,
+        )
+        kernel.launch(wl)
+        kernel.run(max_events=200_000)
+        assert kernel.all_exited
+        assert sched.llc.usage_bytes == 0
+        assert sched.resources.state(ResourceKind.MEMORY_BANDWIDTH).usage_bytes == 0

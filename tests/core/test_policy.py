@@ -1,0 +1,61 @@
+"""Scheduling policy tests (§3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policy import AlwaysAdmitPolicy, CompromisePolicy, StrictPolicy
+from repro.core.progress_period import ResourceKind
+from repro.core.resource_monitor import ResourceState
+from repro.errors import ConfigError
+
+CAP = 15_728_640
+
+
+def state(usage=0):
+    return ResourceState(kind=ResourceKind.LLC, capacity_bytes=CAP, usage_bytes=usage)
+
+
+class TestStrict:
+    def test_admits_exactly_fitting(self):
+        assert StrictPolicy().allows(0, state())
+
+    def test_denies_any_oversubscription(self):
+        assert not StrictPolicy().allows(-1, state())
+
+    def test_admits_with_room(self):
+        assert StrictPolicy().allows(CAP // 2, state())
+
+    def test_name_for_figures(self):
+        assert StrictPolicy().name == "RDA: Strict"
+
+
+class TestCompromise:
+    def test_default_factor_is_two(self):
+        assert CompromisePolicy().oversubscription == 2.0
+
+    def test_allows_up_to_factor(self):
+        p = CompromisePolicy(oversubscription=2.0)
+        # usage + demand = 2 * capacity <=> outcome = -(capacity)
+        assert p.allows(-CAP, state())
+        assert not p.allows(-CAP - 1, state())
+
+    def test_factor_one_equals_strict(self):
+        p = CompromisePolicy(oversubscription=1.0)
+        s = StrictPolicy()
+        for outcome in (-1, 0, 100):
+            assert p.allows(outcome, state()) == s.allows(outcome, state())
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ConfigError):
+            CompromisePolicy(oversubscription=0.5)
+
+    @given(st.floats(min_value=-4 * CAP, max_value=CAP))
+    def test_compromise_admits_superset_of_strict(self, outcome):
+        if StrictPolicy().allows(outcome, state()):
+            assert CompromisePolicy().allows(outcome, state())
+
+
+class TestAlwaysAdmit:
+    @given(st.floats(min_value=-1e12, max_value=1e12))
+    def test_admits_everything(self, outcome):
+        assert AlwaysAdmitPolicy().allows(outcome, state())

@@ -1,0 +1,56 @@
+"""Algebraic laws relating the scheduling policies (hypothesis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policy import AlwaysAdmitPolicy, CompromisePolicy, StrictPolicy
+from repro.core.progress_period import ResourceKind
+from repro.core.resource_monitor import ResourceState
+
+CAP = 15_728_640
+
+outcome_st = st.floats(min_value=-8 * CAP, max_value=2 * CAP)
+usage_st = st.integers(min_value=0, max_value=4 * CAP)
+factor_st = st.floats(min_value=1.0, max_value=8.0)
+
+
+def state(usage=0):
+    return ResourceState(kind=ResourceKind.LLC, capacity_bytes=CAP, usage_bytes=usage)
+
+
+class TestPolicyLattice:
+    @given(outcome_st, usage_st)
+    def test_strict_admits_subset_of_compromise(self, outcome, usage):
+        s = state(usage)
+        if StrictPolicy().allows(outcome, s):
+            assert CompromisePolicy().allows(outcome, s)
+
+    @given(outcome_st, usage_st, factor_st, factor_st)
+    def test_compromise_monotone_in_factor(self, outcome, usage, f1, f2):
+        lo, hi = sorted((f1, f2))
+        s = state(usage)
+        if CompromisePolicy(oversubscription=lo).allows(outcome, s):
+            assert CompromisePolicy(oversubscription=hi).allows(outcome, s)
+
+    @given(outcome_st, usage_st)
+    def test_always_admit_is_the_top(self, outcome, usage):
+        s = state(usage)
+        for policy in (StrictPolicy(), CompromisePolicy()):
+            if policy.allows(outcome, s):
+                assert AlwaysAdmitPolicy().allows(outcome, s)
+
+    @given(usage_st)
+    def test_zero_demand_always_admitted_when_capacity_free(self, usage):
+        """outcome = remaining - 0 = capacity - usage."""
+        s = state(usage)
+        outcome = s.remaining_bytes
+        if usage <= CAP:
+            assert StrictPolicy().allows(outcome, s)
+        if usage <= 2 * CAP:
+            assert CompromisePolicy().allows(outcome, s)
+
+    @given(outcome_st, usage_st)
+    def test_decisions_are_deterministic(self, outcome, usage):
+        s = state(usage)
+        for policy in (StrictPolicy(), CompromisePolicy(), AlwaysAdmitPolicy()):
+            assert policy.allows(outcome, s) == policy.allows(outcome, s)

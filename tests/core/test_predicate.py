@@ -1,0 +1,109 @@
+"""Algorithm 1 tests: the scheduling predicate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policy import CompromisePolicy, StrictPolicy
+from repro.core.predicate import Decision, SchedulingPredicate
+from repro.core.progress_period import (
+    PeriodRequest,
+    ProgressPeriod,
+    ResourceKind,
+    ReuseLevel,
+)
+from repro.core.resource_monitor import ResourceMonitor
+
+CAP = 10_000
+
+
+def setup(policy=None):
+    resources = ResourceMonitor()
+    resources.register(ResourceKind.LLC, CAP)
+    return SchedulingPredicate(resources, policy or StrictPolicy())
+
+
+def period(demand, key=None):
+    return ProgressPeriod(
+        request=PeriodRequest(ResourceKind.LLC, demand, ReuseLevel.HIGH, sharing_key=key),
+        owner=object(),
+    )
+
+
+class TestAlgorithm1:
+    def test_admit_charges_load(self):
+        pred = setup()
+        assert pred.try_schedule(period(4000)) is Decision.RUN
+        assert pred.resources.state(ResourceKind.LLC).usage_bytes == 4000
+
+    def test_deny_does_not_charge(self):
+        pred = setup()
+        pred.try_schedule(period(9000))
+        decision = pred.try_schedule(period(2000))
+        assert decision is Decision.WAIT
+        assert pred.resources.state(ResourceKind.LLC).usage_bytes == 9000
+
+    def test_exact_fit_admitted(self):
+        pred = setup()
+        assert pred.try_schedule(period(CAP)) is Decision.RUN
+
+    def test_admission_sequence_strict(self):
+        """remaining = capacity - usage; outcome = remaining - demand."""
+        pred = setup()
+        decisions = [pred.try_schedule(period(3000)) for _ in range(4)]
+        assert decisions == [Decision.RUN] * 3 + [Decision.WAIT]
+
+    def test_compromise_allows_double_booking(self):
+        pred = setup(CompromisePolicy(oversubscription=2.0))
+        decisions = [pred.try_schedule(period(5000)) for _ in range(5)]
+        assert decisions == [Decision.RUN] * 4 + [Decision.WAIT]
+
+    def test_evaluate_is_pure(self):
+        pred = setup()
+        pred.evaluate(period(4000))
+        assert pred.resources.state(ResourceKind.LLC).usage_bytes == 0
+
+    def test_stats_count_decisions(self):
+        pred = setup()
+        pred.try_schedule(period(9000))
+        pred.try_schedule(period(9000))
+        assert pred.stats.admitted == 1
+        assert pred.stats.denied == 1
+        assert pred.stats.evaluated == 2
+
+
+class TestSharedDemands:
+    def test_held_shared_set_adds_nothing(self):
+        pred = setup()
+        assert pred.try_schedule(period(9000, key="p")) is Decision.RUN
+        # A sibling with the same key is free even though the cache is full.
+        assert pred.try_schedule(period(9000, key="p")) is Decision.RUN
+        assert pred.resources.state(ResourceKind.LLC).usage_bytes == 9000
+
+    def test_unheld_shared_set_counts(self):
+        pred = setup()
+        pred.try_schedule(period(9000, key="p"))
+        assert pred.try_schedule(period(9000, key="q")) is Decision.WAIT
+
+
+class TestInvariantProperty:
+    @given(st.lists(st.integers(min_value=1, max_value=CAP), min_size=1, max_size=40))
+    def test_strict_never_exceeds_capacity(self, demands):
+        pred = setup(StrictPolicy())
+        for d in demands:
+            pred.try_schedule(period(d))
+        assert pred.resources.state(ResourceKind.LLC).usage_bytes <= CAP
+
+    @given(st.lists(st.integers(min_value=1, max_value=CAP), min_size=1, max_size=40))
+    def test_compromise_never_exceeds_twice_capacity(self, demands):
+        pred = setup(CompromisePolicy(oversubscription=2.0))
+        for d in demands:
+            pred.try_schedule(period(d))
+        assert pred.resources.state(ResourceKind.LLC).usage_bytes <= 2 * CAP
+
+    @given(st.lists(st.integers(min_value=1, max_value=2 * CAP), min_size=1, max_size=40))
+    def test_decision_matches_policy_exactly(self, demands):
+        pred = setup(StrictPolicy())
+        for d in demands:
+            state = pred.resources.state(ResourceKind.LLC)
+            expected = state.usage_bytes + d <= CAP
+            assert (pred.try_schedule(period(d)) is Decision.RUN) == expected

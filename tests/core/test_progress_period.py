@@ -1,0 +1,84 @@
+"""Progress-period data model tests (§2)."""
+
+import pytest
+
+from repro.core.progress_period import (
+    PeriodRequest,
+    PeriodState,
+    ProgressPeriod,
+    ResourceKind,
+    ReuseLevel,
+)
+from repro.errors import ProgressPeriodError
+
+
+class TestReuseLevel:
+    def test_three_levels_as_in_table2(self):
+        assert {l.value for l in ReuseLevel} == {"low", "med", "high"}
+
+    def test_fractions_are_ordered(self):
+        assert (
+            ReuseLevel.LOW.fraction
+            < ReuseLevel.MEDIUM.fraction
+            < ReuseLevel.HIGH.fraction
+        )
+
+    @pytest.mark.parametrize(
+        "fraction,expected",
+        [(0.0, ReuseLevel.LOW), (0.5, ReuseLevel.MEDIUM), (0.95, ReuseLevel.HIGH)],
+    )
+    def test_from_fraction_nearest(self, fraction, expected):
+        assert ReuseLevel.from_fraction(fraction) is expected
+
+    def test_from_fraction_validates(self):
+        with pytest.raises(ProgressPeriodError):
+            ReuseLevel.from_fraction(1.5)
+
+    def test_roundtrip(self):
+        for level in ReuseLevel:
+            assert ReuseLevel.from_fraction(level.fraction) is level
+
+
+class TestPeriodRequest:
+    def test_figure4_request(self):
+        req = PeriodRequest(
+            resource=ResourceKind.LLC,
+            demand_bytes=int(6.3 * 2**20),
+            reuse=ReuseLevel.HIGH,
+            label="DGEMM",
+        )
+        assert req.resource is ResourceKind.LLC
+        assert req.demand_bytes == 6606028
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ProgressPeriodError):
+            PeriodRequest(ResourceKind.LLC, -1, ReuseLevel.LOW)
+
+    def test_zero_demand_allowed(self):
+        PeriodRequest(ResourceKind.LLC, 0, ReuseLevel.LOW)
+
+
+class TestProgressPeriod:
+    def make(self):
+        req = PeriodRequest(ResourceKind.LLC, 1000, ReuseLevel.HIGH)
+        return ProgressPeriod(request=req, owner=object(), begin_time=5.0)
+
+    def test_unique_ids(self):
+        ids = {self.make().pp_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_initial_state(self):
+        pp = self.make()
+        assert pp.state is PeriodState.REQUESTED
+        assert pp.admit_time is None and pp.end_time is None
+
+    def test_waited_time(self):
+        pp = self.make()
+        assert pp.waited_s == 0.0
+        pp.admit_time = 9.0
+        assert pp.waited_s == pytest.approx(4.0)
+
+    def test_shortcuts(self):
+        pp = self.make()
+        assert pp.demand_bytes == 1000
+        assert pp.resource is ResourceKind.LLC

@@ -1,0 +1,85 @@
+"""Progress-period registry tests (§3.1)."""
+
+import pytest
+
+from repro.core.progress_period import (
+    PeriodRequest,
+    PeriodState,
+    ProgressPeriod,
+    ResourceKind,
+    ReuseLevel,
+)
+from repro.core.registry import PeriodRegistry
+from repro.errors import ProgressPeriodError, UnknownProgressPeriodError
+
+
+def period(owner=None, state=PeriodState.REQUESTED):
+    pp = ProgressPeriod(
+        request=PeriodRequest(ResourceKind.LLC, 100, ReuseLevel.LOW),
+        owner=owner or object(),
+    )
+    pp.state = state
+    return pp
+
+
+class TestRegistry:
+    def test_add_get_remove(self):
+        reg = PeriodRegistry()
+        pp = period()
+        reg.add(pp)
+        assert reg.get(pp.pp_id) is pp
+        assert pp.pp_id in reg
+        removed = reg.remove(pp.pp_id)
+        assert removed is pp
+        assert pp.pp_id not in reg
+
+    def test_get_unknown_raises_with_id(self):
+        with pytest.raises(UnknownProgressPeriodError) as exc:
+            PeriodRegistry().get(12345)
+        assert exc.value.pp_id == 12345
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(UnknownProgressPeriodError):
+            PeriodRegistry().remove(999)
+
+    def test_find_returns_none(self):
+        assert PeriodRegistry().find(1) is None
+
+    def test_duplicate_add_rejected(self):
+        reg = PeriodRegistry()
+        pp = period()
+        reg.add(pp)
+        with pytest.raises(ProgressPeriodError):
+            reg.add(pp)
+
+    def test_completed_period_not_registrable(self):
+        with pytest.raises(ProgressPeriodError):
+            PeriodRegistry().add(period(state=PeriodState.COMPLETED))
+
+    def test_state_partitions(self):
+        reg = PeriodRegistry()
+        running = period(state=PeriodState.RUNNING)
+        waiting = period(state=PeriodState.WAITING)
+        reg.add(running)
+        reg.add(waiting)
+        assert reg.running() == [running]
+        assert reg.waiting() == [waiting]
+        assert len(reg) == 2
+
+    def test_of_owner(self):
+        reg = PeriodRegistry()
+        me, other = object(), object()
+        mine = [period(owner=me), period(owner=me)]
+        for p in mine:
+            reg.add(p)
+        reg.add(period(owner=other))
+        assert set(reg.of_owner(me)) == set(mine)
+
+    def test_iteration_is_safe_against_mutation(self):
+        reg = PeriodRegistry()
+        pps = [period() for _ in range(5)]
+        for p in pps:
+            reg.add(p)
+        for p in reg:
+            reg.remove(p.pp_id)
+        assert len(reg) == 0

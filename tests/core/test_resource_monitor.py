@@ -1,0 +1,126 @@
+"""Resource monitor tests (§3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.progress_period import PeriodRequest, ResourceKind, ReuseLevel
+from repro.core.resource_monitor import ResourceMonitor, ResourceState
+from repro.errors import ResourceError
+
+
+def req(demand=1000, key=None):
+    return PeriodRequest(ResourceKind.LLC, demand, ReuseLevel.HIGH, sharing_key=key)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        m = ResourceMonitor()
+        s = m.register(ResourceKind.LLC, 1000)
+        assert m.state(ResourceKind.LLC) is s
+        assert m.known(ResourceKind.LLC)
+
+    def test_double_register_rejected(self):
+        m = ResourceMonitor()
+        m.register(ResourceKind.LLC, 1000)
+        with pytest.raises(ResourceError):
+            m.register(ResourceKind.LLC, 1000)
+
+    def test_unknown_resource_raises(self):
+        with pytest.raises(ResourceError):
+            ResourceMonitor().state(ResourceKind.LLC)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceMonitor().register(ResourceKind.LLC, 0)
+
+
+class TestLoadTracking:
+    def monitor(self):
+        m = ResourceMonitor()
+        m.register(ResourceKind.LLC, 10_000)
+        return m
+
+    def test_increment_and_release(self):
+        m = self.monitor()
+        m.increment_load(req(4000))
+        assert m.state(ResourceKind.LLC).usage_bytes == 4000
+        m.release_load(req(4000))
+        assert m.state(ResourceKind.LLC).usage_bytes == 0
+
+    def test_remaining_bytes(self):
+        m = self.monitor()
+        m.increment_load(req(4000))
+        assert m.state(ResourceKind.LLC).remaining_bytes == 6000
+
+    def test_usage_can_exceed_capacity(self):
+        """Oversubscription is a policy matter, not an accounting one."""
+        m = self.monitor()
+        m.increment_load(req(8000))
+        m.increment_load(req(8000))
+        assert m.state(ResourceKind.LLC).usage_bytes == 16_000
+        assert m.state(ResourceKind.LLC).remaining_bytes == -6000
+
+    def test_release_below_zero_rejected(self):
+        m = self.monitor()
+        with pytest.raises(ResourceError):
+            m.release_load(req(1))
+
+    def test_utilization(self):
+        m = self.monitor()
+        m.increment_load(req(2500))
+        assert m.state(ResourceKind.LLC).utilization == pytest.approx(0.25)
+
+    def test_snapshot(self):
+        m = self.monitor()
+        m.increment_load(req(100))
+        assert m.snapshot() == {ResourceKind.LLC: (100, 10_000)}
+
+
+class TestSharedWorkingSets:
+    def monitor(self):
+        m = ResourceMonitor()
+        m.register(ResourceKind.LLC, 10_000)
+        return m
+
+    def test_shared_key_charged_once(self):
+        m = self.monitor()
+        assert m.increment_load(req(3000, key="p1")) == 3000
+        assert m.increment_load(req(3000, key="p1")) == 0
+        assert m.state(ResourceKind.LLC).usage_bytes == 3000
+
+    def test_shared_key_released_by_last_holder(self):
+        m = self.monitor()
+        m.increment_load(req(3000, key="p1"))
+        m.increment_load(req(3000, key="p1"))
+        assert m.release_load(req(3000, key="p1")) == 0
+        assert m.state(ResourceKind.LLC).usage_bytes == 3000
+        assert m.release_load(req(3000, key="p1")) == 3000
+        assert m.state(ResourceKind.LLC).usage_bytes == 0
+
+    def test_release_unheld_shared_key_rejected(self):
+        m = self.monitor()
+        with pytest.raises(ResourceError):
+            m.release_load(req(3000, key="nope"))
+
+    def test_would_add_reflects_sharing(self):
+        m = self.monitor()
+        s = m.state(ResourceKind.LLC)
+        assert s.would_add(req(3000, key="p1")) == 3000
+        m.increment_load(req(3000, key="p1"))
+        assert s.would_add(req(3000, key="p1")) == 0
+        assert s.would_add(req(3000, key="p2")) == 3000
+
+    def test_distinct_keys_independent(self):
+        m = self.monitor()
+        m.increment_load(req(3000, key="p1"))
+        m.increment_load(req(4000, key="p2"))
+        assert m.state(ResourceKind.LLC).usage_bytes == 7000
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", None]), min_size=1, max_size=30))
+    def test_charge_release_roundtrip_is_zero(self, keys):
+        m = self.monitor()
+        for k in keys:
+            m.increment_load(req(500, key=k))
+        for k in reversed(keys):
+            m.release_load(req(500, key=k))
+        assert m.state(ResourceKind.LLC).usage_bytes == 0

@@ -1,0 +1,72 @@
+"""Task-pool guard tests (§3.4)."""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.core.predicate import SchedulingPredicate
+from repro.core.progress_period import PeriodRequest, ResourceKind, ReuseLevel
+from repro.core.resource_monitor import ResourceMonitor
+from repro.core.threadpool import ThreadPoolGuard
+from repro.errors import ProgressPeriodError
+
+CAP = 10_000
+
+
+@pytest.fixture
+def predicate():
+    resources = ResourceMonitor()
+    resources.register(ResourceKind.LLC, CAP)
+    return SchedulingPredicate(resources, StrictPolicy())
+
+
+def charge(predicate, demand):
+    predicate.resources.increment_load(
+        PeriodRequest(ResourceKind.LLC, demand, ReuseLevel.HIGH)
+    )
+
+
+class TestGuard:
+    def test_pool_starts_enabled(self, predicate):
+        guard = ThreadPoolGuard(predicate)
+        assert not guard.disabled
+
+    def test_denial_disables_whole_pool(self, predicate):
+        guard = ThreadPoolGuard(predicate)
+        assert guard.on_member_denied() is True  # transitioned
+        assert guard.disabled
+        assert guard.on_member_denied() is False  # already disabled
+
+    def test_reenable_requires_aggregate_fit(self, predicate):
+        guard = ThreadPoolGuard(predicate)
+        for m in range(4):
+            guard.register_member(m, 2000)
+        assert guard.aggregate_demand == 8000
+        guard.on_member_denied()
+        charge(predicate, 5000)  # only 5000 free < 8000
+        assert guard.try_enable() is False
+        assert guard.disabled
+
+    def test_reenable_when_resources_free(self, predicate):
+        guard = ThreadPoolGuard(predicate)
+        for m in range(4):
+            guard.register_member(m, 2000)
+        guard.on_member_denied()
+        assert guard.try_enable() is True  # empty cache fits all 8000
+        assert not guard.disabled
+
+    def test_try_enable_noop_when_enabled(self, predicate):
+        guard = ThreadPoolGuard(predicate)
+        assert guard.try_enable() is True
+
+    def test_unregister_shrinks_demand(self, predicate):
+        guard = ThreadPoolGuard(predicate)
+        guard.register_member("a", 9000)
+        guard.register_member("b", 9000)
+        guard.on_member_denied()
+        assert guard.try_enable() is False
+        guard.unregister_member("b")
+        assert guard.try_enable() is True
+
+    def test_negative_demand_rejected(self, predicate):
+        with pytest.raises(ProgressPeriodError):
+            ThreadPoolGuard(predicate).register_member("a", -1)

@@ -1,0 +1,114 @@
+"""Resource waitlist tests (§3.1)."""
+
+import pytest
+
+from repro.core.progress_period import (
+    PeriodRequest,
+    ProgressPeriod,
+    ResourceKind,
+    ReuseLevel,
+)
+from repro.core.waitlist import Waitlist
+
+
+def period(demand=100):
+    return ProgressPeriod(
+        request=PeriodRequest(ResourceKind.LLC, demand, ReuseLevel.LOW),
+        owner=object(),
+    )
+
+
+class TestFifoOrder:
+    def test_park_and_peek(self):
+        wl = Waitlist()
+        a, b = period(), period()
+        wl.park(a)
+        wl.park(b)
+        assert wl.peek(ResourceKind.LLC) is a
+        assert len(wl) == 2
+        assert wl.waiting_on(ResourceKind.LLC) == 2
+
+    def test_drain_admits_in_fifo_order(self):
+        wl = Waitlist()
+        parked = [period() for _ in range(4)]
+        for p in parked:
+            wl.park(p)
+        admitted = wl.drain_admissible(ResourceKind.LLC, lambda p: True)
+        assert admitted == parked
+        assert len(wl) == 0
+
+    def test_drain_skips_inadmissible_but_keeps_order(self):
+        """A small period may slip past a large head waiter."""
+        wl = Waitlist()
+        big, small1, small2 = period(10_000), period(10), period(20)
+        for p in (big, small1, small2):
+            wl.park(p)
+        admitted = wl.drain_admissible(
+            ResourceKind.LLC, lambda p: p.demand_bytes < 1000
+        )
+        assert admitted == [small1, small2]
+        assert wl.peek(ResourceKind.LLC) is big
+
+    def test_drain_empty_returns_nothing(self):
+        assert Waitlist().drain_admissible(ResourceKind.LLC, lambda p: True) == []
+
+    def test_budgeted_drain(self):
+        """Admission predicate with a running budget (models Algorithm 1)."""
+        wl = Waitlist()
+        for d in (500, 400, 300):
+            wl.park(period(d))
+        budget = {"left": 800}
+
+        def admit(p):
+            if p.demand_bytes <= budget["left"]:
+                budget["left"] -= p.demand_bytes
+                return True
+            return False
+
+        admitted = wl.drain_admissible(ResourceKind.LLC, admit)
+        assert [p.demand_bytes for p in admitted] == [500, 300]
+        assert wl.waiting_on(ResourceKind.LLC) == 1
+
+
+class TestStrictFifo:
+    def test_head_blocks_everyone_behind(self):
+        wl = Waitlist(strict_fifo=True)
+        big, small = period(10_000), period(10)
+        wl.park(big)
+        wl.park(small)
+        admitted = wl.drain_admissible(
+            ResourceKind.LLC, lambda p: p.demand_bytes < 1000
+        )
+        assert admitted == []  # the small one cannot slip past
+        assert wl.waiting_on(ResourceKind.LLC) == 2
+        assert wl.peek(ResourceKind.LLC) is big
+
+    def test_admits_prefix_in_order(self):
+        wl = Waitlist(strict_fifo=True)
+        parked = [period(10), period(20), period(10_000), period(30)]
+        for p in parked:
+            wl.park(p)
+        admitted = wl.drain_admissible(
+            ResourceKind.LLC, lambda p: p.demand_bytes < 1000
+        )
+        assert admitted == parked[:2]
+        assert list(wl.all_waiting()) == parked[2:]
+
+
+class TestRemoval:
+    def test_remove_present(self):
+        wl = Waitlist()
+        p = period()
+        wl.park(p)
+        assert wl.remove(p) is True
+        assert len(wl) == 0
+
+    def test_remove_absent(self):
+        assert Waitlist().remove(period()) is False
+
+    def test_all_waiting_iterates_everything(self):
+        wl = Waitlist()
+        parked = [period() for _ in range(3)]
+        for p in parked:
+            wl.park(p)
+        assert list(wl.all_waiting()) == parked

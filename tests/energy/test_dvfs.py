@@ -1,0 +1,122 @@
+"""DVFS governor tests."""
+
+import pytest
+
+from repro.config import PowerConfig
+from repro.energy.dvfs import (
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+)
+from repro.energy.power import PowerModel
+from repro.errors import ConfigError
+
+
+class TestGovernors:
+    def test_performance_always_max(self):
+        g = PerformanceGovernor()
+        assert g.target_scale(0.0) == 1.0
+        assert g.target_scale(1.0) == 1.0
+
+    def test_powersave_always_min(self):
+        g = PowersaveGovernor(min_scale=0.6)
+        assert g.target_scale(0.0) == 0.6
+        assert g.target_scale(1.0) == 0.6
+
+    def test_ondemand_jumps_above_threshold(self):
+        g = OndemandGovernor(up_threshold=0.8, min_scale=0.5)
+        assert g.target_scale(0.85) == 1.0
+        assert g.target_scale(0.8) == 1.0
+
+    def test_ondemand_scales_down_when_idle(self):
+        g = OndemandGovernor(up_threshold=0.8, min_scale=0.5)
+        assert g.target_scale(0.0) == pytest.approx(0.5)
+        mid = g.target_scale(0.4)
+        assert 0.5 < mid < 1.0
+
+    def test_ondemand_monotone(self):
+        g = OndemandGovernor()
+        scales = [g.target_scale(u / 20) for u in range(21)]
+        assert scales == sorted(scales)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PowersaveGovernor(min_scale=0.0)
+        with pytest.raises(ConfigError):
+            OndemandGovernor(up_threshold=1.5)
+        with pytest.raises(ConfigError):
+            PerformanceGovernor().target_scale(2.0)
+
+
+class TestPowerScaling:
+    def test_dynamic_power_cubic_in_frequency(self):
+        m = PowerModel(PowerConfig(), n_cores=12)
+        full = m.breakdown(12, freq_scale=1.0)
+        half = m.breakdown(12, freq_scale=0.5)
+        cfg = m.config
+        dynamic_full = full.cores_w - 0  # all active
+        expected_half = 12 * cfg.core_active_w * 0.125
+        assert half.cores_w == pytest.approx(expected_half)
+        assert half.package_w < full.package_w
+
+    def test_static_power_unaffected(self):
+        m = PowerModel(PowerConfig(), n_cores=12)
+        assert m.breakdown(0, freq_scale=0.5).package_w == pytest.approx(
+            m.breakdown(0, freq_scale=1.0).package_w
+        )
+
+    def test_scale_validated(self):
+        m = PowerModel(PowerConfig(), n_cores=12)
+        with pytest.raises(ConfigError):
+            m.breakdown(1, freq_scale=0.0)
+        with pytest.raises(ConfigError):
+            m.breakdown(1, freq_scale=1.5)
+
+
+class TestKernelIntegration:
+    def run_with(self, governor, n_processes=2):
+        from repro.sim.kernel import Kernel
+        from repro.perf.stat import PerfStat
+        from ..conftest import make_phase, make_workload
+
+        wl = make_workload(
+            n_processes=n_processes,
+            phases=[make_phase(instructions=30_000_000, wss_mb=0.1, declare_pp=False)],
+        )
+        kernel = Kernel(governor=governor)
+        stat = PerfStat(kernel)
+        kernel.launch(wl)
+        stat.start()
+        kernel.run()
+        return stat.stop(), kernel
+
+    def test_powersave_slows_execution(self):
+        fast, _ = self.run_with(PerformanceGovernor())
+        slow, _ = self.run_with(PowersaveGovernor(min_scale=0.5))
+        # mostly compute-bound: close to 2x slower at half frequency, but
+        # the memory-stall fraction does not scale
+        assert slow.wall_s > 1.4 * fast.wall_s
+
+    def test_powersave_cuts_active_core_power(self):
+        fast, _ = self.run_with(PerformanceGovernor())
+        slow, _ = self.run_with(PowersaveGovernor(min_scale=0.5))
+        # same work; average package power must drop under powersave
+        assert (
+            slow.package_j / slow.wall_s < fast.package_j / fast.wall_s
+        )
+
+    def test_ondemand_runs_hot_when_machine_is_busy(self):
+        # 12 busy cores -> utilization 1.0 -> max frequency: same as perf
+        fast, _ = self.run_with(PerformanceGovernor(), n_processes=12)
+        auto, kernel = self.run_with(OndemandGovernor(), n_processes=12)
+        assert auto.wall_s == pytest.approx(fast.wall_s, rel=0.05)
+        assert kernel.freq_scale == 1.0
+
+    def test_ondemand_clocks_down_an_idle_machine(self):
+        _, kernel = self.run_with(OndemandGovernor(), n_processes=1)
+        # 1 busy core of 12: utilization ~0.08 -> near-minimum frequency
+        assert kernel.freq_scale < 0.7
+
+    def test_no_governor_keeps_full_scale(self):
+        _, kernel = self.run_with(None)
+        assert kernel.freq_scale == 1.0

@@ -1,0 +1,64 @@
+"""Power model tests."""
+
+import pytest
+
+from repro.config import PowerConfig
+from repro.energy.power import PowerModel
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def model():
+    return PowerModel(PowerConfig(), n_cores=12)
+
+
+class TestBreakdown:
+    def test_idle_machine_draws_static_power(self, model):
+        b = model.breakdown(0)
+        cfg = model.config
+        assert b.package_w == pytest.approx(
+            cfg.pkg_static_w + 12 * cfg.core_idle_w + cfg.llc_w
+        )
+
+    def test_power_monotone_in_active_cores(self, model):
+        powers = [model.breakdown(n).package_w for n in range(13)]
+        assert powers == sorted(powers)
+        assert powers[-1] > powers[0]
+
+    def test_fully_active_within_tdp_ballpark(self, model):
+        # E5-2420 TDP is 95 W; the model should be in that neighbourhood.
+        assert 60 < model.breakdown(12).package_w < 100
+
+    def test_active_core_range_validated(self, model):
+        with pytest.raises(ConfigError):
+            model.breakdown(13)
+        with pytest.raises(ConfigError):
+            model.breakdown(-1)
+
+    def test_total_includes_dram_static(self, model):
+        b = model.breakdown(4)
+        assert b.total_w == pytest.approx(b.package_w + model.config.dram_static_w)
+
+
+class TestEnergy:
+    def test_package_energy_is_power_times_time(self, model):
+        assert model.package_energy(2.0, 6) == pytest.approx(
+            model.breakdown(6).package_w * 2.0
+        )
+
+    def test_dram_energy_static_plus_access(self, model):
+        cfg = model.config
+        e = model.dram_energy(1.0, 1_000_000)
+        assert e == pytest.approx(cfg.dram_static_w + 1e6 * cfg.dram_energy_per_access_j)
+
+    def test_zero_interval_zero_accesses(self, model):
+        assert model.dram_energy(0.0, 0.0) == 0.0
+
+    def test_context_switch_energy(self, model):
+        assert model.context_switch_energy(10) == pytest.approx(
+            10 * model.config.context_switch_energy_j
+        )
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            PowerModel(PowerConfig(), n_cores=0)

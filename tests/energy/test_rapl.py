@@ -1,0 +1,75 @@
+"""RAPL-style energy accounting tests."""
+
+import pytest
+
+from repro.config import PowerConfig
+from repro.energy.rapl import RaplDomain, RaplMeter, RaplSample
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def meter():
+    return RaplMeter(PowerConfig(), n_cores=12)
+
+
+class TestAccrual:
+    def test_counters_monotone(self, meter):
+        readings = []
+        for t in (0.1, 0.2, 0.5, 1.0):
+            meter.accrue(t, n_active_cores=6)
+            readings.append(meter.read(RaplDomain.PACKAGE))
+        assert readings == sorted(readings)
+        assert readings[0] > 0
+
+    def test_backwards_time_rejected(self, meter):
+        meter.accrue(1.0, 0)
+        with pytest.raises(SimulationError):
+            meter.accrue(0.5, 0)
+
+    def test_same_time_accrues_nothing(self, meter):
+        meter.accrue(1.0, 12)
+        before = meter.sample()
+        meter.accrue(1.0, 12)
+        after = meter.sample()
+        assert after.package_j == before.package_j
+
+    def test_dram_access_energy(self, meter):
+        meter.accrue(1.0, 0, dram_accesses=1e6)
+        dram_only = RaplMeter(PowerConfig(), n_cores=12)
+        dram_only.accrue(1.0, 0, dram_accesses=0)
+        delta = meter.read(RaplDomain.DRAM) - dram_only.read(RaplDomain.DRAM)
+        assert delta == pytest.approx(1e6 * PowerConfig().dram_energy_per_access_j)
+
+    def test_context_switch_energy_charged_to_package(self, meter):
+        meter.accrue(0.0, 0, context_switches=1000)
+        assert meter.read(RaplDomain.PACKAGE) == pytest.approx(
+            1000 * PowerConfig().context_switch_energy_j
+        )
+
+    def test_out_of_band_dram_accesses(self, meter):
+        meter.add_dram_accesses(100)
+        assert meter.read(RaplDomain.DRAM) > 0
+        with pytest.raises(SimulationError):
+            meter.add_dram_accesses(-1)
+
+
+class TestSamples:
+    def test_sample_difference(self, meter):
+        meter.accrue(1.0, 12)
+        s0 = meter.sample()
+        meter.accrue(3.0, 12)
+        s1 = meter.sample()
+        diff = s1 - s0
+        assert diff.time_s == pytest.approx(2.0)
+        assert diff.package_j == pytest.approx(s1.package_j - s0.package_j)
+
+    def test_system_is_package_plus_dram(self):
+        s = RaplSample(time_s=1.0, package_j=50.0, dram_j=8.0)
+        assert s.system_j == pytest.approx(58.0)
+
+    def test_active_cores_raise_package_energy(self):
+        idle = RaplMeter(PowerConfig(), 12)
+        busy = RaplMeter(PowerConfig(), 12)
+        idle.accrue(1.0, 0)
+        busy.accrue(1.0, 12)
+        assert busy.read(RaplDomain.PACKAGE) > idle.read(RaplDomain.PACKAGE)

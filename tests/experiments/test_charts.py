@@ -1,0 +1,78 @@
+"""Text chart rendering tests."""
+
+import pytest
+
+from repro.experiments.charts import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        line_a, line_b = text.splitlines()
+        assert line_a.count("█") == 20
+        assert line_b.count("█") == 10
+
+    def test_title_and_unit(self):
+        text = bar_chart({"a": 1.0}, title="T", unit="J")
+        assert text.startswith("T")
+        assert "1.00 J" in text
+
+    def test_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in text  # renders without dividing by zero
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_fractional_blocks(self):
+        text = bar_chart({"a": 8.0, "b": 7.5}, width=8)
+        a, b = text.splitlines()
+        assert a.count("█") == 8
+        assert b.count("█") == 7  # 7.5/8 of 8 cells = 7.5 cells
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        groups = {
+            "W1": {"default": 10.0, "strict": 5.0},
+            "W2": {"default": 8.0, "strict": 6.0},
+        }
+        text = grouped_bar_chart(groups, title="fig")
+        assert text.startswith("fig")
+        assert "W1" in text and "W2" in text
+        assert text.count("default") == 2
+        assert text.count("strict") == 2
+
+    def test_global_scale_across_groups(self):
+        groups = {"big": {"p": 100.0}, "small": {"p": 1.0}}
+        text = grouped_bar_chart(groups, width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") <= 1
+
+    def test_empty(self):
+        assert grouped_bar_chart({}) == "(no data)"
+
+
+class TestLineChart:
+    def test_series_glyphs_and_legend(self):
+        series = {
+            "alpha": [(1.0, 1.0), (2.0, 2.0)],
+            "beta": [(1.0, 2.0), (2.0, 1.0)],
+        }
+        text = line_chart(series, title="L")
+        assert text.startswith("L")
+        assert "o=alpha" in text and "x=beta" in text
+        assert "o" in text and "x" in text
+
+    def test_log_x_axis_label(self):
+        text = line_chart({"s": [(1, 1), (1000, 2)]}, x_label="n", logx=True)
+        assert "log scale" in text
+
+    def test_extremes_stay_on_grid(self):
+        # one series spanning a huge range must not raise
+        text = line_chart({"s": [(1, 0.0), (1e6, 1e9)]}, width=30, height=8, logx=True)
+        assert "(no data)" not in text
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"

@@ -1,0 +1,63 @@
+"""Policy comparison metric tests."""
+
+import pytest
+
+from repro.experiments.metrics import PolicyComparison, compare, compare_all
+from repro.perf.stat import PerfReport
+
+
+def report(wall=1.0, flops=1e9, pkg=50.0, dram=10.0):
+    return PerfReport(
+        wall_s=wall,
+        instructions=1e9,
+        cycles=2e9,
+        flops=flops,
+        llc_refs=1e7,
+        llc_misses=1e6,
+        context_switches=0,
+        pp_begin_calls=0,
+        pp_denials=0,
+        package_j=pkg,
+        dram_j=dram,
+    )
+
+
+class TestCompare:
+    def test_speedup_from_gflops(self):
+        cmp = compare("w", "p", report(wall=2.0), report(wall=1.0))
+        assert cmp.speedup == pytest.approx(2.0)
+
+    def test_energy_ratios(self):
+        cmp = compare("w", "p", report(pkg=80, dram=20), report(pkg=40, dram=12))
+        assert cmp.system_energy_ratio == pytest.approx(52 / 100)
+        assert cmp.system_energy_decrease == pytest.approx(0.48)
+        assert cmp.dram_energy_ratio == pytest.approx(0.6)
+        assert cmp.dram_energy_decrease == pytest.approx(0.4)
+
+    def test_efficiency_gain(self):
+        base = report(wall=1.0, pkg=90, dram=10)  # 1 GFLOPS at 100 J
+        cand = report(wall=1.0, pkg=40, dram=10)  # 1 GFLOPS at 50 J
+        cmp = compare("w", "p", base, cand)
+        assert cmp.efficiency_gain == pytest.approx(2.0)
+
+    def test_flop_free_workload_uses_runtime(self):
+        base = report(wall=4.0, flops=0.0)
+        cand = report(wall=2.0, flops=0.0)
+        assert compare("w", "p", base, cand).speedup == pytest.approx(2.0)
+
+    def test_describe_contains_headline_numbers(self):
+        cmp = compare("Water_nsq", "RDA: Strict", report(pkg=100), report(pkg=50))
+        text = cmp.describe()
+        assert "Water_nsq" in text and "RDA: Strict" in text
+
+
+class TestCompareAll:
+    def test_excludes_baseline(self):
+        reports = {
+            "Linux Default": report(),
+            "RDA: Strict": report(wall=0.5),
+            "RDA: Compromise": report(wall=0.8),
+        }
+        out = compare_all("w", reports)
+        assert set(out) == {"RDA: Strict", "RDA: Compromise"}
+        assert out["RDA: Strict"].speedup > out["RDA: Compromise"].speedup

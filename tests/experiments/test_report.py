@@ -1,0 +1,88 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.experiments.figures import WssPrediction
+from repro.experiments.report import (
+    render_comparison_summary,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+    render_figure11,
+    render_figure12,
+    render_figure13,
+    render_policy_table,
+)
+from repro.perf.stat import PerfReport
+
+
+def report(wall=1.0, pkg=50.0, dram=10.0, flops=1e9):
+    return PerfReport(
+        wall_s=wall, instructions=1e9, cycles=2e9, flops=flops,
+        llc_refs=1e7, llc_misses=1e6, context_switches=5,
+        pp_begin_calls=0, pp_denials=0, package_j=pkg, dram_j=dram,
+    )
+
+
+@pytest.fixture
+def sweep():
+    return {
+        "Water_nsq": {"Linux Default": report(), "RDA: Strict": report(wall=0.5, pkg=25)},
+        "Raytrace": {"Linux Default": report(), "RDA: Strict": report(wall=0.6, pkg=30)},
+    }
+
+
+class TestTables:
+    def test_figure7_shows_system_energy(self, sweep):
+        text = render_figure7(sweep)
+        assert "Figure 7" in text
+        assert "60.00" in text  # 50 + 10
+        assert "Water_nsq" in text and "Raytrace" in text
+
+    def test_figure8_shows_dram(self, sweep):
+        assert "10.00" in render_figure8(sweep)
+
+    def test_figure9_shows_gflops(self, sweep):
+        text = render_figure9(sweep)
+        assert "1.00" in text  # 1e9 flops / 1 s
+        assert "2.00" in text  # strict: half the time
+
+    def test_figure10_header(self, sweep):
+        assert "GFLOPS per Watt" in render_figure10(sweep)
+
+    def test_generic_table(self, sweep):
+        text = render_policy_table(sweep, "wall_s", "Wall time")
+        assert "Wall time" in text and "0.50" in text
+
+    def test_rows_align_with_policies(self, sweep):
+        lines = render_figure7(sweep).splitlines()
+        header = lines[1]
+        assert header.index("Linux Default") < header.index("RDA: Strict")
+
+
+class TestFigureRenderers:
+    def test_figure11(self):
+        text = render_figure11({"outer": report(wall=1.0), "middle": report(wall=1.19)})
+        assert "+19.0%" in text
+
+    def test_figure12(self):
+        curve = WssPrediction(
+            name="Wnsq PP1",
+            input_sizes=(8000, 15625, 32768, 64000),
+            measured_mb=(1.5, 3.0, 5.3, 7.6),
+            predicted_mb=(1.4, 3.2, 5.2, 6.9),
+            accuracy=0.91,
+        )
+        text = render_figure12([curve])
+        assert "Wnsq PP1" in text and "91%" in text and "7.60" in text
+
+    def test_figure13(self):
+        text = render_figure13({512: {1: 1.4, 6: 8.2, 12: 16.3}})
+        assert "512" in text and "16.30" in text
+
+    def test_comparison_summary(self, sweep):
+        text = render_comparison_summary(sweep)
+        assert "speedup" in text
+        assert "RDA: Strict" in text
+        assert "Linux Default" not in text.splitlines()[1]  # only non-baselines

@@ -1,0 +1,67 @@
+"""Experiment runner tests."""
+
+import pytest
+
+from repro.core.policy import CompromisePolicy, StrictPolicy
+from repro.experiments.runner import (
+    POLICIES,
+    run_policies,
+    run_workload,
+    run_workload_full,
+)
+
+from ..conftest import make_phase, make_workload
+
+
+class TestPolicies:
+    def test_paper_legend(self):
+        assert list(POLICIES) == ["Linux Default", "RDA: Strict", "RDA: Compromise"]
+        assert POLICIES["Linux Default"] is None
+        assert isinstance(POLICIES["RDA: Strict"], StrictPolicy)
+        assert isinstance(POLICIES["RDA: Compromise"], CompromisePolicy)
+        assert POLICIES["RDA: Compromise"].oversubscription == 2.0
+
+
+class TestRunWorkload:
+    def test_returns_complete_report(self):
+        report = run_workload(make_workload(n_processes=2), None)
+        assert report.wall_s > 0
+        assert report.instructions > 0
+        assert report.system_j > 0
+
+    def test_full_result_keeps_kernel(self):
+        result = run_workload_full(make_workload(n_processes=2), StrictPolicy())
+        assert result.kernel.all_exited
+        assert result.scheduler is not None
+        assert result.policy == "RDA: Strict"
+        assert result.wall_s == result.report.wall_s
+
+    def test_default_run_has_no_scheduler(self):
+        result = run_workload_full(make_workload(n_processes=2), None)
+        assert result.scheduler is None
+        assert result.policy == "Linux Default"
+        assert result.report.pp_begin_calls == 0
+
+    def test_rda_run_records_pp_calls(self):
+        result = run_workload_full(make_workload(n_processes=3), StrictPolicy())
+        assert result.report.pp_begin_calls == 3
+
+
+class TestRunPolicies:
+    def test_runs_every_policy(self):
+        reports = run_policies(lambda: make_workload(n_processes=2))
+        assert set(reports) == set(POLICIES)
+        for r in reports.values():
+            assert r.wall_s > 0
+
+    def test_accepts_workload_instance(self):
+        wl = make_workload(n_processes=2)
+        reports = run_policies(wl, policies={"Linux Default": None})
+        assert "Linux Default" in reports
+
+    def test_custom_policy_dict(self):
+        reports = run_policies(
+            lambda: make_workload(n_processes=2),
+            policies={"only-strict": StrictPolicy()},
+        )
+        assert list(reports) == ["only-strict"]

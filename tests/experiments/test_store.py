@@ -1,0 +1,103 @@
+"""Result store and regression-diff tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.store import ResultStore, diff_results, report_to_dict
+from repro.perf.stat import PerfReport
+
+
+def report():
+    return PerfReport(
+        wall_s=1.0, instructions=1e9, cycles=2e9, flops=5e8,
+        llc_refs=1e7, llc_misses=2e6, context_switches=100,
+        pp_begin_calls=10, pp_denials=2, package_j=100.0, dram_j=20.0,
+    )
+
+
+class TestStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        data = {"Water_nsq": {"strict": report_to_dict(report())}}
+        store.save("fig7", data, meta={"commit": "abc"})
+        doc = store.load("fig7")
+        assert doc["name"] == "fig7"
+        assert doc["meta"]["commit"] == "abc"
+        assert doc["results"] == data
+
+    def test_names_and_exists(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.exists("x")
+        store.save("x", {})
+        store.save("a", {})
+        assert store.exists("x")
+        assert store.names() == ["a", "x"]
+
+    def test_missing_load_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            ResultStore(tmp_path).load("nope")
+
+    def test_invalid_names_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "../evil", ".hidden"):
+            with pytest.raises(ReproError):
+                store.save(bad, {})
+
+    def test_report_to_dict_has_derived_metrics(self):
+        d = report_to_dict(report())
+        assert d["system_j"] == pytest.approx(120.0)
+        assert d["gflops"] == pytest.approx(0.5)
+
+
+class TestDiff:
+    def test_identical_trees_match(self):
+        a = {"x": [1.0, 2.0], "y": {"z": 3.0}}
+        assert diff_results(a, a) == []
+
+    def test_within_tolerance_matches(self):
+        assert diff_results({"v": 100.0}, {"v": 104.0}, rel_tolerance=0.05) == []
+
+    def test_drift_reported_with_percentage(self):
+        drifts = diff_results({"v": 100.0}, {"v": 120.0}, rel_tolerance=0.05)
+        assert len(drifts) == 1
+        assert "+20.0%" in drifts[0]
+
+    def test_missing_and_unexpected_keys(self):
+        drifts = diff_results({"a": 1.0}, {"b": 1.0})
+        assert any("missing key 'a'" in d for d in drifts)
+        assert any("unexpected key 'b'" in d for d in drifts)
+
+    def test_length_mismatch(self):
+        drifts = diff_results([1.0, 2.0], [1.0])
+        assert any("length" in d for d in drifts)
+
+    def test_nested_paths_in_messages(self):
+        drifts = diff_results({"a": {"b": [0.0, 5.0]}}, {"a": {"b": [0.0, 50.0]}})
+        assert any("a.b[1]" in d for d in drifts)
+
+    def test_non_numeric_mismatch(self):
+        drifts = diff_results({"s": "x"}, {"s": "y"})
+        assert drifts
+
+    def test_zero_reference(self):
+        assert diff_results({"v": 0.0}, {"v": 0.0}) == []
+        assert diff_results({"v": 0.0}, {"v": 1.0}) != []
+
+
+class TestEndToEndRegression:
+    def test_store_and_verify_sweep_snapshot(self, tmp_path):
+        """The intended workflow: snapshot a figure, verify a rerun."""
+        from repro.experiments.runner import run_policies
+        from ..conftest import make_workload
+
+        store = ResultStore(tmp_path)
+        first = {
+            p: report_to_dict(r)
+            for p, r in run_policies(lambda: make_workload(n_processes=3)).items()
+        }
+        store.save("toy-sweep", first)
+        second = {
+            p: report_to_dict(r)
+            for p, r in run_policies(lambda: make_workload(n_processes=3)).items()
+        }
+        assert diff_results(store.load("toy-sweep")["results"], second) == []

@@ -1,0 +1,106 @@
+"""Parameter-sweep harness tests."""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.errors import ReproError
+from repro.experiments.sweep import resolve_policy, sweep
+
+from ..conftest import make_phase, make_workload
+
+
+def toy_builder(n_processes=2, wss_mb=1.0):
+    return make_workload(n_processes=n_processes, phases=[make_phase(wss_mb=wss_mb)])
+
+
+class TestResolvePolicy:
+    def test_shorthand(self):
+        assert resolve_policy("default") is None
+        assert resolve_policy("strict").name == "RDA: Strict"
+        assert resolve_policy("compromise").oversubscription == 2.0
+
+    def test_objects_pass_through(self):
+        p = StrictPolicy()
+        assert resolve_policy(p) is p
+        assert resolve_policy(None) is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_policy("fifo")
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        rows = sweep(
+            toy_builder,
+            factors={"policy": ["default", "strict"], "n_processes": [2, 4]},
+        )
+        assert len(rows) == 4
+        combos = {(r["policy"], r["n_processes"]) for r in rows}
+        assert combos == {("default", 2), ("default", 4), ("strict", 2), ("strict", 4)}
+
+    def test_rows_carry_metrics(self):
+        rows = sweep(toy_builder, factors={"policy": ["default"]})
+        row = rows[0]
+        for key in ("gflops", "system_j", "wall_s", "workload"):
+            assert key in row
+        assert row["wall_s"] > 0
+
+    def test_factor_effects_visible(self):
+        # 4 processes fit the 12 cores; 48 must time-share -> longer wall
+        rows = sweep(toy_builder, factors={"n_processes": [4, 48]})
+        by_n = {r["n_processes"]: r for r in rows}
+        assert by_n[48]["wall_s"] > 2 * by_n[4]["wall_s"]
+
+    def test_extra_metrics(self):
+        rows = sweep(
+            toy_builder,
+            factors={"policy": ["default"]},
+            extra_metrics={"ipc": lambda rep: rep.ipc},
+        )
+        assert rows[0]["ipc"] > 0
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ReproError):
+            sweep(toy_builder, factors={})
+
+
+class TestScaledBlas:
+    def test_scaling_orders(self):
+        from repro.workloads.blas import kernel_model
+
+        dgemm = kernel_model("dgemm")
+        double = dgemm.scaled(2.0)
+        assert double.instructions == pytest.approx(8 * dgemm.instructions, rel=0.01)
+        assert double.wss_bytes == pytest.approx(4 * dgemm.wss_bytes, rel=0.01)
+        daxpy = kernel_model("daxpy").scaled(2.0)
+        assert daxpy.instructions == pytest.approx(
+            2 * kernel_model("daxpy").instructions, rel=0.01
+        )
+
+    def test_scaled_name(self):
+        from repro.workloads.blas import kernel_model
+
+        assert kernel_model("dgemm").scaled(0.5).name == "dgemm@0.5x"
+
+    def test_invalid_scale(self):
+        from repro.errors import WorkloadError
+        from repro.workloads.blas import kernel_model
+
+        with pytest.raises(WorkloadError):
+            kernel_model("dgemm").scaled(0)
+
+    def test_llc_cliff_in_solo_rate(self):
+        """Once the scaled working set exceeds the LLC, solo speed drops —
+        the validation the scaled kernels exist for."""
+        from repro.config import default_machine_config
+        from repro.sim.cpu import ExecutionModel
+        from repro.workloads.blas import kernel_model
+
+        model = ExecutionModel(default_machine_config())
+        dgemm = kernel_model("dgemm")
+        fits = model.solo_rate(dgemm.scaled(2.0).phase())  # 6.4 MB: fits
+        spills = model.solo_rate(dgemm.scaled(4.0).phase())  # 25.6 MB: spills
+        assert fits.hot_fraction == 1.0
+        assert spills.hot_fraction < 1.0
+        assert spills.seconds_per_instr > fits.seconds_per_instr

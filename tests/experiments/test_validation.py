@@ -1,0 +1,35 @@
+"""Model-validation harness tests."""
+
+import pytest
+
+from repro.experiments.validation import ValidationPoint, validate_hit_rates
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return validate_hit_rates(ratios=(0.5, 2.0), sweeps=12)
+
+    def test_one_point_per_ratio(self, points):
+        assert [p.oversubscription for p in points] == [0.5, 2.0]
+
+    def test_fitting_case_agrees(self, points):
+        fit = points[0]
+        assert fit.measured_hit_rate > 0.95
+        assert fit.predicted_gamma == 1.0
+        assert fit.predicted_linear == 1.0
+
+    def test_overflow_case_orders_models(self, points):
+        over = points[1]
+        # gamma model sits between the LRU collapse and the naive estimate
+        assert over.measured_hit_rate <= over.predicted_gamma <= over.predicted_linear
+
+    def test_rates_in_unit_interval(self, points):
+        for p in points:
+            for v in (p.measured_hit_rate, p.predicted_gamma, p.predicted_linear):
+                assert 0.0 <= v <= 1.0
+
+    def test_more_streams_supported(self):
+        pts = validate_hit_rates(ratios=(1.5,), n_streams=4, sweeps=8)
+        assert pts[0].n_streams == 4
+        assert pts[0].predicted_gamma < 1.0

@@ -1,0 +1,53 @@
+"""Determinism: identical runs produce bit-identical results.
+
+The whole experiment methodology (EXPERIMENTS.md records exact numbers;
+the result store diffs reruns) rests on the simulation being a pure
+function of its inputs — no hidden global state, no unseeded randomness.
+"""
+
+import pytest
+
+from repro.core.policy import CompromisePolicy, StrictPolicy
+from repro.experiments.runner import run_workload
+from repro.experiments.store import report_to_dict
+from repro.workloads.splash2 import ocean_cp_workload, water_nsquared_workload
+from repro.workloads.suite import blas_workload
+
+from ..conftest import make_phase, make_workload
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", [None, StrictPolicy(), CompromisePolicy()])
+    def test_toy_workload_bit_identical(self, policy):
+        a = run_workload(make_workload(n_processes=5), policy)
+        b = run_workload(make_workload(n_processes=5), policy)
+        assert report_to_dict(a) == report_to_dict(b)
+
+    def test_splash_workload_bit_identical(self):
+        a = run_workload(water_nsquared_workload(n_processes=4, timesteps=1), StrictPolicy())
+        b = run_workload(water_nsquared_workload(n_processes=4, timesteps=1), StrictPolicy())
+        assert report_to_dict(a) == report_to_dict(b)
+
+    def test_independent_of_prior_simulations(self):
+        """Global counters (tids, pp ids) must not leak into results."""
+        first = run_workload(ocean_cp_workload(n_processes=4, timesteps=1), None)
+        # run something unrelated in between, shifting all global id counters
+        run_workload(blas_workload(1, n_processes=8), StrictPolicy())
+        again = run_workload(ocean_cp_workload(n_processes=4, timesteps=1), None)
+        assert report_to_dict(first) == report_to_dict(again)
+
+    def test_heterogeneous_workload_independent_of_history(self):
+        """The harder case: distinct kernels whose schedule interleaving
+        depends on run-queue tie-breaking — must still be history-free."""
+        first = run_workload(blas_workload(3, n_processes=16), None)
+        run_workload(blas_workload(1, n_processes=4), None)
+        again = run_workload(blas_workload(3, n_processes=16), None)
+        assert report_to_dict(first) == report_to_dict(again)
+
+    def test_profiler_deterministic(self):
+        from repro.profiler import sample_windows
+        from repro.workloads.tracegen import water_pp1_trace
+
+        a = sample_windows(water_pp1_trace(8000), 1_000_000)
+        b = sample_windows(water_pp1_trace(8000), 1_000_000)
+        assert a.windows == b.windows

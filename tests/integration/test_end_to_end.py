@@ -1,0 +1,103 @@
+"""End-to-end integration tests on scaled-down paper workloads.
+
+The full Table 2 sweep is exercised by the benchmarks; these tests use
+reduced process counts so the whole file runs in seconds while still
+covering every workload family under every policy.
+"""
+
+import pytest
+
+from repro.core.policy import CompromisePolicy, StrictPolicy
+from repro.experiments.metrics import compare_all
+from repro.experiments.runner import run_policies, run_workload, run_workload_full
+from repro.workloads.blas import kernel_process
+from repro.workloads.base import Workload
+from repro.workloads.splash2 import (
+    ocean_cp_workload,
+    raytrace_workload,
+    volrend_workload,
+    water_nsquared_workload,
+    water_spatial_workload,
+)
+
+
+def small_blas3(n=24):
+    return Workload(name="blas3-small", processes=[kernel_process("dgemm")] * n)
+
+
+class TestEveryWorkloadFamilyCompletes:
+    @pytest.mark.parametrize("policy", [None, StrictPolicy(), CompromisePolicy()])
+    def test_blas(self, policy):
+        report = run_workload(small_blas3(12), policy)
+        assert report.wall_s > 0 and report.gflops > 0
+
+    @pytest.mark.parametrize(
+        "factory,kwargs",
+        [
+            (water_nsquared_workload, dict(n_processes=4, timesteps=1)),
+            (water_spatial_workload, dict(n_processes=4, timesteps=1)),
+            (ocean_cp_workload, dict(n_processes=8, timesteps=1)),
+            (raytrace_workload, dict(n_processes=8, frames=1)),
+            (volrend_workload, dict(n_processes=8, frames=1)),
+        ],
+    )
+    @pytest.mark.parametrize("policy", [None, StrictPolicy(), CompromisePolicy()])
+    def test_splash2(self, factory, kwargs, policy):
+        result = run_workload_full(factory(**kwargs), policy)
+        assert result.kernel.all_exited
+        if result.scheduler is not None:
+            assert len(result.scheduler.waitlist) == 0
+            assert len(result.scheduler.registry) == 0
+
+
+class TestPaperHeadlineShape:
+    """Scaled-down versions of the §4.2 qualitative claims."""
+
+    def test_high_reuse_oversubscribed_gains_from_strict(self):
+        reports = run_policies(lambda: water_nsquared_workload(n_processes=12, timesteps=1))
+        cmp = compare_all("wnsq", reports)["RDA: Strict"]
+        assert cmp.speedup > 1.1
+        assert cmp.system_energy_decrease > 0.2
+        assert cmp.dram_energy_decrease > 0.3
+
+    def test_low_reuse_workload_does_not_gain(self):
+        reports = run_policies(lambda: water_spatial_workload(n_processes=12, timesteps=1))
+        cmp = compare_all("wsp", reports)["RDA: Strict"]
+        assert 0.9 < cmp.speedup < 1.1
+        assert abs(cmp.system_energy_decrease) < 0.1
+
+    def test_strict_cuts_dram_energy_more_than_compromise(self):
+        reports = run_policies(lambda: water_nsquared_workload(n_processes=12, timesteps=1))
+        both = compare_all("wnsq", reports)
+        assert (
+            both["RDA: Strict"].dram_energy_decrease
+            > both["RDA: Compromise"].dram_energy_decrease
+        )
+
+    def test_energy_efficiency_tracks_energy_savings(self):
+        reports = run_policies(lambda: water_nsquared_workload(n_processes=12, timesteps=1))
+        cmp = compare_all("wnsq", reports)["RDA: Strict"]
+        assert cmp.efficiency_gain > 1.0
+
+
+class TestAccountingConsistency:
+    def test_flops_identical_across_policies(self):
+        """Scheduling changes when work runs, never how much."""
+        reports = run_policies(lambda: small_blas3(12))
+        flops = {name: r.flops for name, r in reports.items()}
+        base = flops["Linux Default"]
+        for value in flops.values():
+            assert value == pytest.approx(base, rel=1e-6)
+
+    def test_energy_components_positive_and_consistent(self):
+        report = run_workload(small_blas3(12), StrictPolicy())
+        assert report.package_j > 0 and report.dram_j > 0
+        assert report.system_j == pytest.approx(report.package_j + report.dram_j)
+
+    def test_llc_misses_not_more_than_refs(self):
+        report = run_workload(small_blas3(12), None)
+        assert report.llc_misses <= report.llc_refs * 1.5  # reloads add misses
+
+    def test_wall_time_matches_kernel_clock(self):
+        result = run_workload_full(small_blas3(6), None)
+        assert result.report.wall_s == pytest.approx(result.kernel.now)

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs clean end to end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+#: faster examples run in-process; the slower ones are covered in the
+#: subprocess smoke below and in the benchmark suite
+FAST = {"quickstart.py", "profile_and_annotate.py", "cache_partitioning.py"}
+
+
+@pytest.mark.parametrize(
+    "path", [p for p in EXAMPLES if p.name in FAST], ids=lambda p: p.name
+)
+def test_fast_examples_run_in_process(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # produced output
+
+
+def test_examples_directory_has_required_scripts():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3  # deliverable (b): at least three examples
+
+
+@pytest.mark.parametrize("name", ["interference_study.py"])
+def test_slow_example_via_subprocess(name):
+    path = Path(__file__).parents[2] / "examples" / name
+    proc = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=600
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "GFLOPS" in proc.stdout

@@ -1,0 +1,119 @@
+"""Hypothesis property tests over the whole scheduler stack."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.policy import CompromisePolicy, StrictPolicy
+from repro.core.rda import RdaScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.process import ThreadState
+from repro.workloads.base import Phase, PpSpec, ProcessSpec, Workload
+
+MB = 1_000_000
+
+# keep instruction counts small: these runs must stay fast
+phase_st = st.builds(
+    lambda wss_mb, reuse, declare: Phase(
+        name=f"ph{wss_mb}",
+        instructions=200_000,
+        flops_per_instr=1.0,
+        mem_refs_per_instr=0.4,
+        llc_refs_per_memref=0.1,
+        wss_bytes=int(wss_mb * MB),
+        reuse=reuse,
+        pp=PpSpec() if declare else None,
+    ),
+    wss_mb=st.floats(min_value=0.1, max_value=14.0),
+    reuse=st.floats(min_value=0.0, max_value=1.0),
+    declare=st.booleans(),
+)
+
+workload_st = st.builds(
+    lambda programs, n_threads: Workload(
+        name="prop",
+        processes=[
+            ProcessSpec(name=f"p{i}", program=prog, n_threads=n_threads)
+            for i, prog in enumerate(programs)
+        ],
+    ),
+    programs=st.lists(
+        st.lists(phase_st, min_size=1, max_size=3), min_size=1, max_size=6
+    ),
+    n_threads=st.integers(min_value=1, max_value=2),
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSchedulerLiveness:
+    @SETTINGS
+    @given(workload_st, st.sampled_from(["default", "strict", "compromise"]))
+    def test_every_workload_terminates_under_every_policy(self, workload, policy_name):
+        policy = {
+            "default": None,
+            "strict": StrictPolicy(),
+            "compromise": CompromisePolicy(),
+        }[policy_name]
+        scheduler = RdaScheduler(policy=policy) if policy else None
+        kernel = Kernel(extension=scheduler)
+        kernel.launch(workload)
+        kernel.run(max_events=500_000)
+        assert kernel.all_exited
+        for proc in kernel.processes:
+            for t in proc.threads:
+                assert t.state is ThreadState.EXITED
+        if scheduler is not None:
+            # no leaked accounting
+            assert scheduler.llc.usage_bytes == 0
+            assert len(scheduler.waitlist) == 0
+            assert len(scheduler.registry) == 0
+
+    @SETTINGS
+    @given(workload_st)
+    def test_strict_respects_capacity_throughout(self, workload):
+        scheduler = RdaScheduler(policy=StrictPolicy())
+        kernel = Kernel(extension=scheduler)
+        kernel.launch(workload)
+        cap = scheduler.llc.capacity_bytes
+        while not kernel.all_exited:
+            if not kernel.engine.step():
+                break
+            if scheduler.forced_admissions == 0:
+                assert scheduler.llc.usage_bytes <= cap
+
+    @SETTINGS
+    @given(workload_st)
+    def test_work_conservation(self, workload):
+        """All declared instructions retire, no matter the interleaving."""
+        from repro.perf.counters import HwCounter
+
+        kernel = Kernel(extension=RdaScheduler(policy=CompromisePolicy()))
+        kernel.launch(workload)
+        kernel.run(max_events=500_000)
+        expected = sum(
+            ph.instructions
+            for spec in workload.processes
+            for t in range(spec.n_threads)
+            for ph in spec.program_for(t)
+        )
+        retired = kernel.machine.counters.read(HwCounter.INSTRUCTIONS)
+        assert retired == pytest.approx(expected, rel=1e-5)
+
+    @SETTINGS
+    @given(workload_st)
+    def test_time_and_energy_monotone(self, workload):
+        kernel = Kernel()
+        kernel.launch(workload)
+        last_t, last_e = -1.0, -1.0
+        while not kernel.all_exited:
+            if not kernel.engine.step():
+                break
+            kernel.sync()
+            sample = kernel.machine.rapl.sample()
+            assert kernel.now >= last_t
+            assert sample.system_j >= last_e - 1e-12
+            last_t, last_e = kernel.now, sample.system_j

@@ -1,0 +1,143 @@
+"""Shared-LLC contention model tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ResourceError
+from repro.mem.contention import ContentionPoint, LlcDemand, SharedLlcModel
+
+CAP = 15_728_640  # the paper's 15360 KB LLC
+
+
+def model(gamma=2.0):
+    return SharedLlcModel(CAP, gamma=gamma)
+
+
+class TestDemandValidation:
+    def test_rejects_negative_wss(self):
+        with pytest.raises(ResourceError):
+            LlcDemand(wss_bytes=-1, reuse=0.5)
+
+    def test_rejects_out_of_range_reuse(self):
+        with pytest.raises(ResourceError):
+            LlcDemand(wss_bytes=10, reuse=1.5)
+
+    def test_rejects_bad_capacity_and_gamma(self):
+        with pytest.raises(ResourceError):
+            SharedLlcModel(0)
+        with pytest.raises(ResourceError):
+            SharedLlcModel(CAP, gamma=0.5)
+
+
+class TestUndersubscribed:
+    def test_single_fitting_demand_is_fully_hot(self):
+        pts = model().resolve([LlcDemand(CAP // 2, 0.9)])
+        assert pts[0].hot_fraction == 1.0
+        assert pts[0].share_bytes == CAP // 2
+        assert not pts[0].oversubscribed
+
+    def test_fitting_set_keeps_everyone_hot(self):
+        demands = [LlcDemand(CAP // 4, 0.9)] * 3
+        for pt in model().resolve(demands):
+            assert pt.hot_fraction == 1.0
+
+    def test_zero_demand_is_hot(self):
+        pts = model().resolve([LlcDemand(0, 0.0), LlcDemand(2 * CAP, 0.9)])
+        assert pts[0].hot_fraction == 1.0
+
+
+class TestOversubscribed:
+    def test_shares_are_demand_proportional(self):
+        a, b = LlcDemand(CAP, 0.9), LlcDemand(3 * CAP, 0.9)
+        pts = model().resolve([a, b])
+        assert pts[0].share_bytes == pytest.approx(CAP / 4)
+        assert pts[1].share_bytes == pytest.approx(3 * CAP / 4)
+        assert all(p.oversubscribed for p in pts)
+
+    def test_shares_sum_to_capacity(self):
+        demands = [LlcDemand(CAP, 0.5), LlcDemand(2 * CAP, 0.5), LlcDemand(CAP // 2, 0.1)]
+        pts = model().resolve(demands)
+        assert sum(p.share_bytes for p in pts) == pytest.approx(CAP)
+
+    def test_gamma_cliff(self):
+        # 2x oversubscription: share/wss = 0.5, h = 0.25 with gamma=2
+        pts = model(gamma=2.0).resolve([LlcDemand(CAP, 0.9), LlcDemand(CAP, 0.9)])
+        assert pts[0].hot_fraction == pytest.approx(0.25)
+        pts = model(gamma=1.0).resolve([LlcDemand(CAP, 0.9), LlcDemand(CAP, 0.9)])
+        assert pts[0].hot_fraction == pytest.approx(0.5)
+
+    def test_hit_probability_scales_with_reuse(self):
+        pt = ContentionPoint(
+            share_bytes=1.0, hot_fraction=0.5, total_demand_bytes=10, oversubscribed=True
+        )
+        assert pt.hit_probability(0.8) == pytest.approx(0.4)
+        assert pt.hit_probability(0.0) == 0.0
+
+
+class TestSharing:
+    def test_shared_key_counted_once(self):
+        shared = [LlcDemand(CAP, 0.9, sharing_key="proc1")] * 4
+        assert model().unique_demand_bytes(shared) == CAP
+        pts = model().resolve(shared)
+        assert all(p.hot_fraction == 1.0 for p in pts)
+
+    def test_distinct_keys_counted_separately(self):
+        demands = [
+            LlcDemand(CAP, 0.9, sharing_key="p1"),
+            LlcDemand(CAP, 0.9, sharing_key="p2"),
+        ]
+        assert model().unique_demand_bytes(demands) == 2 * CAP
+
+    def test_private_demands_always_counted(self):
+        demands = [LlcDemand(CAP, 0.9, sharing_key=None)] * 3
+        assert model().unique_demand_bytes(demands) == 3 * CAP
+
+    def test_fits_accounts_for_sharing(self):
+        shared = [LlcDemand(CAP, 0.9, sharing_key="x")] * 10
+        assert model().fits(shared)
+        assert not model().fits([LlcDemand(CAP + 1, 0.9)])
+
+
+class TestGroupedResolution:
+    def test_resolve_grouped_keys_match(self):
+        demands = {
+            "a": LlcDemand(CAP // 2, 0.9),
+            "b": LlcDemand(CAP, 0.9),
+        }
+        pts = model().resolve_grouped(demands)
+        assert set(pts) == {"a", "b"}
+        assert pts["a"].share_bytes < pts["b"].share_bytes
+
+
+wss_st = st.integers(min_value=0, max_value=4 * CAP)
+reuse_st = st.floats(min_value=0.0, max_value=1.0)
+demand_st = st.builds(LlcDemand, wss_bytes=wss_st, reuse=reuse_st)
+
+
+class TestProperties:
+    @given(st.lists(demand_st, min_size=1, max_size=12))
+    def test_hot_fraction_in_unit_interval(self, demands):
+        for pt in model().resolve(demands):
+            assert 0.0 <= pt.hot_fraction <= 1.0
+
+    @given(st.lists(demand_st, min_size=1, max_size=12))
+    def test_shares_never_exceed_demand_or_capacity(self, demands):
+        pts = model().resolve(demands)
+        for d, pt in zip(demands, pts):
+            assert pt.share_bytes <= d.wss_bytes + 1e-9
+        assert sum(p.share_bytes for p in pts) <= max(
+            CAP, sum(d.wss_bytes for d in demands)
+        ) + 1e-6
+
+    @given(demand_st, st.lists(demand_st, min_size=0, max_size=8), demand_st)
+    def test_more_corunners_never_raise_hot_fraction(self, subject, others, extra):
+        h_before = model().hot_fraction(subject, others)
+        h_after = model().hot_fraction(subject, others + [extra])
+        assert h_after <= h_before + 1e-12
+
+    @given(st.lists(demand_st, min_size=1, max_size=12))
+    def test_oversubscription_flag_consistent(self, demands):
+        pts = model().resolve(demands)
+        total = model().unique_demand_bytes(demands)
+        assert all(p.oversubscribed == (total > CAP) for p in pts)
+        assert all(p.total_demand_bytes == total for p in pts)

@@ -1,0 +1,101 @@
+"""Partitioned-LLC model tests (§6 future-work extension)."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.mem.contention import LlcDemand
+from repro.mem.partition import PartitionedLlcModel
+
+CAP = 16_000_000
+PEN = 2_000_000
+
+
+def model(**kw):
+    defaults = dict(streaming_partition_bytes=PEN, streaming_reuse_threshold=0.15)
+    defaults.update(kw)
+    return PartitionedLlcModel(CAP, **defaults)
+
+
+def stream(wss=8_000_000):
+    return LlcDemand(wss_bytes=wss, reuse=0.05)
+
+
+def hot(wss=4_000_000):
+    return LlcDemand(wss_bytes=wss, reuse=0.9)
+
+
+class TestClassification:
+    def test_low_reuse_is_streaming(self):
+        assert model().is_streaming(stream())
+
+    def test_oversized_is_streaming_even_with_reuse(self):
+        assert model().is_streaming(LlcDemand(wss_bytes=2 * CAP, reuse=0.9))
+
+    def test_reusable_fitting_demand_is_protected(self):
+        assert not model().is_streaming(hot())
+
+    def test_threshold_boundary(self):
+        m = model(streaming_reuse_threshold=0.5)
+        assert m.is_streaming(LlcDemand(1000, reuse=0.5))
+        assert not m.is_streaming(LlcDemand(1000, reuse=0.51))
+
+
+class TestValidation:
+    def test_pen_must_fit_inside_cache(self):
+        with pytest.raises(ResourceError):
+            PartitionedLlcModel(CAP, streaming_partition_bytes=CAP)
+        with pytest.raises(ResourceError):
+            PartitionedLlcModel(CAP, streaming_partition_bytes=0)
+
+    def test_threshold_range(self):
+        with pytest.raises(ResourceError):
+            PartitionedLlcModel(CAP, streaming_reuse_threshold=1.5)
+
+    def test_default_pen_is_an_eighth(self):
+        m = PartitionedLlcModel(CAP)
+        assert m.streaming_partition_bytes == CAP // 8
+        assert m.main_partition_bytes == CAP - CAP // 8
+
+
+class TestIsolation:
+    def test_streams_do_not_degrade_protected_demands(self):
+        m = model()
+        protected = [hot(6_000_000), hot(6_000_000)]  # fits 14 MB main
+        alone = m.resolve(protected)
+        with_streams = m.resolve(protected + [stream(50_000_000)] * 4)
+        for a, b in zip(alone, with_streams[:2]):
+            assert b.hot_fraction == pytest.approx(a.hot_fraction)
+
+    def test_streams_confined_to_pen(self):
+        pts = model().resolve([stream(8_000_000)])
+        assert pts[0].share_bytes <= PEN
+
+    def test_protected_contend_within_main_partition(self):
+        m = model()
+        pts = m.resolve([hot(10_000_000), hot(10_000_000)])  # 20 MB vs 14 MB
+        assert all(p.oversubscribed for p in pts)
+        assert sum(p.share_bytes for p in pts) == pytest.approx(
+            m.main_partition_bytes
+        )
+
+    def test_streams_contend_within_pen(self):
+        m = model()
+        pts = m.resolve([stream(3_000_000), stream(3_000_000)])
+        assert sum(p.share_bytes for p in pts) == pytest.approx(PEN)
+
+    def test_mixed_resolution_preserves_order(self):
+        m = model()
+        demands = [hot(), stream(), hot(), stream()]
+        pts = m.resolve(demands)
+        assert len(pts) == 4
+        # the protected pair fits the main partition entirely
+        assert pts[0].hot_fraction == 1.0 and pts[2].hot_fraction == 1.0
+
+    def test_shared_keys_respected_within_partition(self):
+        m = model()
+        sibs = [
+            LlcDemand(10_000_000, reuse=0.9, sharing_key="p"),
+            LlcDemand(10_000_000, reuse=0.9, sharing_key="p"),
+        ]
+        pts = m.resolve(sibs)
+        assert all(p.hot_fraction == 1.0 for p in pts)  # counted once, fits

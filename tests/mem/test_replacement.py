@@ -1,0 +1,57 @@
+"""Replacement policy state machine tests."""
+
+import pytest
+
+from repro.mem.replacement import FifoState, LruState, RandomState, make_replacement
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        lru = LruState(n_sets=1, n_ways=4)
+        for way in range(4):
+            lru.on_access(0, way)
+        assert lru.victim(0) == 0
+        lru.on_access(0, 0)
+        assert lru.victim(0) == 1
+
+    def test_sets_are_independent(self):
+        lru = LruState(n_sets=2, n_ways=2)
+        lru.on_access(0, 1)
+        lru.on_access(1, 0)
+        assert lru.victim(0) == 0
+        assert lru.victim(1) == 1
+
+
+class TestFifo:
+    def test_round_robin_victims(self):
+        fifo = FifoState(n_sets=1, n_ways=3)
+        assert [fifo.victim(0) for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_hits_do_not_advance_pointer(self):
+        fifo = FifoState(n_sets=1, n_ways=3)
+        fifo.on_access(0, 2)  # a hit
+        assert fifo.victim(0) == 0
+
+
+class TestRandom:
+    def test_victims_in_range_and_deterministic(self):
+        a = RandomState(n_sets=1, n_ways=8, seed=7)
+        b = RandomState(n_sets=1, n_ways=8, seed=7)
+        va = [a.victim(0) for _ in range(50)]
+        vb = [b.victim(0) for _ in range(50)]
+        assert va == vb
+        assert all(0 <= v < 8 for v in va)
+        assert len(set(va)) > 1  # actually random
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LruState), ("fifo", FifoState), ("random", RandomState)])
+    def test_dispatch(self, name, cls):
+        assert isinstance(make_replacement(name, 4, 4), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_replacement("LRU", 4, 4), LruState)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_replacement("mru", 4, 4)

@@ -1,0 +1,88 @@
+"""MemoryTrace container tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilerError
+from repro.mem.trace import MemoryTrace, concat_traces
+
+
+def trace_of(n, ipa=3.0, **kw):
+    return MemoryTrace(np.arange(n, dtype=np.int64) * 64, instructions_per_access=ipa, **kw)
+
+
+class TestConstruction:
+    def test_length_and_instructions(self):
+        t = trace_of(300)
+        assert len(t) == 300
+        assert t.instructions == pytest.approx(900)
+
+    def test_rejects_2d_addresses(self):
+        with pytest.raises(ProfilerError):
+            MemoryTrace(np.zeros((2, 2), dtype=np.int64))
+
+    def test_rejects_bad_instruction_mix(self):
+        with pytest.raises(ProfilerError):
+            MemoryTrace(np.zeros(4, dtype=np.int64), instructions_per_access=0)
+
+    def test_coerces_dtype(self):
+        t = MemoryTrace(np.array([1.0, 2.0]))
+        assert t.addresses.dtype == np.int64
+
+
+class TestWindows:
+    def test_window_size_conversion(self):
+        t = trace_of(100, ipa=3.0)
+        assert t.window_accesses(300) == 100
+        assert t.window_accesses(30) == 10
+
+    def test_window_too_small_raises(self):
+        t = trace_of(100, ipa=3.0)
+        with pytest.raises(ProfilerError):
+            t.window_accesses(1)
+
+    def test_windows_partition_trace(self):
+        t = trace_of(100, ipa=1.0)
+        ws = list(t.windows(25))
+        assert len(ws) == 4
+        assert all(len(w) == 25 for w in ws)
+        assert np.concatenate(ws).tolist() == t.addresses.tolist()
+
+    def test_trailing_partial_window_dropped(self):
+        t = trace_of(105, ipa=1.0)
+        assert len(list(t.windows(25))) == 4
+
+
+class TestJmpSamples:
+    def test_jmps_aligned_to_windows(self):
+        jmps = np.arange(8, dtype=np.int64)
+        t = MemoryTrace(
+            np.zeros(2048, dtype=np.int64),
+            instructions_per_access=1.0,
+            jmp_addresses=jmps,
+            jmp_sample_stride=256,
+        )
+        w0 = t.jmps_in_window(0, 1024)  # accesses 0..1023 -> jmp samples 0..3
+        assert w0.tolist() == [0, 1, 2, 3]
+        w1 = t.jmps_in_window(1, 1024)
+        assert w1.tolist() == [4, 5, 6, 7]
+
+    def test_no_jmps_returns_empty(self):
+        t = trace_of(100)
+        assert t.jmps_in_window(0, 30).size == 0
+
+
+class TestConcat:
+    def test_concat_preserves_order(self):
+        a, b = trace_of(10), MemoryTrace(np.full(5, 7, dtype=np.int64))
+        c = concat_traces([a, b])
+        assert len(c) == 15
+        assert c.addresses[-1] == 7
+
+    def test_concat_requires_matching_mix(self):
+        with pytest.raises(ProfilerError):
+            concat_traces([trace_of(4, ipa=3.0), trace_of(4, ipa=2.0)])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ProfilerError):
+            concat_traces([])

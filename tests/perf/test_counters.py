@@ -1,0 +1,40 @@
+"""Hardware-counter emulation tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.counters import CounterSet, HwCounter
+
+
+class TestCounterSet:
+    def test_counters_start_at_zero(self):
+        c = CounterSet()
+        for counter in HwCounter:
+            assert c.read(counter) == 0.0
+
+    def test_add_and_read(self):
+        c = CounterSet()
+        c.add(HwCounter.INSTRUCTIONS, 100)
+        c.add(HwCounter.INSTRUCTIONS, 50)
+        assert c.read(HwCounter.INSTRUCTIONS) == 150
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(SimulationError):
+            CounterSet().add(HwCounter.CYCLES, -1)
+
+    def test_snapshot_is_immutable_copy(self):
+        c = CounterSet()
+        c.add(HwCounter.FP_OPS, 10)
+        snap = c.snapshot()
+        c.add(HwCounter.FP_OPS, 10)
+        assert snap[HwCounter.FP_OPS] == 10
+        assert c.read(HwCounter.FP_OPS) == 20
+
+    def test_snapshot_difference(self):
+        c = CounterSet()
+        c.add(HwCounter.LLC_MISSES, 5)
+        s0 = c.snapshot()
+        c.add(HwCounter.LLC_MISSES, 7)
+        delta = c.snapshot() - s0
+        assert delta[HwCounter.LLC_MISSES] == 7
+        assert delta[HwCounter.CYCLES] == 0

@@ -1,0 +1,69 @@
+"""perf-sched trace analysis tests."""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.core.rda import RdaScheduler
+from repro.perf.sched import analyze_trace
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import KernelTracer
+
+from ..conftest import make_phase, make_workload
+
+
+def traced_run(workload, policy=None, config=None):
+    scheduler = RdaScheduler(policy=policy, config=config) if policy else None
+    kernel = Kernel(config=config, extension=scheduler)
+    tracer = KernelTracer()
+    kernel.tracer = tracer
+    kernel.launch(workload)
+    kernel.run(max_events=1_000_000)
+    return kernel, tracer
+
+
+class TestAnalysis:
+    def test_dispatch_counts(self):
+        kernel, tracer = traced_run(make_workload(n_processes=3))
+        report = analyze_trace(tracer)
+        assert len(report.threads) == 3
+        assert report.total_dispatches >= 3
+        for t in report.threads.values():
+            assert t.first_dispatch_s is not None
+            assert t.exit_s is not None
+
+    def test_pp_wait_matches_thread_stats(self):
+        wl = make_workload(n_processes=8, phases=[make_phase(wss_mb=8.0)])
+        kernel, tracer = traced_run(wl, policy=StrictPolicy())
+        report = analyze_trace(tracer)
+        assert report.total_pp_wait_s > 0
+        # trace-derived waits agree with the kernel's own accounting
+        for proc in kernel.processes:
+            t = proc.threads[0]
+            traced = report.threads[t.tid].pp_wait_s
+            assert traced == pytest.approx(t.stats.pp_wait_time_s, rel=1e-6, abs=1e-12)
+
+    def test_denials_counted(self):
+        wl = make_workload(n_processes=6, phases=[make_phase(wss_mb=9.0)])
+        kernel, tracer = traced_run(wl, policy=StrictPolicy())
+        report = analyze_trace(tracer)
+        assert sum(t.pp_denials for t in report.threads.values()) >= 5
+
+    def test_preemptions_under_load(self, small_machine):
+        wl = make_workload(n_processes=6, phases=[make_phase(instructions=20_000_000)])
+        kernel, tracer = traced_run(wl, config=small_machine)
+        report = analyze_trace(tracer)
+        assert sum(t.preemptions for t in report.threads.values()) > 0
+
+    def test_describe_table(self):
+        wl = make_workload(n_processes=4, phases=[make_phase(wss_mb=9.0)])
+        kernel, tracer = traced_run(wl, policy=StrictPolicy())
+        text = analyze_trace(tracer).describe(top=3)
+        assert "pp-wait(ms)" in text
+        assert "dispatches" in text
+
+    def test_max_pp_wait(self):
+        wl = make_workload(n_processes=4, phases=[make_phase(wss_mb=9.0)])
+        kernel, tracer = traced_run(wl, policy=StrictPolicy())
+        report = analyze_trace(tracer)
+        assert report.max_pp_wait_s <= kernel.now
+        assert report.max_pp_wait_s > 0

@@ -1,0 +1,87 @@
+"""perf-stat measurement session tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.perf.stat import PerfReport, PerfStat
+from repro.sim.kernel import Kernel
+
+from ..conftest import make_phase, make_workload
+
+
+def report_of(**kw):
+    defaults = dict(
+        wall_s=2.0,
+        instructions=1e9,
+        cycles=2e9,
+        flops=5e8,
+        llc_refs=1e7,
+        llc_misses=2e6,
+        context_switches=100,
+        pp_begin_calls=10,
+        pp_denials=2,
+        package_j=100.0,
+        dram_j=20.0,
+    )
+    defaults.update(kw)
+    return PerfReport(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_system_energy(self):
+        assert report_of().system_j == pytest.approx(120.0)
+
+    def test_gflops(self):
+        assert report_of().gflops == pytest.approx(0.25)
+
+    def test_gflops_per_watt(self):
+        r = report_of()
+        assert r.gflops_per_watt == pytest.approx(5e8 / 120.0 / 1e9)
+
+    def test_average_power(self):
+        assert report_of().avg_system_power_w == pytest.approx(60.0)
+
+    def test_ipc_and_miss_ratio(self):
+        r = report_of()
+        assert r.ipc == pytest.approx(0.5)
+        assert r.llc_miss_ratio == pytest.approx(0.2)
+
+    def test_zero_wall_time_degenerates_safely(self):
+        r = report_of(wall_s=0.0)
+        assert r.gflops == 0.0
+        assert r.avg_system_power_w == 0.0
+
+    def test_describe_contains_perf_style_lines(self):
+        text = report_of().describe()
+        assert "seconds time elapsed" in text
+        assert "Joules power/energy-pkg/" in text
+        assert "GFLOPS/Watt" in text
+
+
+class TestSession:
+    def test_measures_a_run(self):
+        kernel = Kernel()
+        stat = PerfStat(kernel)
+        kernel.launch(make_workload(n_processes=2))
+        stat.start()
+        kernel.run()
+        report = stat.stop()
+        assert report.wall_s == pytest.approx(kernel.now)
+        assert report.instructions > 0
+        assert report.package_j > 0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(SimulationError):
+            PerfStat(Kernel()).stop()
+
+    def test_bracketing_excludes_prior_activity(self):
+        kernel = Kernel()
+        kernel.launch(make_workload(n_processes=1))
+        kernel.run()  # first run not measured
+        first_instr = kernel.machine.counters.read
+        stat = PerfStat(kernel)
+        stat.start()
+        kernel.launch(make_workload(n_processes=1))
+        kernel.run()
+        report = stat.stop()
+        assert report.instructions == pytest.approx(1_000_000, rel=1e-6)

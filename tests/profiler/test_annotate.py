@@ -1,0 +1,56 @@
+"""Profile-to-annotation tests (§4.4)."""
+
+import pytest
+
+from repro.core.progress_period import ReuseLevel
+from repro.errors import ProfilerError
+from repro.profiler.annotate import annotate_workload_phase, period_annotation
+from repro.profiler.detect import DetectedPeriod
+from repro.profiler.regression import LogRegression
+
+from ..conftest import make_phase
+
+
+def detected(wss=2_500_000.0, reuse_ratio=20.0):
+    return DetectedPeriod(
+        first_window=0,
+        last_window=4,
+        wss_bytes=wss,
+        reuse_ratio=reuse_ratio,
+        window_instructions=1_000_000,
+    )
+
+
+class TestAnnotation:
+    def test_direct_annotation_uses_profiled_wss(self):
+        spec = period_annotation(detected(wss=3e6))
+        assert spec.demand_bytes == 3_000_000
+        assert spec.reuse is ReuseLevel.HIGH
+
+    def test_reuse_level_from_ratio(self):
+        assert period_annotation(detected(reuse_ratio=1.2)).reuse is ReuseLevel.LOW
+        assert period_annotation(detected(reuse_ratio=4.0)).reuse is ReuseLevel.MEDIUM
+
+    def test_predictor_parameterizes_demand(self):
+        reg = LogRegression(a=0.0, b=1e6)
+        import math
+
+        spec = period_annotation(detected(), input_size=math.e**2, wss_predictor=reg)
+        assert spec.demand_bytes == pytest.approx(2e6, rel=1e-6)
+
+    def test_predictor_requires_input_size(self):
+        with pytest.raises(ProfilerError):
+            period_annotation(detected(), wss_predictor=LogRegression(1, 1))
+
+    def test_negative_prediction_clamped(self):
+        reg = LogRegression(a=-1e9, b=1.0)
+        spec = period_annotation(detected(), input_size=10, wss_predictor=reg)
+        assert spec.demand_bytes == 0
+
+    def test_annotate_phase_replaces_pp(self):
+        phase = make_phase(declare_pp=False)
+        assert phase.pp is None
+        annotated = annotate_workload_phase(phase, detected(wss=1e6))
+        assert annotated.pp is not None
+        assert annotated.pp.demand_bytes == 1_000_000
+        assert annotated.instructions == phase.instructions  # rest untouched

@@ -1,0 +1,103 @@
+"""Progress-period detection tests (§2.4 algorithm)."""
+
+import pytest
+
+from repro.core.progress_period import ReuseLevel
+from repro.mem.working_set import WindowStats
+from repro.profiler.detect import DetectorConfig, DetectedPeriod, detect_periods
+from repro.profiler.sampling import WindowProfile
+from repro.workloads.tracegen import phased_trace
+from repro.profiler.sampling import sample_windows
+
+WIN = 1_000_000  # instructions per window
+
+
+def profile_of(specs):
+    """Build a WindowProfile from (wss, reuse) pairs."""
+    windows = tuple(
+        WindowStats(n_accesses=1000, footprint_bytes=w, wss_bytes=w, reuse_ratio=r)
+        for w, r in specs
+    )
+    return WindowProfile(window_instructions=WIN, windows=windows)
+
+
+class TestDetection:
+    def test_uniform_profile_is_one_period(self):
+        profile = profile_of([(1000, 5.0)] * 8)
+        periods = detect_periods(profile, DetectorConfig(min_period_instructions=2 * WIN))
+        assert len(periods) == 1
+        p = periods[0]
+        assert (p.first_window, p.last_window) == (0, 7)
+        assert p.wss_bytes == pytest.approx(1000)
+
+    def test_two_behaviours_two_periods(self):
+        profile = profile_of([(1000, 5.0)] * 4 + [(50_000, 30.0)] * 4)
+        periods = detect_periods(profile, DetectorConfig(min_period_instructions=2 * WIN))
+        assert len(periods) == 2
+        assert periods[0].last_window == 3
+        assert periods[1].first_window == 4
+
+    def test_short_repetition_ignored(self):
+        # only 2 similar windows, but 4 required
+        profile = profile_of(
+            [(1000, 5.0), (1000, 5.0), (90_000, 2.0), (5, 1.0), (700, 9.0), (42, 3.0)]
+        )
+        periods = detect_periods(profile, DetectorConfig(min_period_instructions=4 * WIN))
+        assert periods == []
+
+    def test_noise_between_periods_skipped(self):
+        profile = profile_of(
+            [(1000, 5.0)] * 4 + [(123_456, 2.0)] + [(1000, 5.0)] * 4
+        )
+        periods = detect_periods(profile, DetectorConfig(min_period_instructions=3 * WIN))
+        assert len(periods) == 2
+
+    def test_period_metrics_are_averages(self):
+        profile = profile_of([(900, 4.6), (1000, 5.0), (1100, 5.4)])
+        periods = detect_periods(profile, DetectorConfig(min_period_instructions=2 * WIN))
+        assert len(periods) == 1
+        assert periods[0].wss_bytes == pytest.approx(1000)
+        assert periods[0].reuse_ratio == pytest.approx(5.0, abs=0.01)
+
+    def test_tolerance_controls_similarity(self):
+        drifting = profile_of([(1000 * (1.1**k), 5.0) for k in range(6)])
+        strict = detect_periods(
+            drifting,
+            DetectorConfig(min_period_instructions=6 * WIN, similarity_tolerance=0.05),
+        )
+        loose = detect_periods(
+            drifting,
+            DetectorConfig(min_period_instructions=6 * WIN, similarity_tolerance=0.8),
+        )
+        assert strict == []
+        assert len(loose) == 1
+
+    def test_instructions_and_reuse_level(self):
+        p = DetectedPeriod(
+            first_window=2, last_window=5, wss_bytes=1e6, reuse_ratio=10.0,
+            window_instructions=WIN,
+        )
+        assert p.n_windows == 4
+        assert p.instructions == 4 * WIN
+        assert p.reuse_level is ReuseLevel.HIGH
+
+
+class TestEndToEndOnTraces:
+    def test_detects_phases_of_synthetic_trace(self):
+        trace = phased_trace(
+            [("blocked", 256 * 1024, 8), ("stream", 8 << 20, 1), ("blocked", 64 * 1024, 8)],
+            accesses_per_phase=500_000,
+        )
+        profile = sample_windows(trace, 300_000)
+        periods = detect_periods(
+            profile, DetectorConfig(min_period_instructions=600_000)
+        )
+        assert len(periods) >= 2
+        # The two blocked phases must differ in detected working set.
+        wss = sorted(p.wss_bytes for p in periods)
+        assert wss[-1] > 2 * wss[0]
+
+    def test_min_windows_ceiling(self):
+        cfg = DetectorConfig(min_period_instructions=2_500_000)
+        assert cfg.min_windows(1_000_000) == 3
+        assert cfg.min_windows(2_500_000) == 2  # floor of 2

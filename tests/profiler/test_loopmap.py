@@ -1,0 +1,78 @@
+"""Loop-nest mapping tests (§2.4 ParseAPI substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilerError
+from repro.profiler.loopmap import Loop, LoopNest, SyntheticBinary, map_period_to_loop
+
+
+@pytest.fixture
+def binary():
+    b = SyntheticBinary()
+    f = b.add_function("interf", 0x1000, 0x9000)
+    outer = b.add_loop(f, "outer", 0x1100, 0x8F00, backedge=0x8E00)
+    inner = b.add_loop(f, "inner", 0x1200, 0x8D00, backedge=0x8C00, parent=outer)
+    g = b.add_function("relax", 0xA000, 0xB000)
+    b.add_loop(g, "sweep", 0xA100, 0xAF00, backedge=0xAE00)
+    return b
+
+
+class TestStructure:
+    def test_function_lookup(self, binary):
+        assert binary.function_of(0x1500).name == "interf"
+        assert binary.function_of(0xA500).name == "relax"
+        assert binary.function_of(0xFFFF) is None
+
+    def test_overlapping_functions_rejected(self, binary):
+        with pytest.raises(ProfilerError):
+            binary.add_function("bad", 0x8000, 0xA800)
+
+    def test_loop_outside_function_rejected(self, binary):
+        f = binary.functions[0]
+        with pytest.raises(ProfilerError):
+            binary.add_loop(f, "bad", 0x0, 0x100, backedge=0x50)
+
+    def test_nesting_validated(self, binary):
+        f = binary.functions[0]
+        outer = f.loops[0]
+        with pytest.raises(ProfilerError):
+            binary.add_loop(f, "bad", 0x1000, 0x9000, backedge=0x1000, parent=outer)
+
+    def test_backedge_must_be_inside(self):
+        with pytest.raises(ProfilerError):
+            Loop("l", 0x100, 0x200, backedge=0x300)
+
+    def test_depth_and_outermost(self, binary):
+        outer = binary.functions[0].loops[0]
+        inner = outer.children[0]
+        assert outer.depth() == 0
+        assert inner.depth() == 1
+        assert inner.outermost() is outer
+
+    def test_innermost_containing(self, binary):
+        nest = LoopNest(binary.functions[0])
+        assert nest.innermost_containing(0x8C00).name == "inner"
+        assert nest.innermost_containing(0x8E00).name == "outer"
+        assert nest.innermost_containing(0x1050) is None
+
+
+class TestMapping:
+    def test_inner_jmps_map_to_outermost_loop(self, binary):
+        jmps = np.full(100, 0x8C00, dtype=np.int64)  # inner backedge
+        loop = map_period_to_loop(binary, jmps)
+        assert loop is not None and loop.name == "outer"
+
+    def test_majority_vote_wins(self, binary):
+        jmps = np.array([0x8C00] * 80 + [0xAE00] * 20, dtype=np.int64)
+        assert map_period_to_loop(binary, jmps).name == "outer"
+        jmps = np.array([0x8C00] * 20 + [0xAE00] * 80, dtype=np.int64)
+        assert map_period_to_loop(binary, jmps).name == "sweep"
+
+    def test_unmappable_samples_return_none(self, binary):
+        assert map_period_to_loop(binary, np.array([0xFFFFF])) is None
+        assert map_period_to_loop(binary, np.array([], dtype=np.int64)) is None
+
+    def test_samples_outside_any_loop_ignored(self, binary):
+        jmps = np.array([0x1050] * 50 + [0x8C00] * 5, dtype=np.int64)
+        assert map_period_to_loop(binary, jmps).name == "outer"

@@ -1,0 +1,86 @@
+"""Logarithmic WSS regression tests (figure 12)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProfilerError
+from repro.profiler.regression import (
+    LogRegression,
+    fit_log_regression,
+    prediction_accuracy,
+)
+
+
+class TestFit:
+    def test_exact_log_curve_recovered(self):
+        a, b = 2.5e6, 4.2e5
+        xs = [8000, 15625, 32768]
+        ys = [a + b * math.log(x) for x in xs]
+        reg = fit_log_regression(xs, ys)
+        assert reg.a == pytest.approx(a, rel=1e-9)
+        assert reg.b == pytest.approx(b, rel=1e-9)
+
+    def test_perfect_curve_predicts_perfectly(self):
+        reg = LogRegression(a=1.0, b=2.0)
+        xs = [10, 100, 1000]
+        ys = [reg.predict(x) for x in xs]
+        refit = fit_log_regression(xs, ys)
+        assert prediction_accuracy(refit.predict(5000), reg.predict(5000)) == pytest.approx(1.0)
+
+    def test_vectorized_predict(self):
+        reg = LogRegression(a=0.0, b=1.0)
+        out = reg.predict(np.array([math.e, math.e**2]))
+        assert out == pytest.approx([1.0, 2.0])
+
+    def test_callable(self):
+        reg = LogRegression(a=5.0, b=0.0)
+        assert reg(123) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ProfilerError):
+            fit_log_regression([1], [2])
+        with pytest.raises(ProfilerError):
+            fit_log_regression([0, 1], [1, 2])
+        with pytest.raises(ProfilerError):
+            fit_log_regression([1, 2], [1, 2, 3])
+        with pytest.raises(ProfilerError):
+            LogRegression(1, 1).predict(-1)
+
+
+class TestAccuracy:
+    def test_perfect_prediction(self):
+        assert prediction_accuracy(10.0, 10.0) == 1.0
+
+    def test_paper_style_accuracy(self):
+        # "For PP1 ... the prediction accuracy is 92%"
+        assert prediction_accuracy(9.2, 10.0) == pytest.approx(0.92)
+        assert prediction_accuracy(10.8, 10.0) == pytest.approx(0.92)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ProfilerError):
+            prediction_accuracy(1.0, 0.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e9),
+        st.floats(min_value=0.1, max_value=1e9),
+    )
+    def test_accuracy_at_most_one(self, pred, actual):
+        assert prediction_accuracy(pred, actual) <= 1.0
+
+
+class TestLinearity:
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=10, unique=True
+        ),
+    )
+    def test_fit_is_exact_on_generated_curves(self, a, b, xs):
+        ys = [a + b * math.log(x) for x in xs]
+        reg = fit_log_regression(xs, ys)
+        for x, y in zip(xs, ys):
+            assert reg.predict(x) == pytest.approx(y, abs=1e-3 * (1 + abs(y)))

@@ -1,0 +1,49 @@
+"""Window sampling tests (§2.4 stage 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilerError
+from repro.mem.trace import MemoryTrace
+from repro.profiler.sampling import sample_windows
+from repro.workloads.tracegen import blocked_trace, streaming_trace
+
+
+class TestSampling:
+    def test_streaming_trace_has_tiny_wss(self):
+        profile = sample_windows(streaming_trace(10_000_000, 300_000), 300_000)
+        # every line touched 8 times in a burst (64B line / 8B stride), never again
+        assert profile.mean_reuse_ratio == pytest.approx(8.0, rel=0.05)
+        assert profile.mean_footprint_bytes > 0
+
+    def test_blocked_trace_hot_set_is_block(self):
+        block = 128 * 1024
+        # one block group = (block/8 elements) * 8 passes = 131072 accesses;
+        # align the window to it so each window sees exactly one block
+        group_accesses = (block // 8) * 8
+        trace = blocked_trace(block, 4 * group_accesses, reuse_passes=8)
+        profile = sample_windows(trace, int(group_accesses * 3))
+        assert profile.mean_wss_bytes == pytest.approx(block, rel=0.05)
+        assert profile.mean_reuse_ratio >= 4.0
+
+    def test_window_count(self):
+        trace = streaming_trace(1 << 20, 900_000)
+        profile = sample_windows(trace, 300_000)  # 3 instr/access -> 100k acc
+        assert len(profile) == 9
+
+    def test_trace_shorter_than_window_raises(self):
+        trace = streaming_trace(1 << 20, 1000)
+        with pytest.raises(ProfilerError):
+            sample_windows(trace, 10_000_000)
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ProfilerError):
+            sample_windows(streaming_trace(1 << 20, 1000), 0)
+
+    def test_min_accesses_knob(self):
+        addrs = np.array([0, 64, 64, 128, 128, 128], dtype=np.int64)
+        trace = MemoryTrace(addrs, instructions_per_access=1.0)
+        loose = sample_windows(trace, 6, min_accesses=2)
+        tight = sample_windows(trace, 6, min_accesses=3)
+        assert loose.windows[0].wss_bytes == 2 * 64
+        assert tight.windows[0].wss_bytes == 1 * 64

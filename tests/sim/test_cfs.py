@@ -1,0 +1,88 @@
+"""CFS-like scheduler policy tests."""
+
+import pytest
+
+from repro.config import SchedulerConfig
+from repro.sim.cfs import SCHED_LATENCY_S, CfsScheduler
+from repro.sim.process import Process
+from repro.workloads.base import ProcessSpec
+
+from ..conftest import make_phase
+
+
+def make_cfs(n_cores=12):
+    return CfsScheduler(SchedulerConfig(), n_cores=n_cores)
+
+
+def make_thread(vruntime=0.0):
+    proc = Process(ProcessSpec(name="p", program=[make_phase()]))
+    t = proc.threads[0]
+    t.vruntime = vruntime
+    return t
+
+
+class TestTimeslice:
+    def test_uncontended_gets_full_latency(self):
+        cfs = make_cfs(n_cores=12)
+        assert cfs.timeslice(1) == pytest.approx(SCHED_LATENCY_S)
+        assert cfs.timeslice(12) == pytest.approx(SCHED_LATENCY_S)
+
+    def test_slice_shrinks_with_oversubscription(self):
+        cfs = make_cfs(n_cores=12)
+        assert cfs.timeslice(24) == pytest.approx(SCHED_LATENCY_S / 2)
+        assert cfs.timeslice(48) == pytest.approx(SCHED_LATENCY_S / 4)
+
+    def test_min_granularity_floor(self):
+        cfs = make_cfs(n_cores=12)
+        heavily = cfs.timeslice(12 * 1000)
+        assert heavily == pytest.approx(cfs.config.min_granularity_s)
+
+    def test_96_processes_on_12_cores_hits_floor(self):
+        """The Table 2 BLAS configuration: 8 runnable per core."""
+        cfs = make_cfs(n_cores=12)
+        assert cfs.timeslice(96) == pytest.approx(
+            max(SCHED_LATENCY_S / 8, cfs.config.min_granularity_s)
+        )
+
+
+class TestEnqueueSemantics:
+    def test_pick_next_is_fair(self):
+        cfs = make_cfs()
+        slow = make_thread(vruntime=10.0)
+        starved = make_thread(vruntime=1.0)
+        cfs.enqueue(slow)
+        cfs.enqueue(starved)
+        assert cfs.pick_next() is starved
+
+    def test_waking_thread_floored_to_min_vruntime(self):
+        cfs = make_cfs()
+        runner = make_thread(vruntime=50.0)
+        cfs.enqueue(runner)
+        cfs.pick_next()
+        sleeper = make_thread(vruntime=0.0)
+        cfs.enqueue(sleeper, waking=True)
+        assert sleeper.vruntime == pytest.approx(50.0)
+
+    def test_waking_does_not_penalize_ahead_thread(self):
+        cfs = make_cfs()
+        runner = make_thread(vruntime=10.0)
+        cfs.enqueue(runner)
+        cfs.pick_next()
+        ahead = make_thread(vruntime=99.0)
+        cfs.enqueue(ahead, waking=True)
+        assert ahead.vruntime == pytest.approx(99.0)
+
+    def test_charge_accumulates(self):
+        cfs = make_cfs()
+        t = make_thread()
+        cfs.charge(t, 0.002)
+        cfs.charge(t, 0.003)
+        assert t.vruntime == pytest.approx(0.005)
+
+    def test_dequeue(self):
+        cfs = make_cfs()
+        t = make_thread()
+        cfs.enqueue(t)
+        assert cfs.dequeue(t) is True
+        assert cfs.pick_next() is None
+        assert cfs.n_queued == 0

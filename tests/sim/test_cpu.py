@@ -1,0 +1,147 @@
+"""Execution-model tests: rates, reloads, bandwidth cap, PP overhead."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import default_machine_config
+from repro.mem.contention import ContentionPoint, LlcDemand, SharedLlcModel
+from repro.sim.cpu import PP_OVERHEAD_CAP, ExecutionModel
+
+from ..conftest import make_phase
+
+
+@pytest.fixture
+def model():
+    return ExecutionModel(default_machine_config())
+
+
+def point(hot=1.0, share=1e6):
+    return ContentionPoint(
+        share_bytes=share, hot_fraction=hot, total_demand_bytes=0, oversubscribed=hot < 1
+    )
+
+
+class TestRates:
+    def test_warm_faster_than_thrashed(self, model):
+        phase = make_phase(reuse=0.9)
+        warm = model.rate(phase, point(hot=1.0))
+        cold = model.rate(phase, point(hot=0.2))
+        assert warm.seconds_per_instr < cold.seconds_per_instr
+        assert warm.dram_per_instr < cold.dram_per_instr
+
+    def test_low_reuse_insensitive_to_hot_fraction(self, model):
+        phase = make_phase(reuse=0.0)
+        warm = model.rate(phase, point(hot=1.0))
+        cold = model.rate(phase, point(hot=0.0))
+        assert warm.seconds_per_instr == pytest.approx(cold.seconds_per_instr)
+
+    def test_base_rate_bounds(self, model):
+        cfg = default_machine_config()
+        phase = make_phase()
+        r = model.rate(phase, point())
+        assert r.seconds_per_instr >= cfg.cpu.cycle_s / cfg.cpu.base_ipc
+        assert r.ipc <= cfg.cpu.base_ipc / cfg.cpu.cycle_s
+
+    def test_solo_rate_fully_hot_when_fitting(self, model):
+        phase = make_phase(wss_mb=1.0, reuse=0.9)
+        r = model.solo_rate(phase)
+        assert r.hot_fraction == 1.0
+
+    def test_per_phase_overlap_override(self, model):
+        from dataclasses import replace
+
+        phase = make_phase(reuse=0.5)
+        default = model.rate(phase, point())
+        prefetched = model.rate(replace(phase, memory_overlap=0.95), point())
+        assert prefetched.seconds_per_instr < default.seconds_per_instr
+
+    def test_tracking_overhead_scales_rate(self, model):
+        phase = make_phase()
+        base = model.rate(phase, point())
+        tracked = model.rate(phase, point(), tracking_overhead=0.5)
+        assert tracked.seconds_per_instr == pytest.approx(
+            base.seconds_per_instr * 1.5
+        )
+
+
+class TestReload:
+    def test_reload_proportional_to_reusable_share(self, model):
+        phase = make_phase(wss_mb=2.0, reuse=0.9)
+        full = model.reload_cost(phase, point(share=10e6))
+        assert full.seconds == pytest.approx(
+            2e6 * 0.9 / default_machine_config().memory.bandwidth_bytes_per_s
+        )
+        assert full.dram_accesses == pytest.approx(2e6 * 0.9 / 64)
+
+    def test_reload_capped_by_share(self, model):
+        phase = make_phase(wss_mb=4.0, reuse=1.0)
+        capped = model.reload_cost(phase, point(share=1e6))
+        assert capped.dram_accesses == pytest.approx(1e6 / 64)
+
+    def test_streaming_reload_is_cheap(self, model):
+        hot = model.reload_cost(make_phase(wss_mb=2.0, reuse=0.9), point(share=10e6))
+        cold = model.reload_cost(make_phase(wss_mb=2.0, reuse=0.05), point(share=10e6))
+        assert cold.seconds < hot.seconds / 10
+
+
+class TestBandwidthCap:
+    def test_under_cap_rates_unchanged(self, model):
+        phase = make_phase(reuse=0.9)
+        rates = [model.rate(phase, point())]
+        assert model.apply_bandwidth_cap(rates) == rates
+
+    def test_saturated_rates_slow_down(self, model):
+        # 12 heavy streamers exceed the bus
+        phase = make_phase(reuse=0.0)
+        solo = model.rate(phase, point(hot=0.0))
+        rates = [solo] * 12
+        capped = model.apply_bandwidth_cap(rates)
+        assert all(c.seconds_per_instr > solo.seconds_per_instr for c in capped)
+
+    def test_cap_achieves_bus_limit(self, model):
+        cfg = default_machine_config()
+        phase = make_phase(reuse=0.0)
+        solo = model.rate(phase, point(hot=0.0))
+        capped = model.apply_bandwidth_cap([solo] * 12)
+        achieved = sum(c.dram_per_instr / c.seconds_per_instr for c in capped) * 64
+        assert achieved == pytest.approx(cfg.memory.bandwidth_bytes_per_s, rel=1e-3)
+
+    def test_compute_bound_thread_unaffected_by_zero_dram(self, model):
+        compute = model.rate(make_phase(reuse=1.0, wss_mb=0.001), point())
+        stream = model.rate(make_phase(reuse=0.0), point(hot=0.0))
+        capped = model.apply_bandwidth_cap([compute] + [stream] * 12)
+        # the pure-compute thread has no dram_per_instr -> no extra delay
+        assert capped[0].seconds_per_instr == pytest.approx(
+            compute.seconds_per_instr
+            + compute.dram_per_instr * 0  # structural: dram term is ~0
+        )
+
+
+class TestPpOverhead:
+    def phase_with_subs(self, n):
+        return make_phase(instructions=100_000_000, subperiods=n)
+
+    def test_unannotated_phase_free(self, model):
+        phase = make_phase(declare_pp=False)
+        assert model.pp_overhead_fraction(phase, 1e-9) == 0.0
+
+    def test_single_period_negligible(self, model):
+        frac = model.pp_overhead_fraction(self.phase_with_subs(1), 6e-10)
+        assert frac < 0.001
+
+    def test_overhead_grows_with_granularity(self, model):
+        f1 = model.pp_overhead_fraction(self.phase_with_subs(1), 6e-10)
+        f512 = model.pp_overhead_fraction(self.phase_with_subs(512), 6e-10)
+        f262k = model.pp_overhead_fraction(self.phase_with_subs(512 * 512), 6e-10)
+        assert f1 < f512 < f262k
+
+    def test_overhead_saturates_at_cap(self, model):
+        f = model.pp_overhead_fraction(self.phase_with_subs(10**9), 6e-10)
+        assert f == pytest.approx(PP_OVERHEAD_CAP)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_overhead_bounded_property(self, n):
+        model = ExecutionModel(default_machine_config())
+        phase = make_phase(instructions=50_000_000, subperiods=n)
+        f = model.pp_overhead_fraction(phase, 6e-10)
+        assert 0.0 <= f <= PP_OVERHEAD_CAP + 1e-12

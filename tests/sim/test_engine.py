@@ -1,0 +1,150 @@
+"""Discrete-event engine tests, including ordering properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(2.0, fired.append, "late")
+        eng.schedule(1.0, fired.append, "early")
+        eng.run()
+        assert fired == ["early", "late"]
+
+    def test_equal_times_fire_fifo(self):
+        eng = Engine()
+        fired = []
+        for k in range(10):
+            eng.schedule(1.0, fired.append, k)
+        eng.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(3.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [3.5]
+
+    def test_schedule_at_absolute_time(self):
+        eng = Engine(start_time=10.0)
+        fired = []
+        eng.schedule_at(11.0, fired.append, "x")
+        eng.run()
+        assert eng.now == 11.0 and fired == ["x"]
+
+    def test_rejects_past_scheduling(self):
+        eng = Engine(start_time=5.0)
+        with pytest.raises(SimulationError):
+            eng.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            eng.schedule_at(4.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        eng = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                eng.schedule(1.0, chain, n + 1)
+
+        eng.schedule(0.0, chain, 0)
+        eng.run()
+        assert fired == [0, 1, 2, 3]
+        assert eng.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        eng = Engine()
+        fired = []
+        handle = eng.schedule(1.0, fired.append, "x")
+        eng.cancel(handle)
+        eng.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        eng = Engine()
+        handle = eng.schedule(1.0, lambda: None)
+        eng.cancel(handle)
+        eng.cancel(handle)
+        eng.run()
+
+    def test_pending_reflects_cancellation(self):
+        eng = Engine()
+        handle = eng.schedule(1.0, lambda: None)
+        assert handle.pending
+        handle.cancel()
+        assert not handle.pending
+
+    def test_peek_skips_cancelled(self):
+        eng = Engine()
+        h1 = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        eng.cancel(h1)
+        assert eng.peek_time() == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, fired.append, "a")
+        eng.schedule(5.0, fired.append, "b")
+        eng.run(until=2.0)
+        assert fired == ["a"]
+        assert eng.now == 2.0
+        eng.run()
+        assert fired == ["a", "b"]
+
+    def test_max_events_guards_livelock(self):
+        eng = Engine()
+
+        def forever():
+            eng.schedule(1.0, forever)
+
+        eng.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            eng.run(max_events=50)
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_engine_not_reentrant(self):
+        eng = Engine()
+        errors = []
+
+        def reenter():
+            try:
+                eng.run()
+            except SimulationError as e:
+                errors.append(e)
+
+        eng.schedule(0.0, reenter)
+        eng.run()
+        assert len(errors) == 1
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for _ in range(5):
+            eng.schedule(1.0, lambda: None)
+        eng.run()
+        assert eng.events_processed == 5
+
+
+class TestOrderingProperty:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_any_delay_set_fires_sorted(self, delays):
+        eng = Engine()
+        fired = []
+        for d in delays:
+            eng.schedule(d, lambda t=d: fired.append(t))
+        eng.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)

@@ -1,0 +1,111 @@
+"""Kernel edge cases: staggered arrivals, partial runs, error paths."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.process import ThreadState
+
+from ..conftest import make_phase, make_workload
+
+
+class TestStaggeredArrivals:
+    def test_processes_start_at_their_offsets(self):
+        kernel = Kernel()
+        wl = make_workload(n_processes=3)
+        offsets = [0.0, 0.010, 0.020]
+        for spec, at in zip(wl.processes, offsets):
+            kernel.spawn(spec, at=at)
+        kernel.run()
+        starts = sorted(p.threads[0].stats.spawn_time_s for p in kernel.processes)
+        assert starts == pytest.approx(offsets)
+
+    def test_late_arrival_still_completes(self):
+        kernel = Kernel()
+        wl = make_workload(n_processes=2)
+        kernel.spawn(wl.processes[0], at=0.0)
+        kernel.spawn(wl.processes[1], at=0.5)
+        kernel.run()
+        assert kernel.all_exited
+        assert kernel.now >= 0.5
+
+    def test_spawn_during_run_via_event(self):
+        kernel = Kernel()
+        wl = make_workload(n_processes=1)
+        kernel.launch(wl)
+        late = make_workload(n_processes=1)
+        kernel.engine.schedule(0.001, lambda: kernel.spawn(late.processes[0]))
+        kernel.run()
+        assert kernel.all_exited
+        assert len(kernel.processes) == 2
+
+    def test_arrival_offsets_change_interleaving_not_work(self):
+        from repro.experiments.runner import run_workload_full
+
+        wl = make_workload(n_processes=3)
+        a = run_workload_full(wl, None)
+        b = run_workload_full(
+            make_workload(n_processes=3), None, arrival_offsets=[0.0, 1e-3, 2e-3]
+        )
+        assert a.report.flops == pytest.approx(b.report.flops, rel=1e-9)
+        assert b.report.wall_s >= a.report.wall_s  # late arrivals stretch it
+
+
+class TestPartialRuns:
+    def test_run_until_preserves_state(self):
+        kernel = Kernel()
+        kernel.launch(
+            make_workload(n_processes=2, phases=[make_phase(instructions=50_000_000)])
+        )
+        kernel.run(until=0.001)
+        assert not kernel.all_exited
+        kernel.run()
+        assert kernel.all_exited
+
+    def test_repeated_run_calls_idempotent_after_completion(self):
+        kernel = Kernel()
+        kernel.launch(make_workload(n_processes=1))
+        kernel.run()
+        t = kernel.now
+        kernel.run()
+        assert kernel.now == t
+
+
+class TestErrorPaths:
+    def test_callback_exception_propagates(self):
+        kernel = Kernel()
+
+        def boom():
+            raise RuntimeError("injected fault")
+
+        kernel.engine.schedule(0.0, boom)
+        with pytest.raises(RuntimeError, match="injected fault"):
+            kernel.run()
+
+    def test_faulty_extension_surfaces_its_error(self):
+        from repro.sim.kernel import AdmissionDecision, SchedulingExtension
+
+        class Buggy(SchedulingExtension):
+            def on_pp_begin(self, thread, request):
+                raise ValueError("extension bug")
+
+            def on_pp_end(self, thread, pp_id):
+                return ()
+
+        kernel = Kernel(extension=Buggy())
+        kernel.launch(make_workload(n_processes=1))
+        with pytest.raises(ValueError, match="extension bug"):
+            kernel.run()
+
+    def test_stall_diagnosis_names_threads(self):
+        from repro.core.rda import RdaScheduler
+        from repro.core.policy import StrictPolicy
+
+        scheduler = RdaScheduler(policy=StrictPolicy(), starvation_guard=False)
+        kernel = Kernel(extension=scheduler)
+        kernel.launch(
+            make_workload(n_processes=1, phases=[make_phase(wss_mb=100.0)])
+        )
+        with pytest.raises(SimulationError) as exc:
+            kernel.run()
+        assert "pp_wait" in str(exc.value)

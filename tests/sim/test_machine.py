@@ -1,0 +1,35 @@
+"""Machine bundle tests."""
+
+import pytest
+
+from repro.config import default_machine_config
+from repro.mem.contention import SharedLlcModel
+from repro.mem.partition import PartitionedLlcModel
+from repro.perf.counters import HwCounter
+from repro.sim.machine import Machine
+
+
+class TestMachine:
+    def test_defaults(self):
+        m = Machine()
+        assert m.n_cores == 12
+        assert isinstance(m.llc_model, SharedLlcModel)
+        assert m.llc_model.capacity_bytes == default_machine_config().llc_capacity
+
+    def test_custom_llc_model(self):
+        model = PartitionedLlcModel(default_machine_config().llc_capacity)
+        m = Machine(llc_model=model)
+        assert m.llc_model is model
+
+    def test_accrue_interval_updates_counters_and_energy(self):
+        m = Machine()
+        m.accrue_interval(1.0, n_active_cores=6, dram_accesses=1000, context_switches=3)
+        assert m.counters.read(HwCounter.LLC_MISSES) == 1000
+        assert m.counters.read(HwCounter.CONTEXT_SWITCHES) == 3
+        assert m.rapl.sample().package_j > 0
+
+    def test_rapl_sample_advances_clock(self):
+        m = Machine()
+        s = m.rapl_sample(2.0, n_active_cores=0)
+        assert s.time_s == 2.0
+        assert s.package_j > 0

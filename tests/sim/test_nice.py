@@ -1,0 +1,71 @@
+"""CFS nice-level (weighted fairness) tests."""
+
+import pytest
+
+from repro.errors import SchedulerError, WorkloadError
+from repro.sim.kernel import Kernel
+from repro.sim.process import NICE_0_WEIGHT, nice_to_weight
+from repro.workloads.base import ProcessSpec, Workload
+
+from ..conftest import make_phase
+
+
+class TestWeights:
+    def test_nice_zero_is_base_weight(self):
+        assert nice_to_weight(0) == NICE_0_WEIGHT
+
+    def test_each_step_scales_by_1_25(self):
+        assert nice_to_weight(1) == pytest.approx(NICE_0_WEIGHT / 1.25)
+        assert nice_to_weight(-1) == pytest.approx(NICE_0_WEIGHT * 1.25)
+
+    def test_range_validated(self):
+        with pytest.raises(SchedulerError):
+            nice_to_weight(20)
+        with pytest.raises(WorkloadError):
+            ProcessSpec(name="p", program=[make_phase()], nice=42)
+
+    def test_weight_monotone_in_priority(self):
+        weights = [nice_to_weight(n) for n in range(-20, 20)]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestWeightedScheduling:
+    def run_pair(self, nice_a, nice_b, small_machine=None):
+        """Two CPU-bound processes on one core; return their runtimes."""
+        from dataclasses import replace
+
+        from repro.config import CpuConfig, MachineConfig
+
+        config = MachineConfig(cpu=CpuConfig(n_cores=1))
+        phase = make_phase(instructions=30_000_000, wss_mb=0.01, declare_pp=False)
+        wl = Workload(
+            name="nice",
+            processes=[
+                ProcessSpec(name="a", program=[phase], nice=nice_a),
+                ProcessSpec(name="b", program=[phase], nice=nice_b),
+            ],
+        )
+        kernel = Kernel(config=config)
+        kernel.launch(wl)
+        kernel.run(max_events=500_000)
+        a, b = (p.threads[0] for p in kernel.processes)
+        return a, b
+
+    def test_equal_nice_shares_equally(self):
+        a, b = self.run_pair(0, 0)
+        assert a.stats.run_time_s == pytest.approx(b.stats.run_time_s, rel=0.15)
+
+    def test_niced_process_finishes_later(self):
+        favored, niced = self.run_pair(-5, 5)
+        assert favored.stats.exit_time_s < niced.stats.exit_time_s
+
+    def test_favored_process_dominates_early_cpu(self):
+        favored, niced = self.run_pair(-5, 5)
+        # while both were runnable, the favored thread ran most of the time:
+        # measure share up to the favored thread's exit
+        t_end = favored.stats.exit_time_s
+        assert favored.stats.run_time_s > 0.6 * t_end
+
+    def test_same_total_work_retired(self):
+        a, b = self.run_pair(-5, 5)
+        assert a.stats.instructions == pytest.approx(b.stats.instructions, rel=1e-6)

@@ -1,0 +1,131 @@
+"""Process/Thread lifecycle tests."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim.process import Process, Thread, ThreadState
+from repro.workloads.base import ProcessSpec, barrier_phase
+
+from ..conftest import make_phase
+
+
+def proc_of(phases, n_threads=1):
+    return Process(ProcessSpec(name="p", program=phases, n_threads=n_threads))
+
+
+class TestThreadProgram:
+    def test_walks_phases(self):
+        p = proc_of([make_phase("a"), make_phase("b")])
+        t = p.threads[0]
+        assert t.current_phase.name == "a"
+        t.advance_phase()
+        assert t.current_phase.name == "b"
+        t.advance_phase()
+        assert t.done and t.current_phase is None
+
+    def test_advance_past_end_raises(self):
+        p = proc_of([make_phase()])
+        t = p.threads[0]
+        t.advance_phase()
+        with pytest.raises(SchedulerError):
+            t.advance_phase()
+
+    def test_instr_remaining(self):
+        p = proc_of([make_phase(instructions=1000)])
+        t = p.threads[0]
+        assert t.instr_remaining() == 1000
+        t.instr_done = 400
+        assert t.instr_remaining() == 600
+
+    def test_barrier_phase_has_no_instructions(self):
+        p = proc_of([barrier_phase(), make_phase()])
+        assert p.threads[0].instr_remaining() == 0.0
+
+    def test_per_thread_programs(self):
+        spec = ProcessSpec(
+            name="het",
+            program=[make_phase("default")],
+            n_threads=2,
+            per_thread_programs=[[make_phase("a")], [make_phase("b")]],
+        )
+        p = Process(spec)
+        assert p.threads[0].current_phase.name == "a"
+        assert p.threads[1].current_phase.name == "b"
+
+
+class TestStateAccounting:
+    def test_time_folds_into_buckets(self):
+        p = proc_of([make_phase()])
+        t = p.threads[0]
+        t.state_since = 0.0
+        t.set_state(ThreadState.RUNNING, 0.0)
+        t.set_state(ThreadState.READY, 2.0)  # ran 2 s
+        t.set_state(ThreadState.RUNNING, 5.0)  # ready 3 s
+        t.set_state(ThreadState.PP_WAIT, 6.0)  # ran 1 s
+        t.set_state(ThreadState.EXITED, 10.0)  # pp-waited 4 s
+        assert t.stats.run_time_s == pytest.approx(3.0)
+        assert t.stats.ready_time_s == pytest.approx(3.0)
+        assert t.stats.pp_wait_time_s == pytest.approx(4.0)
+
+    def test_backwards_time_rejected(self):
+        p = proc_of([make_phase()])
+        t = p.threads[0]
+        t.set_state(ThreadState.RUNNING, 5.0)
+        with pytest.raises(SchedulerError):
+            t.set_state(ThreadState.READY, 4.0)
+
+    def test_runnable_predicate(self):
+        p = proc_of([make_phase()])
+        t = p.threads[0]
+        t.set_state(ThreadState.READY, 0.0)
+        assert t.runnable
+        t.set_state(ThreadState.PP_WAIT, 0.0)
+        assert not t.runnable
+
+
+class TestProcess:
+    def test_unique_pids_and_tids(self):
+        a, b = proc_of([make_phase()], 2), proc_of([make_phase()], 2)
+        assert a.pid != b.pid
+        tids = [t.tid for t in a.threads + b.threads]
+        assert len(set(tids)) == 4
+
+    def test_done_requires_all_threads(self):
+        p = proc_of([make_phase()], n_threads=2)
+        p.threads[0].set_state(ThreadState.EXITED, 0.0)
+        assert not p.done
+        p.threads[1].set_state(ThreadState.EXITED, 0.0)
+        assert p.done
+
+    def test_live_threads(self):
+        p = proc_of([make_phase()], n_threads=3)
+        p.threads[0].set_state(ThreadState.EXITED, 0.0)
+        assert len(p.live_threads) == 2
+
+
+class TestBarrierBookkeeping:
+    def barrier_proc(self, n_threads=3):
+        return proc_of([barrier_phase(), make_phase()], n_threads=n_threads)
+
+    def test_barrier_completes_on_last_arrival(self):
+        p = self.barrier_proc()
+        assert p.barrier_arrive(p.threads[0]) is False
+        assert p.barrier_arrive(p.threads[1]) is False
+        assert p.barrier_arrive(p.threads[2]) is True
+
+    def test_barrier_resets_after_completion(self):
+        p = self.barrier_proc()
+        for t in p.threads:
+            p.barrier_arrive(t)
+        assert p.pending_barriers() == []
+
+    def test_exited_thread_not_expected(self):
+        p = self.barrier_proc()
+        p.barrier_arrive(p.threads[0])
+        p.barrier_arrive(p.threads[1])
+        p.threads[2].set_state(ThreadState.EXITED, 0.0)
+        assert p.barrier_ready(0) is True
+
+    def test_barrier_ready_false_when_empty(self):
+        p = self.barrier_proc()
+        assert p.barrier_ready(0) is False

@@ -1,0 +1,110 @@
+"""Run queue ordering tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulerError
+from repro.sim.process import Process, Thread
+from repro.sim.runqueue import RunQueue
+from repro.workloads.base import ProcessSpec
+
+from ..conftest import make_phase
+
+
+def make_threads(n, vruntimes=None):
+    spec = ProcessSpec(name="p", program=[make_phase()], n_threads=n)
+    proc = Process(spec)
+    if vruntimes:
+        for t, v in zip(proc.threads, vruntimes):
+            t.vruntime = v
+    return proc.threads
+
+
+class TestOrdering:
+    def test_pop_returns_min_vruntime(self):
+        q = RunQueue()
+        threads = make_threads(3, vruntimes=[3.0, 1.0, 2.0])
+        for t in threads:
+            q.push(t)
+        assert q.pop() is threads[1]
+        assert q.pop() is threads[2]
+        assert q.pop() is threads[0]
+
+    def test_pop_empty_returns_none(self):
+        assert RunQueue().pop() is None
+
+    def test_equal_vruntime_order_is_deterministic(self):
+        a = make_threads(5)
+        q1, q2 = RunQueue(), RunQueue()
+        for t in a:
+            q1.push(t)
+        for t in a:
+            q2.push(t)
+        order1 = [q1.pop().tid for _ in range(5)]
+        order2 = [q2.pop().tid for _ in range(5)]
+        assert order1 == order2
+
+    def test_tie_break_decorrelates_tid_order(self):
+        """Consecutive tids (threads of one process) must not pop in strict
+        creation order — see the module docstring."""
+        threads = make_threads(16)
+        q = RunQueue()
+        for t in threads:
+            q.push(t)
+        popped = [q.pop().tid for _ in range(16)]
+        assert popped != sorted(popped)
+
+    def test_min_vruntime(self):
+        q = RunQueue()
+        threads = make_threads(2, vruntimes=[5.0, 2.0])
+        for t in threads:
+            q.push(t)
+        assert q.min_vruntime() == 2.0
+
+
+class TestMembership:
+    def test_contains_and_len(self):
+        q = RunQueue()
+        (t,) = make_threads(1)
+        q.push(t)
+        assert t in q and len(q) == 1
+        q.pop()
+        assert t not in q and len(q) == 0
+
+    def test_double_push_rejected(self):
+        q = RunQueue()
+        (t,) = make_threads(1)
+        q.push(t)
+        with pytest.raises(SchedulerError):
+            q.push(t)
+
+    def test_lazy_remove(self):
+        q = RunQueue()
+        a, b = make_threads(2, vruntimes=[1.0, 2.0])
+        q.push(a)
+        q.push(b)
+        assert q.remove(a) is True
+        assert q.remove(a) is False
+        assert q.pop() is b
+        assert q.pop() is None
+
+    def test_remove_then_repush(self):
+        q = RunQueue()
+        (t,) = make_threads(1)
+        q.push(t)
+        q.remove(t)
+        q.push(t)  # must not raise
+        assert q.pop() is t
+
+
+class TestFairnessProperty:
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+    def test_pops_are_sorted_by_vruntime(self, vruntimes):
+        q = RunQueue()
+        threads = make_threads(len(vruntimes), vruntimes=vruntimes)
+        for t in threads:
+            q.push(t)
+        popped = []
+        while (t := q.pop()) is not None:
+            popped.append(t.vruntime)
+        assert popped == sorted(popped)

@@ -1,0 +1,101 @@
+"""Kernel tracing and timeline rendering tests."""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.core.rda import RdaScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import KernelTracer, TraceKind, render_timeline
+from repro.workloads.base import barrier_phase
+
+from ..conftest import make_phase, make_workload
+
+
+def traced_run(workload, policy=None, config=None):
+    scheduler = RdaScheduler(policy=policy, config=config) if policy else None
+    kernel = Kernel(config=config, extension=scheduler)
+    tracer = KernelTracer()
+    kernel.tracer = tracer
+    kernel.launch(workload)
+    kernel.run(max_events=1_000_000)
+    return kernel, tracer
+
+
+class TestEventCapture:
+    def test_dispatch_and_exit_for_every_thread(self):
+        kernel, tracer = traced_run(make_workload(n_processes=3))
+        dispatched = {e.tid for e in tracer.of_kind(TraceKind.DISPATCH)}
+        exited = {e.tid for e in tracer.of_kind(TraceKind.EXIT)}
+        all_tids = {t.tid for p in kernel.processes for t in p.threads}
+        assert dispatched == all_tids
+        assert exited == all_tids
+
+    def test_preemptions_recorded_under_oversubscription(self, small_machine):
+        wl = make_workload(n_processes=6, phases=[make_phase(instructions=20_000_000)])
+        kernel, tracer = traced_run(wl, config=small_machine)
+        assert len(tracer.of_kind(TraceKind.PREEMPT)) > 0
+
+    def test_pp_lifecycle_events(self):
+        wl = make_workload(n_processes=6, phases=[make_phase(wss_mb=8.0)])
+        kernel, tracer = traced_run(wl, policy=StrictPolicy())
+        assert tracer.of_kind(TraceKind.PP_BEGIN)
+        assert tracer.of_kind(TraceKind.PP_DENY)
+        assert tracer.of_kind(TraceKind.PP_WAKE)
+        # every denial eventually pairs with a wake
+        denied = [e.tid for e in tracer.of_kind(TraceKind.PP_DENY)]
+        woken = [e.tid for e in tracer.of_kind(TraceKind.PP_WAKE)]
+        assert sorted(denied) == sorted(woken)
+
+    def test_barrier_events(self):
+        phases = [make_phase(), barrier_phase(), make_phase("after")]
+        wl = make_workload(n_processes=1, n_threads=3, phases=phases)
+        kernel, tracer = traced_run(wl)
+        waits = tracer.of_kind(TraceKind.BARRIER_WAIT)
+        releases = tracer.of_kind(TraceKind.BARRIER_RELEASE)
+        assert len(waits) == 2  # last arrival never parks
+        assert len(releases) == 2
+
+    def test_events_are_time_ordered(self):
+        kernel, tracer = traced_run(make_workload(n_processes=4))
+        times = [e.time_s for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_of_thread_filter(self):
+        kernel, tracer = traced_run(make_workload(n_processes=2))
+        tid = kernel.processes[0].threads[0].tid
+        assert all(e.tid == tid for e in tracer.of_thread(tid))
+        assert tracer.of_thread(tid)
+
+    def test_capacity_cap_drops_events(self):
+        kernel = Kernel()
+        tracer = KernelTracer(capacity=3)
+        kernel.tracer = tracer
+        kernel.launch(make_workload(n_processes=4))
+        kernel.run()
+        assert len(tracer) == 3
+        assert tracer.dropped > 0
+
+
+class TestTimeline:
+    def test_rendered_timeline_shape(self, small_machine):
+        wl = make_workload(n_processes=4, phases=[make_phase(instructions=5_000_000)])
+        kernel, tracer = traced_run(wl, config=small_machine)
+        text = render_timeline(tracer, kernel, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("timeline:")
+        assert len(lines) == 1 + small_machine.cpu.n_cores
+        assert all(line.startswith("cpu") for line in lines[1:])
+        # busy machine: the lanes contain process glyphs
+        body = "".join(lines[1:])
+        assert any(c.isalpha() for c in body.replace("cpu", ""))
+
+    def test_empty_timeline(self):
+        kernel = Kernel()
+        tracer = KernelTracer()
+        assert render_timeline(tracer, kernel) == "(empty timeline)"
+
+    def test_custom_labeller(self, small_machine):
+        wl = make_workload(n_processes=2)
+        kernel, tracer = traced_run(wl, config=small_machine)
+        text = render_timeline(tracer, kernel, width=30, label_of=lambda tid: "#")
+        assert "#" in text

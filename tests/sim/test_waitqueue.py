@@ -1,0 +1,56 @@
+"""Kernel wait-queue tests."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.sim.process import Process
+from repro.sim.waitqueue import WaitQueue
+from repro.workloads.base import ProcessSpec
+
+from ..conftest import make_phase
+
+
+def threads(n):
+    return Process(ProcessSpec(name="p", program=[make_phase()], n_threads=n)).threads
+
+
+class TestWaitQueue:
+    def test_park_and_wake_one_fifo(self):
+        q = WaitQueue()
+        a, b = threads(2)
+        q.park(a)
+        q.park(b)
+        assert q.wake_one() is a
+        assert q.wake_one() is b
+        assert q.wake_one() is None
+
+    def test_wake_specific(self):
+        q = WaitQueue()
+        a, b = threads(2)
+        q.park(a)
+        q.park(b)
+        assert q.wake(b) is True
+        assert q.wake(b) is False
+        assert list(q.waiters()) == [a]
+
+    def test_wake_all_preserves_order(self):
+        q = WaitQueue()
+        ts = threads(4)
+        for t in ts:
+            q.park(t)
+        assert q.wake_all() == ts
+        assert len(q) == 0
+
+    def test_double_park_rejected(self):
+        q = WaitQueue("barrier")
+        (t,) = threads(1)
+        q.park(t)
+        with pytest.raises(SchedulerError, match="barrier"):
+            q.park(t)
+
+    def test_membership(self):
+        q = WaitQueue()
+        a, b = threads(2)
+        q.park(a)
+        assert a in q and b not in q
+        assert len(q) == 1

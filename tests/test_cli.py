@@ -1,0 +1,67 @@
+"""CLI tests."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, policy_by_name
+from repro.core.policy import CompromisePolicy, StrictPolicy
+
+
+class TestPolicyParsing:
+    def test_default_aliases(self):
+        for name in ("default", "linux", "none", "DEFAULT"):
+            assert policy_by_name(name) is None
+
+    def test_strict(self):
+        assert isinstance(policy_by_name("strict"), StrictPolicy)
+
+    def test_compromise_default_factor(self):
+        p = policy_by_name("compromise")
+        assert isinstance(p, CompromisePolicy)
+        assert p.oversubscription == 2.0
+
+    def test_compromise_custom_factor(self):
+        assert policy_by_name("compromise:1.5").oversubscription == 1.5
+
+    def test_unknown_policy(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            policy_by_name("fifo")
+
+
+class TestParser:
+    def test_commands_exist(self):
+        parser = build_parser()
+        for argv in (["table1"], ["table2"], ["run", "BLAS-1"], ["sweep"], ["fig", "11"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "PARSEC"])
+
+    def test_fig_rejects_unknown_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "7"])  # 7-10 come from `sweep`
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "E5-2420" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Water_nsq" in out and "procs=12" in out
+
+    def test_run_small_workload(self, capsys):
+        assert main(["run", "Water_nsq", "--policy", "strict"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out and "RDA: Strict" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out

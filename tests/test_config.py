@@ -1,0 +1,111 @@
+"""Machine configuration tests (Table 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CpuConfig,
+    MachineConfig,
+    MemoryConfig,
+    PowerConfig,
+    SchedulerConfig,
+    default_machine_config,
+)
+from repro.errors import ConfigError
+
+
+class TestTable1Defaults:
+    def test_cpu_matches_paper(self):
+        cfg = default_machine_config()
+        assert cfg.cpu.n_cores == 12
+        assert cfg.cpu.frequency_hz == pytest.approx(1.9e9)
+        assert "E5-2420" in cfg.cpu.model
+
+    def test_cache_sizes_match_paper(self):
+        cfg = default_machine_config()
+        assert cfg.l1d.capacity_bytes == 32 * 1024
+        assert cfg.l1i.capacity_bytes == 32 * 1024
+        assert cfg.l2.capacity_bytes == 256 * 1024
+        assert cfg.llc.capacity_bytes == 15360 * 1024
+
+    def test_llc_is_shared_and_private_levels_are_not(self):
+        cfg = default_machine_config()
+        assert cfg.llc.shared
+        assert not cfg.l1d.shared
+        assert not cfg.l2.shared
+
+    def test_memory_16_gib(self):
+        assert default_machine_config().memory.capacity_bytes == 16 * 1024**3
+
+    def test_describe_renders_table1(self):
+        text = default_machine_config().describe()
+        assert "15360 KBytes" in text
+        assert "12 Cores" in text
+        assert "CentOS 6.6, Linux 4.6.0" in text
+        assert "16 GiB" in text
+
+
+class TestCacheConfigValidation:
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 4096, line_bytes=48)
+
+    def test_rejects_capacity_not_multiple_of_line(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 1000, line_bytes=64)
+
+    def test_rejects_bad_associativity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 4096, line_bytes=64, associativity=7)
+
+    def test_geometry_arithmetic(self):
+        c = CacheConfig("c", 64 * 1024, line_bytes=64, associativity=8)
+        assert c.n_lines == 1024
+        assert c.n_sets == 128
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig("bad", 0)
+
+
+class TestComponentValidation:
+    def test_cpu_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(n_cores=0)
+
+    def test_cpu_rejects_full_overlap(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(memory_overlap=1.0)
+
+    def test_memory_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(latency_s=-1.0)
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            PowerConfig(core_active_w=-1.0)
+
+    def test_scheduler_rejects_zero_timeslice(self):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(timeslice_s=0.0)
+
+    def test_machine_requires_shared_llc(self):
+        private = CacheConfig("L3", 15360 * 1024, associativity=20, shared=False)
+        with pytest.raises(ConfigError):
+            MachineConfig(llc=private)
+
+
+class TestDerivedProperties:
+    def test_cycle_time(self):
+        assert default_machine_config().cpu.cycle_s == pytest.approx(1 / 1.9e9)
+
+    def test_llc_capacity_shortcut(self):
+        cfg = default_machine_config()
+        assert cfg.llc_capacity == cfg.llc.capacity_bytes
+
+    def test_config_is_frozen(self):
+        cfg = default_machine_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.os_name = "other"  # type: ignore[misc]

@@ -1,0 +1,28 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.UnknownProgressPeriodError, errors.ProgressPeriodError)
+        assert issubclass(errors.BlockingSyncInPeriodError, errors.ProgressPeriodError)
+        assert issubclass(errors.ConfigError, errors.ReproError)
+
+    def test_unknown_pp_carries_id(self):
+        e = errors.UnknownProgressPeriodError(42)
+        assert e.pp_id == 42
+        assert "42" in str(e)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.UnknownProgressPeriodError(1)

@@ -1,0 +1,67 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+class TestByteUnits:
+    def test_binary_multiples(self):
+        assert units.kib(1) == 1024
+        assert units.mib(1) == 1024**2
+        assert units.gib(1) == 1024**3
+
+    def test_fractional_sizes(self):
+        assert units.mib(6.3) == int(6.3 * 1024 * 1024)
+        assert units.kib(0.5) == 512
+
+    def test_llc_of_paper_machine(self):
+        # Table 1: "L3-Shared 15360 KBytes"
+        assert units.kib(15360) == 15_728_640
+
+
+class TestFrequencyUnits:
+    def test_hz_scalers(self):
+        assert units.khz(1) == 1e3
+        assert units.mhz(1) == 1e6
+        assert units.ghz(1.9) == pytest.approx(1.9e9)
+
+
+class TestTimeUnits:
+    def test_subsecond_scalers(self):
+        assert units.ns(80) == pytest.approx(80e-9)
+        assert units.us(3) == pytest.approx(3e-6)
+        assert units.ms(6) == pytest.approx(6e-3)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2 KiB"),
+            (15_728_640, "15 MiB"),
+            (3 * 1024**3, "3 GiB"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert units.fmt_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (0.0, "0 s"),
+            (5e-9, "5 ns"),
+            (3e-6, "3 us"),
+            (2.5e-3, "2.5 ms"),
+            (1.5, "1.5 s"),
+        ],
+    )
+    def test_fmt_time(self, t, expected):
+        assert units.fmt_time(t) == expected
+
+    def test_fmt_energy_ranges(self):
+        assert units.fmt_energy(12.5) == "12.5 J"
+        assert units.fmt_energy(0.25) == "250 mJ"
+        assert units.fmt_energy(5e-5) == "50 uJ"

@@ -1,0 +1,117 @@
+"""Workload abstraction tests."""
+
+import pytest
+
+from repro.core.progress_period import ResourceKind, ReuseLevel
+from repro.errors import WorkloadError
+from repro.workloads.base import (
+    Phase,
+    PhaseKind,
+    PpSpec,
+    ProcessSpec,
+    Workload,
+    barrier_phase,
+    compute_phase,
+)
+
+from ..conftest import make_phase
+
+
+class TestPhaseValidation:
+    def test_compute_phase_needs_instructions(self):
+        with pytest.raises(WorkloadError):
+            Phase(name="x", instructions=0)
+
+    def test_barrier_needs_none(self):
+        barrier_phase()  # ok
+
+    def test_reuse_range(self):
+        with pytest.raises(WorkloadError):
+            Phase(name="x", instructions=1, reuse=1.5)
+
+    def test_llc_ref_fraction_bounded(self):
+        with pytest.raises(WorkloadError):
+            Phase(name="x", instructions=1, llc_refs_per_memref=1.5)
+
+    def test_overlap_override_validated(self):
+        with pytest.raises(WorkloadError):
+            Phase(name="x", instructions=1, memory_overlap=1.0)
+
+    def test_subperiods_positive(self):
+        with pytest.raises(WorkloadError):
+            PpSpec(subperiods=0)
+
+
+class TestPhaseDeclarations:
+    def test_declared_defaults_to_actual(self):
+        phase = make_phase(wss_mb=2.0, reuse=0.9)
+        assert phase.declared_demand() == phase.wss_bytes
+        assert phase.declared_reuse() is ReuseLevel.HIGH
+
+    def test_declared_can_differ_from_actual(self):
+        phase = compute_phase(
+            "x", 1000, wss_bytes=100, reuse=0.9, declared_demand=999,
+            declared_reuse=ReuseLevel.LOW,
+        )
+        assert phase.declared_demand() == 999
+        assert phase.declared_reuse() is ReuseLevel.LOW
+
+    def test_period_request_carries_scope(self):
+        shared = make_phase(shared=True)
+        req = shared.period_request(pid=7)
+        assert req.sharing_key == (7, shared.name)
+        assert req.resource is ResourceKind.LLC
+        private = make_phase(shared=False)
+        assert private.period_request(pid=7).sharing_key is None
+
+    def test_period_request_requires_pp(self):
+        with pytest.raises(WorkloadError):
+            make_phase(declare_pp=False).period_request(pid=1)
+
+    def test_with_subperiods(self):
+        phase = make_phase().with_subperiods(512)
+        assert phase.pp.subperiods == 512
+        with pytest.raises(WorkloadError):
+            make_phase(declare_pp=False).with_subperiods(2)
+
+    def test_totals(self):
+        phase = make_phase(instructions=1000, flops_per_instr=2.0)
+        assert phase.flops == 2000
+        assert phase.mem_refs == pytest.approx(400)
+
+
+class TestProcessSpec:
+    def test_uniform_program(self):
+        spec = ProcessSpec(name="p", program=[make_phase()], n_threads=3)
+        assert spec.program_for(0) == spec.program_for(2)
+
+    def test_per_thread_program_length_checked(self):
+        with pytest.raises(WorkloadError):
+            ProcessSpec(
+                name="p",
+                program=[make_phase()],
+                n_threads=2,
+                per_thread_programs=[[make_phase()]],
+            )
+
+    def test_thread_count_positive(self):
+        with pytest.raises(WorkloadError):
+            ProcessSpec(name="p", program=[make_phase()], n_threads=0)
+
+
+class TestWorkload:
+    def test_counts(self):
+        spec = ProcessSpec(name="p", program=[make_phase()], n_threads=2)
+        wl = Workload(name="w", processes=[spec] * 3)
+        assert wl.n_processes == 3
+        assert wl.n_threads == 6
+
+    def test_total_flops(self):
+        phase = make_phase(instructions=1000, flops_per_instr=1.0)
+        spec = ProcessSpec(name="p", program=[phase], n_threads=2)
+        wl = Workload(name="w", processes=[spec] * 3)
+        assert wl.total_flops() == pytest.approx(6000)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", processes=[])

@@ -1,0 +1,95 @@
+"""BLAS kernel model tests (Table 2 invariants)."""
+
+import pytest
+
+from repro.core.progress_period import ReuseLevel
+from repro.errors import WorkloadError
+from repro.workloads.blas import (
+    ALL_KERNELS,
+    BLAS1_KERNELS,
+    BLAS2_KERNELS,
+    BLAS3_KERNELS,
+    dgemm_process,
+    kernel_model,
+    kernel_phase,
+    kernel_process,
+)
+
+MB = 1_000_000
+
+
+class TestTable2Inventory:
+    def test_twelve_kernels(self):
+        assert len(ALL_KERNELS) == 12
+        assert len(BLAS1_KERNELS) == len(BLAS2_KERNELS) == len(BLAS3_KERNELS) == 4
+
+    def test_level1_names(self):
+        assert {k.name for k in BLAS1_KERNELS} == {"daxpy", "dcopy", "dscal", "dswap"}
+
+    def test_level2_names(self):
+        assert {k.name for k in BLAS2_KERNELS} == {"dgemvN", "dgemvT", "dtrmv", "dtrsv"}
+
+    def test_level3_names(self):
+        assert {k.name for k in BLAS3_KERNELS} == {"dgemm", "dsyrk", "dtrmm", "dtrsm"}
+
+    def test_level1_working_sets(self):
+        # Table 2: ".6" MB, low reuse
+        for k in BLAS1_KERNELS:
+            assert k.wss_bytes == int(0.6 * MB)
+            assert k.reuse_level is ReuseLevel.LOW
+
+    def test_level2_working_sets(self):
+        for k in BLAS2_KERNELS:
+            assert k.wss_bytes == int(0.6 * MB)
+            assert k.reuse_level is ReuseLevel.MEDIUM
+
+    def test_level3_working_sets(self):
+        # Table 2: 1.6, 2.4, 2.4, 3.2
+        sizes = sorted(k.wss_bytes for k in BLAS3_KERNELS)
+        assert sizes == [int(1.6 * MB), int(2.4 * MB), int(2.4 * MB), int(3.2 * MB)]
+        for k in BLAS3_KERNELS:
+            assert k.reuse_level is ReuseLevel.HIGH
+
+    def test_each_fits_llc_individually(self):
+        """§3.4 constraint 1: individual working sets fit the cache."""
+        llc = 15360 * 1024
+        for k in ALL_KERNELS:
+            assert k.wss_bytes < llc
+
+    def test_reuse_ordering_by_level(self):
+        assert max(k.reuse for k in BLAS1_KERNELS) < min(k.reuse for k in BLAS2_KERNELS)
+        assert max(k.reuse for k in BLAS2_KERNELS) < min(k.reuse for k in BLAS3_KERNELS)
+
+    def test_copy_kernels_have_no_flops(self):
+        assert kernel_model("dcopy").flops_per_instr == 0.0
+        assert kernel_model("dswap").flops_per_instr == 0.0
+
+    def test_dgemm_flop_count_is_2n3(self):
+        k = kernel_model("dgemm")
+        # 2 * 512^3 = 268 MFLOPs
+        assert k.instructions * k.flops_per_instr == pytest.approx(2 * 512**3, rel=0.01)
+
+
+class TestConstruction:
+    def test_lookup_unknown_kernel(self):
+        with pytest.raises(WorkloadError):
+            kernel_model("sgemm")
+
+    def test_phase_carries_pp(self):
+        phase = kernel_phase("dgemm")
+        assert phase.pp is not None
+        assert phase.pp.demand_bytes == int(1.6 * MB)
+
+    def test_phase_without_pp(self):
+        assert kernel_phase("dgemm", declare_pp=False).pp is None
+
+    def test_process_is_single_threaded(self):
+        spec = kernel_process("daxpy")
+        assert spec.n_threads == 1
+        assert len(spec.program) == 1
+
+    def test_dgemm_granularities(self):
+        # figure 11's three decompositions
+        assert dgemm_process(1).program[0].pp.subperiods == 1
+        assert dgemm_process(512).program[0].pp.subperiods == 512
+        assert dgemm_process(512**2).program[0].pp.subperiods == 262_144

@@ -1,0 +1,79 @@
+"""Workload mixing tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import mix_workloads
+from repro.workloads.splash2 import raytrace_workload
+from repro.workloads.suite import blas_workload
+
+from ..conftest import make_workload
+
+
+class TestMix:
+    def test_all_processes_present(self):
+        a = make_workload(n_processes=3, name="a")
+        b = make_workload(n_processes=5, name="b")
+        mixed = mix_workloads(a, b)
+        assert mixed.n_processes == 8
+        assert mixed.name == "a+b"
+
+    def test_round_robin_interleaving(self):
+        a = make_workload(n_processes=3, name="a")
+        b = make_workload(n_processes=3, name="b")
+        mixed = mix_workloads(a, b)
+        names = [p.name for p in mixed.processes]
+        assert names == ["a", "b", "a", "b", "a", "b"]
+
+    def test_uneven_lanes_drain(self):
+        a = make_workload(n_processes=1, name="a")
+        b = make_workload(n_processes=4, name="b")
+        names = [p.name for p in mix_workloads(a, b).processes]
+        assert names == ["a", "b", "b", "b", "b"]
+
+    def test_custom_name(self):
+        mixed = mix_workloads(make_workload(name="x"), name="consolidated")
+        assert mixed.name == "consolidated"
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            mix_workloads()
+
+    def test_table2_mix_builds(self):
+        mixed = mix_workloads(
+            raytrace_workload(n_processes=4), blas_workload(1, n_processes=8)
+        )
+        assert mixed.n_processes == 12
+        assert "Raytrace" in mixed.description
+
+    def test_inputs_unmodified(self):
+        a = make_workload(n_processes=2, name="a")
+        before = list(a.processes)
+        mix_workloads(a, make_workload(n_processes=2, name="b"))
+        assert list(a.processes) == before
+
+
+class TestMigrations:
+    def test_single_thread_per_core_never_migrates(self):
+        from repro.experiments.runner import run_workload_full
+        from ..conftest import make_phase
+
+        result = run_workload_full(make_workload(n_processes=4), None)
+        for proc in result.kernel.processes:
+            assert proc.threads[0].stats.migrations == 0
+
+    def test_oversubscribed_machine_migrates(self, small_machine):
+        from repro.experiments.runner import run_workload_full
+        from repro.perf.counters import HwCounter
+        from ..conftest import make_phase
+
+        wl = make_workload(
+            n_processes=6, phases=[make_phase(instructions=20_000_000)]
+        )
+        result = run_workload_full(wl, None, config=small_machine)
+        migrations = result.kernel.machine.counters.read(HwCounter.MIGRATIONS)
+        assert migrations > 0
+        per_thread = sum(
+            p.threads[0].stats.migrations for p in result.kernel.processes
+        )
+        assert per_thread == migrations

@@ -1,0 +1,138 @@
+"""SPLASH-2 application model tests (Table 2 invariants)."""
+
+import pytest
+
+from repro.core.progress_period import ReuseLevel
+from repro.workloads.base import PhaseKind
+from repro.workloads.splash2 import (
+    ocean_cp_workload,
+    raytrace_workload,
+    volrend_workload,
+    water_nsquared_workload,
+    water_spatial_workload,
+    wss_of_molecules,
+)
+from repro.workloads.splash2.water_nsquared import (
+    N_MOLECULES_1X,
+    interference_workload,
+    largest_pp_phase,
+)
+
+MB = 1_000_000
+
+
+def pp_phases(workload):
+    """Distinct progress-period phases of one process' program."""
+    spec = workload.processes[0]
+    seen = {}
+    for phase in spec.program_for(0):
+        if phase.pp is not None and phase.name not in seen:
+            seen[phase.name] = phase
+    return list(seen.values())
+
+
+class TestTable2Shape:
+    @pytest.mark.parametrize(
+        "factory,n_proc,n_threads",
+        [
+            (water_spatial_workload, 12, 2),
+            (water_nsquared_workload, 12, 2),
+            (ocean_cp_workload, 48, 2),
+            (raytrace_workload, 48, 4),
+            (volrend_workload, 48, 4),
+        ],
+    )
+    def test_process_and_thread_counts(self, factory, n_proc, n_threads):
+        wl = factory()
+        assert wl.n_processes == n_proc
+        assert all(p.n_threads == n_threads for p in wl.processes)
+
+    def test_water_nsq_periods(self):
+        phases = pp_phases(water_nsquared_workload())
+        assert sorted(p.declared_demand() for p in phases) == [
+            int(3.6 * MB), int(3.6 * MB), int(3.7 * MB),
+        ]
+        assert all(p.declared_reuse() is ReuseLevel.HIGH for p in phases)
+
+    def test_water_sp_periods(self):
+        phases = pp_phases(water_spatial_workload())
+        assert sorted(p.declared_demand() for p in phases) == [
+            int(1.3 * MB), int(1.3 * MB), int(1.6 * MB), int(1.6 * MB),
+        ]
+        assert all(p.declared_reuse() is ReuseLevel.LOW for p in phases)
+
+    def test_ocean_periods(self):
+        phases = pp_phases(ocean_cp_workload())
+        demands = sorted(p.declared_demand() for p in phases)
+        assert demands == [
+            int(0.59 * MB), int(0.76 * MB), int(1.5 * MB), int(2.1 * MB),
+        ]
+        reuses = {str(p.declared_reuse()) for p in phases}
+        assert reuses == {"high", "med"}
+
+    def test_raytrace_periods(self):
+        phases = pp_phases(raytrace_workload())
+        assert sorted(p.declared_demand() for p in phases) == [
+            int(5.1 * MB), int(5.2 * MB),
+        ]
+        assert all(p.shared for p in phases)  # one scene per process
+
+    def test_volrend_periods_are_per_thread(self):
+        phases = pp_phases(volrend_workload())
+        assert sorted(p.declared_demand() for p in phases) == [
+            int(1.7 * MB), int(1.8 * MB),
+        ]
+        assert all(not p.shared for p in phases)  # private tiles
+
+    def test_barriers_between_periods(self):
+        """§3.4: synchronization lives outside progress periods."""
+        for factory in (water_nsquared_workload, ocean_cp_workload):
+            program = factory().processes[0].program_for(0)
+            kinds = [p.kind for p in program]
+            for i, phase in enumerate(program):
+                if phase.kind is PhaseKind.BARRIER:
+                    assert phase.pp is None
+            assert PhaseKind.BARRIER in kinds
+
+    def test_every_period_fits_llc(self):
+        llc = 15360 * 1024
+        for factory in (
+            water_spatial_workload,
+            water_nsquared_workload,
+            ocean_cp_workload,
+            raytrace_workload,
+            volrend_workload,
+        ):
+            for phase in pp_phases(factory()):
+                assert phase.declared_demand() < llc
+
+
+class TestInputScaling:
+    def test_wss_grows_sublinearly(self):
+        w1 = wss_of_molecules(8000)
+        w8 = wss_of_molecules(64000)
+        assert w8 > w1
+        assert w8 < 8 * w1  # sublinear
+
+    def test_figure13_anchor(self):
+        """6 instances fit the LLC at 8000 molecules, 12 do not."""
+        llc = 15360 * 1024
+        wss = wss_of_molecules(8000)
+        assert 6 * wss <= llc < 12 * wss
+
+    def test_invalid_molecule_count(self):
+        with pytest.raises(ValueError):
+            wss_of_molecules(0)
+
+    def test_locality_degrades_with_input(self):
+        small = largest_pp_phase(512)
+        big = largest_pp_phase(64000)
+        assert big.llc_refs_per_memref > small.llc_refs_per_memref
+        assert big.reuse < small.reuse
+        assert big.memory_overlap > small.memory_overlap
+
+    def test_interference_workload_shape(self):
+        wl = interference_workload(8000, 6)
+        assert wl.n_processes == 6
+        assert all(p.n_threads == 1 for p in wl.processes)
+        assert wl.processes[0].program[0].wss_bytes == wss_of_molecules(8000)

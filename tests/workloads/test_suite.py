@@ -1,0 +1,61 @@
+"""Table 2 suite construction tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.suite import (
+    WORKLOAD_NAMES,
+    blas_workload,
+    table2_workloads,
+    workload_by_name,
+)
+
+
+class TestSuite:
+    def test_eight_workloads_in_paper_order(self):
+        assert WORKLOAD_NAMES == (
+            "BLAS-1", "BLAS-2", "BLAS-3",
+            "Water_sp", "Water_nsq", "Ocean_cp", "Raytrace", "Volrend",
+        )
+
+    def test_table2_builds_all(self):
+        workloads = table2_workloads()
+        assert list(workloads) == list(WORKLOAD_NAMES)
+        for name, wl in workloads.items():
+            assert wl.name == name
+            assert wl.n_processes > 0
+
+    def test_blas_workloads_have_96_processes(self):
+        for level in (1, 2, 3):
+            wl = blas_workload(level)
+            assert wl.n_processes == 96
+            assert wl.n_threads == 96  # single-threaded
+
+    def test_blas_interleaves_kernels(self):
+        wl = blas_workload(3)
+        first_four = [p.name for p in wl.processes[:4]]
+        assert len(set(first_four)) == 4  # one of each kernel
+
+    def test_process_counts_match_table2(self):
+        expect = {
+            "BLAS-1": 96, "BLAS-2": 96, "BLAS-3": 96,
+            "Water_sp": 12, "Water_nsq": 12,
+            "Ocean_cp": 48, "Raytrace": 48, "Volrend": 48,
+        }
+        for name, n in expect.items():
+            assert workload_by_name(name).n_processes == n
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError, match="BLAS-1"):
+            workload_by_name("PARSEC")
+
+    def test_bad_blas_level(self):
+        with pytest.raises(WorkloadError):
+            blas_workload(4)
+
+    def test_indivisible_process_count(self):
+        with pytest.raises(WorkloadError):
+            blas_workload(1, n_processes=97)
+
+    def test_workloads_are_fresh_instances(self):
+        assert workload_by_name("BLAS-1") is not workload_by_name("BLAS-1")

@@ -1,0 +1,99 @@
+"""Synthetic trace generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilerError
+from repro.mem.working_set import window_stats
+from repro.profiler.sampling import sample_windows
+from repro.workloads.tracegen import (
+    blocked_trace,
+    ocean_pp1_trace,
+    ocean_pp2_trace,
+    phased_trace,
+    streaming_trace,
+    water_pp1_trace,
+    water_pp2_trace,
+)
+
+
+class TestGenericGenerators:
+    def test_streaming_footprint_matches_accesses(self):
+        t = streaming_trace(1 << 26, n_accesses=80_000, stride=8)
+        s = window_stats(t.addresses)
+        # 8 accesses per line: footprint = accesses/8 lines
+        assert s.footprint_bytes == pytest.approx(80_000 / 8 * 64, rel=0.01)
+        assert s.wss_bytes == pytest.approx(s.footprint_bytes, rel=0.01)
+
+    def test_blocked_hot_set_is_block_sized(self):
+        block = 64 * 1024
+        t = blocked_trace(block, n_accesses=100_000, reuse_passes=8)
+        s = window_stats(t.addresses[: 8 * block // 8])
+        assert s.wss_bytes == pytest.approx(block, rel=0.05)
+
+    def test_blocked_requires_pass(self):
+        with pytest.raises(ProfilerError):
+            blocked_trace(1024, reuse_passes=0)
+
+    def test_requested_length_honoured(self):
+        for gen in (streaming_trace, blocked_trace):
+            assert len(gen(1 << 20, 12345)) == 12345
+
+
+class TestFigure12Generators:
+    @pytest.mark.parametrize(
+        "gen,inputs",
+        [
+            (water_pp1_trace, (8000, 64000)),
+            (water_pp2_trace, (8000, 64000)),
+            (ocean_pp1_trace, (514, 4098)),
+            (ocean_pp2_trace, (514, 4098)),
+        ],
+    )
+    def test_wss_grows_sublinearly_with_input(self, gen, inputs):
+        small, large = inputs
+        scale = large / small
+        wss = [
+            sample_windows(gen(n, n_accesses=1_200_000), 1_000_000).mean_wss_bytes
+            for n in inputs
+        ]
+        assert wss[1] > wss[0] * 1.02  # grows
+        assert wss[1] < wss[0] * scale  # sublinearly
+
+    def test_water_pp1_wss_order_of_magnitude(self):
+        wss = sample_windows(water_pp1_trace(8000), 1_000_000).mean_wss_bytes
+        assert 0.5e6 < wss < 5e6
+
+    def test_generators_are_deterministic(self):
+        a = water_pp1_trace(8000, n_accesses=100_000)
+        b = water_pp1_trace(8000, n_accesses=100_000)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_too_small_inputs_rejected(self):
+        with pytest.raises(ProfilerError):
+            water_pp1_trace(10)
+        with pytest.raises(ProfilerError):
+            ocean_pp1_trace(4)
+
+    def test_jmp_layout_emits_samples(self):
+        layout = {"inner_backedge": 0x1000, "outer_backedge": 0x2000}
+        t = water_pp1_trace(8000, n_accesses=100_000, jmp_layout=layout)
+        assert t.jmp_addresses is not None
+        vals = set(t.jmp_addresses.tolist())
+        assert vals == {0x1000, 0x2000}
+        # the inner backedge dominates
+        inner = (t.jmp_addresses == 0x1000).sum()
+        assert inner > len(t.jmp_addresses) / 2
+
+
+class TestPhasedTrace:
+    def test_phases_occupy_disjoint_regions(self):
+        t = phased_trace(
+            [("stream", 1 << 20, 1), ("stream", 1 << 20, 1)], accesses_per_phase=1000
+        )
+        first, second = t.addresses[:1000], t.addresses[1000:]
+        assert first.max() < second.min()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProfilerError):
+            phased_trace([("mmap", 1, 1)])

@@ -1,0 +1,57 @@
+"""Renderer trace generator tests (raytrace / volrend)."""
+
+import numpy as np
+import pytest
+
+from repro.core.progress_period import ReuseLevel
+from repro.errors import ProfilerError
+from repro.mem.working_set import reuse_level_of_ratio
+from repro.profiler.sampling import sample_windows
+from repro.workloads.tracegen import raytrace_trace, volrend_trace
+
+
+class TestRaytrace:
+    def test_high_reuse_signature(self):
+        profile = sample_windows(raytrace_trace(n_accesses=900_000), 300_000)
+        # BVH tops are re-walked by every ray: Table 2 calls raytrace high
+        assert reuse_level_of_ratio(profile.mean_reuse_ratio) is ReuseLevel.HIGH
+
+    def test_bigger_scene_bigger_working_set(self):
+        small = sample_windows(raytrace_trace(20_000, 900_000), 300_000)
+        big = sample_windows(raytrace_trace(200_000, 900_000), 300_000)
+        assert big.mean_wss_bytes > small.mean_wss_bytes
+
+    def test_deterministic(self):
+        a = raytrace_trace(n_accesses=50_000)
+        b = raytrace_trace(n_accesses=50_000)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_scene_size_validated(self):
+        with pytest.raises(ProfilerError):
+            raytrace_trace(n_scene_nodes=10)
+
+    def test_requested_length(self):
+        assert len(raytrace_trace(n_accesses=12_345)) == 12_345
+
+
+class TestVolrend:
+    def test_high_reuse_signature(self):
+        profile = sample_windows(volrend_trace(n_accesses=900_000), 300_000)
+        assert reuse_level_of_ratio(profile.mean_reuse_ratio) is ReuseLevel.HIGH
+
+    def test_bigger_volume_bigger_working_set(self):
+        small = sample_windows(volrend_trace(64, 900_000), 300_000)
+        big = sample_windows(volrend_trace(256, 900_000), 300_000)
+        assert big.mean_wss_bytes > small.mean_wss_bytes
+
+    def test_volume_tile_validated(self):
+        with pytest.raises(ProfilerError):
+            volrend_trace(volume_side=16, tile=16)
+
+    def test_requested_length(self):
+        assert len(volrend_trace(n_accesses=10_000)) == 10_000
+
+    def test_jmp_layout(self):
+        layout = {"inner_backedge": 0x100, "outer_backedge": 0x200}
+        t = volrend_trace(n_accesses=100_000, jmp_layout=layout)
+        assert t.jmp_addresses is not None and t.jmp_addresses.size > 0
