@@ -57,6 +57,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", type=policy_by_name, default=None,
         help="default | strict | compromise[:factor]",
     )
+    run_p.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the kernel sanitizer (fails on invariant violations)",
+    )
+
+    san_p = sub.add_parser(
+        "sanitize",
+        help="fuzz the scheduler with randomized adversarial workloads "
+        "under the runtime invariant checker",
+    )
+    san_p.add_argument("--seed", type=int, default=0, help="base seed")
+    san_p.add_argument(
+        "--runs", type=int, default=200, help="number of fuzz cases"
+    )
+    san_p.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new cases after this much wall-clock time",
+    )
+    san_p.add_argument(
+        "--configs", nargs="*", default=None,
+        help="policy configs to fuzz (default: all shipped configs)",
+    )
+    san_p.add_argument(
+        "-v", "--verbose", action="store_true", help="print per-case progress"
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="figures 7-10: every workload under every policy"
@@ -79,11 +104,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args) -> int:
     workload = workload_by_name(args.workload)
-    rep = run_workload(workload, args.policy)
+    rep = run_workload(workload, args.policy, sanitize=args.sanitize)
     policy_name = args.policy.name if args.policy else "Linux Default"
     print(f"# {args.workload} under {policy_name}")
     print(rep.describe())
+    if args.sanitize:
+        print("sanitizer: 0 violations")
     return 0
+
+
+def _cmd_sanitize(args) -> int:
+    from .sanitizer import FUZZ_CONFIGS, run_fuzz
+
+    names = [c[0] for c in FUZZ_CONFIGS]
+    if args.configs:
+        unknown = [c for c in args.configs if c not in names]
+        if unknown:
+            print(f"unknown config(s) {unknown}; available: {names}")
+            return 2
+
+    progress = None
+    if args.verbose:
+        def progress(run, outcome):
+            status = "ok" if outcome.ok else "FAIL"
+            print(
+                f"run {run} seed={outcome.seed} config={outcome.config:<16}"
+                f" events={outcome.events:<7} {status}"
+            )
+
+    report = run_fuzz(
+        seed=args.seed,
+        runs=args.runs,
+        time_budget_s=args.time_budget,
+        configs=args.configs or None,
+        progress=progress,
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -196,6 +253,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "fig":

@@ -14,6 +14,7 @@ whether that outcome is acceptable:
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -44,6 +45,15 @@ class SchedulingPolicy(ABC):
             resource: the targeted resource's capacity and current usage.
         """
 
+    def demand_bound(self, capacity_bytes: int) -> float:
+        """Upper bound the policy places on aggregate admitted demand.
+
+        The runtime sanitizer asserts that the resource monitor's usage
+        never exceeds this bound (excluding starvation-guard forced
+        admissions).  Policies without a hard ceiling return ``inf``.
+        """
+        return math.inf
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -61,6 +71,9 @@ class StrictPolicy(SchedulingPolicy):
 
     def allows(self, outcome_bytes: float, resource: ResourceState) -> bool:
         return outcome_bytes >= 0
+
+    def demand_bound(self, capacity_bytes: int) -> float:
+        return float(capacity_bytes)
 
 
 @dataclass(frozen=True)
@@ -86,6 +99,9 @@ class CompromisePolicy(SchedulingPolicy):
         # usage + demand <= x * capacity  <=>  outcome >= -(x-1) * capacity
         slack = (self.oversubscription - 1.0) * resource.capacity_bytes
         return outcome_bytes >= -slack
+
+    def demand_bound(self, capacity_bytes: int) -> float:
+        return self.oversubscription * capacity_bytes
 
 
 @dataclass(frozen=True)

@@ -139,6 +139,9 @@ class ProgressPeriod:
     begin_time: float = 0.0
     admit_time: Optional[float] = None
     end_time: Optional[float] = None
+    #: admitted by the starvation guard, bypassing the policy predicate —
+    #: such periods are exempt from the sanitizer's demand-bound invariant
+    forced: bool = False
 
     @property
     def demand_bytes(self) -> int:

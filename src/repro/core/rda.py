@@ -130,6 +130,7 @@ class RdaScheduler(SchedulingExtension):
         self.resources.increment_load(period.request)
         period.state = PeriodState.RUNNING
         period.admit_time = self._clock()
+        period.forced = True
         self.forced_admissions += 1
 
     def _rescue_starved(self) -> list:

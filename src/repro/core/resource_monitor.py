@@ -94,6 +94,10 @@ class ResourceMonitor:
 
     def __init__(self) -> None:
         self._table: Dict[ResourceKind, ResourceState] = {}
+        #: observers notified of every charge/release via
+        #: ``on_charge(request, bytes_added)`` / ``on_release(request,
+        #: bytes_removed)`` — the sanitizer's conservation ledger hooks here
+        self.observers: list = []
 
     def register(self, kind: ResourceKind, capacity_bytes: int) -> ResourceState:
         """Allocate the table entry for a resource."""
@@ -116,11 +120,17 @@ class ResourceMonitor:
 
     def increment_load(self, request: PeriodRequest) -> int:
         """``increment_load`` of Algorithm 1."""
-        return self.state(request.resource).charge(request)
+        added = self.state(request.resource).charge(request)
+        for observer in self.observers:
+            observer.on_charge(request, added)
+        return added
 
     def release_load(self, request: PeriodRequest) -> int:
         """Inverse of :meth:`increment_load`, applied at period completion."""
-        return self.state(request.resource).release(request)
+        removed = self.state(request.resource).release(request)
+        for observer in self.observers:
+            observer.on_release(request, removed)
+        return removed
 
     def snapshot(self) -> Dict[ResourceKind, tuple[int, int]]:
         """Mapping of resource → (usage, capacity), for reports and tests."""

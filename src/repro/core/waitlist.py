@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, Iterable, Optional
 
+from ..errors import ProgressPeriodError
 from .progress_period import ProgressPeriod, ResourceKind
 
 __all__ = ["Waitlist"]
@@ -35,7 +36,12 @@ class Waitlist:
 
     def park(self, period: ProgressPeriod) -> None:
         """Append a denied period to its resource's queue."""
-        self._queues.setdefault(period.resource, deque()).append(period)
+        q = self._queues.setdefault(period.resource, deque())
+        if period in q:
+            raise ProgressPeriodError(
+                f"period #{period.pp_id} is already on the waitlist"
+            )
+        q.append(period)
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues.values())
@@ -65,30 +71,39 @@ class Waitlist:
     ) -> list[ProgressPeriod]:
         """Admit waiters in FIFO order while the predicate accepts them.
 
-        Called when a progress period completes and frees capacity.  Walks
-        the whole queue once: every waiter the predicate now accepts is
-        removed and returned; the rest keep their relative order.  Scanning
-        past the first rejection lets a small period slip past a large head
-        waiter — the same choice the paper's prototype makes to keep cores
-        busy ("attempting to schedule any waiting threads previously blocked
-        due to resource constraints").
+        Called when a progress period completes and frees capacity.  Every
+        waiter the predicate accepts is removed and returned; the rest keep
+        their relative order.  Scanning past the first rejection lets a
+        small period slip past a large head waiter — the same choice the
+        paper's prototype makes to keep cores busy ("attempting to schedule
+        any waiting threads previously blocked due to resource constraints").
+
+        In non-FIFO mode the scan restarts from the head after each
+        admission: admitting a period can make an *earlier* waiter
+        admissible (its shared working set is now charged, so its marginal
+        demand drops to zero), which a single forward pass would strand
+        until the next completion.  Each admitted period is removed from
+        the queue before the scan resumes, so no period can be admitted
+        twice in one drain.
         """
         q = self._queues.get(resource)
         if not q:
             return []
         admitted: list[ProgressPeriod] = []
-        kept: Deque[ProgressPeriod] = deque()
-        while q:
-            period = q.popleft()
-            if admit(period):
-                admitted.append(period)
-            elif self.strict_fifo:
-                kept.append(period)
-                kept.extend(q)  # head blocked: everyone behind it waits too
-                q.clear()
-            else:
-                kept.append(period)
-        self._queues[resource] = kept
+        if self.strict_fifo:
+            # head blocked: everyone behind it waits too
+            while q and admit(q[0]):
+                admitted.append(q.popleft())
+            return admitted
+        rescan = True
+        while rescan:
+            rescan = False
+            for i, period in enumerate(q):
+                if admit(period):
+                    del q[i]  # removed before rescanning: no double admission
+                    admitted.append(period)
+                    rescan = True
+                    break
         return admitted
 
     def all_waiting(self) -> Iterable[ProgressPeriod]:

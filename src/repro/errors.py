@@ -17,6 +17,7 @@ __all__ = [
     "ResourceError",
     "ProfilerError",
     "WorkloadError",
+    "SanitizerError",
 ]
 
 
@@ -67,3 +68,7 @@ class ProfilerError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload definition is malformed."""
+
+
+class SanitizerError(ReproError):
+    """The kernel sanitizer detected one or more invariant violations."""

@@ -55,6 +55,11 @@ class RunResult:
     scheduler: Optional[RdaScheduler]
 
     @property
+    def sanitizer(self):
+        """The kernel's sanitizer, when the run was sanitized (else None)."""
+        return self.kernel.sanitizer
+
+    @property
     def wall_s(self) -> float:
         return self.report.wall_s
 
@@ -68,9 +73,12 @@ def run_workload(
     policy: Optional[SchedulingPolicy] = None,
     config: Optional[MachineConfig] = None,
     max_events: Optional[int] = 5_000_000,
+    sanitize: bool = False,
 ) -> PerfReport:
     """Run one workload to completion; returns the perf report."""
-    return run_workload_full(workload, policy, config, max_events).report
+    return run_workload_full(
+        workload, policy, config, max_events, sanitize=sanitize
+    ).report
 
 
 def run_workload_full(
@@ -79,16 +87,20 @@ def run_workload_full(
     config: Optional[MachineConfig] = None,
     max_events: Optional[int] = 5_000_000,
     arrival_offsets: Optional[Sequence[float]] = None,
+    sanitize: bool = False,
 ) -> RunResult:
     """Like :func:`run_workload` but keeps the kernel for inspection.
 
     Args:
         arrival_offsets: optional per-process spawn times (seconds); default
             launches everything at t=0.
+        sanitize: attach the runtime invariant checker
+            (:mod:`repro.sanitizer`); the run raises
+            :class:`~repro.errors.SanitizerError` on any violation.
     """
     config = config or default_machine_config()
     scheduler = RdaScheduler(policy=policy, config=config) if policy else None
-    kernel = Kernel(config=config, extension=scheduler)
+    kernel = Kernel(config=config, extension=scheduler, sanitize=sanitize)
     stat = PerfStat(kernel)
     if arrival_offsets is None:
         kernel.launch(workload)

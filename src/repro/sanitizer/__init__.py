@@ -1,0 +1,49 @@
+"""Runtime invariant checking for the simulated kernel ("KSAN").
+
+The paper's correctness claims — Strict never oversubscribes the LLC, the
+waitlist guarantees no starvation, pause/wake on the kernel wait queue never
+loses a wakeup (§3.1, §3.4) — are enforced implicitly by the scheduler
+implementation.  This package turns them into an explicit runtime oracle: a
+pluggable registry of :class:`InvariantChecker` instances observing the
+kernel's trace-event stream, engine quiescent points, and the resource
+monitor's charge/release ledger, each producing structured
+:class:`Violation` reports when an invariant breaks.
+
+See ``docs/SANITIZER.md`` for the invariant catalogue and
+:mod:`repro.sanitizer.fuzz` for the randomized scheduler fuzzing harness.
+"""
+
+from .invariants import (
+    CHECKERS,
+    ConservationChecker,
+    DemandBoundChecker,
+    DispatchOverlapChecker,
+    InvariantChecker,
+    LostWakeupChecker,
+    QueueExclusivityChecker,
+    default_checkers,
+    register_checker,
+)
+from .fuzz import FUZZ_CONFIGS, FuzzOutcome, FuzzReport, build_case, run_case, run_fuzz
+from .sanitizer import KernelSanitizer
+from .violations import Violation
+
+__all__ = [
+    "KernelSanitizer",
+    "Violation",
+    "InvariantChecker",
+    "DemandBoundChecker",
+    "LostWakeupChecker",
+    "QueueExclusivityChecker",
+    "DispatchOverlapChecker",
+    "ConservationChecker",
+    "CHECKERS",
+    "register_checker",
+    "default_checkers",
+    "FUZZ_CONFIGS",
+    "FuzzOutcome",
+    "FuzzReport",
+    "build_case",
+    "run_case",
+    "run_fuzz",
+]

@@ -1,0 +1,319 @@
+"""Randomized scheduler fuzzing: adversarial PP mixes under the sanitizer.
+
+Each seeded run generates a small machine plus a workload built to stress
+the admission machinery — oversized working sets (larger than the LLC),
+near-zero-length periods, mis-annotated demands, shared working sets,
+bursty arrivals, barriers, and a mix of annotated and unannotated
+processes — then executes it under every shipped policy configuration with
+a :class:`~repro.sanitizer.KernelSanitizer` attached.  Any invariant
+violation is a scheduler bug (or a checker bug); either way the structured
+report pins it to a seed that reproduces it deterministically.
+
+A slice of the demand space is derived from real synthetic address traces
+(:mod:`repro.workloads.tracegen` measured by the §2.4 window statistics),
+so the fuzzer also exercises demands with the structure of the paper's
+workloads rather than only uniform noise.
+
+Entry points: :func:`run_fuzz` (library), ``python -m repro sanitize``
+(CLI), ``tests/sanitizer/test_fuzz.py`` (CI).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..config import CacheConfig, CpuConfig, MachineConfig
+from ..core.policy import CompromisePolicy, SchedulingPolicy, StrictPolicy
+from ..core.rda import RdaScheduler
+from ..sim.kernel import Kernel
+from ..units import kib
+from ..workloads.base import (
+    Phase,
+    PpSpec,
+    ProcessSpec,
+    Workload,
+    barrier_phase,
+)
+from ..workloads.tracegen import blocked_trace, streaming_trace
+from .sanitizer import KernelSanitizer
+from .violations import Violation
+
+__all__ = [
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzReport",
+    "FUZZ_CONFIGS",
+    "fuzz_machine",
+    "fuzz_workload",
+    "run_fuzz",
+]
+
+#: the policy × waitlist-mode grid every fuzz case runs under
+FUZZ_CONFIGS: Sequence[tuple[str, Optional[Callable[[], SchedulingPolicy]], bool]] = (
+    ("default", None, False),
+    ("strict", StrictPolicy, False),
+    ("strict+fifo", StrictPolicy, True),
+    ("compromise", CompromisePolicy, False),
+    ("compromise+fifo", CompromisePolicy, True),
+)
+
+#: safety valve per simulation — a livelock shows up as a violation report
+_MAX_EVENTS = 400_000
+
+
+@lru_cache(maxsize=1)
+def _trace_derived_demands() -> tuple[tuple[int, float], ...]:
+    """(wss_bytes, reuse) pairs measured from tracegen address streams.
+
+    Small traces through the §2.4 window statistics give the fuzzer demand
+    shapes with the structure of real codes (streaming sweeps, blocked
+    reuse) instead of uniform noise.  Cached: the measurement is the same
+    every run.
+    """
+    from ..mem.working_set import window_stats
+
+    pairs = []
+    for trace in (
+        streaming_trace(kib(256), n_accesses=40_000),
+        blocked_trace(kib(64), n_accesses=40_000, reuse_passes=8),
+        blocked_trace(kib(512), n_accesses=40_000, reuse_passes=3),
+    ):
+        stats = window_stats(trace.addresses)
+        reuse = min(1.0, max(0.0, 1.0 - 1.0 / max(stats.reuse_ratio, 1.0)))
+        pairs.append((max(stats.wss_bytes, 4096), reuse))
+    return tuple(pairs)
+
+
+def fuzz_machine(rng: np.random.Generator) -> MachineConfig:
+    """A small randomized machine: 2–4 cores, 256 KiB–2 MiB LLC."""
+    return MachineConfig(
+        cpu=CpuConfig(n_cores=int(rng.integers(2, 5))),
+        llc=CacheConfig(
+            "L3-Shared",
+            kib(int(rng.choice([256, 512, 1024, 2048]))),
+            associativity=16,
+            shared=True,
+        ),
+    )
+
+
+def _fuzz_phase(
+    rng: np.random.Generator, llc_capacity: int, index: int
+) -> Phase:
+    """One adversarial compute phase."""
+    kind = rng.random()
+    if kind < 0.10:
+        # near-zero-length period: admission/release churn dominates
+        instructions = int(rng.integers(1, 50))
+    else:
+        instructions = int(10 ** rng.uniform(4.0, 5.7))
+    if rng.random() < 0.25:
+        wss, reuse = _trace_derived_demands()[
+            int(rng.integers(len(_trace_derived_demands())))
+        ]
+        wss = min(wss, 2 * llc_capacity)
+    else:
+        # log-uniform from 4 KiB up to 2x the LLC (oversized WSS included)
+        wss = int(10 ** rng.uniform(np.log10(4096), np.log10(2 * llc_capacity)))
+        reuse = float(rng.random())
+    declare = rng.random() < 0.75  # mixed annotated / unannotated
+    declared = None
+    if declare:
+        roll = rng.random()
+        if roll < 0.10:
+            declared = 0  # zero-demand declaration
+        elif roll < 0.35:
+            # mis-annotation: declared demand off by 0.25x–4x
+            declared = max(0, int(wss * 4 ** rng.uniform(-1.0, 1.0)))
+    return Phase(
+        name=f"fz{index}",
+        instructions=instructions,
+        flops_per_instr=float(rng.uniform(0.0, 2.0)),
+        mem_refs_per_instr=float(rng.uniform(0.1, 0.5)),
+        llc_refs_per_memref=float(rng.uniform(0.02, 0.3)),
+        wss_bytes=wss,
+        reuse=reuse,
+        pp=PpSpec(demand_bytes=declared) if declare else None,
+        shared=bool(rng.random() < 0.3),
+    )
+
+
+def fuzz_workload(
+    rng: np.random.Generator, machine: MachineConfig
+) -> tuple[Workload, list[float]]:
+    """An adversarial workload plus bursty per-process arrival offsets."""
+    llc = machine.llc_capacity
+    n_processes = int(rng.integers(2, 6))
+    specs = []
+    for p in range(n_processes):
+        n_threads = int(rng.integers(1, 4))
+        n_phases = int(rng.integers(1, 5))
+        program: list[Phase] = []
+        for k in range(n_phases):
+            program.append(_fuzz_phase(rng, llc, k))
+            # barriers sit between periods (§3.4 forbids sync inside one)
+            if n_threads > 1 and k < n_phases - 1 and rng.random() < 0.4:
+                program.append(barrier_phase(f"bar{k}"))
+        specs.append(
+            ProcessSpec(
+                name=f"fuzz{p}",
+                program=program,
+                n_threads=n_threads,
+                nice=int(rng.integers(-5, 6)),
+            )
+        )
+    # bursty arrivals: processes land in a few tight clusters
+    n_bursts = int(rng.integers(1, 4))
+    burst_times = np.sort(rng.uniform(0.0, 5e-3, n_bursts))
+    offsets = [
+        float(burst_times[int(rng.integers(n_bursts))] + rng.uniform(0, 50e-6))
+        for _ in specs
+    ]
+    return Workload(name="fuzz", processes=specs), offsets
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (machine, workload, arrivals) triple."""
+
+    seed: int
+    machine: MachineConfig
+    workload: Workload
+    offsets: Sequence[float]
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Result of one fuzz case under one policy configuration."""
+
+    seed: int
+    config: str
+    violations: tuple[Violation, ...]
+    events: int
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.error
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of a fuzz campaign."""
+
+    outcomes: list[FuzzOutcome] = field(default_factory=list)
+    runs: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def failures(self) -> list[FuzzOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def n_violations(self) -> int:
+        return sum(len(o.violations) for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        n_configs = len({o.config for o in self.outcomes}) or len(FUZZ_CONFIGS)
+        lines = [
+            f"fuzz: {self.runs} run(s) x {n_configs} configs = "
+            f"{len(self.outcomes)} simulations in {self.wall_s:.1f}s — "
+            f"{self.n_violations} violation(s), "
+            f"{sum(1 for o in self.outcomes if o.error)} error(s)"
+        ]
+        for o in self.failures:
+            lines.append(f"-- seed={o.seed} config={o.config}")
+            if o.error:
+                lines.append(f"   error: {o.error}")
+            for v in o.violations:
+                lines.append("   " + v.describe().replace("\n", "\n   "))
+        return "\n".join(lines)
+
+
+def build_case(seed: int) -> FuzzCase:
+    """Deterministically generate the fuzz case for one seed."""
+    rng = np.random.default_rng(seed)
+    machine = fuzz_machine(rng)
+    workload, offsets = fuzz_workload(rng, machine)
+    return FuzzCase(seed=seed, machine=machine, workload=workload, offsets=offsets)
+
+
+def run_case(case: FuzzCase, config_name: str) -> FuzzOutcome:
+    """Run one fuzz case under one named policy configuration."""
+    for name, policy_factory, strict_fifo in FUZZ_CONFIGS:
+        if name == config_name:
+            break
+    else:
+        raise ValueError(f"unknown fuzz config {config_name!r}")
+    scheduler = (
+        RdaScheduler(
+            policy=policy_factory(),
+            config=case.machine,
+            strict_fifo_waitlist=strict_fifo,
+        )
+        if policy_factory is not None
+        else None
+    )
+    sanitizer = KernelSanitizer(strict=False)
+    kernel = Kernel(config=case.machine, extension=scheduler, sanitize=sanitizer)
+    for spec, offset in zip(case.workload.processes, case.offsets):
+        kernel.spawn(spec, at=offset)
+    error = ""
+    try:
+        kernel.run(max_events=_MAX_EVENTS)
+    except Exception as exc:  # a crash is as much a finding as a violation
+        error = f"{type(exc).__name__}: {exc}"
+    sanitizer.finalize()
+    return FuzzOutcome(
+        seed=case.seed,
+        config=config_name,
+        violations=tuple(sanitizer.violations),
+        events=kernel.engine.events_processed,
+        error=error,
+    )
+
+
+def run_fuzz(
+    seed: int = 0,
+    runs: int = 200,
+    time_budget_s: Optional[float] = None,
+    configs: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[int, FuzzOutcome], None]] = None,
+) -> FuzzReport:
+    """Run a seeded fuzz campaign; returns the aggregate report.
+
+    Args:
+        seed: base seed; run ``i`` uses seed ``seed + i`` (reproducible
+            individually via :func:`build_case`).
+        runs: number of generated cases (each runs under every config).
+        time_budget_s: optional wall-clock cap — stop starting new cases
+            once exceeded (the CI smoke job uses 60 s).
+        configs: subset of :data:`FUZZ_CONFIGS` names; default all.
+        progress: optional callback ``(run_index, outcome)``.
+    """
+    names = (
+        [c[0] for c in FUZZ_CONFIGS] if configs is None else list(configs)
+    )
+    report = FuzzReport()
+    started = time.monotonic()
+    for i in range(runs):
+        if time_budget_s is not None and time.monotonic() - started > time_budget_s:
+            break
+        case = build_case(seed + i)
+        for name in names:
+            outcome = run_case(case, name)
+            report.outcomes.append(outcome)
+            if progress is not None:
+                progress(i, outcome)
+        report.runs = i + 1
+    report.wall_s = time.monotonic() - started
+    return report

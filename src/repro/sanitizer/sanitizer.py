@@ -1,0 +1,165 @@
+"""The sanitizer facade: wires checkers into a kernel and collects reports.
+
+Usage — either let the kernel build one::
+
+    kernel = Kernel(extension=scheduler, sanitize=True)
+    kernel.launch(workload)
+    kernel.run()  # raises SanitizerError on any violation
+
+or attach an explicit instance to collect violations without raising::
+
+    san = KernelSanitizer(strict=False)
+    kernel = Kernel(extension=scheduler, sanitize=san)
+    kernel.launch(workload)
+    kernel.run()
+    assert san.ok, san.summary()
+
+The sanitizer subscribes to three observation points:
+
+* ``kernel.observers`` — every trace event (``on_kernel_event``),
+* ``kernel.engine.post_event_hooks`` — quiescent points after each engine
+  event, where global state must be self-consistent,
+* ``scheduler.resources.observers`` — the charge/release ledger of the
+  resource monitor (when an RDA extension is attached).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from ..core.progress_period import PeriodRequest
+from ..errors import SanitizerError
+from ..sim.tracing import TraceEvent
+from .invariants import InvariantChecker, default_checkers
+from .violations import Violation
+
+__all__ = ["KernelSanitizer"]
+
+#: hard cap on collected violations (a broken invariant can fire per event)
+_MAX_VIOLATIONS = 1000
+
+
+class KernelSanitizer:
+    """Runtime invariant checking for a simulated kernel.
+
+    Args:
+        checkers: checker instances to run; defaults to one of each
+            registered checker (see :data:`repro.sanitizer.CHECKERS`).
+        window: how many recent trace events each violation report carries.
+        strict: when True, :meth:`Kernel.run` raises
+            :class:`~repro.errors.SanitizerError` at the end of a completed
+            simulation if any violation was recorded; when False the caller
+            inspects :attr:`violations` itself (the fuzzer's mode).
+    """
+
+    def __init__(
+        self,
+        checkers: Optional[Sequence[InvariantChecker]] = None,
+        window: int = 16,
+        strict: bool = True,
+    ) -> None:
+        self.checkers = (
+            list(checkers) if checkers is not None else default_checkers()
+        )
+        self.window: deque = deque(maxlen=window)
+        self.violations: list[Violation] = []
+        self.dropped = 0
+        self.strict = strict
+        self.kernel = None
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, kernel) -> "KernelSanitizer":
+        """Subscribe to a kernel's event stream, engine and resource table."""
+        if self.kernel is not None:
+            raise SanitizerError("sanitizer is already attached to a kernel")
+        self.kernel = kernel
+        kernel.observers.append(self)
+        kernel.engine.post_event_hooks.append(self.on_quiescent)
+        resources = getattr(kernel.extension, "resources", None)
+        if resources is not None:
+            resources.observers.append(self)
+        for checker in self.checkers:
+            checker.bind(self)
+        return self
+
+    @property
+    def scheduler(self):
+        """The attached RDA extension, or None under the default policy."""
+        extension = self.kernel.extension if self.kernel is not None else None
+        if extension is not None and hasattr(extension, "resources"):
+            return extension
+        return None
+
+    # ------------------------------------------------------------------
+    # observation fan-out
+    # ------------------------------------------------------------------
+    def on_kernel_event(self, kernel, event: TraceEvent) -> None:
+        self.window.append(event)
+        for checker in self.checkers:
+            checker.on_event(event)
+
+    def on_quiescent(self, now: float) -> None:
+        for checker in self.checkers:
+            checker.on_quiescent(now)
+
+    def on_charge(self, request: PeriodRequest, added_bytes: int) -> None:
+        for checker in self.checkers:
+            checker.on_charge(request, added_bytes)
+
+    def on_release(self, request: PeriodRequest, removed_bytes: int) -> None:
+        for checker in self.checkers:
+            checker.on_release(request, removed_bytes)
+
+    def finalize(self) -> list[Violation]:
+        """Run end-of-simulation checks (idempotent); returns violations."""
+        if not self._finalized:
+            self._finalized = True
+            now = self.kernel.now if self.kernel is not None else 0.0
+            for checker in self.checkers:
+                checker.finalize(now)
+        return self.violations
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(
+        self, invariant: str, message: str, tid: Optional[int] = None
+    ) -> None:
+        """Record one violation with the current event window attached."""
+        if len(self.violations) >= _MAX_VIOLATIONS:
+            self.dropped += 1
+            return
+        self.violations.append(
+            Violation(
+                invariant=invariant,
+                time_s=self.kernel.now if self.kernel is not None else 0.0,
+                message=message,
+                tid=tid,
+                window=tuple(self.window),
+            )
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` if any violation was recorded."""
+        if self.violations:
+            raise SanitizerError(self.summary())
+
+    def summary(self) -> str:
+        """Human-readable digest of everything found (or a clean bill)."""
+        if not self.violations:
+            return "sanitizer: 0 violations"
+        lines = [
+            f"sanitizer: {len(self.violations)} invariant violation(s)"
+            + (f" (+{self.dropped} dropped)" if self.dropped else "")
+        ]
+        for v in self.violations:
+            lines.append(v.describe())
+        return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Structured invariant-violation reports.
+
+A :class:`Violation` pins one broken invariant to a simulated instant, the
+thread involved, and the window of kernel trace events leading up to it —
+enough context to replay and debug a scheduler regression without rerunning
+the simulation under a debugger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..sim.tracing import TraceEvent
+
+__all__ = ["Violation"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    invariant: str
+    time_s: float
+    message: str
+    tid: Optional[int] = None
+    #: most recent kernel trace events at detection time (oldest first)
+    window: Sequence[TraceEvent] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        who = f" tid={self.tid}" if self.tid is not None else ""
+        lines = [f"[{self.invariant}] t={self.time_s:.9f}s{who}: {self.message}"]
+        if self.window:
+            lines.append("  recent events:")
+            for e in self.window:
+                core = "-" if e.core is None else e.core
+                detail = f" {e.detail}" if e.detail else ""
+                lines.append(
+                    f"    t={e.time_s:.9f} {e.kind.value} tid={e.tid} "
+                    f"core={core}{detail}"
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

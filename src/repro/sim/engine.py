@@ -71,6 +71,10 @@ class Engine:
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
+        #: callbacks invoked as ``hook(now)`` after every event callback
+        #: returns — the state between events is quiescent, which is where
+        #: observers (e.g. the kernel sanitizer) can check global invariants
+        self.post_event_hooks: list[Callable[[float], Any]] = []
 
     @property
     def now(self) -> float:
@@ -120,6 +124,8 @@ class Engine:
             handle.cancel()  # consumed
             self.events_processed += 1
             callback(*args)
+            for hook in self.post_event_hooks:
+                hook(self._now)
             return True
         return False
 

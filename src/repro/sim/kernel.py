@@ -39,7 +39,7 @@ from .cfs import CfsScheduler
 from .engine import Engine, EventHandle
 from .machine import Machine
 from .process import Process, Thread, ThreadState
-from .tracing import TraceKind
+from .tracing import TraceEvent, TraceKind
 from .waitqueue import WaitQueue
 
 __all__ = ["AdmissionDecision", "SchedulingExtension", "Kernel"]
@@ -98,6 +98,7 @@ class Kernel:
         extension: Optional[SchedulingExtension] = None,
         machine: Optional[Machine] = None,
         governor=None,
+        sanitize=False,
     ) -> None:
         self.config = config or default_machine_config()
         self.engine = engine or Engine()
@@ -121,6 +122,18 @@ class Kernel:
         #: optional KernelTracer recording scheduling events
         self.tracer = None
         self._launch_seq = 0
+        #: observers receiving every trace event via ``on_kernel_event``
+        #: (the sanitizer subscribes here; see :mod:`repro.sanitizer`)
+        self.observers: list = []
+        #: runtime invariant checker, when ``sanitize`` was requested
+        self.sanitizer = None
+        if sanitize:
+            from ..sanitizer import KernelSanitizer
+
+            self.sanitizer = (
+                sanitize if isinstance(sanitize, KernelSanitizer) else KernelSanitizer()
+            )
+            self.sanitizer.attach(self)
 
     # ==================================================================
     # public API
@@ -154,6 +167,10 @@ class Kernel:
             raise SimulationError(
                 "simulation stalled with live threads:\n" + self.diagnose()
             )
+        if self.sanitizer is not None and self.all_exited:
+            self.sanitizer.finalize()
+            if self.sanitizer.strict:
+                self.sanitizer.check()
 
     @property
     def all_exited(self) -> bool:
@@ -168,10 +185,19 @@ class Kernel:
         self._accrue(self.engine.now)
 
     def _emit(self, kind, thread: Thread, detail: str = "") -> None:
+        if self.tracer is None and not self.observers:
+            return
+        event = TraceEvent(
+            time_s=self.engine.now,
+            kind=kind,
+            tid=thread.tid,
+            core=thread.core,
+            detail=detail,
+        )
         if self.tracer is not None:
-            self.tracer.emit(
-                self.engine.now, kind, thread.tid, core=thread.core, detail=detail
-            )
+            self.tracer.record(event)
+        for observer in self.observers:
+            observer.on_kernel_event(self, event)
 
     def diagnose(self) -> str:
         """Describe where every live thread is stuck (deadlock forensics)."""

@@ -22,7 +22,13 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["TraceKind", "TraceEvent", "KernelTracer", "render_timeline"]
+__all__ = [
+    "TraceKind",
+    "TraceEvent",
+    "KernelTracer",
+    "render_timeline",
+    "serialize_trace",
+]
 
 
 class TraceKind(enum.Enum):
@@ -64,12 +70,16 @@ class KernelTracer:
         core: Optional[int] = None,
         detail: str = "",
     ) -> None:
+        self.record(
+            TraceEvent(time_s=time_s, kind=kind, tid=tid, core=core, detail=detail)
+        )
+
+    def record(self, event: TraceEvent) -> None:
+        """Append an already-built event (the kernel's emission path)."""
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1
             return
-        self.events.append(
-            TraceEvent(time_s=time_s, kind=kind, tid=tid, core=core, detail=detail)
-        )
+        self.events.append(event)
 
     def of_kind(self, kind: TraceKind) -> list[TraceEvent]:
         return [e for e in self.events if e.kind is kind]
@@ -79,6 +89,26 @@ class KernelTracer:
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+def serialize_trace(tracer: KernelTracer) -> str:
+    """Canonical, byte-stable text form of a trace (golden-file regression).
+
+    Thread ids are global counters, so their absolute values depend on how
+    many simulations ran earlier in the process; events relabel tids by
+    first appearance (``t0``, ``t1``, …) so two identical runs serialize
+    identically regardless of history.  Times use ``repr`` (exact float
+    round-trip), making any semantic drift in the scheduler — a different
+    decision, a shifted timestamp — a visible diff.
+    """
+    alias: dict[int, str] = {}
+    lines = []
+    for e in tracer.events:
+        tid = alias.setdefault(e.tid, f"t{len(alias)}")
+        core = "-" if e.core is None else str(e.core)
+        detail = f" {e.detail}" if e.detail else ""
+        lines.append(f"{e.time_s!r} {e.kind.value} {tid} core={core}{detail}")
+    return "\n".join(lines) + "\n"
 
 
 def _occupancy(tracer: KernelTracer, n_cores: int, end_time: float):

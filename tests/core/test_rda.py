@@ -92,6 +92,46 @@ class TestStarvationGuard:
         with pytest.raises(SimulationError, match="stalled"):
             kernel.run(max_events=1_000_000)
 
+    def test_forced_periods_carry_the_forced_flag(self, paper_machine):
+        """Guard admissions are marked so the sanitizer can exempt them."""
+        huge = make_phase(wss_mb=100.0)
+        kernel, sched = run_kernel(
+            make_workload(n_processes=2, phases=[huge]), config=paper_machine
+        )
+        forced = [p for p in sched.monitor.history if p.forced]
+        assert len(forced) == sched.forced_admissions >= 1
+        assert all(p.state is PeriodState.COMPLETED for p in forced)
+
+    def test_mis_annotated_period_runs_under_sanitizer(self, paper_machine):
+        """A demand larger than the LLC must run (not deadlock) and the
+        forced admission must not count against the demand-bound invariant."""
+        huge = make_phase(wss_mb=100.0)  # declared demand > whole LLC
+        scheduler = RdaScheduler(policy=StrictPolicy(), config=paper_machine)
+        kernel = Kernel(config=paper_machine, extension=scheduler, sanitize=True)
+        kernel.launch(make_workload(n_processes=3, phases=[huge]))
+        kernel.run(max_events=2_000_000)  # strict sanitizer: raises if dirty
+        assert kernel.all_exited
+        assert scheduler.forced_admissions >= 1
+        assert kernel.sanitizer.ok
+
+    def test_rescue_after_release_forces_waiting_head(self, paper_machine):
+        """A fitting period runs first; once it completes and the resource
+        drains to idle, _rescue_starved force-admits the oversized waiter."""
+        from repro.workloads.base import ProcessSpec, Workload
+
+        wl = Workload(
+            name="rescue",
+            processes=[
+                ProcessSpec(name="fits", program=[make_phase(wss_mb=4.0)]),
+                ProcessSpec(name="huge", program=[make_phase(wss_mb=100.0)]),
+            ],
+        )
+        kernel, sched = run_kernel(wl, config=paper_machine)
+        assert kernel.all_exited
+        assert sched.forced_admissions >= 1
+        huge = next(p for p in sched.monitor.history if p.demand_bytes > 50e6)
+        assert huge.forced and huge.waited_s > 0  # denied first, rescued later
+
 
 class TestUninstrumentedProcesses:
     def test_plain_processes_ignore_extension(self):

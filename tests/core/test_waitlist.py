@@ -11,9 +11,14 @@ from repro.core.progress_period import (
 from repro.core.waitlist import Waitlist
 
 
-def period(demand=100):
+from repro.errors import ProgressPeriodError
+
+
+def period(demand=100, key=None):
     return ProgressPeriod(
-        request=PeriodRequest(ResourceKind.LLC, demand, ReuseLevel.LOW),
+        request=PeriodRequest(
+            ResourceKind.LLC, demand, ReuseLevel.LOW, sharing_key=key
+        ),
         owner=object(),
     )
 
@@ -93,6 +98,85 @@ class TestStrictFifo:
         )
         assert admitted == parked[:2]
         assert list(wl.all_waiting()) == parked[2:]
+
+
+class TestRescanRegression:
+    """drain_admissible (non-FIFO) re-scans from the head after each
+    admission: admitting a period can make an *earlier* waiter admissible."""
+
+    def test_admission_order_pinned(self):
+        """Regression: exact order for a budgeted drain is part of the API."""
+        wl = Waitlist()
+        for d in (700, 500, 300, 200):
+            wl.park(period(d))
+        budget = {"left": 1000}
+
+        def admit(p):
+            if p.demand_bytes <= budget["left"]:
+                budget["left"] -= p.demand_bytes
+                return True
+            return False
+
+        admitted = wl.drain_admissible(ResourceKind.LLC, admit)
+        assert [p.demand_bytes for p in admitted] == [700, 300]
+        assert [p.demand_bytes for p in wl.all_waiting()] == [500, 200]
+
+    def test_rescan_unlocks_earlier_shared_waiter(self):
+        """Admitting a later waiter charges its sharing key, which drops an
+        earlier same-key waiter's marginal demand to zero.  A single forward
+        pass would strand the earlier waiter until the next completion."""
+        wl = Waitlist()
+        early = period(900, key="ws")  # too big for the budget on its own
+        late = period(50, key="ws")  # fits, and charges the shared set
+        wl.park(early)
+        wl.park(late)
+        budget = {"left": 100}
+        charged: set = set()
+
+        def admit(p):
+            marginal = 0 if p.request.sharing_key in charged else p.demand_bytes
+            if marginal <= budget["left"]:
+                budget["left"] -= marginal
+                if p.request.sharing_key is not None:
+                    charged.add(p.request.sharing_key)
+                return True
+            return False
+
+        admitted = wl.drain_admissible(ResourceKind.LLC, admit)
+        assert admitted == [late, early]
+        assert len(wl) == 0
+
+    def test_no_double_admission_in_one_drain(self):
+        wl = Waitlist()
+        parked = [period(d) for d in (10, 20, 30, 40, 50)]
+        for p in parked:
+            wl.park(p)
+        admitted = wl.drain_admissible(ResourceKind.LLC, lambda p: True)
+        assert admitted == parked  # each exactly once, arrival order
+        assert len(set(map(id, admitted))) == len(parked)
+        assert len(wl) == 0
+
+    def test_rejected_waiter_not_reexamined_forever(self):
+        """The rescan loop terminates even when the predicate keeps saying
+        no — each restart must be caused by an actual admission."""
+        wl = Waitlist()
+        for d in (900, 800):
+            wl.park(period(d))
+        calls = {"n": 0}
+
+        def admit(p):
+            calls["n"] += 1
+            return False
+
+        assert wl.drain_admissible(ResourceKind.LLC, admit) == []
+        assert calls["n"] == 2  # one look at each waiter, then stop
+
+    def test_duplicate_park_raises(self):
+        wl = Waitlist()
+        p = period()
+        wl.park(p)
+        with pytest.raises(ProgressPeriodError, match="already on the waitlist"):
+            wl.park(p)
 
 
 class TestRemoval:

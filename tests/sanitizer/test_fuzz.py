@@ -1,0 +1,146 @@
+"""Fuzzing-harness tests: the campaign is clean, seeded, and reproducible.
+
+The headline test runs a 250-simulation campaign (50 seeds x the full
+Strict/Compromise x strict_fifo-on/off grid plus the default policy) and
+requires zero invariant violations and zero crashes — the scheduler
+withstands oversized working sets, near-zero-length periods, mis-annotated
+demands, bursty arrivals and mixed annotated/unannotated processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sanitizer import (
+    FUZZ_CONFIGS,
+    FuzzOutcome,
+    FuzzReport,
+    Violation,
+    build_case,
+    run_case,
+    run_fuzz,
+)
+from repro.sanitizer.fuzz import fuzz_machine, fuzz_workload
+from repro.units import kib
+from repro.workloads.base import PhaseKind
+
+import numpy as np
+
+
+class TestCampaign:
+    def test_250_simulations_zero_violations(self):
+        # 50 seeds x 5 configs = 250 sanitized simulations (>= the 200
+        # the acceptance bar asks for; the CLI default runs 200 seeds).
+        report = run_fuzz(seed=0, runs=50)
+        assert report.runs == 50
+        assert len(report.outcomes) == 50 * len(FUZZ_CONFIGS)
+        assert report.n_violations == 0
+        assert not any(o.error for o in report.outcomes)
+        assert report.ok, report.describe()
+
+    def test_grid_covers_both_policies_and_fifo_modes(self):
+        names = {c[0] for c in FUZZ_CONFIGS}
+        assert {"strict", "strict+fifo", "compromise", "compromise+fifo"} <= names
+
+    def test_progress_callback_sees_every_outcome(self):
+        seen = []
+        run_fuzz(seed=7, runs=2, progress=lambda i, o: seen.append((i, o.config)))
+        assert len(seen) == 2 * len(FUZZ_CONFIGS)
+        assert {i for i, _ in seen} == {0, 1}
+
+    def test_time_budget_stops_early(self):
+        report = run_fuzz(seed=0, runs=10_000, time_budget_s=0.2)
+        assert report.runs < 10_000
+        assert report.wall_s >= 0.2
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        a, b = build_case(42), build_case(42)
+        assert a.machine == b.machine
+        assert a.offsets == b.offsets
+        assert [p.name for p in a.workload.processes] == [
+            p.name for p in b.workload.processes
+        ]
+        assert [
+            (ph.name, ph.instructions, ph.wss_bytes)
+            for p in a.workload.processes
+            for ph in p.program
+        ] == [
+            (ph.name, ph.instructions, ph.wss_bytes)
+            for p in b.workload.processes
+            for ph in p.program
+        ]
+
+    def test_same_case_same_outcome(self):
+        case = build_case(3)
+        a = run_case(case, "strict")
+        b = run_case(case, "strict")
+        assert a.events == b.events
+        assert a.ok and b.ok
+
+    def test_different_seeds_differ(self):
+        a, b = build_case(0), build_case(1)
+        assert (
+            a.machine != b.machine
+            or [p.n_threads for p in a.workload.processes]
+            != [p.n_threads for p in b.workload.processes]
+            or a.offsets != b.offsets
+        )
+
+
+class TestGenerator:
+    def test_machine_within_advertised_ranges(self):
+        for seed in range(20):
+            m = fuzz_machine(np.random.default_rng(seed))
+            assert 2 <= m.cpu.n_cores <= 4
+            assert kib(256) <= m.llc_capacity <= kib(2048)
+
+    def test_workload_exercises_adversarial_corpus(self):
+        """Across seeds the generator emits every adversarial ingredient."""
+        oversized = tiny = unannotated = shared = barriers = multi = 0
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            machine = fuzz_machine(rng)
+            wl, offsets = fuzz_workload(rng, machine)
+            assert len(offsets) == wl.n_processes
+            for spec in wl.processes:
+                multi += spec.n_threads > 1
+                for ph in spec.program:
+                    if ph.kind is PhaseKind.BARRIER:
+                        barriers += 1
+                        continue
+                    oversized += ph.wss_bytes > machine.llc_capacity
+                    tiny += ph.instructions < 50
+                    unannotated += ph.pp is None
+                    shared += ph.shared
+        assert min(oversized, tiny, unannotated, shared, barriers, multi) > 0
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError, match="unknown fuzz config"):
+            run_case(build_case(0), "no-such-config")
+
+
+class TestReportShapes:
+    def test_outcome_ok_requires_no_violations_and_no_error(self):
+        v = Violation(invariant="conservation", time_s=0.0, message="m")
+        assert FuzzOutcome(seed=1, config="strict", violations=(), events=9).ok
+        assert not FuzzOutcome(
+            seed=1, config="strict", violations=(v,), events=9
+        ).ok
+        assert not FuzzOutcome(
+            seed=1, config="strict", violations=(), events=9, error="boom"
+        ).ok
+
+    def test_describe_pins_failures_to_their_seed(self):
+        v = Violation(invariant="conservation", time_s=0.0, message="drifted")
+        report = FuzzReport(
+            outcomes=[
+                FuzzOutcome(seed=11, config="strict", violations=(v,), events=5),
+                FuzzOutcome(seed=12, config="default", violations=(), events=5),
+            ],
+            runs=2,
+        )
+        text = report.describe()
+        assert "seed=11" in text and "drifted" in text
+        assert not report.ok and report.n_violations == 1

@@ -1,0 +1,135 @@
+"""Golden-trace regression tests: the scheduler's decisions are pinned.
+
+Two canonical small workloads run under a :class:`KernelTracer`; the
+serialized event sequences must match ``tests/data/*.trace`` byte for byte.
+Any change to dispatch order, admission decisions, or event timestamps —
+intended or not — shows up as a readable diff against the golden file.
+
+To re-bless after a *deliberate* scheduler change::
+
+    PYTHONPATH=src python -m tests.sim.test_golden_traces
+
+then review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.config import CacheConfig, CpuConfig, MachineConfig
+from repro.core.policy import CompromisePolicy, StrictPolicy
+from repro.core.rda import RdaScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import KernelTracer, serialize_trace
+from repro.units import kib
+from repro.workloads.base import ProcessSpec, Workload, barrier_phase
+
+from ..conftest import make_phase
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+#: golden name -> builder producing the serialized trace
+GOLDENS = {}
+
+
+def golden(name):
+    def deco(fn):
+        GOLDENS[name] = fn
+        return fn
+
+    return deco
+
+
+def _machine() -> MachineConfig:
+    """The fixed 2-core / 1 MiB-LLC machine both golden traces run on."""
+    return MachineConfig(
+        cpu=CpuConfig(n_cores=2),
+        llc=CacheConfig("L3-Shared", kib(1024), associativity=16, shared=True),
+    )
+
+
+def _run(workload: Workload, policy) -> str:
+    config = _machine()
+    scheduler = RdaScheduler(policy=policy, config=config)
+    kernel = Kernel(config=config, extension=scheduler)
+    kernel.tracer = KernelTracer()
+    kernel.launch(workload)
+    kernel.run(max_events=1_000_000)
+    return serialize_trace(kernel.tracer)
+
+
+@golden("strict_contended.trace")
+def strict_contended() -> str:
+    """3 x (0.5 MB, 0.3 MB) periods against 1 MiB under RDA:Strict —
+    denials, waitlist wakes, and preemptions all appear in the trace."""
+    wl = Workload(
+        name="golden-strict",
+        processes=[
+            ProcessSpec(
+                name="g",
+                program=[
+                    make_phase("alpha", instructions=400_000, wss_mb=0.5),
+                    make_phase("beta", instructions=250_000, wss_mb=0.3),
+                ],
+            )
+        ]
+        * 3,
+    )
+    return _run(wl, StrictPolicy())
+
+
+@golden("compromise_barrier.trace")
+def compromise_barrier() -> str:
+    """2 x 2 threads with a shared working set and a barrier under
+    RDA:Compromise(1.5) — barrier parks/releases and shared-set admission."""
+    wl = Workload(
+        name="golden-compromise",
+        processes=[
+            ProcessSpec(
+                name="g",
+                n_threads=2,
+                program=[
+                    make_phase("gather", instructions=300_000, wss_mb=0.6, shared=True),
+                    barrier_phase("sync"),
+                    make_phase("apply", instructions=200_000, wss_mb=0.4, shared=True),
+                ],
+            )
+        ]
+        * 2,
+    )
+    return _run(wl, CompromisePolicy(oversubscription=1.5))
+
+
+class TestGoldenTraces:
+    def test_strict_contended_matches_golden(self):
+        expected = (DATA_DIR / "strict_contended.trace").read_text()
+        assert strict_contended() == expected
+
+    def test_compromise_barrier_matches_golden(self):
+        expected = (DATA_DIR / "compromise_barrier.trace").read_text()
+        assert compromise_barrier() == expected
+
+    def test_serialization_is_history_independent(self):
+        """Global tid counters advance between runs; the serialized form
+        must not care (tids are relabelled by first appearance)."""
+        assert strict_contended() == strict_contended()
+
+    def test_traces_exercise_the_interesting_events(self):
+        text = strict_contended()
+        for marker in ("pp_begin", "pp_deny", "pp_wake", "dispatch", "exit"):
+            assert marker in text
+        text = compromise_barrier()
+        for marker in ("barrier_wait", "barrier_release", "pp_begin"):
+            assert marker in text
+
+
+def _bless() -> None:  # pragma: no cover - manual re-blessing entry point
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    for name, builder in GOLDENS.items():
+        path = DATA_DIR / name
+        path.write_text(builder())
+        print(f"wrote {path} ({len(path.read_text().splitlines())} events)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _bless()
