@@ -7,6 +7,8 @@ its own end-to-end regeneration on a representative subset.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.figures import figures7to10
@@ -19,10 +21,23 @@ def pytest_configure(config):
     )
 
 
+def grid_options() -> dict:
+    """Parallel-fleet knobs for the shared sweep, from the environment.
+
+    ``REPRO_BENCH_JOBS`` fans the (workload × policy) grid across that many
+    worker processes; ``REPRO_BENCH_CACHE`` names a result-cache directory
+    so repeated benchmark sessions skip already-measured cells.  Both
+    default off, keeping the benchmarks' timing semantics unchanged.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache = os.environ.get("REPRO_BENCH_CACHE") or None
+    return {"jobs": jobs, "cache": cache}
+
+
 @pytest.fixture(scope="session")
 def full_sweep():
     """The complete Table 2 x {default, strict, compromise} sweep."""
-    return figures7to10(WORKLOAD_NAMES)
+    return figures7to10(WORKLOAD_NAMES, **grid_options())
 
 
 def one_round(benchmark, fn, *args, **kwargs):

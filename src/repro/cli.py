@@ -16,7 +16,9 @@ import sys
 from typing import Optional, Sequence
 
 from .core.policy import CompromisePolicy, SchedulingPolicy, StrictPolicy
+from .errors import ReproError
 from .experiments import figures, report
+from .experiments.parallel import DEFAULT_CACHE_DIR
 from .experiments.runner import run_policies, run_workload
 from .workloads.suite import WORKLOAD_NAMES, workload_by_name
 
@@ -92,14 +94,66 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--chart", action="store_true", help="render bar charts instead of tables"
     )
+    _add_grid_options(sweep_p)
 
     fig_p = sub.add_parser("fig", help="regenerate one figure")
     fig_p.add_argument("number", type=int, choices=(1, 11, 12, 13))
     fig_p.add_argument(
         "--chart", action="store_true", help="render a chart instead of a table"
     )
+    _add_grid_options(fig_p)
 
     return parser
+
+
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    """Parallel-fleet options shared by the grid-shaped commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the experiment grid (default 1 = serial; "
+        "results are identical for any N)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"result cache directory (default {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every run; neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget (--jobs >= 2 only); an overrunning "
+        "run becomes a failure record instead of stalling the grid",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed run with a running ETA",
+    )
+
+
+class _GridTracker:
+    """Collect grid counters (and optionally echo per-run progress)."""
+
+    def __init__(self, echo: bool) -> None:
+        self.echo = echo
+        self.total = self.executed = self.cached = self.failed = 0
+
+    def __call__(self, event) -> None:
+        from .experiments.parallel import print_progress
+
+        self.total = event.total
+        self.executed = event.executed
+        self.cached = event.cached
+        self.failed = event.failed
+        if self.echo:
+            print_progress(event)
+
+    def summary(self) -> str:
+        return (
+            f"# grid: {self.total} runs — {self.executed} executed, "
+            f"{self.cached} cached, {self.failed} failed"
+        )
 
 
 def _cmd_run(args) -> int:
@@ -146,10 +200,19 @@ def _cmd_sanitize(args) -> int:
 def _cmd_sweep(args) -> int:
     from .experiments.charts import grouped_bar_chart
 
-    sweep = {
-        name: run_policies(lambda n=name: workload_by_name(n))
-        for name in args.workloads
-    }
+    tracker = _GridTracker(echo=args.progress)
+    try:
+        sweep = figures.figures7to10(
+            args.workloads,
+            jobs=args.jobs,
+            cache=None if args.no_cache else args.cache_dir,
+            timeout_s=args.timeout,
+            progress=tracker,
+        )
+    except ReproError as exc:
+        print(tracker.summary())
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
     if args.chart:
         for metric, title, unit in (
             ("system_j", "Figure 7: system energy", "J"),
@@ -173,6 +236,7 @@ def _cmd_sweep(args) -> int:
             print(renderer(sweep))
             print()
     print(report.render_comparison_summary(sweep))
+    print(tracker.summary())
     return 0
 
 
@@ -180,8 +244,17 @@ def _cmd_fig(args) -> int:
     from .experiments.charts import bar_chart, line_chart
 
     chart = getattr(args, "chart", False)
+    tracker = _GridTracker(echo=args.progress)
+    grid_kwargs = dict(
+        jobs=args.jobs,
+        cache=None if args.no_cache else args.cache_dir,
+        timeout_s=args.timeout,
+        progress=tracker,
+    )
     if args.number == 1:
-        points = figures.figure1_timeline()
+        points = figures.figure1_timeline(
+            jobs=args.jobs, cache=None if args.no_cache else args.cache_dir
+        )
         if chart:
             print(bar_chart(
                 {n: p.wall_s * 1e3 for n, p in points.items()},
@@ -196,7 +269,7 @@ def _cmd_fig(args) -> int:
                     f"{int(p.context_switches)}"
                 )
     elif args.number == 11:
-        reports = figures.figure11_overhead()
+        reports = figures.figure11_overhead(**grid_kwargs)
         if chart:
             print(bar_chart(
                 {k: r.gflops for k, r in reports.items()},
@@ -221,7 +294,7 @@ def _cmd_fig(args) -> int:
         else:
             print(report.render_figure12(curves))
     elif args.number == 13:
-        grid = figures.figure13_interference()
+        grid = figures.figure13_interference(**grid_kwargs)
         if chart:
             series = {
                 f"n={n}": [(i, g) for i, g in row.items()]

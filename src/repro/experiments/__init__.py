@@ -12,7 +12,21 @@ from .runner import (
     POLICIES,
 )
 from .metrics import PolicyComparison, compare, compare_all
-from .store import ResultStore, diff_results, report_to_dict
+from .parallel import (
+    ResultCache,
+    RunFailure,
+    RunRequest,
+    RunSuccess,
+    run_grid,
+    run_key,
+)
+from .store import (
+    ResultStore,
+    diff_results,
+    report_from_dict,
+    report_to_dict,
+    report_to_full_dict,
+)
 from .sweep import sweep, resolve_policy
 from .validation import ValidationPoint, validate_hit_rates
 from . import charts
@@ -36,8 +50,16 @@ __all__ = [
     "RepeatedResult",
     "POLICIES",
     "ResultStore",
+    "ResultCache",
+    "RunRequest",
+    "RunSuccess",
+    "RunFailure",
+    "run_grid",
+    "run_key",
     "diff_results",
     "report_to_dict",
+    "report_to_full_dict",
+    "report_from_dict",
     "sweep",
     "resolve_policy",
     "ValidationPoint",

@@ -24,7 +24,7 @@ from ..workloads.blas import dgemm_process
 from ..workloads.splash2.water_nsquared import interference_workload
 from ..workloads.suite import WORKLOAD_NAMES, workload_by_name
 from ..workloads import tracegen
-from .runner import POLICIES, run_policies, run_workload
+from .runner import POLICIES, run_policies
 
 __all__ = [
     "table1_machine",
@@ -85,7 +85,11 @@ class TimelinePoint:
     context_switches: float
 
 
-def figure1_timeline(config: Optional[MachineConfig] = None) -> Dict[str, TimelinePoint]:
+def figure1_timeline(
+    config: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache=None,
+) -> Dict[str, TimelinePoint]:
     """The paper's motivating scenario: two cache-hungry processes, one CPU.
 
     Under round-robin the processes continually reload each other's data
@@ -116,16 +120,16 @@ def figure1_timeline(config: Optional[MachineConfig] = None) -> Dict[str, Timeli
     )
     proc = ProcessSpec(name="hungry", program=[phase] * 3)
     workload = Workload(name="fig1", processes=[proc] * 2)
-    out: Dict[str, TimelinePoint] = {}
-    for name, policy in POLICIES.items():
-        report = run_workload(workload, policy, config=one_core)
-        out[name] = TimelinePoint(
+    reports = run_policies(workload, config=one_core, jobs=jobs, cache=cache)
+    return {
+        name: TimelinePoint(
             policy=name,
             wall_s=report.wall_s,
             llc_misses=report.llc_misses,
             context_switches=report.context_switches,
         )
-    return out
+        for name, report in reports.items()
+    }
 
 
 # ----------------------------------------------------------------------
@@ -134,17 +138,33 @@ def figure1_timeline(config: Optional[MachineConfig] = None) -> Dict[str, Timeli
 def figures7to10(
     workload_names: Sequence[str] = WORKLOAD_NAMES,
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache=None,
+    timeout_s: Optional[float] = None,
+    progress=None,
 ) -> Dict[str, Dict[str, PerfReport]]:
     """The main evaluation sweep: every workload under every policy.
 
     Returns ``{workload: {policy: PerfReport}}``; figures 7, 8, 9 and 10
     are the ``system_j``, ``dram_j``, ``gflops`` and ``gflops_per_watt``
-    views of the same data.
+    views of the same data.  The whole (workload × policy) grid is
+    scheduled as one batch so ``jobs`` workers stay busy across workload
+    boundaries; results are key-for-key independent of ``jobs``.
     """
-    return {
-        name: run_policies(lambda n=name: workload_by_name(n), config=config)
+    from .parallel import RunRequest
+    from .runner import _settle_grid
+
+    requests = [
+        RunRequest(workload=workload_by_name(name), policy=policy, config=config)
         for name in workload_names
-    }
+        for policy in POLICIES.values()
+    ]
+    outcomes = _settle_grid(requests, jobs, cache, timeout_s, progress)
+    out: Dict[str, Dict[str, PerfReport]] = {}
+    it = iter(outcomes)
+    for name in workload_names:
+        out[name] = {policy: next(it).report for policy in POLICIES}
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -152,19 +172,32 @@ def figures7to10(
 # ----------------------------------------------------------------------
 def figure11_overhead(
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache=None,
+    timeout_s: Optional[float] = None,
+    progress=None,
 ) -> Dict[str, PerfReport]:
     """dgemm tracked at the outer / middle / inner loop (1 / 512 / 512²).
 
     "a single instance of the kernel was the only active user process run
     on the host machine with the strict policy active."
     """
-    out: Dict[str, PerfReport] = {}
-    for label, subperiods in (("outer", 1), ("middle", 512), ("inner", 512 * 512)):
-        workload = Workload(
-            name=f"dgemm-{label}", processes=[dgemm_process(subperiods)]
+    from .parallel import RunRequest
+    from .runner import _settle_grid
+
+    labels = (("outer", 1), ("middle", 512), ("inner", 512 * 512))
+    requests = [
+        RunRequest(
+            workload=Workload(
+                name=f"dgemm-{label}", processes=[dgemm_process(subperiods)]
+            ),
+            policy=StrictPolicy(),
+            config=config,
         )
-        out[label] = run_workload(workload, StrictPolicy(), config=config)
-    return out
+        for label, subperiods in labels
+    ]
+    outcomes = _settle_grid(requests, jobs, cache, timeout_s, progress)
+    return {label: o.report for (label, _), o in zip(labels, outcomes)}
 
 
 # ----------------------------------------------------------------------
@@ -233,6 +266,10 @@ FIG13_INSTANCES = (1, 6, 12)
 
 def figure13_interference(
     config: Optional[MachineConfig] = None,
+    jobs: int = 1,
+    cache=None,
+    timeout_s: Optional[float] = None,
+    progress=None,
 ) -> Dict[int, Dict[int, float]]:
     """GFLOPS of N concurrent instances of water_nsquared's largest PP.
 
@@ -240,12 +277,18 @@ def figure13_interference(
     gating it away would hide the effect being studied).
     Returns ``{input_size: {n_instances: gflops}}``.
     """
-    out: Dict[int, Dict[int, float]] = {}
-    for n_mol in FIG13_INPUTS:
-        out[n_mol] = {}
-        for n_inst in FIG13_INSTANCES:
-            report = run_workload(
-                interference_workload(n_mol, n_inst), None, config=config
-            )
-            out[n_mol][n_inst] = report.gflops
+    from .parallel import RunRequest
+    from .runner import _settle_grid
+
+    cells = [(n_mol, n_inst) for n_mol in FIG13_INPUTS for n_inst in FIG13_INSTANCES]
+    requests = [
+        RunRequest(
+            workload=interference_workload(n_mol, n_inst), policy=None, config=config
+        )
+        for n_mol, n_inst in cells
+    ]
+    outcomes = _settle_grid(requests, jobs, cache, timeout_s, progress)
+    out: Dict[int, Dict[int, float]] = {n_mol: {} for n_mol in FIG13_INPUTS}
+    for (n_mol, n_inst), o in zip(cells, outcomes):
+        out[n_mol][n_inst] = o.report.gflops
     return out

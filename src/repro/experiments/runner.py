@@ -23,6 +23,7 @@ import numpy as np
 from ..config import MachineConfig, default_machine_config
 from ..core.policy import CompromisePolicy, SchedulingPolicy, StrictPolicy
 from ..core.rda import RdaScheduler
+from ..errors import ReproError
 from ..perf.stat import PerfReport, PerfStat
 from ..sim.kernel import Kernel
 from ..workloads.base import Workload
@@ -145,6 +146,20 @@ class RepeatedResult:
         return self.std(metric) / m if m else 0.0
 
 
+def _settle_grid(requests, jobs, cache, timeout_s, progress):
+    """Run a request grid and return the outcomes, raising if any run failed."""
+    from .parallel import run_grid  # deferred: parallel imports this module
+
+    outcomes = run_grid(
+        requests, jobs=jobs, cache=cache, timeout_s=timeout_s, progress=progress
+    )
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        detail = "; ".join(f.describe() for f in failures)
+        raise ReproError(f"{len(failures)} run(s) failed: {detail}")
+    return outcomes
+
+
 def run_repeated(
     workload_factory,
     policy: Optional[SchedulingPolicy] = None,
@@ -152,6 +167,11 @@ def run_repeated(
     arrival_jitter_s: float = 2e-3,
     seed: int = 0,
     config: Optional[MachineConfig] = None,
+    max_events: Optional[int] = 5_000_000,
+    sanitize: bool = False,
+    jobs: int = 1,
+    cache=None,
+    timeout_s: Optional[float] = None,
 ) -> RepeatedResult:
     """Repeat a measurement with seeded arrival jitter, as the paper's
     methodology repeats each measurement four times.
@@ -159,28 +179,46 @@ def run_repeated(
     Args:
         workload_factory: zero-argument callable building a fresh workload.
         arrival_jitter_s: each process spawns uniformly within this window.
+        jobs: worker processes for the repeats (1 = serial in-process).
+        cache: optional result cache (see :mod:`repro.experiments.parallel`).
     """
+    from .parallel import RunRequest
+
     if n_runs < 1:
         raise ValueError("n_runs must be >= 1")
-    reports = []
     name = policy.name if policy else "Linux Default"
     wl_name = ""
+    requests = []
     for run in range(n_runs):
         workload = workload_factory() if callable(workload_factory) else workload_factory
         wl_name = workload.name
         rng = np.random.default_rng(seed + run)
         offsets = rng.uniform(0.0, arrival_jitter_s, workload.n_processes)
-        result = run_workload_full(
-            workload, policy, config=config, arrival_offsets=offsets
+        requests.append(
+            RunRequest(
+                workload=workload,
+                policy=policy,
+                config=config,
+                arrival_offsets=tuple(float(x) for x in offsets),
+                max_events=max_events,
+                sanitize=sanitize,
+                seed=seed + run,
+            )
         )
-        reports.append(result.report)
-    return RepeatedResult(workload=wl_name, policy=name, reports=tuple(reports))
+    outcomes = _settle_grid(requests, jobs, cache, timeout_s, progress=None)
+    reports = tuple(o.report for o in outcomes)
+    return RepeatedResult(workload=wl_name, policy=name, reports=reports)
 
 
 def run_policies(
     workload_factory,
     config: Optional[MachineConfig] = None,
     policies: Optional[Dict[str, Optional[SchedulingPolicy]]] = None,
+    max_events: Optional[int] = 5_000_000,
+    sanitize: bool = False,
+    jobs: int = 1,
+    cache=None,
+    timeout_s: Optional[float] = None,
 ) -> Dict[str, PerfReport]:
     """Run a workload under every policy (fresh workload instance per run).
 
@@ -188,10 +226,23 @@ def run_policies(
         workload_factory: zero-argument callable building the workload, or a
             :class:`Workload` (reused across runs — safe because workloads
             are immutable blueprints).
+        jobs: worker processes for the policy runs (1 = serial in-process).
+        cache: optional result cache (see :mod:`repro.experiments.parallel`).
     """
+    from .parallel import RunRequest
+
     policies = POLICIES if policies is None else policies
-    results: Dict[str, PerfReport] = {}
-    for name, policy in policies.items():
+    requests = []
+    for policy in policies.values():
         workload = workload_factory() if callable(workload_factory) else workload_factory
-        results[name] = run_workload(workload, policy, config=config)
-    return results
+        requests.append(
+            RunRequest(
+                workload=workload,
+                policy=policy,
+                config=config,
+                max_events=max_events,
+                sanitize=sanitize,
+            )
+        )
+    outcomes = _settle_grid(requests, jobs, cache, timeout_s, progress=None)
+    return {name: o.report for name, o in zip(policies, outcomes)}

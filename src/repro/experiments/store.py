@@ -19,14 +19,20 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from ..errors import ReproError
 from ..perf.stat import PerfReport
 
-__all__ = ["ResultStore", "report_to_dict", "diff_results"]
+__all__ = [
+    "ResultStore",
+    "report_to_dict",
+    "report_to_full_dict",
+    "report_from_dict",
+    "diff_results",
+]
 
 #: PerfReport fields persisted for each run
 _REPORT_FIELDS = (
@@ -48,6 +54,28 @@ def report_to_dict(report: PerfReport) -> dict[str, float]:
     out["gflops"] = report.gflops
     out["gflops_per_watt"] = report.gflops_per_watt
     return out
+
+
+def report_to_full_dict(report: PerfReport) -> dict[str, float]:
+    """Lossless view of a perf report: every dataclass field, no derived
+    metrics.  The exact inverse of :func:`report_from_dict` — this is the
+    representation the parallel runner's result cache persists, so the
+    round-trip must preserve full float precision (JSON's shortest-repr
+    float encoding does)."""
+    return {f.name: getattr(report, f.name) for f in fields(PerfReport)}
+
+
+def report_from_dict(data: Mapping[str, float]) -> PerfReport:
+    """Rebuild a :class:`PerfReport` from :func:`report_to_full_dict` output."""
+    expected = {f.name for f in fields(PerfReport)}
+    got = set(data)
+    if got != expected:
+        missing, extra = sorted(expected - got), sorted(got - expected)
+        raise ReproError(
+            f"cannot rebuild PerfReport: missing fields {missing}, "
+            f"unexpected fields {extra}"
+        )
+    return PerfReport(**{k: float(v) for k, v in data.items()})
 
 
 class ResultStore:

@@ -31,7 +31,6 @@ from ..config import MachineConfig
 from ..core.policy import CompromisePolicy, SchedulingPolicy, StrictPolicy
 from ..errors import ReproError
 from ..workloads.base import Workload
-from .runner import run_workload
 from .store import report_to_dict
 
 __all__ = ["sweep", "resolve_policy"]
@@ -62,6 +61,10 @@ def sweep(
     extra_metrics: Optional[
         Mapping[str, Callable[..., float]]
     ] = None,
+    jobs: int = 1,
+    cache=None,
+    timeout_s: Optional[float] = None,
+    progress=None,
 ) -> list[Dict[str, Any]]:
     """Run every combination of factor levels; return one row per run.
 
@@ -72,24 +75,42 @@ def sweep(
             selects the scheduler (shorthand strings accepted) and is not
             passed to the workload builder.
         extra_metrics: name → ``f(report)`` computed per row.
+        jobs: worker processes executing the grid (1 = serial in-process,
+            identical results to any other job count — runs are independent
+            and deterministic).
+        cache: optional result cache directory or
+            :class:`~repro.experiments.parallel.ResultCache`.
+        timeout_s: per-run wall-clock budget (parallel mode).
+        progress: per-settled-run callback
+            (:class:`~repro.experiments.parallel.ProgressEvent`).
 
     Returns rows containing the factor levels plus every
     :func:`~repro.experiments.store.report_to_dict` metric.
     """
+    from .parallel import RunRequest
+    from .runner import _settle_grid
+
     if not factors:
         raise ReproError("at least one factor required")
     names = list(factors.keys())
-    rows: list[Dict[str, Any]] = []
+    levels: list[Dict[str, Any]] = []
+    requests: list[RunRequest] = []
     for combo in itertools.product(*(factors[n] for n in names)):
         level = dict(zip(names, combo))
         policy = resolve_policy(level.get("policy"))
         kwargs = {k: v for k, v in level.items() if k != "policy"}
         wl = workload(**kwargs)
-        report = run_workload(wl, policy, config=config)
+        levels.append(level)
+        requests.append(
+            RunRequest(workload=wl, policy=policy, config=config, tag=repr(level))
+        )
+    outcomes = _settle_grid(requests, jobs, cache, timeout_s, progress)
+    rows: list[Dict[str, Any]] = []
+    for level, request, outcome in zip(levels, requests, outcomes):
         row: Dict[str, Any] = dict(level)
-        row["workload"] = wl.name
-        row.update(report_to_dict(report))
+        row["workload"] = request.workload.name
+        row.update(report_to_dict(outcome.report))
         for metric, fn in (extra_metrics or {}).items():
-            row[metric] = fn(report)
+            row[metric] = fn(outcome.report)
         rows.append(row)
     return rows

@@ -65,11 +65,16 @@ class Engine:
     ['b', 'a']
     """
 
+    #: cancelled-entry floor below which :meth:`cancel` never compacts
+    #: (rebuilding a tiny heap costs more than carrying the garbage)
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[EventHandle] = []
         self._seq = itertools.count()
         self._running = False
+        self._cancelled_in_queue = 0
         self.events_processed = 0
         #: callbacks invoked as ``hook(now)`` after every event callback
         #: returns — the state between events is quiescent, which is where
@@ -102,13 +107,36 @@ class Engine:
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a previously scheduled event (idempotent)."""
-        handle.cancel()
+        """Cancel a previously scheduled event (idempotent).
+
+        Cancelled entries stay in the heap until popped; to keep a long run
+        with many cancelled timers (e.g. rescinded preemptions) from growing
+        the heap unboundedly, the queue is compacted in place whenever
+        cancelled entries outnumber live ones.
+        """
+        if handle.pending:
+            handle.cancel()
+            self._cancelled_in_queue += 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if (
+            self._cancelled_in_queue >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._queue = [h for h in self._queue if not h.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_queue = 0
+
+    def _note_popped_cancelled(self) -> None:
+        if self._cancelled_in_queue:
+            self._cancelled_in_queue -= 1
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` if queue is empty."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._note_popped_cancelled()
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
@@ -116,6 +144,7 @@ class Engine:
         while self._queue:
             handle = heapq.heappop(self._queue)
             if handle.cancelled or handle.callback is None:
+                self._note_popped_cancelled()
                 continue
             if handle.time < self._now:
                 raise SimulationError("event queue went backwards in time")
@@ -145,10 +174,14 @@ class Engine:
         try:
             while True:
                 next_time = self.peek_time()
-                if next_time is None:
+                if until is not None and (next_time is None or next_time > until):
+                    # The clock must land on `until` even when no event lies
+                    # before it (including an entirely empty queue) — but it
+                    # never moves backwards.
+                    if until > self._now:
+                        self._now = until
                     break
-                if until is not None and next_time > until:
-                    self._now = until
+                if next_time is None:
                     break
                 if not self.step():
                     break

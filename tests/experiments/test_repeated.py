@@ -3,7 +3,9 @@
 import pytest
 
 from repro.core.policy import StrictPolicy
-from repro.experiments.runner import RepeatedResult, run_repeated
+from repro.errors import ReproError, SanitizerError
+from repro.experiments.runner import RepeatedResult, run_policies, run_repeated
+from repro.perf.stat import PerfReport
 
 from ..conftest import make_phase, make_workload
 
@@ -55,3 +57,70 @@ class TestRunRepeated:
 
         with pytest.raises(ValueError):
             run_workload_full(factory(), None, arrival_offsets=[0.0])
+
+
+def _flat_report(value: float) -> PerfReport:
+    return PerfReport(
+        wall_s=value, instructions=0.0, cycles=0.0, flops=0.0, llc_refs=0.0,
+        llc_misses=0.0, context_switches=0.0, pp_begin_calls=0.0,
+        pp_denials=0.0, package_j=0.0, dram_j=0.0,
+    )
+
+
+class TestRepeatedResultEdgeCases:
+    def test_single_report_std_and_cv_are_zero(self):
+        result = RepeatedResult("toy", "Linux Default", (_flat_report(2.0),))
+        assert result.std("wall_s") == 0.0
+        assert result.cv("wall_s") == 0.0
+
+    def test_zero_mean_cv_is_zero_not_nan(self):
+        reports = (_flat_report(1.0), _flat_report(2.0))
+        result = RepeatedResult("toy", "Linux Default", reports)
+        assert result.mean("flops") == 0.0
+        assert result.cv("flops") == 0.0  # no division by the zero mean
+
+    def test_identical_reports_have_zero_std(self):
+        reports = (_flat_report(3.0),) * 4
+        result = RepeatedResult("toy", "Linux Default", reports)
+        assert result.std("wall_s") == 0.0
+        assert result.cv("wall_s") == 0.0
+
+
+class TestKwargThreading:
+    """Regression: repeated/jittered runs used to silently drop ``sanitize``
+    and ``max_events`` on their way to ``run_workload_full``."""
+
+    def test_run_repeated_threads_max_events(self):
+        with pytest.raises(ReproError, match="max_events"):
+            run_repeated(factory, None, n_runs=2, max_events=2)
+
+    def test_run_policies_threads_max_events(self):
+        with pytest.raises(ReproError, match="max_events"):
+            run_policies(factory, max_events=2)
+
+    def test_run_repeated_threads_sanitize(self):
+        # a clean workload passes under the sanitizer and still reports
+        result = run_repeated(factory, StrictPolicy(), n_runs=2, sanitize=True)
+        assert len(result.reports) == 2
+
+    def test_run_repeated_sanitize_surfaces_violations(self, monkeypatch):
+        from repro.sanitizer.sanitizer import KernelSanitizer
+
+        def boom(self, *args, **kwargs):
+            raise SanitizerError("injected violation")
+
+        monkeypatch.setattr(KernelSanitizer, "on_quiescent", boom)
+        with pytest.raises(ReproError, match="injected violation"):
+            run_repeated(factory, StrictPolicy(), n_runs=1, sanitize=True)
+
+
+class TestRepeatedParallelEquivalence:
+    def test_jobs_2_matches_serial(self):
+        serial = run_repeated(factory, StrictPolicy(), n_runs=3, seed=5)
+        fleet = run_repeated(factory, StrictPolicy(), n_runs=3, seed=5, jobs=2)
+        assert serial.reports == fleet.reports
+
+    def test_run_policies_jobs_2_matches_serial(self):
+        serial = run_policies(factory)
+        fleet = run_policies(factory, jobs=2)
+        assert serial == fleet

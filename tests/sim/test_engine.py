@@ -90,6 +90,30 @@ class TestCancellation:
         eng.cancel(h1)
         assert eng.peek_time() == 2.0
 
+    def test_queue_compacts_under_heavy_cancellation(self):
+        # Regression: cancelled handles used to linger until popped, so a
+        # long run cancelling many timers grew the heap without bound.
+        eng = Engine()
+        live = [eng.schedule(1e9, lambda: None) for _ in range(10)]
+        for _ in range(100):
+            handles = [eng.schedule(1.0, lambda: None) for _ in range(100)]
+            for h in handles:
+                eng.cancel(h)
+            # bounded: live entries + compaction slack, never ~10k garbage
+            assert len(eng._queue) <= len(live) + 2 * Engine.COMPACT_MIN_CANCELLED
+        assert eng.peek_time() == 1e9
+        assert all(h.pending for h in live)
+
+    def test_compaction_preserves_event_order(self):
+        eng = Engine()
+        fired = []
+        for k in range(200):
+            h = eng.schedule(float(k), fired.append, k)
+            if k % 2:
+                eng.cancel(h)
+        eng.run()
+        assert fired == list(range(0, 200, 2))
+
 
 class TestRunControl:
     def test_run_until_stops_before_later_events(self):
@@ -102,6 +126,26 @@ class TestRunControl:
         assert eng.now == 2.0
         eng.run()
         assert fired == ["a", "b"]
+
+    def test_run_until_on_empty_queue_advances_clock(self):
+        # Regression: an empty queue used to leave the clock at `now`,
+        # contradicting the docstring ("the clock is advanced to `until`").
+        eng = Engine()
+        eng.run(until=4.0)
+        assert eng.now == 4.0
+
+    def test_run_until_past_last_event_advances_clock(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, fired.append, "a")
+        eng.run(until=3.0)
+        assert fired == ["a"]
+        assert eng.now == 3.0
+
+    def test_run_until_in_the_past_leaves_clock(self):
+        eng = Engine(start_time=5.0)
+        eng.run(until=2.0)
+        assert eng.now == 5.0
 
     def test_max_events_guards_livelock(self):
         eng = Engine()

@@ -44,6 +44,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig", "7"])  # 7-10 come from `sweep`
 
+    def test_grid_options_on_sweep_and_fig(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--jobs", "4", "--cache-dir", "/tmp/c", "--timeout", "30"]
+        )
+        assert args.jobs == 4 and args.cache_dir == "/tmp/c"
+        assert args.timeout == 30.0 and not args.no_cache
+        args = parser.parse_args(["fig", "11", "--jobs", "2", "--no-cache"])
+        assert args.jobs == 2 and args.no_cache
+
+    def test_cache_enabled_by_default(self):
+        from repro.experiments.parallel import DEFAULT_CACHE_DIR
+
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1 and args.cache_dir == DEFAULT_CACHE_DIR
+
 
 class TestExecution:
     def test_table1(self, capsys):
@@ -62,6 +78,23 @@ class TestExecution:
         assert "GFLOPS" in out and "RDA: Strict" in out
 
     def test_fig11(self, capsys):
-        assert main(["fig", "11"]) == 0
+        assert main(["fig", "11", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "overhead" in out
+
+    def test_sweep_parallel_with_warm_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--workloads", "Water_sp",
+            "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "# grid: 3 runs — 3 executed, 0 cached, 0 failed" in cold
+        # second invocation: every run served from cache, zero simulations
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "# grid: 3 runs — 0 executed, 3 cached, 0 failed" in warm
+        # the figures themselves are identical either way
+        assert [l for l in warm.splitlines() if "Water_sp" in l] == [
+            l for l in cold.splitlines() if "Water_sp" in l
+        ]
