@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's figure 4 — over the wire.
+
+``examples/quickstart.py`` runs figure 4 against the in-process scheduling
+core; this example runs the same scenario against the **online** admission
+service (``repro.serve``, docs/SERVE.md).  A server is booted on a unix
+socket, clients connect and wrap their DGEMM in ``pp_begin`` / ``pp_end``
+frames, and a denied period parks the *connection* until capacity frees
+up — the networked analogue of the kernel parking a process.
+
+Two acts:
+
+1. one client, admitted immediately (figure 4 verbatim), and
+2. three concurrent 6.3 MB clients against a 14 MB LLC under RDA:Strict —
+   two fit, the third parks, then is admitted the moment a peer calls
+   ``pp_end``; the live ``stats`` verb shows the park-time histogram.
+
+Run:  python examples/serve_quickstart.py
+"""
+
+import asyncio
+import tempfile
+
+from repro.core.api import MB
+from repro.core.policy import StrictPolicy
+from repro.serve import AdmissionServer, ServeClient, ServeConfig
+from repro.cli import _machine_with_capacity
+
+
+async def figure4_over_the_wire(sock: str) -> None:
+    print("=" * 64)
+    print("1. pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH) — as a frame")
+    print("=" * 64)
+    client = await ServeClient.connect(unix_path=sock)
+
+    # pp_id = pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH);
+    reply = await client.pp_begin(MB(6.3), reuse="high", label="DGEMM")
+    print(f"pp_begin -> pp_id {reply['pp_id']}, admitted={reply['admitted']}, "
+          f"waited {reply['waited_s']:.3f} s")
+
+    snapshot = await client.query()
+    llc = snapshot["resources"]["llc"]
+    print(f"LLC load: {llc['usage_bytes'] / 2**20:.1f} / "
+          f"{llc['capacity_bytes'] / 2**20:.1f} MiB "
+          f"({llc['utilization']:.0%})")
+
+    # ... DGEMM(n, A, B, C) runs here ...
+
+    # pp_end(pp_id);
+    await client.pp_end(reply["pp_id"])
+    print("pp_end   -> demand released")
+    await client.close()
+
+
+async def contention_parks_the_third_client(sock: str) -> None:
+    print()
+    print("=" * 64)
+    print("2. three 6.3 MB clients, 14 MB LLC, RDA:Strict — one must wait")
+    print("=" * 64)
+    clients = [await ServeClient.connect(unix_path=sock) for _ in range(3)]
+    begins = [
+        asyncio.ensure_future(c.pp_begin(MB(6.3), reuse="high", label=f"p{i}"))
+        for i, c in enumerate(clients)
+    ]
+    await asyncio.sleep(0.2)
+    running = [t for t in begins if t.done()]
+    parked = [t for t in begins if not t.done()]
+    print(f"admitted immediately: {len(running)}; parked: {len(parked)}")
+
+    # the first pp_end frees 6.3 MB and wakes the parked connection
+    first = running[0].result()
+    await clients[begins.index(running[0])].pp_end(first["pp_id"])
+    woken = await asyncio.wait_for(parked[0], 5.0)
+    print(f"after one pp_end, the parked client was admitted "
+          f"(waited {woken['waited_s']:.3f} s)")
+
+    for task in begins:
+        if task is not running[0]:
+            reply = task.result()
+            await clients[begins.index(task)].pp_end(reply["pp_id"])
+
+    stats = await clients[0].stats()
+    park = stats["histograms"]["park_time_s"]
+    print(f"server park-time histogram: count={park['count']}, "
+          f"p99={park['p99']:.3f} s")
+    for client in clients:
+        await client.close()
+
+
+async def main() -> None:
+    cfg = ServeConfig(
+        policy=StrictPolicy(), machine=_machine_with_capacity(14.0)
+    )
+    server = AdmissionServer(cfg)
+    with tempfile.TemporaryDirectory() as tmp:
+        sock = f"{tmp}/rda.sock"
+        await server.start(unix_path=sock)
+        run_task = asyncio.ensure_future(server.run_until_drained())
+        try:
+            await figure4_over_the_wire(sock)
+            await contention_parks_the_third_client(sock)
+        finally:
+            server.request_drain()
+            await run_task
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro run Water_nsq --policy strict
     python -m repro sweep                  # figures 7-10 (all workloads)
     python -m repro fig 11                 # any of figures 1, 11, 12, 13
+    python -m repro serve --policy strict --socket /tmp/rda.sock
+    python -m repro loadgen --socket /tmp/rda.sock --workload Water_nsq
 """
 
 from __future__ import annotations
@@ -83,6 +85,119 @@ def build_parser() -> argparse.ArgumentParser:
     )
     san_p.add_argument(
         "-v", "--verbose", action="store_true", help="print per-case progress"
+    )
+    san_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the fuzz campaign (default 1 = serial; "
+        "the simulations run are identical for any N)",
+    )
+    san_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-simulation wall-clock budget (--jobs >= 2 only); a hung "
+        "case becomes a campaign failure instead of a stall",
+    )
+    san_p.add_argument(
+        "--progress", action="store_true",
+        help="print one line per settled simulation (alias of --verbose)",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the admission controller as a long-lived service "
+        "(NDJSON over a unix socket and/or TCP)",
+    )
+    serve_p.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket path (default 'repro-serve.sock' when no --host)",
+    )
+    serve_p.add_argument("--host", default=None, help="TCP bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral)"
+    )
+    serve_p.add_argument(
+        "--policy", type=policy_by_name, default=None,
+        help="default | strict | compromise[:factor]",
+    )
+    serve_p.add_argument(
+        "--fifo", action="store_true",
+        help="strict arrival-order waitlist draining (head-of-line blocking)",
+    )
+    serve_p.add_argument(
+        "--capacity-mb", type=float, default=None, metavar="MB",
+        help="override the managed LLC capacity (default: Table 1 machine)",
+    )
+    serve_p.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="parked-admission bound; beyond it pp_begin gets RETRY_AFTER",
+    )
+    serve_p.add_argument(
+        "--park-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long one client may stay parked before a TIMEOUT reply",
+    )
+    serve_p.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="disconnect a client idle this long (default: never)",
+    )
+    serve_p.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="SECONDS",
+        help="drain waits this long for running periods before closing",
+    )
+    serve_p.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="periodically dump the live metrics snapshot to this file",
+    )
+    serve_p.add_argument(
+        "--metrics-interval", type=float, default=2.0, metavar="SECONDS",
+    )
+    serve_p.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the online invariant checker; exit 1 on any violation",
+    )
+
+    load_p = sub.add_parser(
+        "loadgen", help="drive a running admission server with replayed load"
+    )
+    load_p.add_argument(
+        "--socket", default=None, metavar="PATH", help="server unix socket"
+    )
+    load_p.add_argument("--host", default=None, help="server TCP address")
+    load_p.add_argument("--port", type=int, default=None, help="server TCP port")
+    load_p.add_argument(
+        "--workload", default="fig4",
+        help="suite workload to replay, or 'fig4' for the synthetic "
+        f"single-period sessions (suite: {', '.join(WORKLOAD_NAMES)})",
+    )
+    load_p.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed = N persistent clients; open = Poisson arrivals",
+    )
+    load_p.add_argument(
+        "--clients", type=int, default=4, help="closed loop: concurrent clients"
+    )
+    load_p.add_argument(
+        "--rate", type=float, default=20.0,
+        help="open loop: mean session arrivals per second",
+    )
+    load_p.add_argument(
+        "--sessions", type=int, default=None,
+        help="total sessions to run (default: bounded by --duration)",
+    )
+    load_p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop starting new sessions after this much wall time",
+    )
+    load_p.add_argument(
+        "--time-scale", type=float, default=None,
+        help="multiply scripted hold times (default 1e-4 for suite "
+        "workloads, 1.0 for fig4)",
+    )
+    load_p.add_argument("--seed", type=int, default=0)
+    load_p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    load_p.add_argument(
+        "--drain", action="store_true",
+        help="ask the server to drain once the run finishes",
     )
 
     sweep_p = sub.add_parser(
@@ -178,12 +293,13 @@ def _cmd_sanitize(args) -> int:
             return 2
 
     progress = None
-    if args.verbose:
+    if args.verbose or args.progress:
         def progress(run, outcome):
             status = "ok" if outcome.ok else "FAIL"
             print(
                 f"run {run} seed={outcome.seed} config={outcome.config:<16}"
-                f" events={outcome.events:<7} {status}"
+                f" events={outcome.events:<7} {status}",
+                flush=True,
             )
 
     report = run_fuzz(
@@ -192,9 +308,127 @@ def _cmd_sanitize(args) -> int:
         time_budget_s=args.time_budget,
         configs=args.configs or None,
         progress=progress,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
     )
     print(report.describe())
     return 0 if report.ok else 1
+
+
+def _machine_with_capacity(capacity_mb: Optional[float]):
+    """The Table-1 machine, optionally with an overridden LLC capacity."""
+    from dataclasses import replace
+
+    from .config import default_machine_config
+
+    machine = default_machine_config()
+    if capacity_mb is None:
+        return machine
+    # capacity must stay a whole number of sets x ways
+    quantum = machine.llc.line_bytes * machine.llc.associativity
+    capacity = max(quantum, int(capacity_mb * 1024 * 1024) // quantum * quantum)
+    return replace(machine, llc=replace(machine.llc, capacity_bytes=capacity))
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServeConfig, serve_until_drained
+
+    socket_path = args.socket
+    if socket_path is None and args.host is None:
+        socket_path = "repro-serve.sock"
+    cfg = ServeConfig(
+        policy=args.policy,
+        machine=_machine_with_capacity(args.capacity_mb),
+        strict_fifo=args.fifo,
+        max_pending=args.max_pending,
+        park_timeout_s=args.park_timeout,
+        idle_timeout_s=args.idle_timeout,
+        drain_grace_s=args.drain_grace,
+        sanitize=args.sanitize,
+        metrics_json=args.metrics_json,
+        metrics_interval_s=args.metrics_interval,
+    )
+
+    async def run() -> int:
+        from .serve.server import AdmissionServer
+
+        server = AdmissionServer(cfg)
+        await server.start(
+            unix_path=socket_path, host=args.host,
+            port=args.port if args.host is not None else None,
+        )
+        server.install_signal_handlers()
+        policy_name = cfg.policy.name if cfg.policy else "Always Admit"
+        where = []
+        if socket_path:
+            where.append(f"unix:{socket_path}")
+        if args.host is not None:
+            where.append(f"tcp:{args.host}:{server.tcp_port}")
+        print(
+            f"# serving admission control ({policy_name}, "
+            f"LLC {cfg.machine.llc_capacity / (1024 * 1024):.1f} MiB) "
+            f"on {' and '.join(where)}",
+            flush=True,
+        )
+        await server.run_until_drained()
+        sanitizer = server.service.sanitizer
+        if sanitizer is not None:
+            print(sanitizer.summary())
+            return 0 if sanitizer.ok else 1
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_loadgen(args) -> int:
+    import json as json_mod
+
+    from .serve import LoadgenConfig, fig4_scripts, run_loadgen_sync
+    from .workloads.export import export_pp_sequences
+
+    if args.socket is None and args.host is None:
+        print("loadgen: need --socket or --host/--port", file=sys.stderr)
+        return 2
+    if args.workload == "fig4":
+        scripts = fig4_scripts(n=8)
+        time_scale = args.time_scale if args.time_scale is not None else 1.0
+    else:
+        if args.workload not in WORKLOAD_NAMES:
+            print(
+                f"unknown workload {args.workload!r}; expected 'fig4' or one "
+                f"of {', '.join(WORKLOAD_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
+        scripts = export_pp_sequences(workload_by_name(args.workload))
+        time_scale = args.time_scale if args.time_scale is not None else 1e-4
+    sessions = args.sessions
+    if sessions is None and args.duration is None:
+        sessions = len(scripts)
+    cfg = LoadgenConfig(
+        mode=args.mode,
+        clients=args.clients,
+        rate=args.rate,
+        sessions=sessions,
+        duration_s=args.duration,
+        time_scale=time_scale,
+        drain=args.drain,
+        seed=args.seed,
+    )
+    try:
+        report = run_loadgen_sync(
+            scripts, cfg, unix_path=args.socket, host=args.host, port=args.port
+        )
+    except (ReproError, OSError) as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.protocol_errors == 0 else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -328,6 +562,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "sanitize":
         return _cmd_sanitize(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "fig":

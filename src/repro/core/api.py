@@ -75,31 +75,55 @@ class ProgressPeriodApi:
         demand_bytes: int,
         reuse: ReuseLevel,
         label: str = "",
+        sharing_key: object = None,
     ) -> int:
         """Start a progress period; returns its unique identifier.
 
         The calling process is expected to proceed only if the period was
         admitted; check :meth:`is_admitted` (the simulated kernel instead
-        blocks the thread on its wait queue).
+        blocks the thread on its wait queue).  ``sharing_key`` marks a
+        working set shared with sibling callers: demands under one key are
+        charged to the resource once (§3.2).
         """
         request = PeriodRequest(
             resource=resource,
             demand_bytes=demand_bytes,
             reuse=reuse,
+            sharing_key=sharing_key,
             label=label,
         )
         period = self.monitor.begin(self.owner, request)
         self._open[period.pp_id] = period
         return period.pp_id
 
-    def pp_end(self, pp_id: int) -> None:
-        """End a progress period previously returned by :meth:`pp_begin`."""
+    def pp_end(self, pp_id: int) -> list[ProgressPeriod]:
+        """End a progress period previously returned by :meth:`pp_begin`.
+
+        Returns the previously waiting periods the freed capacity admitted,
+        so online callers (the ``repro.serve`` admission service) can wake
+        their owners; the figure-4 application path ignores the list.
+        """
         if pp_id not in self._open:
             raise ProgressPeriodError(
                 f"pp_end({pp_id}): not an open period of this caller"
             )
         del self._open[pp_id]
-        self.monitor.end(pp_id)
+        _, admitted = self.monitor.end(pp_id)
+        return admitted
+
+    def pp_cancel(self, pp_id: int) -> list[ProgressPeriod]:
+        """Withdraw a period without completing it (owner gave up / died).
+
+        A parked period leaves the waitlist; an admitted one releases its
+        demand.  Returns any waiters admitted by the freed capacity.
+        """
+        if pp_id not in self._open:
+            raise ProgressPeriodError(
+                f"pp_cancel({pp_id}): not an open period of this caller"
+            )
+        del self._open[pp_id]
+        _, admitted = self.monitor.cancel(pp_id)
+        return admitted
 
     # ------------------------------------------------------------------
     def is_admitted(self, pp_id: int) -> bool:
@@ -133,3 +157,7 @@ class ProgressPeriodApi:
     @property
     def open_count(self) -> int:
         return len(self._open)
+
+    def open_ids(self) -> list[int]:
+        """Identifiers of this caller's open periods (oldest first)."""
+        return list(self._open)

@@ -105,6 +105,43 @@ class ProgressMonitor:
         return admitted
 
     # ------------------------------------------------------------------
+    def cancel(self, pp_id: int) -> tuple[ProgressPeriod, list[ProgressPeriod]]:
+        """Withdraw one period before its natural ``pp_end``.
+
+        Used when the period's owner gives up — a parked client timing out,
+        or an online caller disconnecting.  A RUNNING period releases its
+        demand (and the freed capacity retries the waitlist); a WAITING one
+        simply leaves the queue.  Returns ``(cancelled, admitted)``.
+        """
+        period = self.registry.remove(pp_id)
+        admitted: list[ProgressPeriod] = []
+        if period.state is PeriodState.RUNNING:
+            self.resources.release_load(period.request)
+        elif period.state is PeriodState.WAITING:
+            self.waitlist.remove(period)
+        period.state = PeriodState.COMPLETED
+        period.end_time = self.clock()
+        self.history.append(period)
+        if period.admit_time is not None:
+            admitted = self._retry_waiters(period)
+        return period, admitted
+
+    def force_admit(self, period: ProgressPeriod) -> None:
+        """Starvation-guard admission: bypass the predicate and charge.
+
+        The period leaves the waitlist, its demand is charged, and it is
+        flagged ``forced`` so the sanitizer's demand-bound invariant knows
+        the policy was deliberately overridden.
+        """
+        self.waitlist.remove(period)
+        # flag forced *before* charging so resource observers (the serve
+        # sanitizer) see a live forced admission the moment usage jumps
+        period.forced = True
+        period.state = PeriodState.RUNNING
+        period.admit_time = self.clock()
+        self.resources.increment_load(period.request)
+
+    # ------------------------------------------------------------------
     def abandon_owner(self, owner: object) -> list[ProgressPeriod]:
         """Clean up periods left open by a dying thread.
 

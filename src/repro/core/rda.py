@@ -126,11 +126,7 @@ class RdaScheduler(SchedulingExtension):
         )
 
     def _force_admit(self, period) -> None:
-        self.waitlist.remove(period)
-        self.resources.increment_load(period.request)
-        period.state = PeriodState.RUNNING
-        period.admit_time = self._clock()
-        period.forced = True
+        self.monitor.force_admit(period)
         self.forced_admissions += 1
 
     def _rescue_starved(self) -> list:

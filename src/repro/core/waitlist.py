@@ -53,6 +53,20 @@ class Waitlist:
         q = self._queues.get(resource)
         return q[0] if q else None
 
+    def position(self, period: ProgressPeriod) -> Optional[int]:
+        """0-based queue position of a parked period (None if not parked).
+
+        Online clients poll this through the ``query`` verb to see how far
+        from the head of their resource's queue they are.
+        """
+        q = self._queues.get(period.resource)
+        if not q:
+            return None
+        try:
+            return list(q).index(period)
+        except ValueError:
+            return None
+
     def remove(self, period: ProgressPeriod) -> bool:
         """Drop a specific period (e.g. its owner died).  True if found."""
         q = self._queues.get(period.resource)

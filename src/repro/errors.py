@@ -18,6 +18,8 @@ __all__ = [
     "ProfilerError",
     "WorkloadError",
     "SanitizerError",
+    "ProtocolError",
+    "ServeError",
 ]
 
 
@@ -72,3 +74,16 @@ class WorkloadError(ReproError):
 
 class SanitizerError(ReproError):
     """The kernel sanitizer detected one or more invariant violations."""
+
+
+class ProtocolError(ReproError):
+    """A ``repro.serve`` wire frame is malformed or violates the protocol."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeError(ReproError):
+    """The admission-control service reached an invalid state."""

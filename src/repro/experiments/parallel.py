@@ -49,6 +49,8 @@ __all__ = [
     "RunFailure",
     "RunOutcome",
     "ResultCache",
+    "TaskOutcome",
+    "fan_out",
     "run_key",
     "run_grid",
     "print_progress",
@@ -265,11 +267,46 @@ def _execute(request: RunRequest) -> PerfReport:
     return result.report
 
 
-def _worker_main(conn, request: RunRequest) -> None:
-    """Child-process entry: run one request, ship the report back, exit."""
+def _grid_worker(request: RunRequest) -> Dict[str, Any]:
+    """Fan-out payload function for one grid cell (runs in a worker).
+
+    Looks ``_execute`` up through the module so test monkeypatches carried
+    across a fork are honoured.
+    """
+    import repro.experiments.parallel as _self
+
+    return report_to_full_dict(_self._execute(request))
+
+
+# ----------------------------------------------------------------------
+# Generic process fan-out (shared by the grid and the fuzz campaign)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskOutcome:
+    """How one fanned-out task settled.
+
+    ``status`` is ``"ok"`` (``result`` holds the worker's picklable return
+    value), ``"error"`` (the function raised), ``"crash"`` (the worker
+    process died), ``"timeout"`` (the per-task budget elapsed and the
+    worker was terminated) or ``"skipped"`` (the campaign's stop condition
+    fired before the task was launched).
+    """
+
+    index: int
+    status: str
+    result: Any = None
+    message: str = ""
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _task_main(conn, worker, payload) -> None:
+    """Child-process entry: run one task, ship the result back, exit."""
     try:
-        report = _execute(request)
-        conn.send(("ok", report_to_full_dict(report)))
+        conn.send(("ok", worker(payload)))
     except BaseException as exc:  # noqa: BLE001 — everything becomes a record
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -277,6 +314,134 @@ def _worker_main(conn, request: RunRequest) -> None:
             pass
     finally:
         conn.close()
+
+
+def fan_out(
+    worker: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    poll_interval_s: float = 0.01,
+    on_settle: Optional[Callable[[TaskOutcome, int], None]] = None,
+    stop: Optional[Callable[[], bool]] = None,
+) -> list[TaskOutcome]:
+    """Run ``worker(payload)`` for each payload across worker processes.
+
+    The execution model the experiment grid pioneered, factored out for any
+    independent-task campaign (``run_grid``, the parallel fuzz campaign):
+    one process per task — never a reusable pool — so a segfaulting or
+    OOM-killed worker takes down only its own task, and a per-task timeout
+    is a plain ``terminate()``.  At most ``jobs`` processes are alive at a
+    time; results return in payload order.
+
+    Args:
+        worker: a module-level callable (it crosses the process boundary);
+            its return value must be picklable.
+        jobs: concurrent worker processes (``None`` → ``os.cpu_count()``).
+        timeout_s: per-task wall-clock budget.
+        on_settle: callback ``(outcome, in_flight)`` fired as each task
+            settles (out of order), for progress reporting.
+        stop: checked before each launch; once it returns True, remaining
+            unlaunched tasks settle as ``"skipped"`` (already-running tasks
+            finish normally) — how a campaign honours a wall-clock budget.
+    """
+    payloads = list(payloads)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    ctx = multiprocessing.get_context()
+    queue = list(range(len(payloads)))  # indices not yet launched
+    running: dict[int, tuple] = {}  # index -> (proc, conn, started_at)
+    outcomes: list[Optional[TaskOutcome]] = [None] * len(payloads)
+
+    def launch(index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_task_main, args=(child_conn, worker, payloads[index]),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # child's end lives in the child now
+        running[index] = (proc, parent_conn, time.monotonic())
+
+    def settle(index: int, outcome: TaskOutcome) -> None:
+        proc, conn, _ = running.pop(index)
+        conn.close()
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover — stuck after sending
+            proc.terminate()
+            proc.join()
+        outcomes[index] = outcome
+        if on_settle is not None:
+            on_settle(outcome, min(jobs, len(running) + len(queue) + 1))
+
+    try:
+        while queue or running:
+            while queue and len(running) < jobs:
+                index = queue.pop(0)
+                if stop is not None and stop():
+                    outcomes[index] = TaskOutcome(
+                        index, "skipped",
+                        message="stop condition reached before launch",
+                    )
+                    if on_settle is not None:
+                        on_settle(outcomes[index], len(running))
+                    continue
+                launch(index)
+            settled_any = False
+            for index in list(running):
+                proc, conn, started = running[index]
+                elapsed = time.monotonic() - started
+                if conn.poll():
+                    try:
+                        status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        # the child closed its end without a result — it died
+                        proc.join(timeout=5.0)
+                        status, payload = "crash", (
+                            f"worker exited with code {proc.exitcode} "
+                            "before reporting a result"
+                        )
+                    if status == "ok":
+                        outcome = TaskOutcome(
+                            index, "ok", result=payload, duration_s=elapsed
+                        )
+                    else:
+                        outcome = TaskOutcome(
+                            index,
+                            "error" if status == "error" else "crash",
+                            message=str(payload), duration_s=elapsed,
+                        )
+                    settle(index, outcome)
+                    settled_any = True
+                elif not proc.is_alive():
+                    settle(index, TaskOutcome(
+                        index, "crash",
+                        message=f"worker exited with code {proc.exitcode} "
+                                "before reporting a result",
+                        duration_s=elapsed,
+                    ))
+                    settled_any = True
+                elif timeout_s is not None and elapsed > timeout_s:
+                    proc.terminate()
+                    settle(index, TaskOutcome(
+                        index, "timeout",
+                        message=f"exceeded per-task timeout of {timeout_s} s",
+                        duration_s=elapsed,
+                    ))
+                    settled_any = True
+            if not settled_any and running:
+                time.sleep(poll_interval_s)
+    finally:
+        for proc, conn, _ in running.values():  # interrupt: leave no orphans
+            proc.terminate()
+            conn.close()
+        for proc, _, _ in running.values():
+            proc.join()
+
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -430,91 +595,30 @@ def _run_serial(grid: _Grid, request: RunRequest, key: str, index: int,
 def _run_fleet(grid: _Grid, requests, keys, pending: list[int], jobs: int,
                cache: Optional[ResultCache], timeout_s: Optional[float],
                poll_interval_s: float) -> None:
-    """One process per run, at most ``jobs`` alive at a time.
+    """Fan the cache-missed grid cells out over :func:`fan_out` workers."""
 
-    Process-per-run (rather than a reusable pool) is what buys isolation: a
-    worker that segfaults or gets OOM-killed takes only its own run down,
-    and a per-run timeout is a plain ``terminate()``.  Simulations run for
-    seconds, so process start-up is noise.
-    """
-    ctx = multiprocessing.get_context()
-    queue = list(pending)  # indices not yet launched
-    running: dict[int, tuple] = {}  # index -> (proc, conn, started_at)
+    def on_settle(task: TaskOutcome, in_flight: int) -> None:
+        index = pending[task.index]
+        request, key = requests[index], keys[index]
+        if task.ok:
+            report = report_from_dict(task.result)
+            if cache is not None:
+                cache.put(key, report, request)
+            outcome: RunOutcome = RunSuccess(
+                request, key, report, cached=False, duration_s=task.duration_s
+            )
+        else:
+            outcome = RunFailure(
+                request, key, kind=task.status,
+                message=task.message, duration_s=task.duration_s,
+            )
+        grid.settle(index, outcome, in_flight=in_flight)
 
-    def launch(index: int) -> None:
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_worker_main, args=(child_conn, requests[index]), daemon=True
-        )
-        proc.start()
-        child_conn.close()  # child's end lives in the child now
-        running[index] = (proc, parent_conn, time.monotonic())
-
-    def settle(index: int, outcome: RunOutcome) -> None:
-        proc, conn, _ = running.pop(index)
-        conn.close()
-        proc.join(timeout=5.0)
-        if proc.is_alive():  # pragma: no cover — stuck after sending
-            proc.terminate()
-            proc.join()
-        if outcome.ok and cache is not None:
-            cache.put(keys[index], outcome.report, requests[index])
-        grid.settle(index, outcome, in_flight=min(jobs, len(running) + len(queue) + 1))
-
-    try:
-        while queue or running:
-            while queue and len(running) < jobs:
-                launch(queue.pop(0))
-            settled_any = False
-            for index in list(running):
-                proc, conn, started = running[index]
-                request, key = requests[index], keys[index]
-                elapsed = time.monotonic() - started
-                if conn.poll():
-                    try:
-                        status, payload = conn.recv()
-                    except (EOFError, OSError):
-                        # the child closed its end without a result — it died
-                        proc.join(timeout=5.0)
-                        status = "crash"
-                        payload = (
-                            f"worker exited with code {proc.exitcode} "
-                            "before reporting a result"
-                        )
-                    if status == "ok":
-                        outcome: RunOutcome = RunSuccess(
-                            request, key, report_from_dict(payload),
-                            cached=False, duration_s=elapsed,
-                        )
-                    else:
-                        outcome = RunFailure(
-                            request, key,
-                            kind="error" if status == "error" else "crash",
-                            message=str(payload), duration_s=elapsed,
-                        )
-                    settle(index, outcome)
-                    settled_any = True
-                elif not proc.is_alive():
-                    settle(index, RunFailure(
-                        request, key, kind="crash",
-                        message=f"worker exited with code {proc.exitcode} "
-                                "before reporting a result",
-                        duration_s=elapsed,
-                    ))
-                    settled_any = True
-                elif timeout_s is not None and elapsed > timeout_s:
-                    proc.terminate()
-                    settle(index, RunFailure(
-                        request, key, kind="timeout",
-                        message=f"exceeded per-run timeout of {timeout_s} s",
-                        duration_s=elapsed,
-                    ))
-                    settled_any = True
-            if not settled_any and running:
-                time.sleep(poll_interval_s)
-    finally:
-        for proc, conn, _ in running.values():  # interrupt: leave no orphans
-            proc.terminate()
-            conn.close()
-        for proc, _, _ in running.values():
-            proc.join()
+    fan_out(
+        _grid_worker,
+        [requests[i] for i in pending],
+        jobs=jobs,
+        timeout_s=timeout_s,
+        poll_interval_s=poll_interval_s,
+        on_settle=on_settle,
+    )

@@ -282,12 +282,70 @@ def run_case(case: FuzzCase, config_name: str) -> FuzzOutcome:
     )
 
 
+def _fuzz_task(payload: tuple[int, str]) -> dict:
+    """Fan-out worker: one (seed, config) simulation, as picklable data.
+
+    Violations cross the process boundary without their trace-event windows
+    (rerunning the seed serially reproduces the full context); everything
+    the aggregate report needs survives.
+    """
+    case_seed, config = payload
+    outcome = run_case(build_case(case_seed), config)
+    return {
+        "seed": outcome.seed,
+        "config": outcome.config,
+        "events": outcome.events,
+        "error": outcome.error,
+        "violations": [
+            {
+                "invariant": v.invariant,
+                "time_s": v.time_s,
+                "message": v.message,
+                "tid": v.tid,
+            }
+            for v in outcome.violations
+        ],
+    }
+
+
+def _outcome_from_task(payload: tuple[int, str], task) -> Optional[FuzzOutcome]:
+    """Map one settled fan-out task back to a :class:`FuzzOutcome`."""
+    case_seed, config = payload
+    if task.status == "skipped":
+        return None  # never started: outside the time budget
+    if task.ok:
+        return FuzzOutcome(
+            seed=task.result["seed"],
+            config=task.result["config"],
+            violations=tuple(
+                Violation(
+                    invariant=v["invariant"],
+                    time_s=v["time_s"],
+                    message=v["message"],
+                    tid=v["tid"],
+                )
+                for v in task.result["violations"]
+            ),
+            events=task.result["events"],
+            error=task.result["error"],
+        )
+    return FuzzOutcome(
+        seed=case_seed,
+        config=config,
+        violations=(),
+        events=0,
+        error=f"{task.status}: {task.message}",
+    )
+
+
 def run_fuzz(
     seed: int = 0,
     runs: int = 200,
     time_budget_s: Optional[float] = None,
     configs: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[int, FuzzOutcome], None]] = None,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
 ) -> FuzzReport:
     """Run a seeded fuzz campaign; returns the aggregate report.
 
@@ -299,21 +357,60 @@ def run_fuzz(
             once exceeded (the CI smoke job uses 60 s).
         configs: subset of :data:`FUZZ_CONFIGS` names; default all.
         progress: optional callback ``(run_index, outcome)``.
+        jobs: worker processes; ``jobs>=2`` fans (seed, config) simulations
+            out via :func:`~repro.experiments.parallel.fan_out`, with
+            crashed and hung cases isolated to their own process.  The set
+            of simulations run is identical to serial mode; parallel-mode
+            violations carry no trace windows (rerun the seed to get them).
+        timeout_s: per-simulation wall-clock budget (``jobs>=2`` only); an
+            overrunning case becomes an errored outcome, which fails the
+            campaign — a hang is a finding, not a stall.
     """
     names = (
         [c[0] for c in FUZZ_CONFIGS] if configs is None else list(configs)
     )
     report = FuzzReport()
     started = time.monotonic()
-    for i in range(runs):
-        if time_budget_s is not None and time.monotonic() - started > time_budget_s:
-            break
-        case = build_case(seed + i)
-        for name in names:
-            outcome = run_case(case, name)
-            report.outcomes.append(outcome)
-            if progress is not None:
-                progress(i, outcome)
-        report.runs = i + 1
+    if jobs > 1:
+        from ..experiments.parallel import fan_out
+
+        payloads = [(seed + i, name) for i in range(runs) for name in names]
+        stop = (
+            None
+            if time_budget_s is None
+            else lambda: time.monotonic() - started > time_budget_s
+        )
+
+        def on_settle(task, in_flight: int) -> None:
+            if progress is not None and task.status != "skipped":
+                case_seed, _ = payloads[task.index]
+                outcome = _outcome_from_task(payloads[task.index], task)
+                progress(case_seed - seed, outcome)
+
+        tasks = fan_out(
+            _fuzz_task, payloads, jobs=jobs, timeout_s=timeout_s,
+            on_settle=on_settle, stop=stop,
+        )
+        seeds_run = set()
+        for payload, task in zip(payloads, tasks):
+            outcome = _outcome_from_task(payload, task)
+            if outcome is not None:
+                report.outcomes.append(outcome)
+                seeds_run.add(payload[0])
+        report.runs = len(seeds_run)
+    else:
+        for i in range(runs):
+            if (
+                time_budget_s is not None
+                and time.monotonic() - started > time_budget_s
+            ):
+                break
+            case = build_case(seed + i)
+            for name in names:
+                outcome = run_case(case, name)
+                report.outcomes.append(outcome)
+                if progress is not None:
+                    progress(i, outcome)
+            report.runs = i + 1
     report.wall_s = time.monotonic() - started
     return report

@@ -1,0 +1,66 @@
+"""Online demand-aware admission control (the paper's RDA layer, live).
+
+The batch harness simulates a kernel; this package *runs* the admission
+machinery as a long-lived service: an asyncio server speaking a small
+newline-delimited-JSON protocol (``pp_begin`` / ``pp_end`` / ``query`` /
+``stats`` / ``drain``), a client, and an open/closed-loop load generator
+that replays workload-suite progress-period sequences against it.
+
+Entry points: ``python -m repro serve`` and ``python -m repro loadgen``.
+"""
+
+from .client import ServeClient, ServeReplyError
+from .loadgen import (
+    LoadgenConfig,
+    LoadgenReport,
+    fig4_scripts,
+    run_loadgen,
+    run_loadgen_sync,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    Request,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+from .server import (
+    AdmissionServer,
+    AdmissionService,
+    ServeConfig,
+    ServiceSanitizer,
+    serve_until_drained,
+)
+
+__all__ = [
+    "AdmissionServer",
+    "AdmissionService",
+    "Counter",
+    "ErrorCode",
+    "Gauge",
+    "Histogram",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "MAX_FRAME_BYTES",
+    "MetricsRegistry",
+    "PROTOCOL_VERSION",
+    "Request",
+    "ServeClient",
+    "ServeConfig",
+    "ServeReplyError",
+    "ServiceSanitizer",
+    "decode_frame",
+    "encode_frame",
+    "error_reply",
+    "fig4_scripts",
+    "ok_reply",
+    "parse_request",
+    "run_loadgen",
+    "run_loadgen_sync",
+    "serve_until_drained",
+]

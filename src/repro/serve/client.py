@@ -1,0 +1,129 @@
+"""Asyncio client for the admission-control service.
+
+A thin, explicit wrapper over the NDJSON protocol: one request per call,
+one reply per call (a ``pp_begin`` call blocks while the server parks the
+connection — the figure-4 contract, where the kernel blocks the calling
+thread).  Used by the load generator, the tests and
+``examples/serve_quickstart.py``; application code would embed the same
+dozen lines in any language.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError, ServeError
+from . import protocol
+
+__all__ = ["ServeClient", "ServeReplyError"]
+
+
+class ServeReplyError(ServeError):
+    """The server answered with a typed error reply."""
+
+    def __init__(self, reply: Dict[str, Any]) -> None:
+        error = reply.get("error") or {}
+        self.code = error.get("code", protocol.ErrorCode.INTERNAL)
+        self.detail = error.get("message", "")
+        self.reply = reply
+        super().__init__(f"{self.code}: {self.detail}")
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        return (self.reply.get("error") or {}).get("retry_after_s")
+
+
+class ServeClient:
+    """One connection to an admission server."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(
+        cls,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        limit: int = protocol.MAX_FRAME_BYTES,
+    ) -> "ServeClient":
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(
+                unix_path, limit=limit
+            )
+        elif host is not None and port is not None:
+            reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        else:
+            raise ServeError("need a unix socket path or a TCP host+port")
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    # ------------------------------------------------------------------
+    async def call_raw(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and return the raw reply frame (ok or error)."""
+        request_id = next(self._ids)
+        frame: Dict[str, Any] = {
+            "v": protocol.PROTOCOL_VERSION, "id": request_id, "op": op,
+        }
+        frame.update(fields)
+        self.writer.write(protocol.encode_frame(frame))
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ProtocolError(
+                protocol.ErrorCode.INTERNAL, "server closed the connection"
+            )
+        return protocol.decode_frame(line)
+
+    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Like :meth:`call_raw`, raising :class:`ServeReplyError` on errors."""
+        reply = await self.call_raw(op, **fields)
+        if not reply.get("ok"):
+            raise ServeReplyError(reply)
+        return reply
+
+    # ------------------------------------------------------------------
+    async def pp_begin(
+        self,
+        demand_bytes: int,
+        reuse: str = "low",
+        resource: str = "llc",
+        label: str = "",
+        sharing_key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Figure 4's ``pp_begin`` over the wire; blocks while parked."""
+        fields: Dict[str, Any] = {
+            "resource": resource,
+            "demand_bytes": demand_bytes,
+            "reuse": reuse,
+            "label": label,
+        }
+        if sharing_key is not None:
+            fields["sharing_key"] = sharing_key
+        return await self.call("pp_begin", **fields)
+
+    async def pp_end(self, pp_id: int) -> Dict[str, Any]:
+        return await self.call("pp_end", pp_id=pp_id)
+
+    async def query(self, pp_id: Optional[int] = None) -> Dict[str, Any]:
+        if pp_id is None:
+            return await self.call("query")
+        return await self.call("query", pp_id=pp_id)
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self.call("stats"))["stats"]
+
+    async def drain(self) -> Dict[str, Any]:
+        return await self.call("drain")

@@ -1,0 +1,423 @@
+"""Load generator for the online admission-control service.
+
+Replays workload-suite progress-period sequences (see
+:mod:`repro.workloads.export`) against a running server in either of the
+two canonical load models:
+
+* **closed loop** — N concurrent clients, each running session after
+  session over a persistent connection; offered load self-regulates to
+  service capacity (the paper's co-run experiments, where a fixed set of
+  processes compete).
+* **open loop** — sessions arrive by a Poisson process at a configured
+  rate, one connection per session; offered load is independent of service
+  speed, so queueing (parking) grows when demand outstrips capacity.
+
+Each client measures admission latency from its own side of the wire
+(request sent → reply received), which includes park time; the server's
+``waited_s`` field separates queueing delay from protocol overhead.  A
+sampler connection polls ``query`` to time-series the aggregate-demand
+utilization — the quantity figure 5/6 of the paper plot offline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.api import MB
+from ..errors import ProtocolError, ServeError
+from ..experiments.metrics import LatencySummary, summarize_samples
+from ..workloads.export import PpCall, SessionScript
+from . import protocol
+from .client import ServeClient, ServeReplyError
+from .protocol import ErrorCode
+
+__all__ = [
+    "LoadgenConfig",
+    "LoadgenReport",
+    "fig4_scripts",
+    "run_loadgen",
+    "run_loadgen_sync",
+]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """One load-generation run."""
+
+    #: "closed" (N persistent clients) or "open" (Poisson arrivals)
+    mode: str = "closed"
+    #: closed loop: number of concurrent clients
+    clients: int = 4
+    #: open loop: mean session arrivals per second
+    rate: float = 20.0
+    #: total sessions to run (None = bounded by duration only)
+    sessions: Optional[int] = None
+    #: wall-clock budget; arrivals/new sessions stop after this (None = no cap)
+    duration_s: Optional[float] = None
+    #: multiply every scripted hold time (simulated phase durations are
+    #: minutes long; 1e-4 turns them into sub-second holds)
+    time_scale: float = 1e-4
+    #: clamp one call's hold to this many seconds
+    max_hold_s: float = 0.25
+    #: give up a call after this many RETRY_AFTER rounds
+    max_retries: int = 200
+    #: send ``drain`` once the run finishes (lets a CI server exit cleanly)
+    drain: bool = False
+    #: RNG seed (arrival gaps, script order)
+    seed: int = 0
+
+
+@dataclass
+class _Tally:
+    """Mutable counters shared by all client tasks (single event loop)."""
+
+    sessions_started: int = 0
+    sessions_completed: int = 0
+    sessions_failed: int = 0
+    calls: int = 0
+    admitted: int = 0
+    parked: int = 0
+    forced: int = 0
+    retries: int = 0
+    dropped_calls: int = 0
+    park_timeouts: int = 0
+    draining_rejects: int = 0
+    protocol_errors: int = 0
+    latency_s: List[float] = field(default_factory=list)
+    waited_s: List[float] = field(default_factory=list)
+    utilization_samples: List[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """What one load-generation run observed."""
+
+    mode: str
+    wall_s: float
+    sessions_started: int
+    sessions_completed: int
+    sessions_failed: int
+    calls: int
+    admitted: int
+    parked: int
+    forced: int
+    retries: int
+    dropped_calls: int
+    park_timeouts: int
+    draining_rejects: int
+    protocol_errors: int
+    throughput_pps: float
+    admission_latency: LatencySummary
+    park_time: LatencySummary
+    utilization_mean: float
+    utilization_peak: float
+    server_stats: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {
+            "mode": self.mode,
+            "wall_s": self.wall_s,
+            "sessions_started": self.sessions_started,
+            "sessions_completed": self.sessions_completed,
+            "sessions_failed": self.sessions_failed,
+            "calls": self.calls,
+            "admitted": self.admitted,
+            "parked": self.parked,
+            "forced": self.forced,
+            "retries": self.retries,
+            "dropped_calls": self.dropped_calls,
+            "park_timeouts": self.park_timeouts,
+            "draining_rejects": self.draining_rejects,
+            "protocol_errors": self.protocol_errors,
+            "throughput_pps": self.throughput_pps,
+            "admission_latency_s": self.admission_latency.to_dict(),
+            "park_time_s": self.park_time.to_dict(),
+            "utilization_mean": self.utilization_mean,
+            "utilization_peak": self.utilization_peak,
+        }
+        if self.server_stats is not None:
+            payload["server_stats"] = self.server_stats
+        return payload
+
+    def describe(self) -> str:
+        lines = [
+            f"loadgen ({self.mode} loop): {self.wall_s:.2f} s wall, "
+            f"{self.sessions_completed}/{self.sessions_started} sessions "
+            f"({self.sessions_failed} failed)",
+            f"  periods: {self.admitted}/{self.calls} admitted "
+            f"({self.parked} parked, {self.forced} forced, "
+            f"{self.dropped_calls} dropped), "
+            f"{self.throughput_pps:.1f} periods/s",
+            f"  backpressure: {self.retries} RETRY_AFTER, "
+            f"{self.park_timeouts} park timeout(s), "
+            f"{self.draining_rejects} draining reject(s), "
+            f"{self.protocol_errors} protocol error(s)",
+            "  admission latency "
+            + self.admission_latency.describe(unit="ms", scale=1e3),
+            "  park time         "
+            + self.park_time.describe(unit="ms", scale=1e3),
+            f"  utilization: mean {self.utilization_mean:.1%}, "
+            f"peak {self.utilization_peak:.1%}",
+        ]
+        return "\n".join(lines)
+
+
+def fig4_scripts(
+    n: int = 8, demand_mb: float = 6.3, hold_s: float = 0.02
+) -> List[SessionScript]:
+    """Synthetic figure-4 sessions: one DGEMM-style period per session."""
+    call = PpCall(
+        demand_bytes=MB(demand_mb), reuse="high", hold_s=hold_s, label="fig4/dgemm"
+    )
+    return [
+        SessionScript(name=f"fig4#{i}", calls=(call,)) for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+class _Runner:
+    def __init__(
+        self,
+        scripts: Sequence[SessionScript],
+        cfg: LoadgenConfig,
+        unix_path: Optional[str],
+        host: Optional[str],
+        port: Optional[int],
+    ) -> None:
+        if not scripts:
+            raise ServeError("loadgen needs at least one session script")
+        if cfg.mode not in ("closed", "open"):
+            raise ServeError(f"unknown loadgen mode {cfg.mode!r}")
+        if cfg.sessions is None and cfg.duration_s is None:
+            raise ServeError("bound the run: set sessions and/or duration_s")
+        self.scripts = list(scripts)
+        self.cfg = cfg
+        self.connect_kwargs = {"unix_path": unix_path, "host": host, "port": port}
+        self.tally = _Tally()
+        self.rng = random.Random(cfg.seed)
+        self._next_script = 0
+        self._deadline: Optional[float] = None
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    def _take_script(self) -> SessionScript:
+        script = self.scripts[self._next_script % len(self.scripts)]
+        self._next_script += 1
+        return script
+
+    def _budget_left(self) -> bool:
+        if self._stop:
+            return False
+        if (
+            self.cfg.sessions is not None
+            and self.tally.sessions_started >= self.cfg.sessions
+        ):
+            return False
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            return False
+        return True
+
+    def _hold_s(self, call: PpCall) -> float:
+        return min(call.hold_s * self.cfg.time_scale, self.cfg.max_hold_s)
+
+    # ------------------------------------------------------------------
+    async def _run_call(self, client: ServeClient, call: PpCall) -> bool:
+        """One begin/hold/end round-trip.  Returns False to end the session."""
+        tally = self.tally
+        tally.calls += 1
+        for attempt in range(self.cfg.max_retries + 1):
+            t0 = time.monotonic()
+            try:
+                reply = await client.pp_begin(
+                    demand_bytes=call.demand_bytes,
+                    reuse=call.reuse,
+                    label=call.label,
+                    sharing_key=call.sharing_key,
+                )
+            except ServeReplyError as exc:
+                if exc.code == ErrorCode.RETRY_AFTER:
+                    tally.retries += 1
+                    await asyncio.sleep(
+                        (exc.retry_after_s or 0.05) + self.rng.random() * 0.02
+                    )
+                    continue
+                if exc.code == ErrorCode.TIMEOUT:
+                    tally.park_timeouts += 1
+                    return True  # period cancelled server-side; move on
+                if exc.code == ErrorCode.DRAINING:
+                    tally.draining_rejects += 1
+                    self._stop = True
+                    return False
+                tally.protocol_errors += 1
+                return False
+            tally.latency_s.append(time.monotonic() - t0)
+            tally.admitted += 1
+            waited = float(reply.get("waited_s", 0.0))
+            tally.waited_s.append(waited)
+            if waited > 0.0:
+                tally.parked += 1
+            if reply.get("forced"):
+                tally.forced += 1
+            hold = self._hold_s(call)
+            if hold > 0:
+                await asyncio.sleep(hold)
+            await client.pp_end(reply["pp_id"])
+            return True
+        tally.dropped_calls += 1
+        return True
+
+    async def _run_session(self, client: ServeClient, script: SessionScript) -> None:
+        self.tally.sessions_started += 1
+        try:
+            for call in script.calls:
+                if not await self._run_call(client, call):
+                    self.tally.sessions_failed += 1
+                    return
+            self.tally.sessions_completed += 1
+        except (ProtocolError, ConnectionError, asyncio.IncompleteReadError):
+            self.tally.sessions_failed += 1
+
+    # ------------------------------------------------------------------
+    async def _closed_worker(self) -> None:
+        client = await ServeClient.connect(**self.connect_kwargs)
+        try:
+            while self._budget_left():
+                await self._run_session(client, self._take_script())
+        finally:
+            await client.close()
+
+    async def _open_session(self, script: SessionScript) -> None:
+        try:
+            client = await ServeClient.connect(**self.connect_kwargs)
+        except OSError:
+            self.tally.sessions_started += 1
+            self.tally.sessions_failed += 1
+            return
+        try:
+            await self._run_session(client, script)
+        finally:
+            await client.close()
+
+    async def _open_loop(self) -> None:
+        spawned: List[asyncio.Task] = []
+        while self._budget_left():
+            spawned.append(
+                asyncio.ensure_future(self._open_session(self._take_script()))
+            )
+            gap = self.rng.expovariate(self.cfg.rate) if self.cfg.rate > 0 else 0.0
+            await asyncio.sleep(gap)
+        if spawned:
+            await asyncio.gather(*spawned, return_exceptions=True)
+
+    async def _sampler(self) -> None:
+        """Poll ``query`` to time-series the demand utilization."""
+        try:
+            client = await ServeClient.connect(**self.connect_kwargs)
+        except OSError:
+            return
+        try:
+            while True:
+                await asyncio.sleep(0.02)
+                reply = await client.query()
+                for state in reply.get("resources", {}).values():
+                    self.tally.utilization_samples.append(
+                        float(state.get("utilization", 0.0))
+                    )
+        except (ProtocolError, ServeReplyError, ConnectionError, OSError):
+            return
+        finally:
+            await client.close()
+
+    # ------------------------------------------------------------------
+    async def run(self) -> LoadgenReport:
+        if self.cfg.duration_s is not None:
+            self._deadline = time.monotonic() + self.cfg.duration_s
+        sampler = asyncio.ensure_future(self._sampler())
+        t_start = time.monotonic()
+        if self.cfg.mode == "closed":
+            workers = [
+                asyncio.ensure_future(self._closed_worker())
+                for _ in range(max(1, self.cfg.clients))
+            ]
+            await asyncio.gather(*workers)
+        else:
+            await self._open_loop()
+        wall_s = time.monotonic() - t_start
+        sampler.cancel()
+        with_suppress = asyncio.gather(sampler, return_exceptions=True)
+        await with_suppress
+
+        server_stats = await self._final_stats()
+        tally = self.tally
+        samples = tally.utilization_samples
+        return LoadgenReport(
+            mode=self.cfg.mode,
+            wall_s=wall_s,
+            sessions_started=tally.sessions_started,
+            sessions_completed=tally.sessions_completed,
+            sessions_failed=tally.sessions_failed,
+            calls=tally.calls,
+            admitted=tally.admitted,
+            parked=tally.parked,
+            forced=tally.forced,
+            retries=tally.retries,
+            dropped_calls=tally.dropped_calls,
+            park_timeouts=tally.park_timeouts,
+            draining_rejects=tally.draining_rejects,
+            protocol_errors=tally.protocol_errors,
+            throughput_pps=tally.admitted / wall_s if wall_s > 0 else 0.0,
+            admission_latency=summarize_samples(tally.latency_s),
+            park_time=summarize_samples(
+                [w for w in tally.waited_s if w > 0.0]
+            ),
+            utilization_mean=(
+                sum(samples) / len(samples) if samples else 0.0
+            ),
+            utilization_peak=max(samples, default=0.0),
+            server_stats=server_stats,
+        )
+
+    async def _final_stats(self) -> Optional[Dict[str, Any]]:
+        """Fetch the server's own metrics; optionally request drain."""
+        try:
+            client = await ServeClient.connect(**self.connect_kwargs)
+        except OSError:
+            return None
+        try:
+            stats = await client.stats()
+            if self.cfg.drain:
+                await client.drain()
+            return stats
+        except (ProtocolError, ServeReplyError, ConnectionError, OSError):
+            return None
+        finally:
+            await client.close()
+
+
+async def run_loadgen(
+    scripts: Sequence[SessionScript],
+    cfg: LoadgenConfig,
+    unix_path: Optional[str] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> LoadgenReport:
+    """Drive a running admission server with the given session scripts."""
+    runner = _Runner(scripts, cfg, unix_path, host, port)
+    return await runner.run()
+
+
+def run_loadgen_sync(
+    scripts: Sequence[SessionScript],
+    cfg: LoadgenConfig,
+    unix_path: Optional[str] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> LoadgenReport:
+    """Blocking wrapper around :func:`run_loadgen` (CLI entry point)."""
+    return asyncio.run(
+        run_loadgen(scripts, cfg, unix_path=unix_path, host=host, port=port)
+    )

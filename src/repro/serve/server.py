@@ -1,0 +1,823 @@
+"""The online demand-aware admission-control service.
+
+The paper's RDA layer is an *online* kernel service: ``pp_begin`` /
+``pp_end`` calls arrive from live processes, and the kernel admits, parks,
+or wakes them in real time.  This module runs the same admission machinery
+— :class:`~repro.core.progress_monitor.ProgressMonitor`, the Algorithm-1
+predicate, the resource waitlist and the Strict/Compromise policies — as a
+long-running asyncio daemon speaking the newline-delimited-JSON protocol
+of :mod:`repro.serve.protocol` over TCP or a Unix socket.
+
+Design points:
+
+* **Single writer.**  Every mutation of the admission state happens on the
+  event loop, and no handler holds an ``await`` point inside a mutation
+  sequence, so the core stack needs no locks — the asyncio loop plays the
+  role of the kernel's run-queue lock.
+* **Denied periods park the connection.**  A ``pp_begin`` the policy
+  rejects does not get an immediate "no": the reply is deferred until a
+  completing period frees capacity (the waitlist admits it), the per-client
+  park timeout lapses, or the server drains — exactly how the kernel parks
+  a process on the resource wait queue.
+* **Bounded overload.**  The pending-admission queue is capped
+  (``max_pending``); beyond it, new ``pp_begin`` requests receive a typed
+  ``RETRY_AFTER`` reply instead of growing server memory without bound.
+* **Starvation guard.**  As in :class:`~repro.core.rda.RdaScheduler`, a
+  waiting period is force-admitted whenever its resource is completely
+  idle, both inline after every release and from a periodic sweep, so a
+  mis-annotated client is slow instead of deadlocked.
+* **Graceful drain.**  SIGTERM (or the ``drain`` verb) stops admissions,
+  wakes parked clients with a ``DRAINING`` error, waits up to the grace
+  budget for running periods to end, then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..config import MachineConfig, default_machine_config
+from ..core.api import ProgressPeriodApi
+from ..core.policy import AlwaysAdmitPolicy, SchedulingPolicy
+from ..core.predicate import SchedulingPredicate
+from ..core.progress_monitor import ProgressMonitor
+from ..core.progress_period import (
+    PeriodRequest,
+    PeriodState,
+    ProgressPeriod,
+    ResourceKind,
+)
+from ..core.resource_monitor import ResourceMonitor
+from ..core.waitlist import Waitlist
+from ..errors import ProgressPeriodError, ProtocolError, ServeError
+from . import protocol
+from .metrics import MetricsRegistry
+from .protocol import ErrorCode
+
+__all__ = [
+    "ServeConfig",
+    "ServiceSanitizer",
+    "AdmissionService",
+    "AdmissionServer",
+    "serve_until_drained",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one admission-control server instance."""
+
+    #: admission policy; ``None`` = Always Admit (the Linux-default analogue)
+    policy: Optional[SchedulingPolicy] = None
+    #: machine description — the managed LLC capacity comes from here
+    machine: MachineConfig = field(default_factory=default_machine_config)
+    #: strict arrival-order waitlist draining (head-of-line blocking)
+    strict_fifo: bool = False
+    #: bound on parked admissions; beyond it pp_begin gets RETRY_AFTER
+    max_pending: int = 1024
+    #: hint returned with RETRY_AFTER replies
+    retry_after_s: float = 0.05
+    #: how long one client may stay parked before a TIMEOUT reply
+    park_timeout_s: Optional[float] = 30.0
+    #: per-connection read idle timeout (None = wait forever)
+    idle_timeout_s: Optional[float] = None
+    #: period of the background starvation-guard sweep
+    starvation_check_s: float = 0.25
+    #: how long drain waits for running periods before force-closing
+    drain_grace_s: float = 5.0
+    #: largest accepted request frame
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    #: attach the online invariant checker (the serve analogue of --sanitize)
+    sanitize: bool = False
+    #: flat file the metrics snapshot is dumped to (None = stats verb only)
+    metrics_json: Optional[str] = None
+    #: dump interval for ``metrics_json``
+    metrics_interval_s: float = 2.0
+
+
+class ServiceSanitizer:
+    """Online invariant checking for the admission service.
+
+    The kernel sanitizer observes a simulated kernel; this is its
+    ``repro.serve`` analogue, subscribing to the resource monitor's
+    charge/release ledger and asserting, after every mutation:
+
+    * **conservation** — the resource table's usage equals the sum of this
+      ledger's charges minus releases (nothing leaks, nothing double-frees),
+    * **demand bound** — aggregate admitted demand never exceeds
+      ``policy.demand_bound(capacity)`` unless a starvation-guard forced
+      admission is live,
+    * **final quiescence** — at drain with no open periods, usage is zero
+      and the waitlist is empty.
+    """
+
+    def __init__(self, service: "AdmissionService") -> None:
+        self.service = service
+        self.ledger: Dict[ResourceKind, int] = {}
+        self.violations: List[str] = []
+
+    # resource-monitor observer interface ------------------------------
+    def on_charge(self, request: PeriodRequest, added_bytes: int) -> None:
+        kind = request.resource
+        self.ledger[kind] = self.ledger.get(kind, 0) + added_bytes
+        self._check(kind)
+
+    def on_release(self, request: PeriodRequest, removed_bytes: int) -> None:
+        kind = request.resource
+        self.ledger[kind] = self.ledger.get(kind, 0) - removed_bytes
+        if self.ledger[kind] < 0:
+            self._report(f"{kind}: ledger went negative ({self.ledger[kind]} B)")
+        self._check(kind)
+
+    # ------------------------------------------------------------------
+    def _check(self, kind: ResourceKind) -> None:
+        state = self.service.resources.state(kind)
+        if state.usage_bytes != self.ledger.get(kind, 0):
+            self._report(
+                f"{kind}: conservation broken — table says {state.usage_bytes} B, "
+                f"ledger says {self.ledger.get(kind, 0)} B"
+            )
+        bound = self.service.policy.demand_bound(state.capacity_bytes)
+        if state.usage_bytes > bound and not self.service.forced_running(kind):
+            self._report(
+                f"{kind}: usage {state.usage_bytes} B exceeds the policy bound "
+                f"{bound:.0f} B with no forced admission live"
+            )
+
+    def finalize(self) -> None:
+        """End-of-drain check: an idle service must hold zero demand."""
+        if len(self.service.monitor.registry) == 0:
+            for kind, state_usage in self.service.resources.snapshot().items():
+                usage, _ = state_usage
+                if usage != 0:
+                    self._report(f"{kind}: {usage} B still charged after drain")
+            if len(self.service.waitlist) != 0:
+                self._report(
+                    f"waitlist holds {len(self.service.waitlist)} period(s) "
+                    "after drain"
+                )
+
+    def _report(self, message: str) -> None:
+        self.violations.append(f"t={time.monotonic():.6f} {message}")
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return "sanitizer: 0 violations"
+        lines = [f"sanitizer: {len(self.violations)} invariant violation(s)"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+class AdmissionService:
+    """The admission state machine, independent of any transport.
+
+    All methods must be called from a single thread/event loop (the
+    single-writer discipline); they never block.
+    """
+
+    def __init__(self, cfg: ServeConfig) -> None:
+        self.cfg = cfg
+        self.policy = cfg.policy if cfg.policy is not None else AlwaysAdmitPolicy()
+        self.resources = ResourceMonitor()
+        self.resources.register(ResourceKind.LLC, cfg.machine.llc_capacity)
+        self.managed_kinds = [ResourceKind.LLC]
+        self.predicate = SchedulingPredicate(self.resources, self.policy)
+        self.waitlist = Waitlist(strict_fifo=cfg.strict_fifo)
+        self.monitor = ProgressMonitor(
+            resources=self.resources,
+            predicate=self.predicate,
+            clock=time.monotonic,
+            waitlist=self.waitlist,
+        )
+        self.forced_admissions = 0
+        self.sanitizer: Optional[ServiceSanitizer] = None
+        if cfg.sanitize:
+            self.sanitizer = ServiceSanitizer(self)
+            self.resources.observers.append(self.sanitizer)
+        self._build_metrics()
+
+    # ------------------------------------------------------------------
+    def _build_metrics(self) -> None:
+        m = MetricsRegistry()
+        self.metrics = m
+        self.c_requests = m.counter("requests_total", "frames received")
+        self.c_begin = m.counter("pp_begin_total", "pp_begin requests")
+        self.c_end = m.counter("pp_end_total", "successful pp_end calls")
+        self.c_immediate = m.counter(
+            "admitted_immediate_total", "periods admitted without parking"
+        )
+        self.c_after_park = m.counter(
+            "admitted_after_park_total", "periods admitted after waiting"
+        )
+        self.c_forced = m.counter(
+            "forced_admissions_total", "starvation-guard admissions"
+        )
+        self.c_retry_after = m.counter(
+            "retry_after_total", "pp_begin rejected by the pending-queue bound"
+        )
+        self.c_park_timeout = m.counter(
+            "park_timeouts_total", "parked periods that hit the park timeout"
+        )
+        self.c_disconnect_cancel = m.counter(
+            "cancelled_on_disconnect_total",
+            "periods cancelled because their client vanished",
+        )
+        self.c_protocol_errors = m.counter(
+            "protocol_errors_total", "malformed / invalid request frames"
+        )
+        self.c_draining_rejects = m.counter(
+            "draining_rejects_total", "pp_begin rejected because draining"
+        )
+        llc = self.resources.state(ResourceKind.LLC)
+        m.gauge("open_periods", fn=lambda: len(self.monitor.registry))
+        m.gauge("waiting", fn=lambda: len(self.waitlist))
+        m.gauge("usage_bytes", fn=lambda: llc.usage_bytes)
+        m.gauge("capacity_bytes", fn=lambda: llc.capacity_bytes)
+        m.gauge("utilization", fn=lambda: llc.utilization)
+        self.g_usage_peak = m.gauge(
+            "usage_peak_bytes", "high-water mark of admitted demand"
+        )
+        self.g_waiting_peak = m.gauge(
+            "waiting_peak", "high-water mark of the pending-admission queue"
+        )
+        self.h_park = m.histogram(
+            "park_time_s", "time parked before admission (parked periods only)"
+        )
+        self.h_service = m.histogram(
+            "service_time_s", "pp_begin-admission to pp_end duration"
+        )
+
+    # ------------------------------------------------------------------
+    def knows(self, kind: ResourceKind) -> bool:
+        return self.resources.known(kind)
+
+    def forced_running(self, kind: Optional[ResourceKind] = None) -> bool:
+        """Is any starvation-guard-forced period currently admitted?"""
+        return any(
+            p.forced
+            and p.state is PeriodState.RUNNING
+            and (kind is None or p.resource is kind)
+            for p in self.monitor.registry
+        )
+
+    def note_usage(self) -> None:
+        """Refresh the usage/waiting high-water marks."""
+        llc = self.resources.state(ResourceKind.LLC)
+        self.g_usage_peak.max(llc.usage_bytes)
+        self.g_waiting_peak.max(len(self.waitlist))
+
+    def rescue_starved(self) -> List[ProgressPeriod]:
+        """Force-admit head waiters whose resource is completely idle."""
+        rescued: List[ProgressPeriod] = []
+        for kind in self.managed_kinds:
+            state = self.resources.state(kind)
+            head = self.waitlist.peek(kind)
+            if state.usage_bytes == 0 and head is not None:
+                self.monitor.force_admit(head)
+                self.forced_admissions += 1
+                self.c_forced.inc()
+                rescued.append(head)
+        if rescued:
+            self.note_usage()
+        return rescued
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``query`` verb's service-level view."""
+        resources = {
+            str(kind): {
+                "usage_bytes": usage,
+                "capacity_bytes": capacity,
+                "utilization": usage / capacity if capacity else 0.0,
+                "waiting": self.waitlist.waiting_on(kind),
+            }
+            for kind, (usage, capacity) in self.resources.snapshot().items()
+        }
+        return {
+            "policy": self.policy.name,
+            "demand_bound_bytes": self.policy.demand_bound(
+                self.resources.state(ResourceKind.LLC).capacity_bytes
+            ),
+            "open_periods": len(self.monitor.registry),
+            "waiting": len(self.waitlist),
+            "forced_admissions": self.forced_admissions,
+            "resources": resources,
+        }
+
+
+class _Session:
+    """Per-connection state: the figure-4 API bound to this client."""
+
+    _ids = iter(range(1, 1 << 62))
+
+    def __init__(self, service: AdmissionService, writer: asyncio.StreamWriter) -> None:
+        self.id = next(self._ids)
+        self.api = ProgressPeriodApi(service.monitor, owner=self)
+        self.writer = writer
+        self.closed = False
+        #: frames that arrived while the connection was parked; processed
+        #: in order once the deferred pp_begin reply has been sent
+        self.pushback: List[bytes] = []
+
+    async def send(self, frame: Dict[str, Any]) -> None:
+        if self.closed:
+            return
+        try:
+            self.writer.write(protocol.encode_frame(frame))
+            await self.writer.drain()
+        except (ConnectionError, RuntimeError):
+            self.closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<session #{self.id}>"
+
+
+class AdmissionServer:
+    """Asyncio front-end: transports, parking, timeouts, drain."""
+
+    def __init__(self, cfg: ServeConfig) -> None:
+        self.cfg = cfg
+        self.service = AdmissionService(cfg)
+        self.sessions: set[_Session] = set()
+        #: pp_id -> future resolved with "admitted" | "drained"
+        self._parked: Dict[int, asyncio.Future] = {}
+        self._servers: List[asyncio.AbstractServer] = []
+        self._unix_path: Optional[str] = None
+        self.draining = False
+        self._drain_requested = asyncio.Event()
+        self._background: List[asyncio.Task] = []
+        self.service.metrics.gauge("connections", fn=lambda: len(self.sessions))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+    ) -> None:
+        """Bind the requested transports and start background tasks."""
+        if unix_path is None and host is None:
+            raise ServeError("need a unix socket path and/or a TCP host/port")
+        if unix_path is not None:
+            if os.path.exists(unix_path):
+                os.unlink(unix_path)  # stale socket from a previous run
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._handle_client, path=unix_path,
+                    limit=self.cfg.max_frame_bytes,
+                )
+            )
+            self._unix_path = unix_path
+        if host is not None:
+            if port is None:
+                raise ServeError("TCP transport needs a port")
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_client, host=host, port=port,
+                    limit=self.cfg.max_frame_bytes,
+                )
+            )
+        self._background.append(asyncio.ensure_future(self._guard_loop()))
+        if self.cfg.metrics_json:
+            self._background.append(asyncio.ensure_future(self._metrics_loop()))
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        """The bound TCP port (for ``--port 0`` ephemeral binds)."""
+        for server in self._servers:
+            for sock in server.sockets or ():
+                if sock.family.name.startswith("AF_INET"):
+                    return sock.getsockname()[1]
+        return None
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (idempotent; SIGTERM lands here)."""
+        self._drain_requested.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix platforms
+
+    async def run_until_drained(self) -> None:
+        """Serve until a drain is requested, then shut down gracefully."""
+        await self._drain_requested.wait()
+        self.draining = True
+        # Stop accepting new connections.
+        for server in self._servers:
+            server.close()
+        # Wake every parked client with a DRAINING reply.
+        for future in list(self._parked.values()):
+            if not future.done():
+                future.set_result("drained")
+        # Give running periods the grace budget to pp_end naturally.
+        deadline = time.monotonic() + self.cfg.drain_grace_s
+        while (
+            len(self.service.monitor.registry) > 0
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        for session in list(self.sessions):
+            session.closed = True
+            with contextlib.suppress(Exception):
+                session.writer.close()
+        for server in self._servers:
+            await server.wait_closed()
+        for task in self._background:
+            task.cancel()
+        await asyncio.gather(*self._background, return_exceptions=True)
+        if self._unix_path and os.path.exists(self._unix_path):
+            os.unlink(self._unix_path)
+        if self.service.sanitizer is not None:
+            self.service.sanitizer.finalize()
+        if self.cfg.metrics_json:
+            self.service.metrics.dump_json(self.cfg.metrics_json)
+
+    # ------------------------------------------------------------------
+    # background tasks
+    # ------------------------------------------------------------------
+    async def _guard_loop(self) -> None:
+        """Periodic starvation-guard sweep (safety net for the inline one)."""
+        while True:
+            await asyncio.sleep(self.cfg.starvation_check_s)
+            self._wake(self.service.rescue_starved())
+
+    async def _metrics_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.cfg.metrics_interval_s)
+            self.service.metrics.dump_json(self.cfg.metrics_json)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = _Session(self.service, writer)
+        self.sessions.add(session)
+        try:
+            await self._serve_session(session, reader)
+        finally:
+            self.sessions.discard(session)
+            self._cleanup_session(session)
+            session.closed = True
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _serve_session(
+        self, session: _Session, reader: asyncio.StreamReader
+    ) -> None:
+        while not session.closed:
+            if session.pushback:
+                line = session.pushback.pop(0)
+            else:
+                try:
+                    if self.cfg.idle_timeout_s is not None:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=self.cfg.idle_timeout_s
+                        )
+                    else:
+                        line = await reader.readline()
+                except asyncio.TimeoutError:
+                    return  # idle client: hang up
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return
+                except ValueError:
+                    # StreamReader overran its limit: the frame is oversized
+                    # and the byte stream can no longer be re-synchronized —
+                    # reply with the typed error, then hang up.
+                    self.service.c_protocol_errors.inc()
+                    await session.send(protocol.error_reply(
+                        None, ErrorCode.FRAME_TOO_LARGE,
+                        f"request frame exceeds {self.cfg.max_frame_bytes} bytes",
+                    ))
+                    return
+                if not line:
+                    return  # EOF
+            self.service.c_requests.inc()
+            try:
+                request = protocol.parse_request(
+                    protocol.decode_frame(line, self.cfg.max_frame_bytes)
+                )
+            except ProtocolError as exc:
+                self.service.c_protocol_errors.inc()
+                await session.send(
+                    protocol.error_reply(None, exc.code, exc.message)
+                )
+                continue
+            reply = await self._dispatch(session, reader, request)
+            if reply is not None:
+                await session.send(reply)
+            if request.op == "drain":
+                self.request_drain()
+
+    async def _dispatch(
+        self,
+        session: _Session,
+        reader: asyncio.StreamReader,
+        request: protocol.Request,
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            if request.op == "pp_begin":
+                return await self._op_pp_begin(session, reader, request)
+            if request.op == "pp_end":
+                return self._op_pp_end(session, request)
+            if request.op == "query":
+                return self._op_query(session, request)
+            if request.op == "stats":
+                return self._op_stats(request)
+            if request.op == "drain":
+                return self._op_drain(request)
+            raise ServeError(f"unroutable op {request.op!r}")  # pragma: no cover
+        except Exception as exc:  # noqa: BLE001 — a reply beats a dead server
+            return protocol.error_reply(
+                request.id, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    async def _op_pp_begin(
+        self,
+        session: _Session,
+        reader: asyncio.StreamReader,
+        request: protocol.Request,
+    ) -> Optional[Dict[str, Any]]:
+        service = self.service
+        service.c_begin.inc()
+        if self.draining:
+            service.c_draining_rejects.inc()
+            return protocol.error_reply(
+                request.id, ErrorCode.DRAINING, "server is draining"
+            )
+        if not service.knows(request.resource):
+            service.c_protocol_errors.inc()
+            return protocol.error_reply(
+                request.id, ErrorCode.BAD_REQUEST,
+                f"resource {request.resource} is not managed by this server",
+            )
+        # Overload backpressure: the pending-admission queue is bounded.
+        if len(service.waitlist) >= self.cfg.max_pending:
+            service.c_retry_after.inc()
+            return protocol.error_reply(
+                request.id, ErrorCode.RETRY_AFTER,
+                f"pending-admission queue is full "
+                f"({self.cfg.max_pending} waiter(s))",
+                retry_after_s=self.cfg.retry_after_s,
+            )
+        sharing_key = (
+            ("serve", request.sharing_key) if request.sharing_key is not None else None
+        )
+        pp_id = session.api.pp_begin(
+            request.resource,
+            request.demand_bytes,
+            request.reuse,
+            label=request.label,
+            sharing_key=sharing_key,
+        )
+        period = session.api.period(pp_id)
+        # Inline starvation guard: an empty resource must admit its lone
+        # oversized period (mirrors RdaScheduler.on_pp_begin).
+        if (
+            period.state is PeriodState.WAITING
+            and service.resources.state(period.resource).usage_bytes == 0
+        ):
+            service.monitor.force_admit(period)
+            service.forced_admissions += 1
+            service.c_forced.inc()
+        if period.state is PeriodState.RUNNING:
+            service.c_immediate.inc()
+            service.note_usage()
+            return self._admitted_reply(request.id, period)
+        return await self._park(session, reader, request, period)
+
+    async def _park(
+        self,
+        session: _Session,
+        reader: asyncio.StreamReader,
+        request: protocol.Request,
+        period: ProgressPeriod,
+    ) -> Optional[Dict[str, Any]]:
+        """Defer the reply until admission, timeout, drain, or disconnect.
+
+        While parked we keep one ``readline`` in flight so a client that
+        dies mid-park is noticed immediately (its period is cancelled and
+        its demand released) instead of squatting on the waitlist until the
+        park timeout.  Frames a client pipelines while parked are buffered
+        and served after the deferred reply.
+        """
+        service = self.service
+        service.note_usage()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._parked[period.pp_id] = future
+        deadline = (
+            None
+            if self.cfg.park_timeout_s is None
+            else loop.time() + self.cfg.park_timeout_s
+        )
+        read_task: Optional[asyncio.Task] = None
+        try:
+            while True:
+                if read_task is None:
+                    read_task = asyncio.ensure_future(reader.readline())
+                timeout = (
+                    None if deadline is None else max(0.0, deadline - loop.time())
+                )
+                done, _ = await asyncio.wait(
+                    {future, read_task},
+                    timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                eof = False
+                if read_task in done:
+                    try:
+                        line = read_task.result()
+                    except (ConnectionError, ValueError):
+                        line, eof = b"", True
+                    read_task = None
+                    if line:
+                        session.pushback.append(line)
+                    else:
+                        eof = True
+                if eof:
+                    # Client vanished while parked: cancel and release.
+                    session.closed = True
+                    service.c_disconnect_cancel.inc()
+                    self._wake(session.api.pp_cancel(period.pp_id))
+                    self._wake(service.rescue_starved())
+                    return None  # no one left to reply to
+                if future.done():
+                    break
+                if not done and read_task is not None:
+                    # Pure timeout: cancel the period and tell the client.
+                    service.c_park_timeout.inc()
+                    self._wake(session.api.pp_cancel(period.pp_id))
+                    self._wake(service.rescue_starved())
+                    return protocol.error_reply(
+                        request.id, ErrorCode.TIMEOUT,
+                        f"parked longer than the {self.cfg.park_timeout_s} s "
+                        "park timeout; period cancelled",
+                        waited_s=self.cfg.park_timeout_s,
+                    )
+        finally:
+            self._parked.pop(period.pp_id, None)
+            if read_task is not None:
+                read_task.cancel()
+                with contextlib.suppress(
+                    asyncio.CancelledError, ConnectionError, ValueError
+                ):
+                    await read_task
+        if future.result() == "drained":
+            self._wake(session.api.pp_cancel(period.pp_id))
+            return protocol.error_reply(
+                request.id, ErrorCode.DRAINING,
+                "server drained while the period was parked; period cancelled",
+            )
+        service.c_after_park.inc()
+        service.h_park.observe(period.waited_s)
+        service.note_usage()
+        return self._admitted_reply(request.id, period)
+
+    def _admitted_reply(
+        self, request_id: Optional[int], period: ProgressPeriod
+    ) -> Dict[str, Any]:
+        return protocol.ok_reply(
+            request_id,
+            pp_id=period.pp_id,
+            admitted=True,
+            waited_s=period.waited_s,
+            forced=period.forced,
+        )
+
+    def _op_pp_end(
+        self, session: _Session, request: protocol.Request
+    ) -> Dict[str, Any]:
+        service = self.service
+        try:
+            period = session.api.period(request.pp_id)
+        except ProgressPeriodError:
+            service.c_protocol_errors.inc()
+            return protocol.error_reply(
+                request.id, ErrorCode.UNKNOWN_PERIOD,
+                f"pp_id {request.pp_id} is not an open period of this "
+                "connection (already ended, cancelled, or never begun)",
+            )
+        admitted = session.api.pp_end(request.pp_id)
+        service.c_end.inc()
+        if period.admit_time is not None and period.end_time is not None:
+            service.h_service.observe(period.end_time - period.admit_time)
+        self._wake(admitted)
+        self._wake(service.rescue_starved())
+        return protocol.ok_reply(
+            request.id, pp_id=request.pp_id, released=True,
+            admitted_waiters=len(admitted),
+        )
+
+    def _op_query(
+        self, session: _Session, request: protocol.Request
+    ) -> Dict[str, Any]:
+        snapshot = self.service.snapshot()
+        snapshot["draining"] = self.draining
+        if request.pp_id is not None:
+            try:
+                period = session.api.period(request.pp_id)
+            except ProgressPeriodError:
+                return protocol.error_reply(
+                    request.id, ErrorCode.UNKNOWN_PERIOD,
+                    f"pp_id {request.pp_id} is not an open period of this "
+                    "connection",
+                )
+            snapshot["period"] = {
+                "pp_id": period.pp_id,
+                "state": period.state.value,
+                "demand_bytes": period.demand_bytes,
+                "queue_position": self.service.waitlist.position(period),
+                "waited_s": (
+                    period.waited_s
+                    if period.admit_time is not None
+                    else time.monotonic() - period.begin_time
+                ),
+                "forced": period.forced,
+            }
+        return protocol.ok_reply(request.id, **snapshot)
+
+    def _op_stats(self, request: protocol.Request) -> Dict[str, Any]:
+        stats = self.service.metrics.snapshot()
+        sanitizer = self.service.sanitizer
+        stats["sanitizer"] = (
+            None
+            if sanitizer is None
+            else {"ok": sanitizer.ok, "violations": len(sanitizer.violations)}
+        )
+        return protocol.ok_reply(request.id, stats=stats)
+
+    def _op_drain(self, request: protocol.Request) -> Dict[str, Any]:
+        # The caller's reply is sent before request_drain() runs (the read
+        # loop triggers it after the send), so the client always hears back.
+        return protocol.ok_reply(
+            request.id,
+            draining=True,
+            open_periods=len(self.service.monitor.registry),
+            waiting=len(self.service.waitlist),
+        )
+
+    # ------------------------------------------------------------------
+    # wakeups and cleanup
+    # ------------------------------------------------------------------
+    def _wake(self, admitted: List[ProgressPeriod]) -> None:
+        """Resolve the parked futures of newly admitted periods."""
+        for period in admitted:
+            future = self._parked.get(period.pp_id)
+            if future is not None and not future.done():
+                future.set_result("admitted")
+
+    def _cleanup_session(self, session: _Session) -> None:
+        """Client vanished: cancel its periods, release demand, wake others.
+
+        A parked period leaves the waitlist; a running one releases its
+        demand, which can admit other clients' waiters — exactly the
+        kernel's thread-exit path (`abandon_owner`).
+        """
+        open_ids = session.api.open_ids()
+        if not open_ids:
+            return
+        admitted: List[ProgressPeriod] = []
+        for pp_id in open_ids:
+            self._parked.pop(pp_id, None)  # its own future dies with the task
+            admitted.extend(session.api.pp_cancel(pp_id))
+            self.service.c_disconnect_cancel.inc()
+        admitted.extend(self.service.rescue_starved())
+        self._wake(admitted)
+
+
+async def serve_until_drained(
+    cfg: ServeConfig,
+    unix_path: Optional[str] = None,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    signals: bool = True,
+    ready: Optional[asyncio.Event] = None,
+) -> AdmissionServer:
+    """Start a server, run until drained, and return it (for inspection)."""
+    server = AdmissionServer(cfg)
+    await server.start(unix_path=unix_path, host=host, port=port)
+    if signals:
+        server.install_signal_handlers()
+    if ready is not None:
+        ready.set()
+    await server.run_until_drained()
+    return server

@@ -18,9 +18,13 @@ from .base import (
     barrier_phase,
     mix_workloads,
 )
+from .export import PpCall, SessionScript, export_pp_sequences
 from .suite import table2_workloads, workload_by_name, WORKLOAD_NAMES
 
 __all__ = [
+    "PpCall",
+    "SessionScript",
+    "export_pp_sequences",
     "Phase",
     "PhaseKind",
     "PpSpec",

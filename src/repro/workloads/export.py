@@ -1,0 +1,109 @@
+"""Export workload progress-period sequences for online replay.
+
+The batch harness hands whole :class:`~repro.workloads.base.Workload`
+objects to the simulated kernel.  The online path (:mod:`repro.serve`)
+instead needs each thread's *wire-level* call sequence — the ordered
+``pp_begin(demand, reuse)`` / hold / ``pp_end`` calls it would issue
+against a live admission server.  This module flattens a workload into
+those sequences, estimating each phase's hold time from the machine model
+(instructions / (IPC × frequency)) so replayed load has the same *shape*
+(demand mix, relative durations) as the simulated original, scaled by the
+load generator's ``time_scale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import MachineConfig, default_machine_config
+from .base import Phase, PhaseKind, Workload
+
+__all__ = ["PpCall", "SessionScript", "export_pp_sequences"]
+
+
+@dataclass(frozen=True)
+class PpCall:
+    """One wire-level progress period: begin, hold, end.
+
+    ``reuse`` is the protocol-level name (``"low" | "med" | "high"``);
+    ``sharing_key`` marks working sets shared by sibling threads of one
+    process so the server charges them once, as §3.2 prescribes.
+    """
+
+    demand_bytes: int
+    reuse: str
+    hold_s: float
+    label: str = ""
+    sharing_key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SessionScript:
+    """One client session: the PP calls one thread issues, in order."""
+
+    name: str
+    calls: tuple[PpCall, ...]
+
+    @property
+    def total_hold_s(self) -> float:
+        return sum(c.hold_s for c in self.calls)
+
+    @property
+    def peak_demand_bytes(self) -> int:
+        return max((c.demand_bytes for c in self.calls), default=0)
+
+
+def _phase_hold_s(phase: Phase, config: MachineConfig) -> float:
+    """First-order phase duration: retired instructions at base IPC."""
+    rate = config.cpu.base_ipc * config.cpu.frequency_hz
+    return phase.instructions / rate if rate > 0 else 0.0
+
+
+def export_pp_sequences(
+    workload: Workload,
+    config: Optional[MachineConfig] = None,
+    max_sessions: Optional[int] = None,
+) -> List[SessionScript]:
+    """Flatten a workload into one :class:`SessionScript` per thread.
+
+    Only PP-annotated compute phases become calls (un-instrumented
+    stretches and barriers have no wire footprint — the server never hears
+    about them, exactly as the kernel never hears from unannotated code).
+    Threads of one process that share a phase's working set carry a
+    ``sharing_key`` scoped to (process index, phase name).
+
+    Args:
+        max_sessions: truncate the export (e.g. take 16 of BLAS-1's 96
+            single-thread processes for a smoke test); ``None`` = all.
+    """
+    config = config or default_machine_config()
+    scripts: List[SessionScript] = []
+    for proc_index, spec in enumerate(workload.processes):
+        for thread_index in range(spec.n_threads):
+            calls: List[PpCall] = []
+            for phase in spec.program_for(thread_index):
+                if phase.kind is not PhaseKind.COMPUTE or phase.pp is None:
+                    continue
+                sharing_key = (
+                    f"p{proc_index}/{phase.name}" if phase.shared else None
+                )
+                calls.append(
+                    PpCall(
+                        demand_bytes=phase.declared_demand(),
+                        reuse=phase.declared_reuse().value,
+                        hold_s=_phase_hold_s(phase, config),
+                        label=f"{spec.name}/{phase.name}",
+                        sharing_key=sharing_key,
+                    )
+                )
+            if calls:
+                scripts.append(
+                    SessionScript(
+                        name=f"{spec.name}#{proc_index}.{thread_index}",
+                        calls=tuple(calls),
+                    )
+                )
+            if max_sessions is not None and len(scripts) >= max_sessions:
+                return scripts
+    return scripts

@@ -1,0 +1,178 @@
+"""Property-based tests for ``Waitlist.drain_admissible``.
+
+An independent brute-force oracle re-specifies the drain semantics from
+the docstring alone — repeatedly scan from the head, admit the first
+acceptable waiter, remove it, restart — against a stateful capacity
+predicate with shared-working-set accounting (the shape the real
+Algorithm-1 predicate has).  Hypothesis then searches queue/capacity/
+sharing configurations for any divergence, plus the structural laws the
+server relies on: fixpoint on exit, relative-order preservation, no
+duplicate admissions, and strict-FIFO being exactly the admissible
+prefix.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.progress_period import (
+    PeriodRequest,
+    ProgressPeriod,
+    ResourceKind,
+    ReuseLevel,
+)
+from repro.core.waitlist import Waitlist
+
+KIND = ResourceKind.LLC
+
+#: one queue entry: (demand, sharing_key or None)
+entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10),
+        st.one_of(st.none(), st.sampled_from(["a", "b", "c"])),
+    ),
+    max_size=12,
+)
+
+
+def make_periods(spec):
+    return [
+        ProgressPeriod(
+            request=PeriodRequest(
+                resource=KIND,
+                demand_bytes=demand,
+                reuse=ReuseLevel.LOW,
+                sharing_key=key,
+            ),
+            owner=object(),
+        )
+        for demand, key in spec
+    ]
+
+
+class CapacityPredicate:
+    """Stateful admit(): fits-in-remaining-capacity, shared keys charged once.
+
+    The same marginal-demand shape as the real SchedulingPredicate: a
+    period whose sharing key is already charged adds zero marginal demand,
+    so admitting one waiter can make an *earlier* waiter admissible.
+    """
+
+    def __init__(self, capacity, usage=0, charged=()):
+        self.capacity = capacity
+        self.usage = usage
+        self.charged = set(charged)
+
+    def marginal(self, period):
+        key = period.request.sharing_key
+        if key is not None and key in self.charged:
+            return 0
+        return period.demand_bytes
+
+    def __call__(self, period):
+        if self.usage + self.marginal(period) > self.capacity:
+            return False
+        self.usage += self.marginal(period)
+        key = period.request.sharing_key
+        if key is not None:
+            self.charged.add(key)
+        return True
+
+
+def oracle_drain(periods, predicate):
+    """Brute-force restart-from-head drain, reimplemented from scratch."""
+    queue = list(periods)
+    admitted = []
+    progressed = True
+    while progressed:
+        progressed = False
+        for period in queue:
+            if predicate(period):
+                queue.remove(period)
+                admitted.append(period)
+                progressed = True
+                break
+    return admitted, queue
+
+
+def drained_waitlist(periods, predicate, strict_fifo=False):
+    waitlist = Waitlist(strict_fifo=strict_fifo)
+    for period in periods:
+        waitlist.park(period)
+    admitted = waitlist.drain_admissible(KIND, predicate)
+    remaining = list(waitlist.all_waiting())
+    return admitted, remaining
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec=entries, capacity=st.integers(0, 15), usage=st.integers(0, 15))
+def test_drain_matches_brute_force_oracle(spec, capacity, usage):
+    periods = make_periods(spec)
+    admitted, remaining = drained_waitlist(
+        periods, CapacityPredicate(capacity, usage)
+    )
+    oracle_admitted, oracle_remaining = oracle_drain(
+        periods, CapacityPredicate(capacity, usage)
+    )
+    assert [p.pp_id for p in admitted] == [p.pp_id for p in oracle_admitted]
+    assert [p.pp_id for p in remaining] == [p.pp_id for p in oracle_remaining]
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec=entries, capacity=st.integers(0, 15), usage=st.integers(0, 15))
+def test_drain_laws(spec, capacity, usage):
+    periods = make_periods(spec)
+    predicate = CapacityPredicate(capacity, usage)
+    admitted, remaining = drained_waitlist(periods, predicate)
+
+    # partition: every period is admitted or remaining, never both
+    admitted_ids = [p.pp_id for p in admitted]
+    remaining_ids = [p.pp_id for p in remaining]
+    assert sorted(admitted_ids + remaining_ids) == sorted(
+        p.pp_id for p in periods
+    )
+    assert len(set(admitted_ids)) == len(admitted_ids)
+
+    # relative order of the non-admitted is preserved
+    original_order = [p.pp_id for p in periods if p.pp_id in remaining_ids]
+    assert remaining_ids == original_order
+
+    # fixpoint: no remaining waiter is admissible in the final state
+    # (probe with copies so the predicate state is not disturbed)
+    for period in remaining:
+        probe = CapacityPredicate(
+            predicate.capacity, predicate.usage, predicate.charged
+        )
+        assert not probe(period)
+
+
+@settings(max_examples=300, deadline=None)
+@given(spec=entries, capacity=st.integers(0, 15), usage=st.integers(0, 15))
+def test_strict_fifo_is_the_admissible_prefix(spec, capacity, usage):
+    periods = make_periods(spec)
+    admitted, remaining = drained_waitlist(
+        periods, CapacityPredicate(capacity, usage), strict_fifo=True
+    )
+
+    # strict mode admits exactly the longest admissible prefix
+    probe = CapacityPredicate(capacity, usage)
+    expected = []
+    for period in periods:
+        if not probe(period):
+            break
+        expected.append(period.pp_id)
+    assert [p.pp_id for p in admitted] == expected
+    assert [p.pp_id for p in remaining] == [
+        p.pp_id for p in periods[len(expected):]
+    ]
+
+
+@settings(max_examples=200, deadline=None)
+@given(spec=entries, capacity=st.integers(0, 15))
+def test_non_fifo_admits_at_least_as_many_as_strict(spec, capacity):
+    periods_a = make_periods(spec)
+    periods_b = make_periods(spec)
+    relaxed, _ = drained_waitlist(periods_a, CapacityPredicate(capacity))
+    strict, _ = drained_waitlist(
+        periods_b, CapacityPredicate(capacity), strict_fifo=True
+    )
+    assert len(relaxed) >= len(strict)

@@ -1,0 +1,75 @@
+"""Parallel fuzz campaign: fan-out equivalence and isolation."""
+
+import pytest
+
+from repro.sanitizer.fuzz import run_fuzz
+
+
+def signature(report):
+    return [
+        (o.seed, o.config, o.events, o.error, len(o.violations))
+        for o in report.outcomes
+    ]
+
+
+class TestParallelCampaign:
+    def test_parallel_runs_identical_simulations(self):
+        kwargs = dict(seed=13, runs=4, configs=["strict", "default"])
+        serial = run_fuzz(**kwargs)
+        parallel = run_fuzz(**kwargs, jobs=3)
+        assert signature(parallel) == signature(serial)
+        assert parallel.runs == serial.runs == 4
+        assert parallel.ok == serial.ok
+
+    def test_jobs_one_is_the_serial_path(self):
+        a = run_fuzz(seed=5, runs=2, configs=["strict"])
+        b = run_fuzz(seed=5, runs=2, configs=["strict"], jobs=1)
+        assert signature(a) == signature(b)
+
+    def test_per_case_timeout_becomes_campaign_failure(self, monkeypatch):
+        import repro.sanitizer.fuzz as fuzz_mod
+
+        def hang(payload):
+            import time
+
+            time.sleep(60)
+
+        monkeypatch.setattr(fuzz_mod, "_fuzz_task", hang)
+        report = run_fuzz(
+            seed=0, runs=1, configs=["strict"], jobs=2, timeout_s=0.3
+        )
+        assert not report.ok
+        assert len(report.outcomes) == 1
+        assert "timeout" in report.outcomes[0].error
+
+    def test_crashed_worker_is_isolated(self, monkeypatch):
+        import repro.sanitizer.fuzz as fuzz_mod
+
+        real = fuzz_mod._fuzz_task.__wrapped__ if hasattr(
+            fuzz_mod._fuzz_task, "__wrapped__"
+        ) else fuzz_mod._fuzz_task
+
+        def crashy(payload):
+            import os
+
+            if payload[0] == 1:  # second case dies hard
+                os._exit(17)
+            return real(payload)
+
+        monkeypatch.setattr(fuzz_mod, "_fuzz_task", crashy)
+        report = run_fuzz(seed=0, runs=3, configs=["strict"], jobs=2)
+        assert len(report.outcomes) == 3
+        crashed = [o for o in report.outcomes if o.error]
+        assert len(crashed) == 1
+        assert "crash" in crashed[0].error
+        assert crashed[0].seed == 1
+        # the other two cases completed normally despite the crash
+        assert sum(1 for o in report.outcomes if not o.error) == 2
+
+    def test_time_budget_skips_unlaunched_cases(self):
+        report = run_fuzz(
+            seed=0, runs=50, configs=["strict"], jobs=2, time_budget_s=0.0
+        )
+        # budget elapsed before (almost) anything launched: far fewer than
+        # the requested 50 cases actually ran
+        assert report.runs < 50

@@ -1,0 +1,1 @@
+"""Tests for the online admission-control service (repro.serve)."""

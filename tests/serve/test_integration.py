@@ -1,0 +1,180 @@
+"""End-to-end acceptance: server + load generator over a live socket.
+
+The ISSUE's acceptance criteria: RDA:Strict parks clients (non-zero
+park-time histogram) while admitted demand never exceeds the policy bound,
+RDA:Compromise admits up to x× capacity, and overload stays bounded
+(queue full → RETRY_AFTER; the waiting queue never exceeds
+``max_pending``).  All observed through the live metrics, as a scraper
+would see them.
+"""
+
+import asyncio
+from dataclasses import replace
+
+from repro.config import default_machine_config
+from repro.core.api import MB
+from repro.core.policy import CompromisePolicy, StrictPolicy
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import LoadgenConfig, fig4_scripts, run_loadgen
+from repro.serve.server import AdmissionServer, ServeConfig
+from repro.workloads.export import export_pp_sequences
+from repro.workloads.suite import workload_by_name
+
+CAPACITY_MB = 4.0
+
+
+def tiny_machine(capacity_mb: float = CAPACITY_MB):
+    machine = default_machine_config()
+    quantum = machine.llc.line_bytes * machine.llc.associativity
+    capacity = max(quantum, int(capacity_mb * 1024 * 1024) // quantum * quantum)
+    return replace(machine, llc=replace(machine.llc, capacity_bytes=capacity))
+
+
+async def serve_and_load(tmp_path, cfg, scripts, load_cfg):
+    """Boot a server, run the loadgen against it, drain, return both."""
+    server = AdmissionServer(cfg)
+    sock = str(tmp_path / "serve.sock")
+    await server.start(unix_path=sock)
+    run_task = asyncio.ensure_future(server.run_until_drained())
+    report = await run_loadgen(scripts, load_cfg, unix_path=sock)
+    server.request_drain()
+    await asyncio.wait_for(run_task, 10.0)
+    return server, report
+
+
+class TestStrictBound:
+    def test_strict_parks_clients_and_respects_the_bound(self, tmp_path):
+        async def scenario():
+            cfg = ServeConfig(
+                policy=StrictPolicy(), machine=tiny_machine(), sanitize=True
+            )
+            scripts = export_pp_sequences(workload_by_name("Water_nsq"))
+            load_cfg = LoadgenConfig(
+                mode="closed", clients=6, sessions=18, time_scale=1e-5
+            )
+            server, report = await serve_and_load(
+                tmp_path, cfg, scripts, load_cfg
+            )
+            service = server.service
+
+            assert report.protocol_errors == 0
+            assert report.sessions_failed == 0
+            assert report.admitted == report.calls
+
+            # Strict must have parked clients: the park-time histogram is
+            # non-empty, both client-side and server-side
+            assert report.parked > 0
+            assert service.h_park.count > 0
+            assert service.h_park.max > 0.0
+
+            # ... and admitted demand never exceeded the policy bound
+            bound = service.policy.demand_bound(cfg.machine.llc_capacity)
+            assert service.g_usage_peak.value > 0
+            assert service.g_usage_peak.value <= bound
+            assert service.forced_admissions == 0
+
+            sanitizer = service.sanitizer
+            assert sanitizer.ok, sanitizer.summary()
+
+        asyncio.run(scenario())
+
+
+class TestCompromiseOversubscription:
+    def test_compromise_admits_up_to_x_times_capacity(self, tmp_path):
+        async def scenario():
+            cfg = ServeConfig(
+                policy=CompromisePolicy(oversubscription=2.0),
+                machine=tiny_machine(),
+                sanitize=True,
+            )
+            server = AdmissionServer(cfg)
+            sock = str(tmp_path / "serve.sock")
+            await server.start(unix_path=sock)
+            run_task = asyncio.ensure_future(server.run_until_drained())
+
+            capacity = cfg.machine.llc_capacity
+            # three concurrent 3 MB periods against a 4 MB LLC: Compromise
+            # (x=2, bound 8 MB) admits two at once; the third parks
+            clients = [await ServeClient.connect(unix_path=sock) for _ in range(3)]
+            begin_tasks = [
+                asyncio.ensure_future(c.pp_begin(MB(3))) for c in clients
+            ]
+            await asyncio.sleep(0.2)
+            running = sum(1 for t in begin_tasks if t.done())
+            assert running == 2
+
+            # live metrics show oversubscription beyond physical capacity
+            monitor = await ServeClient.connect(unix_path=sock)
+            stats = await monitor.stats()
+            peak = stats["gauges"]["usage_peak_bytes"]
+            assert capacity < peak <= 2 * capacity
+
+            parked = [t for t in begin_tasks if not t.done()]
+            assert len(parked) == 1
+            for client, task in zip(clients, begin_tasks):
+                if task is not parked[0]:
+                    await client.pp_end(task.result()["pp_id"])
+            # freed capacity admits the parked third client
+            last = await asyncio.wait_for(parked[0], 5.0)
+            assert last["admitted"] is True
+            assert last["waited_s"] > 0.0
+            await clients[begin_tasks.index(parked[0])].pp_end(last["pp_id"])
+            for client in clients + [monitor]:
+                await client.close()
+            server.request_drain()
+            await asyncio.wait_for(run_task, 10.0)
+            assert server.service.sanitizer.ok
+
+        asyncio.run(scenario())
+
+
+class TestOverloadBounded:
+    def test_queue_full_yields_retry_after_and_stays_bounded(self, tmp_path):
+        async def scenario():
+            cfg = ServeConfig(
+                policy=StrictPolicy(),
+                machine=tiny_machine(),
+                sanitize=True,
+                max_pending=1,
+            )
+            scripts = fig4_scripts(n=4, demand_mb=3.0, hold_s=0.002)
+            load_cfg = LoadgenConfig(
+                mode="open", rate=400.0, sessions=16, time_scale=1.0
+            )
+            server, report = await serve_and_load(
+                tmp_path, cfg, scripts, load_cfg
+            )
+            service = server.service
+
+            assert report.protocol_errors == 0
+            # overload produced backpressure, not unbounded queueing
+            assert report.retries > 0
+            assert service.c_retry_after.value > 0
+            assert service.g_waiting_peak.value <= cfg.max_pending
+            # every admitted period was eventually released
+            assert len(service.monitor.registry) == 0
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+        asyncio.run(scenario())
+
+
+class TestOpenLoopLoadgen:
+    def test_poisson_arrivals_replay_cleanly(self, tmp_path):
+        async def scenario():
+            cfg = ServeConfig(machine=tiny_machine(), sanitize=True)
+            scripts = export_pp_sequences(
+                workload_by_name("Water_sp"), max_sessions=8
+            )
+            load_cfg = LoadgenConfig(
+                mode="open", rate=200.0, sessions=12, time_scale=1e-5, seed=3
+            )
+            server, report = await serve_and_load(
+                tmp_path, cfg, scripts, load_cfg
+            )
+            assert report.sessions_started == 12
+            assert report.protocol_errors == 0
+            # Always Admit never parks anyone
+            assert report.parked == 0
+            assert server.service.sanitizer.ok
+
+        asyncio.run(scenario())

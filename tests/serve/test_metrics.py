@@ -1,0 +1,121 @@
+"""Tests for the serve metrics instruments and registry."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ServeError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        g = Gauge("x")
+        g.set(3.0)
+        g.max(2.0)
+        assert g.value == 3.0
+        g.max(7.0)
+        assert g.value == 7.0
+
+    def test_fn_backed_gauge_samples_live(self):
+        state = {"v": 1}
+        g = Gauge("x", fn=lambda: state["v"])
+        assert g.value == 1
+        state["v"] = 42
+        assert g.value == 42
+
+
+class TestHistogram:
+    def test_empty_histogram_percentile_is_nan(self):
+        h = Histogram("x")
+        assert math.isnan(h.percentile(50.0))
+        assert h.snapshot()["p50"] is None
+
+    def test_single_observation_is_exact(self):
+        h = Histogram("x")
+        h.observe(0.125)
+        for q in (0.0, 50.0, 100.0):
+            assert h.percentile(q) == pytest.approx(0.125, rel=1e-9)
+
+    def test_percentiles_bounded_by_bucket_error(self):
+        # log buckets with growth 1.25 bound any quantile's relative
+        # error; check against exact percentiles on a lognormal sample
+        rng = random.Random(7)
+        samples = [rng.lognormvariate(-7, 1.5) for _ in range(5000)]
+        h = Histogram("x")
+        for s in samples:
+            h.observe(s)
+        ordered = sorted(samples)
+        for q in (50.0, 90.0, 99.0):
+            exact = ordered[int(q / 100 * (len(ordered) - 1))]
+            assert h.percentile(q) == pytest.approx(exact, rel=0.30)
+
+    def test_observations_below_floor_land_in_underflow(self):
+        h = Histogram("x", floor=1e-3)
+        h.observe(0.0)
+        h.observe(1e-9)
+        assert h.count == 2
+        assert h.buckets[0] == 2
+        assert 0.0 <= h.percentile(50.0) <= 1e-3
+
+    def test_memory_is_bounded(self):
+        h = Histogram("x", n_buckets=32)
+        for i in range(10_000):
+            h.observe(i * 1e-5)
+        assert len(h.buckets) == 33
+        assert h.count == 10_000
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ServeError):
+            Histogram("x").observe(-1.0)
+
+    def test_min_max_mean_tracked(self):
+        h = Histogram("x")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        assert h.min == 0.1
+        assert h.max == 0.3
+        assert h.mean == pytest.approx(0.2)
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        m = MetricsRegistry()
+        m.counter("a")
+        with pytest.raises(ServeError):
+            m.counter("a")
+
+    def test_snapshot_is_json_serializable(self):
+        m = MetricsRegistry()
+        m.counter("hits").inc(3)
+        m.gauge("depth").set(2.0)
+        m.histogram("lat").observe(0.01)
+        doc = json.loads(json.dumps(m.snapshot()))
+        assert doc["counters"]["hits"] == 3
+        assert doc["gauges"]["depth"] == 2.0
+        assert doc["histograms"]["lat"]["count"] == 1
+        assert doc["uptime_s"] >= 0
+
+    def test_dump_json_atomic_write(self, tmp_path):
+        m = MetricsRegistry()
+        m.counter("hits").inc()
+        path = tmp_path / "metrics.json"
+        m.dump_json(str(path))
+        m.dump_json(str(path))  # overwrite must also succeed
+        doc = json.loads(path.read_text())
+        assert doc["counters"]["hits"] == 1
+        assert list(tmp_path.glob("*.tmp.*")) == []

@@ -1,0 +1,132 @@
+"""Wire-protocol framing and validation tests."""
+
+import json
+
+import pytest
+
+from repro.core.progress_period import ResourceKind, ReuseLevel
+from repro.errors import ProtocolError
+from repro.serve import protocol
+from repro.serve.protocol import ErrorCode
+
+
+def frame(**fields):
+    base = {"v": protocol.PROTOCOL_VERSION, "id": 1}
+    base.update(fields)
+    return base
+
+
+class TestFraming:
+    def test_encode_round_trips_through_decode(self):
+        doc = frame(op="query", pp_id=3)
+        assert protocol.decode_frame(protocol.encode_frame(doc)) == doc
+
+    def test_encode_is_one_line(self):
+        raw = protocol.encode_frame(frame(op="stats"))
+        assert raw.endswith(b"\n")
+        assert raw.count(b"\n") == 1
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_frame(b"pp_begin llc 1024\n")
+        assert err.value.code == ErrorCode.BAD_FRAME
+
+    def test_decode_rejects_non_object_json(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_frame(b"[1, 2, 3]\n")
+        assert err.value.code == ErrorCode.BAD_FRAME
+
+    def test_decode_rejects_oversized_frames(self):
+        raw = protocol.encode_frame(frame(op="query", pad="x" * 100))
+        with pytest.raises(ProtocolError) as err:
+            protocol.decode_frame(raw, max_bytes=64)
+        assert err.value.code == ErrorCode.FRAME_TOO_LARGE
+
+
+class TestParseRequest:
+    def test_pp_begin_parses_all_fields(self):
+        request = protocol.parse_request(frame(
+            op="pp_begin", resource="llc", demand_bytes=4096,
+            reuse="high", label="dgemm", sharing_key="p0/k",
+        ))
+        assert request.op == "pp_begin"
+        assert request.resource is ResourceKind.LLC
+        assert request.demand_bytes == 4096
+        assert request.reuse is ReuseLevel.HIGH
+        assert request.label == "dgemm"
+        assert request.sharing_key == "p0/k"
+
+    def test_wrong_version_is_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(
+                {"v": protocol.PROTOCOL_VERSION + 1, "id": 1, "op": "query"}
+            )
+        assert err.value.code == ErrorCode.BAD_VERSION
+
+    def test_missing_version_is_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request({"id": 1, "op": "query"})
+        assert err.value.code == ErrorCode.BAD_VERSION
+
+    def test_unknown_op_is_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(frame(op="pp_suspend"))
+        assert err.value.code == ErrorCode.UNKNOWN_OP
+
+    @pytest.mark.parametrize("field,value", [
+        ("demand_bytes", -1),
+        ("demand_bytes", "4096"),
+        ("demand_bytes", True),
+        ("reuse", "extreme"),
+        ("resource", "gpu"),
+        ("sharing_key", 7),
+    ])
+    def test_pp_begin_field_validation(self, field, value):
+        doc = frame(op="pp_begin", resource="llc", demand_bytes=4096, reuse="low")
+        doc[field] = value
+        with pytest.raises(ProtocolError) as err:
+            protocol.parse_request(doc)
+        assert err.value.code == ErrorCode.BAD_REQUEST
+
+    def test_pp_end_requires_positive_pp_id(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request(frame(op="pp_end"))
+        with pytest.raises(ProtocolError):
+            protocol.parse_request(frame(op="pp_end", pp_id=0))
+        request = protocol.parse_request(frame(op="pp_end", pp_id=12))
+        assert request.pp_id == 12
+
+    def test_query_pp_id_is_optional(self):
+        assert protocol.parse_request(frame(op="query")).pp_id is None
+        assert protocol.parse_request(frame(op="query", pp_id=2)).pp_id == 2
+
+    def test_request_id_may_be_absent(self):
+        request = protocol.parse_request(
+            {"v": protocol.PROTOCOL_VERSION, "op": "stats"}
+        )
+        assert request.id is None
+
+
+class TestReplies:
+    def test_ok_reply_shape(self):
+        reply = protocol.ok_reply(7, pp_id=3, admitted=True)
+        assert reply == {
+            "v": protocol.PROTOCOL_VERSION, "id": 7, "ok": True,
+            "pp_id": 3, "admitted": True,
+        }
+
+    def test_error_reply_shape(self):
+        reply = protocol.error_reply(
+            9, ErrorCode.RETRY_AFTER, "queue full", retry_after_s=0.05
+        )
+        assert reply["ok"] is False
+        assert reply["id"] == 9
+        assert reply["error"]["code"] == ErrorCode.RETRY_AFTER
+        assert reply["error"]["retry_after_s"] == 0.05
+
+    def test_replies_are_json_encodable(self):
+        for reply in (
+            protocol.ok_reply(None, stats={}),
+            protocol.error_reply(None, ErrorCode.INTERNAL, "boom"),
+        ):
+            json.dumps(reply)

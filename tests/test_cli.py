@@ -60,6 +60,46 @@ class TestParser:
         args = build_parser().parse_args(["sweep"])
         assert args.jobs == 1 and args.cache_dir == DEFAULT_CACHE_DIR
 
+    def test_sanitize_fleet_options(self):
+        args = build_parser().parse_args(
+            ["sanitize", "--jobs", "4", "--timeout", "10", "--progress"]
+        )
+        assert args.jobs == 4 and args.timeout == 10.0 and args.progress
+        args = build_parser().parse_args(["sanitize"])
+        assert args.jobs == 1 and args.timeout is None and not args.progress
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--policy", "compromise:1.5", "--fifo",
+                "--capacity-mb", "4", "--max-pending", "8",
+                "--park-timeout", "2", "--sanitize",
+                "--socket", "/tmp/rda.sock",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.policy.oversubscription == 1.5
+        assert args.fifo and args.sanitize
+        assert args.capacity_mb == 4.0 and args.max_pending == 8
+        assert args.park_timeout == 2.0 and args.socket == "/tmp/rda.sock"
+
+    def test_loadgen_options(self):
+        args = build_parser().parse_args(
+            [
+                "loadgen", "--socket", "/tmp/rda.sock",
+                "--workload", "Water_nsq", "--mode", "open",
+                "--rate", "50", "--sessions", "10", "--drain", "--json",
+            ]
+        )
+        assert args.command == "loadgen"
+        assert args.workload == "Water_nsq" and args.mode == "open"
+        assert args.rate == 50.0 and args.sessions == 10
+        assert args.drain and args.json
+
+    def test_loadgen_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--mode", "sideways"])
+
 
 class TestExecution:
     def test_table1(self, capsys):
@@ -98,3 +138,16 @@ class TestExecution:
         assert [l for l in warm.splitlines() if "Water_sp" in l] == [
             l for l in cold.splitlines() if "Water_sp" in l
         ]
+
+    def test_loadgen_requires_an_endpoint(self, capsys):
+        assert main(["loadgen"]) == 2
+        assert "--socket or --host" in capsys.readouterr().err
+
+    def test_loadgen_rejects_unknown_workload(self, capsys):
+        assert main(["loadgen", "--socket", "/tmp/x.sock", "--workload", "PARSEC"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_loadgen_reports_unreachable_server(self, capsys, tmp_path):
+        sock = str(tmp_path / "absent.sock")
+        assert main(["loadgen", "--socket", sock, "--sessions", "1"]) == 1
+        assert "loadgen:" in capsys.readouterr().err

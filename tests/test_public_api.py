@@ -57,10 +57,17 @@ PACKAGES = [
     "repro.profiler.pipeline",
     "repro.profiler.regression",
     "repro.profiler.sampling",
+    "repro.serve",
+    "repro.serve.client",
+    "repro.serve.loadgen",
+    "repro.serve.metrics",
+    "repro.serve.protocol",
+    "repro.serve.server",
     "repro.workloads",
     "repro.workloads.base",
     "repro.workloads.blas",
     "repro.workloads.suite",
+    "repro.workloads.export",
     "repro.workloads.tracegen",
     "repro.workloads.splash2",
     "repro.experiments",
