@@ -8,12 +8,16 @@ socket, clients connect and wrap their DGEMM in ``pp_begin`` / ``pp_end``
 frames, and a denied period parks the *connection* until capacity frees
 up — the networked analogue of the kernel parking a process.
 
-Two acts:
+The clients here are ``ResilientServeClient``: lease-bound, auto-
+reconnecting, idempotent.  Three acts:
 
-1. one client, admitted immediately (figure 4 verbatim), and
+1. one client, admitted immediately (figure 4 verbatim),
 2. three concurrent 6.3 MB clients against a 14 MB LLC under RDA:Strict —
    two fit, the third parks, then is admitted the moment a peer calls
-   ``pp_end``; the live ``stats`` verb shows the park-time histogram.
+   ``pp_end``; the live ``stats`` verb shows the park-time histogram, and
+3. the server is killed mid-period and rebooted from its admission
+   journal — the client reconnects on its next call and the recovered
+   ledger still charges its demand.
 
 Run:  python examples/serve_quickstart.py
 """
@@ -23,7 +27,7 @@ import tempfile
 
 from repro.core.api import MB
 from repro.core.policy import StrictPolicy
-from repro.serve import AdmissionServer, ServeClient, ServeConfig
+from repro.serve import AdmissionServer, ResilientServeClient, ServeConfig
 from repro.cli import _machine_with_capacity
 
 
@@ -31,7 +35,7 @@ async def figure4_over_the_wire(sock: str) -> None:
     print("=" * 64)
     print("1. pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH) — as a frame")
     print("=" * 64)
-    client = await ServeClient.connect(unix_path=sock)
+    client = ResilientServeClient(unix_path=sock, client_id="quickstart")
 
     # pp_id = pp_begin(RESOURCE_LLC, MB(6.3), REUSE_HIGH);
     reply = await client.pp_begin(MB(6.3), reuse="high", label="DGEMM")
@@ -57,7 +61,10 @@ async def contention_parks_the_third_client(sock: str) -> None:
     print("=" * 64)
     print("2. three 6.3 MB clients, 14 MB LLC, RDA:Strict — one must wait")
     print("=" * 64)
-    clients = [await ServeClient.connect(unix_path=sock) for _ in range(3)]
+    clients = [
+        ResilientServeClient(unix_path=sock, client_id=f"p{i}")
+        for i in range(3)
+    ]
     begins = [
         asyncio.ensure_future(c.pp_begin(MB(6.3), reuse="high", label=f"p{i}"))
         for i, c in enumerate(clients)
@@ -87,21 +94,58 @@ async def contention_parks_the_third_client(sock: str) -> None:
         await client.close()
 
 
-async def main() -> None:
-    cfg = ServeConfig(
-        policy=StrictPolicy(), machine=_machine_with_capacity(14.0)
+async def crash_and_recover(server: AdmissionServer, sock: str,
+                            make_config) -> AdmissionServer:
+    print()
+    print("=" * 64)
+    print("3. kill -9 the server mid-period; reboot it from the journal")
+    print("=" * 64)
+    client = ResilientServeClient(
+        unix_path=sock, client_id="survivor", backoff_base_s=0.05
     )
-    server = AdmissionServer(cfg)
+    reply = await client.pp_begin(MB(6.3), reuse="high", label="survivor")
+    print(f"pp_begin -> pp_id {reply['pp_id']} admitted, then... crash")
+
+    await server.abort()  # hard stop: no goodbye frames, journal unsynced
+    reborn = AdmissionServer(make_config())
+    await reborn.start(unix_path=sock)
+    print(f"rebooted: {reborn.service.replayed_periods} period(s) replayed "
+          f"from the journal")
+
+    # the same client object just keeps working: its next call
+    # reconnects, re-hellos as "survivor", and finds its period charged
+    snapshot = await client.query()
+    llc = snapshot["resources"]["llc"]
+    print(f"after recovery the LLC still charges "
+          f"{llc['usage_bytes'] / 2**20:.1f} MiB "
+          f"(reconnects: {client.reconnects})")
+
+    await client.pp_end(reply["pp_id"])
+    print("pp_end   -> recovered demand released")
+    await client.close()
+    return reborn
+
+
+async def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         sock = f"{tmp}/rda.sock"
+
+        def make_config() -> ServeConfig:
+            return ServeConfig(
+                policy=StrictPolicy(),
+                machine=_machine_with_capacity(14.0),
+                journal_path=f"{tmp}/admission.ndjson",
+            )
+
+        server = AdmissionServer(make_config())
         await server.start(unix_path=sock)
-        run_task = asyncio.ensure_future(server.run_until_drained())
         try:
             await figure4_over_the_wire(sock)
             await contention_parks_the_third_client(sock)
+            server = await crash_and_recover(server, sock, make_config)
         finally:
             server.request_drain()
-            await run_task
+            await server.run_until_drained()
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro fig 11                 # any of figures 1, 11, 12, 13
     python -m repro serve --policy strict --socket /tmp/rda.sock
     python -m repro loadgen --socket /tmp/rda.sock --workload Water_nsq
+    python -m repro chaos --kills 2 --duration 6
 """
 
 from __future__ import annotations
@@ -153,6 +154,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true",
         help="attach the online invariant checker; exit 1 on any violation",
     )
+    serve_p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="crash-safe admission journal; replayed on startup so admitted "
+        "periods survive a server crash",
+    )
+    serve_p.add_argument(
+        "--journal-fsync", type=float, default=0.0, metavar="SECONDS",
+        help="fsync batching window for the journal (0 = fsync per event)",
+    )
+    serve_p.add_argument(
+        "--journal-compact-every", type=int, default=1000, metavar="N",
+        help="compact the journal after this many appended events",
+    )
+    serve_p.add_argument(
+        "--lease-ttl", type=float, default=10.0, metavar="SECONDS",
+        help="client lease time-to-live; a silent client's periods are "
+        "reclaimed after this",
+    )
+    serve_p.add_argument(
+        "--lease-check", type=float, default=0.25, metavar="SECONDS",
+        help="lease reaper sweep interval",
+    )
 
     load_p = sub.add_parser(
         "loadgen", help="drive a running admission server with replayed load"
@@ -198,6 +221,52 @@ def build_parser() -> argparse.ArgumentParser:
     load_p.add_argument(
         "--drain", action="store_true",
         help="ask the server to drain once the run finishes",
+    )
+    load_p.add_argument(
+        "--resilient", action="store_true",
+        help="use lease-bound resilient clients that survive server "
+        "restarts and flaky transports",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: kill and restart a journaled server "
+        "under load through a frame-mangling proxy, then verify recovery",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument(
+        "--duration", type=float, default=6.0, metavar="SECONDS",
+        help="load phase wall-clock budget",
+    )
+    chaos_p.add_argument(
+        "--clients", type=int, default=4, help="concurrent resilient clients"
+    )
+    chaos_p.add_argument(
+        "--kills", type=int, default=2,
+        help="SIGKILL/restart cycles during the load",
+    )
+    chaos_p.add_argument(
+        "--kill-interval", type=float, default=1.5, metavar="SECONDS",
+        help="gap between kills",
+    )
+    chaos_p.add_argument(
+        "--policy", default="strict",
+        help="admission policy name passed to the server (default strict)",
+    )
+    chaos_p.add_argument(
+        "--capacity-mb", type=float, default=8.0, metavar="MB",
+        help="managed LLC capacity of the chaos server",
+    )
+    chaos_p.add_argument(
+        "--lease-ttl", type=float, default=1.5, metavar="SECONDS",
+        help="client lease time-to-live on the chaos server",
+    )
+    chaos_p.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="directory for sockets and the journal (default: a temp dir)",
+    )
+    chaos_p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
     )
 
     sweep_p = sub.add_parser(
@@ -349,6 +418,11 @@ def _cmd_serve(args) -> int:
         sanitize=args.sanitize,
         metrics_json=args.metrics_json,
         metrics_interval_s=args.metrics_interval,
+        journal_path=args.journal,
+        journal_fsync_s=args.journal_fsync,
+        journal_compact_every=args.journal_compact_every,
+        lease_ttl_s=args.lease_ttl,
+        lease_check_s=args.lease_check,
     )
 
     async def run() -> int:
@@ -372,6 +446,12 @@ def _cmd_serve(args) -> int:
             f"on {' and '.join(where)}",
             flush=True,
         )
+        if server.service.replayed_periods:
+            print(
+                f"# journal replay: {server.service.replayed_periods} "
+                "admitted period(s) restored",
+                flush=True,
+            )
         await server.run_until_drained()
         sanitizer = server.service.sanitizer
         if sanitizer is not None:
@@ -415,6 +495,7 @@ def _cmd_loadgen(args) -> int:
         duration_s=args.duration,
         time_scale=time_scale,
         drain=args.drain,
+        resilient=args.resilient,
         seed=args.seed,
     )
     try:
@@ -429,6 +510,38 @@ def _cmd_loadgen(args) -> int:
     else:
         print(report.describe())
     return 0 if report.protocol_errors == 0 else 1
+
+
+def _cmd_chaos(args) -> int:
+    import json as json_mod
+    import tempfile
+
+    from .serve.chaos import ChaosConfig, run_chaos_sync
+
+    cfg = ChaosConfig(
+        seed=args.seed,
+        duration_s=args.duration,
+        clients=args.clients,
+        kills=args.kills,
+        kill_interval_s=args.kill_interval,
+        policy=args.policy,
+        capacity_mb=args.capacity_mb,
+        lease_ttl_s=args.lease_ttl,
+    )
+    try:
+        if args.workdir is not None:
+            report = run_chaos_sync(cfg, args.workdir)
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+                report = run_chaos_sync(cfg, workdir)
+    except (ReproError, OSError) as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 0 if report.ok else 1
 
 
 def _cmd_sweep(args) -> int:
@@ -566,6 +679,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "fig":

@@ -125,6 +125,23 @@ class ProgressPeriodApi:
         _, admitted = self.monitor.cancel(pp_id)
         return admitted
 
+    def adopt(self, period: ProgressPeriod) -> None:
+        """Track an already-registered period as open under this caller.
+
+        Journal replay (``repro.serve.journal``) rebuilds admitted periods
+        directly in the monitor; this re-links them to the owning client's
+        API instance so the normal ``pp_end`` / ``pp_cancel`` paths work.
+        """
+        if period.pp_id in self._open:
+            raise ProgressPeriodError(
+                f"adopt({period.pp_id}): already open under this caller"
+            )
+        if period.owner is not self.owner:
+            raise ProgressPeriodError(
+                f"adopt({period.pp_id}): period belongs to {period.owner!r}"
+            )
+        self._open[period.pp_id] = period
+
     # ------------------------------------------------------------------
     def is_admitted(self, pp_id: int) -> bool:
         period = self._open.get(pp_id)

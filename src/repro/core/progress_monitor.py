@@ -126,6 +126,22 @@ class ProgressMonitor:
             admitted = self._retry_waiters(period)
         return period, admitted
 
+    def restore(self, period: ProgressPeriod) -> None:
+        """Re-admit a period recovered from a crash-safe journal.
+
+        The period was RUNNING when the previous incarnation of the service
+        died: register it and charge its demand without consulting the
+        predicate (it was already admitted under the same policy).  The
+        ``forced`` flag must be set by the caller *before* this call so the
+        demand-bound invariant of any attached sanitizer sees a live forced
+        admission the moment usage jumps.
+        """
+        period.state = PeriodState.RUNNING
+        if period.admit_time is None:
+            period.admit_time = self.clock()
+        self.registry.add(period)
+        self.resources.increment_load(period.request)
+
     def force_admit(self, period: ProgressPeriod) -> None:
         """Starvation-guard admission: bypass the predicate and charge.
 

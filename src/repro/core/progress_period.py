@@ -30,6 +30,7 @@ __all__ = [
     "PeriodRequest",
     "PeriodState",
     "ProgressPeriod",
+    "ensure_pp_ids_above",
 ]
 
 
@@ -122,6 +123,19 @@ class PeriodState(enum.Enum):
 
 
 _pp_ids = itertools.count(1)
+
+
+def ensure_pp_ids_above(pp_id: int) -> None:
+    """Advance the global period-id counter past ``pp_id``.
+
+    Journal replay (``repro.serve.journal``) restores periods with their
+    original identifiers in a *fresh* process, where the counter restarts
+    at 1; without this floor a new ``pp_begin`` could reuse a replayed id
+    and collide in the registry.
+    """
+    global _pp_ids
+    current = next(_pp_ids)  # never move the counter backwards
+    _pp_ids = itertools.count(max(current, pp_id + 1))
 
 
 @dataclass(eq=False)  # identity semantics: a period is an entity, not a value

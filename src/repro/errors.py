@@ -20,6 +20,7 @@ __all__ = [
     "SanitizerError",
     "ProtocolError",
     "ServeError",
+    "JournalError",
 ]
 
 
@@ -87,3 +88,7 @@ class ProtocolError(ReproError):
 
 class ServeError(ReproError):
     """The admission-control service reached an invalid state."""
+
+
+class JournalError(ServeError):
+    """The admission journal is corrupt beyond the tolerated torn tail."""

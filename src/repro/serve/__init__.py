@@ -2,14 +2,33 @@
 
 The batch harness simulates a kernel; this package *runs* the admission
 machinery as a long-lived service: an asyncio server speaking a small
-newline-delimited-JSON protocol (``pp_begin`` / ``pp_end`` / ``query`` /
-``stats`` / ``drain``), a client, and an open/closed-loop load generator
-that replays workload-suite progress-period sequences against it.
+newline-delimited-JSON protocol (``hello`` / ``heartbeat`` / ``pp_begin``
+/ ``pp_end`` / ``query`` / ``stats`` / ``drain``), clients (thin and
+fault-tolerant), an open/closed-loop load generator that replays
+workload-suite progress-period sequences against it, plus the
+fault-tolerance layer: client leases, a crash-safe admission journal, and
+a chaos harness that proves the whole stack survives kills and flaky
+transports without leaking a byte of capacity.
 
-Entry points: ``python -m repro serve`` and ``python -m repro loadgen``.
+Entry points: ``python -m repro serve``, ``python -m repro loadgen`` and
+``python -m repro chaos``.
 """
 
+from .chaos import (
+    ChaosConfig,
+    ChaosProxy,
+    ChaosReport,
+    run_chaos,
+    run_chaos_sync,
+)
 from .client import ServeClient, ServeReplyError
+from .journal import (
+    AdmissionJournal,
+    AdmitRecord,
+    JournalState,
+    replay_journal,
+)
+from .leases import ClientRecord, LeaseTable
 from .loadgen import (
     LoadgenConfig,
     LoadgenReport,
@@ -29,6 +48,7 @@ from .protocol import (
     ok_reply,
     parse_request,
 )
+from .resilient import ResilientServeClient
 from .server import (
     AdmissionServer,
     AdmissionService,
@@ -38,18 +58,27 @@ from .server import (
 )
 
 __all__ = [
+    "AdmissionJournal",
     "AdmissionServer",
     "AdmissionService",
+    "AdmitRecord",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosReport",
+    "ClientRecord",
     "Counter",
     "ErrorCode",
     "Gauge",
     "Histogram",
+    "JournalState",
+    "LeaseTable",
     "LoadgenConfig",
     "LoadgenReport",
     "MAX_FRAME_BYTES",
     "MetricsRegistry",
     "PROTOCOL_VERSION",
     "Request",
+    "ResilientServeClient",
     "ServeClient",
     "ServeConfig",
     "ServeReplyError",
@@ -60,6 +89,9 @@ __all__ = [
     "fig4_scripts",
     "ok_reply",
     "parse_request",
+    "replay_journal",
+    "run_chaos",
+    "run_chaos_sync",
     "run_loadgen",
     "run_loadgen_sync",
     "serve_until_drained",

@@ -1,0 +1,546 @@
+"""Chaos harness for the admission service: prove the fault layer works.
+
+The fault-tolerance claims of :mod:`repro.serve` — crash-safe journal,
+client leases, idempotent re-issue — are only as good as their worst
+recovery path, so this module attacks all of them at once:
+
+* **Fault-injecting proxy.**  :class:`ChaosProxy` sits between clients and
+  the server and mangles the NDJSON stream line by line with a seeded RNG:
+  frames are dropped, delayed, duplicated, truncated mid-line (with the
+  connection severed, the classic torn write) or the connection is severed
+  outright.
+* **Kill-and-restart campaign.**  :func:`run_chaos` starts a real server
+  subprocess (``python -m repro serve --journal ... --sanitize``), drives
+  it with the resilient load generator *through* the proxy, SIGKILLs the
+  server on a timer, restarts it from the journal, and repeats.
+* **Verdict.**  After the load completes, the campaign waits for the
+  system to settle (the lease reaper reclaims what dead clients left
+  behind), then asserts the recovery contract: zero open periods, zero
+  admitted demand, a clean online sanitizer, and a zero exit code from the
+  drained server.  Any leaked byte of capacity fails the campaign.
+
+Entry point: ``python -m repro chaos``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import random
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError, ServeError
+from .client import ServeClient
+from .loadgen import LoadgenConfig, LoadgenReport, fig4_scripts, run_loadgen
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosReport",
+    "ServerProcess",
+    "run_chaos",
+    "run_chaos_sync",
+]
+
+#: fault kinds the proxy can inject, in threshold order
+FAULT_KINDS = ("drop", "delay", "duplicate", "truncate", "sever")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos campaign."""
+
+    #: RNG seed for the proxy's fault schedule and the load
+    seed: int = 0
+    #: wall-clock budget for the load phase
+    duration_s: float = 6.0
+    #: concurrent resilient clients
+    clients: int = 4
+    #: total sessions (None = bounded by duration only)
+    sessions: Optional[int] = None
+    #: SIGKILL/restart cycles to inflict during the load
+    kills: int = 2
+    #: gap between kills (first kill fires this long after start)
+    kill_interval_s: float = 1.5
+    #: per-line fault probabilities (applied in both directions)
+    drop_rate: float = 0.01
+    delay_rate: float = 0.05
+    delay_max_s: float = 0.01
+    duplicate_rate: float = 0.01
+    truncate_rate: float = 0.003
+    sever_rate: float = 0.002
+    #: synthetic session shape (figure-4 single-period sessions)
+    demand_mb: float = 2.0
+    hold_s: float = 0.01
+    #: server shape
+    policy: str = "strict"
+    capacity_mb: float = 8.0
+    lease_ttl_s: float = 1.5
+    lease_check_s: float = 0.1
+    park_timeout_s: float = 2.0
+    journal_fsync_s: float = 0.0
+    #: how long recovery may take to reach quiescence after the load
+    settle_timeout_s: float = 15.0
+    #: how long one server (re)start may take
+    server_start_timeout_s: float = 15.0
+
+
+class ChaosProxy:
+    """Line-oriented fault-injecting proxy over unix sockets.
+
+    Forwards newline-delimited frames between each client connection and a
+    fresh backend connection, injecting faults per line from a seeded RNG,
+    so a campaign's entire fault schedule replays from its seed.
+    """
+
+    def __init__(
+        self,
+        listen_path: str,
+        backend_path: str,
+        cfg: ChaosConfig,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.listen_path = listen_path
+        self.backend_path = backend_path
+        self.cfg = cfg
+        self.rng = rng if rng is not None else random.Random(cfg.seed)
+        self.faults: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.connections = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pairs: set = set()
+
+    @property
+    def faults_total(self) -> int:
+        return sum(self.faults.values())
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if os.path.exists(self.listen_path):
+            os.unlink(self.listen_path)
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=self.listen_path, limit=256 * 1024
+        )
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+            self._server = None
+        self.sever_all()
+        if os.path.exists(self.listen_path):
+            os.unlink(self.listen_path)
+
+    def sever_all(self) -> None:
+        """Hard-drop every proxied connection (used at server kill time)."""
+        for pair in list(self._pairs):
+            self._abort_pair(pair)
+
+    def _abort_pair(self, pair: Tuple[asyncio.StreamWriter, ...]) -> None:
+        for writer in pair:
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, creader: asyncio.StreamReader, cwriter: asyncio.StreamWriter
+    ) -> None:
+        try:
+            breader, bwriter = await asyncio.open_unix_connection(
+                self.backend_path, limit=256 * 1024
+            )
+        except OSError:
+            # Backend down (mid-restart): the client sees a hard reset and
+            # its resilient layer backs off and retries.
+            with contextlib.suppress(Exception):
+                cwriter.transport.abort()
+            return
+        self.connections += 1
+        pair = (cwriter, bwriter)
+        self._pairs.add(pair)
+        try:
+            await asyncio.gather(
+                self._pump(creader, bwriter, pair),
+                self._pump(breader, cwriter, pair),
+                return_exceptions=True,
+            )
+        finally:
+            self._pairs.discard(pair)
+            for writer in pair:
+                with contextlib.suppress(Exception):
+                    writer.close()
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        pair: Tuple[asyncio.StreamWriter, ...],
+    ) -> None:
+        cfg = self.cfg
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                r = self.rng.random()
+                threshold = cfg.drop_rate
+                if r < threshold:
+                    self.faults["drop"] += 1
+                    continue
+                threshold += cfg.delay_rate
+                if r < threshold:
+                    self.faults["delay"] += 1
+                    await asyncio.sleep(self.rng.random() * cfg.delay_max_s)
+                    writer.write(line)
+                    await writer.drain()
+                    continue
+                threshold += cfg.duplicate_rate
+                if r < threshold:
+                    # Requests dedupe by idempotency token; replies dedupe
+                    # by request id — a doubled frame must be harmless.
+                    self.faults["duplicate"] += 1
+                    writer.write(line + line)
+                    await writer.drain()
+                    continue
+                threshold += cfg.truncate_rate
+                if r < threshold:
+                    # The torn write: half a frame, then a dead socket.
+                    self.faults["truncate"] += 1
+                    writer.write(line[: max(1, len(line) // 2)])
+                    with contextlib.suppress(Exception):
+                        await writer.drain()
+                    self._abort_pair(pair)
+                    return
+                threshold += cfg.sever_rate
+                if r < threshold:
+                    self.faults["sever"] += 1
+                    self._abort_pair(pair)
+                    return
+                writer.write(line)
+                await writer.drain()
+        except (ConnectionError, OSError, ValueError, asyncio.CancelledError):
+            pass
+        finally:
+            # Propagate EOF so the peer's read loop terminates cleanly.
+            with contextlib.suppress(Exception):
+                writer.close()
+
+
+class ServerProcess:
+    """One ``python -m repro serve`` subprocess bound to a journal.
+
+    Restartable: after :meth:`kill`, :meth:`start` boots a fresh process
+    that replays the same journal — the unit the chaos campaign cycles.
+    """
+
+    def __init__(
+        self, socket_path: str, journal_path: str, cfg: ChaosConfig
+    ) -> None:
+        self.socket_path = socket_path
+        self.journal_path = journal_path
+        self.cfg = cfg
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.output: List[str] = []
+        self._drain_task: Optional[asyncio.Task] = None
+
+    def _argv(self) -> List[str]:
+        return [
+            sys.executable, "-m", "repro", "serve",
+            "--socket", self.socket_path,
+            "--policy", self.cfg.policy,
+            "--capacity-mb", str(self.cfg.capacity_mb),
+            "--journal", self.journal_path,
+            "--journal-fsync", str(self.cfg.journal_fsync_s),
+            "--lease-ttl", str(self.cfg.lease_ttl_s),
+            "--lease-check", str(self.cfg.lease_check_s),
+            "--park-timeout", str(self.cfg.park_timeout_s),
+            "--drain-grace", "3.0",
+            "--sanitize",
+        ]
+
+    async def start(self) -> None:
+        env = dict(os.environ)
+        # Make ``-m repro`` resolve to *this* tree no matter how the
+        # parent was launched (pytest from a checkout, an installed CLI…).
+        src_dir = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = await asyncio.create_subprocess_exec(
+            *self._argv(),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.STDOUT,
+            env=env,
+        )
+        self._drain_task = asyncio.ensure_future(self._drain_output())
+        await self._wait_ready()
+
+    async def _drain_output(self) -> None:
+        assert self.proc is not None and self.proc.stdout is not None
+        try:
+            while True:
+                line = await self.proc.stdout.readline()
+                if not line:
+                    break
+                self.output.append(line.decode(errors="replace").rstrip())
+        except (ConnectionError, ValueError, asyncio.CancelledError):
+            pass
+
+    async def _wait_ready(self) -> None:
+        assert self.proc is not None
+        deadline = time.monotonic() + self.cfg.server_start_timeout_s
+        while time.monotonic() < deadline:
+            if self.proc.returncode is not None:
+                raise ServeError(
+                    f"server exited {self.proc.returncode} during startup:\n"
+                    + "\n".join(self.output[-10:])
+                )
+            if os.path.exists(self.socket_path):
+                try:
+                    probe = await ServeClient.connect(
+                        unix_path=self.socket_path, timeout=1.0
+                    )
+                    try:
+                        await probe.query()
+                    finally:
+                        await probe.close()
+                    return
+                except (ReproError, OSError, asyncio.TimeoutError):
+                    pass
+            await asyncio.sleep(0.05)
+        raise ServeError(
+            f"server not ready within {self.cfg.server_start_timeout_s} s"
+        )
+
+    def kill(self) -> None:
+        """SIGKILL — no drain, no journal flush, no goodbye."""
+        assert self.proc is not None
+        with contextlib.suppress(ProcessLookupError):
+            self.proc.send_signal(signal.SIGKILL)
+
+    async def wait(self, timeout_s: Optional[float] = None) -> int:
+        assert self.proc is not None
+        if timeout_s is None:
+            code = await self.proc.wait()
+        else:
+            code = await asyncio.wait_for(self.proc.wait(), timeout=timeout_s)
+        if self._drain_task is not None:
+            with contextlib.suppress(Exception):
+                await self._drain_task
+            self._drain_task = None
+        return code
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos campaign inflicted and observed."""
+
+    seed: int
+    wall_s: float
+    kills: int
+    faults: Dict[str, int]
+    faults_total: int
+    proxy_connections: int
+    load: LoadgenReport
+    replayed_periods_last_boot: int
+    settled: bool
+    settle_s: float
+    final_open_periods: int
+    final_usage_bytes: int
+    final_waiting: int
+    sanitizer_ok: Optional[bool]
+    server_exit_code: Optional[int]
+    server_output: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The recovery contract: quiescent, conserved, clean exit."""
+        return (
+            self.settled
+            and self.final_open_periods == 0
+            and self.final_usage_bytes == 0
+            and self.final_waiting == 0
+            and self.sanitizer_ok is not False
+            and self.server_exit_code == 0
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "wall_s": self.wall_s,
+            "kills": self.kills,
+            "faults": dict(self.faults),
+            "faults_total": self.faults_total,
+            "proxy_connections": self.proxy_connections,
+            "load": self.load.to_dict(),
+            "replayed_periods_last_boot": self.replayed_periods_last_boot,
+            "settled": self.settled,
+            "settle_s": self.settle_s,
+            "final_open_periods": self.final_open_periods,
+            "final_usage_bytes": self.final_usage_bytes,
+            "final_waiting": self.final_waiting,
+            "sanitizer_ok": self.sanitizer_ok,
+            "server_exit_code": self.server_exit_code,
+            "ok": self.ok,
+        }
+
+    def describe(self) -> str:
+        fault_bits = ", ".join(
+            f"{self.faults[k]} {k}" for k in FAULT_KINDS if self.faults[k]
+        )
+        lines = [
+            f"chaos campaign (seed {self.seed}): {self.wall_s:.2f} s wall, "
+            f"{self.kills} kill(s), {self.faults_total} fault(s) injected"
+            + (f" ({fault_bits})" if fault_bits else ""),
+            f"  load: {self.load.admitted}/{self.load.calls} admitted, "
+            f"{self.load.reconnects} reconnect(s), "
+            f"{self.load.deduped} deduped begin(s), "
+            f"{self.load.lost_periods} lost period(s)",
+            f"  recovery: {self.replayed_periods_last_boot} period(s) "
+            f"replayed at last boot, settled in {self.settle_s:.2f} s "
+            f"({'yes' if self.settled else 'NO'})",
+            f"  final: {self.final_open_periods} open period(s), "
+            f"{self.final_usage_bytes} B charged, "
+            f"{self.final_waiting} waiting, sanitizer "
+            + (
+                "ok" if self.sanitizer_ok
+                else "VIOLATED" if self.sanitizer_ok is False
+                else "n/a"
+            )
+            + f", server exit {self.server_exit_code}",
+            f"  verdict: {'OK' if self.ok else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+async def run_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """One full campaign: serve, mangle, kill, restart, settle, judge."""
+    os.makedirs(workdir, exist_ok=True)
+    backend_path = os.path.join(workdir, "chaos-server.sock")
+    front_path = os.path.join(workdir, "chaos-proxy.sock")
+    journal_path = os.path.join(workdir, "chaos-journal.ndjson")
+
+    t_start = time.monotonic()
+    server = ServerProcess(backend_path, journal_path, cfg)
+    await server.start()
+    proxy = ChaosProxy(
+        front_path, backend_path, cfg, rng=random.Random(cfg.seed ^ 0x5EED)
+    )
+    await proxy.start()
+
+    load_cfg = LoadgenConfig(
+        mode="closed",
+        clients=cfg.clients,
+        sessions=cfg.sessions,
+        duration_s=cfg.duration_s,
+        time_scale=1.0,
+        max_hold_s=max(cfg.hold_s, 0.25),
+        max_retries=100_000,
+        resilient=True,
+        call_timeout_s=2.0,
+        # past the server's park timeout, silence on pp_begin means a
+        # dropped frame, not a parked period — reconnect and re-issue
+        begin_timeout_s=cfg.park_timeout_s + 2.0,
+        seed=cfg.seed,
+    )
+    scripts = fig4_scripts(
+        n=max(8, cfg.clients * 2), demand_mb=cfg.demand_mb, hold_s=cfg.hold_s
+    )
+    load_task = asyncio.ensure_future(
+        run_loadgen(scripts, load_cfg, unix_path=front_path)
+    )
+
+    kills = 0
+    try:
+        for _ in range(cfg.kills):
+            await asyncio.sleep(cfg.kill_interval_s)
+            if load_task.done():
+                break
+            server.kill()
+            await server.wait()
+            kills += 1
+            # Connections through the proxy are stranded on a dead
+            # backend; hard-drop them so clients reconnect promptly.
+            proxy.sever_all()
+            await server.start()
+        load = await load_task
+    except BaseException:
+        load_task.cancel()
+        with contextlib.suppress(BaseException):
+            await load_task
+        with contextlib.suppress(Exception):
+            await proxy.close()
+        raise
+
+    # ------------------------------------------------------------------
+    # settle: the lease reaper reclaims what dead clients left behind
+    # ------------------------------------------------------------------
+    settled = False
+    settle_t0 = time.monotonic()
+    final_open = final_usage = final_waiting = -1
+    sanitizer_ok: Optional[bool] = None
+    replayed = 0
+    probe = await ServeClient.connect(unix_path=backend_path, timeout=5.0)
+    try:
+        deadline = settle_t0 + cfg.settle_timeout_s
+        while time.monotonic() < deadline:
+            q = await probe.query()
+            final_open = int(q.get("open_periods", -1))
+            final_waiting = int(q.get("waiting", -1))
+            final_usage = sum(
+                int(state.get("usage_bytes", 0))
+                for state in q.get("resources", {}).values()
+            )
+            replayed = int((q.get("journal") or {}).get("replayed_periods", 0))
+            if final_open == 0 and final_usage == 0 and final_waiting == 0:
+                settled = True
+                break
+            await asyncio.sleep(0.1)
+        stats = await probe.stats()
+        sanitizer = stats.get("sanitizer")
+        if sanitizer is not None:
+            sanitizer_ok = bool(sanitizer.get("ok"))
+        await probe.drain()
+    finally:
+        await probe.close()
+    settle_s = time.monotonic() - settle_t0
+
+    exit_code: Optional[int] = None
+    with contextlib.suppress(asyncio.TimeoutError):
+        exit_code = await server.wait(timeout_s=10.0)
+    if exit_code is None:
+        server.kill()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await server.wait(timeout_s=5.0)
+    await proxy.close()
+
+    return ChaosReport(
+        seed=cfg.seed,
+        wall_s=time.monotonic() - t_start,
+        kills=kills,
+        faults=dict(proxy.faults),
+        faults_total=proxy.faults_total,
+        proxy_connections=proxy.connections,
+        load=load,
+        replayed_periods_last_boot=replayed,
+        settled=settled,
+        settle_s=settle_s,
+        final_open_periods=final_open,
+        final_usage_bytes=final_usage,
+        final_waiting=final_waiting,
+        sanitizer_ok=sanitizer_ok,
+        server_exit_code=exit_code,
+        server_output=list(server.output),
+    )
+
+
+def run_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """Blocking wrapper around :func:`run_chaos` (CLI entry point)."""
+    return asyncio.run(run_chaos(cfg, workdir))

@@ -6,6 +6,10 @@ connection — the figure-4 contract, where the kernel blocks the calling
 thread).  Used by the load generator, the tests and
 ``examples/serve_quickstart.py``; application code would embed the same
 dozen lines in any language.
+
+:class:`~repro.serve.resilient.ResilientServeClient` layers reconnects,
+retries and idempotent re-issue on top of this class — prefer it for any
+client that must survive server restarts or flaky transports.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ class ServeClient:
         self.reader = reader
         self.writer = writer
         self._ids = itertools.count(1)
+        self._closed = False
 
     @classmethod
     async def connect(
@@ -52,49 +57,94 @@ class ServeClient:
         host: Optional[str] = None,
         port: Optional[int] = None,
         limit: int = protocol.MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
     ) -> "ServeClient":
+        """Open a connection; ``timeout`` bounds the connect itself."""
         if unix_path is not None:
-            reader, writer = await asyncio.open_unix_connection(
-                unix_path, limit=limit
-            )
+            opening = asyncio.open_unix_connection(unix_path, limit=limit)
         elif host is not None and port is not None:
-            reader, writer = await asyncio.open_connection(host, port, limit=limit)
+            opening = asyncio.open_connection(host, port, limit=limit)
         else:
             raise ServeError("need a unix socket path or a TCP host+port")
+        if timeout is not None:
+            reader, writer = await asyncio.wait_for(opening, timeout=timeout)
+        else:
+            reader, writer = await opening
         return cls(reader, writer)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     async def close(self) -> None:
+        """Close the connection.  Idempotent — safe to call twice, safe to
+        call on a connection whose transport (or loop) is already gone."""
+        if self._closed:
+            return
+        self._closed = True
         try:
             self.writer.close()
             await self.writer.wait_closed()
         except (ConnectionError, RuntimeError):
+            # RuntimeError covers "Event loop is closed" during teardown.
+            pass
+        # Unblock any pending readline cleanly: feeding EOF makes a racing
+        # reader see b"" instead of hanging on a dead transport.
+        try:
+            self.reader.feed_eof()
+        except (AssertionError, RuntimeError):
             pass
 
     # ------------------------------------------------------------------
-    async def call_raw(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request and return the raw reply frame (ok or error)."""
+    async def call_raw(
+        self, op: str, timeout: Optional[float] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """Send one request and return the raw reply frame (ok or error).
+
+        ``timeout`` bounds the whole round trip; on expiry the call raises
+        :class:`asyncio.TimeoutError` and the connection must be considered
+        desynchronized (the reply may still arrive later) — close it.
+        """
+        if self._closed:
+            raise ServeError("client is closed")
         request_id = next(self._ids)
         frame: Dict[str, Any] = {
             "v": protocol.PROTOCOL_VERSION, "id": request_id, "op": op,
         }
         frame.update(fields)
-        self.writer.write(protocol.encode_frame(frame))
-        await self.writer.drain()
-        line = await self.reader.readline()
-        if not line:
-            raise ProtocolError(
-                protocol.ErrorCode.INTERNAL, "server closed the connection"
-            )
-        return protocol.decode_frame(line)
 
-    async def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        async def round_trip() -> Dict[str, Any]:
+            self.writer.write(protocol.encode_frame(frame))
+            await self.writer.drain()
+            line = await self.reader.readline()
+            if not line:
+                raise ProtocolError(
+                    protocol.ErrorCode.INTERNAL, "server closed the connection"
+                )
+            return protocol.decode_frame(line)
+
+        if timeout is None:
+            return await round_trip()
+        return await asyncio.wait_for(round_trip(), timeout=timeout)
+
+    async def call(
+        self, op: str, timeout: Optional[float] = None, **fields: Any
+    ) -> Dict[str, Any]:
         """Like :meth:`call_raw`, raising :class:`ServeReplyError` on errors."""
-        reply = await self.call_raw(op, **fields)
+        reply = await self.call_raw(op, timeout=timeout, **fields)
         if not reply.get("ok"):
             raise ServeReplyError(reply)
         return reply
 
     # ------------------------------------------------------------------
+    async def hello(self, client: str) -> Dict[str, Any]:
+        """Bind this connection to a durable, lease-holding identity."""
+        return await self.call("hello", client=client)
+
+    async def heartbeat(self) -> Dict[str, Any]:
+        """Renew the client lease (requires a prior :meth:`hello`)."""
+        return await self.call("heartbeat")
+
     async def pp_begin(
         self,
         demand_bytes: int,
@@ -102,8 +152,15 @@ class ServeClient:
         resource: str = "llc",
         label: str = "",
         sharing_key: Optional[str] = None,
+        token: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
-        """Figure 4's ``pp_begin`` over the wire; blocks while parked."""
+        """Figure 4's ``pp_begin`` over the wire; blocks while parked.
+
+        ``token`` is an optional idempotency token: re-issuing the same
+        begin after a lost reply returns the already-admitted period
+        instead of charging twice (see ``docs/SERVE.md``).
+        """
         fields: Dict[str, Any] = {
             "resource": resource,
             "demand_bytes": demand_bytes,
@@ -112,10 +169,14 @@ class ServeClient:
         }
         if sharing_key is not None:
             fields["sharing_key"] = sharing_key
-        return await self.call("pp_begin", **fields)
+        if token is not None:
+            fields["token"] = token
+        return await self.call("pp_begin", timeout=timeout, **fields)
 
-    async def pp_end(self, pp_id: int) -> Dict[str, Any]:
-        return await self.call("pp_end", pp_id=pp_id)
+    async def pp_end(
+        self, pp_id: int, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return await self.call("pp_end", pp_id=pp_id, timeout=timeout)
 
     async def query(self, pp_id: Optional[int] = None) -> Dict[str, Any]:
         if pp_id is None:

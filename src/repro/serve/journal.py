@@ -1,0 +1,339 @@
+"""Crash-safe admission journal: a write-ahead log for the serve ledger.
+
+The kernel's RDA layer never outlives its charges — a dead process is
+reaped and its LLC demand implicitly released.  The admission *service* is
+a user-space daemon, so a crash would otherwise lose the entire charge
+ledger and strand every running application.  This module gives the
+service durability:
+
+* **Append-only NDJSON log.**  Every admitted progress period of a
+  lease-bound client is recorded (``admit``) the moment its demand is
+  charged, and closed (``close``) when the demand is released — by
+  ``pp_end``, ``pp_cancel`` or the lease reaper.  One JSON object per
+  line, written before the reply leaves the server, so a reply the client
+  observed is always recoverable.
+* **fsync batching.**  Each record is written+flushed immediately;
+  ``fsync`` either follows synchronously (``fsync_interval_s <= 0``, the
+  durable default) or is batched on a timer so a busy server pays one disk
+  sync per interval instead of one per admission.  A crash inside the
+  batching window loses at most ``fsync_interval_s`` of events — clients
+  re-issue those begins with their idempotency tokens.
+* **Snapshot + truncate compaction.**  The live state is tiny (open
+  admitted periods); every ``compact_every`` events the log is atomically
+  rewritten as a single ``snap`` record so it never grows with traffic.
+* **Tolerant replay.**  ``replay_journal`` rebuilds the open set.  A torn
+  final line (the classic power-cut artifact) is ignored; corruption
+  anywhere else raises :class:`~repro.errors.JournalError` rather than
+  silently reviving a wrong ledger.
+
+The journal stores *admitted* periods only.  Parked (WAITING) periods
+hold no capacity and their owners are blocked on a reply that died with
+the old process — after a restart those clients reconnect and re-issue
+``pp_begin``, deduplicated by token against the replayed open set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..errors import JournalError
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "AdmitRecord",
+    "JournalState",
+    "replay_journal",
+    "AdmissionJournal",
+]
+
+#: bump on incompatible record-shape changes
+JOURNAL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AdmitRecord:
+    """One admitted progress period, as persisted in the journal."""
+
+    pp_id: int
+    client: str
+    resource: str
+    demand_bytes: int
+    reuse: str
+    sharing_key: Optional[str]
+    label: str
+    forced: bool
+    token: Optional[str]
+
+    def to_frame(self) -> Dict[str, Any]:
+        return {
+            "k": "admit",
+            "pp": self.pp_id,
+            "client": self.client,
+            "res": self.resource,
+            "demand": self.demand_bytes,
+            "reuse": self.reuse,
+            "share": self.sharing_key,
+            "label": self.label,
+            "forced": self.forced,
+            "token": self.token,
+        }
+
+    @classmethod
+    def from_frame(cls, frame: Dict[str, Any]) -> "AdmitRecord":
+        try:
+            return cls(
+                pp_id=int(frame["pp"]),
+                client=str(frame["client"]),
+                resource=str(frame["res"]),
+                demand_bytes=int(frame["demand"]),
+                reuse=str(frame["reuse"]),
+                sharing_key=frame.get("share"),
+                label=str(frame.get("label", "")),
+                forced=bool(frame.get("forced", False)),
+                token=frame.get("token"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed admit record: {exc}") from None
+
+
+@dataclass
+class JournalState:
+    """What replay recovered: the open admitted set and id high-water."""
+
+    open: Dict[int, AdmitRecord]
+    max_pp_id: int
+    events_replayed: int
+
+
+def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """Decode one journal line; ``None`` for an undecodable (torn) line."""
+    try:
+        obj = json.loads(line)
+    except ValueError:
+        return None
+    return obj if isinstance(obj, dict) else None
+
+
+def replay_journal(path: str) -> JournalState:
+    """Rebuild the open admitted set from a journal file.
+
+    Missing file → empty state (first boot).  A torn *final* line is
+    dropped; an undecodable line anywhere else is corruption and raises
+    :class:`JournalError`.
+    """
+    state = JournalState(open={}, max_pp_id=0, events_replayed=0)
+    if not os.path.exists(path):
+        return state
+    with open(path, "rb") as fh:
+        lines = fh.read().split(b"\n")
+    # split() leaves one trailing empty element when the file ends in \n
+    if lines and lines[-1] == b"":
+        lines.pop()
+    for i, line in enumerate(lines):
+        frame = _parse_line(line)
+        if frame is None:
+            if i == len(lines) - 1:
+                break  # torn tail from a crash mid-append: tolerated
+            raise JournalError(
+                f"{path}: undecodable record at line {i + 1} "
+                "(corruption before the final line)"
+            )
+        kind = frame.get("k")
+        state.events_replayed += 1
+        if kind == "snap":
+            if frame.get("v") not in (None, JOURNAL_VERSION):
+                raise JournalError(
+                    f"{path}: snapshot version {frame.get('v')!r} "
+                    f"unsupported (this build speaks v{JOURNAL_VERSION})"
+                )
+            state.open = {}
+            for entry in frame.get("open", ()):
+                record = AdmitRecord.from_frame(entry)
+                state.open[record.pp_id] = record
+                state.max_pp_id = max(state.max_pp_id, record.pp_id)
+        elif kind == "admit":
+            record = AdmitRecord.from_frame(frame)
+            state.open[record.pp_id] = record
+            state.max_pp_id = max(state.max_pp_id, record.pp_id)
+        elif kind == "close":
+            pp_id = frame.get("pp")
+            if not isinstance(pp_id, int):
+                raise JournalError(f"{path}: close record without 'pp'")
+            # A close for an unknown pp is possible when its admit sat in
+            # a torn tail of the *previous* incarnation; ignore it.
+            state.open.pop(pp_id, None)
+            state.max_pp_id = max(state.max_pp_id, pp_id)
+        else:
+            raise JournalError(f"{path}: unknown record kind {kind!r}")
+    return state
+
+
+class AdmissionJournal:
+    """The append side of the write-ahead log (single event loop writer)."""
+
+    def __init__(
+        self,
+        path: str,
+        fsync_interval_s: float = 0.0,
+        compact_every: int = 1000,
+    ) -> None:
+        if compact_every < 1:
+            raise JournalError("compact_every must be >= 1")
+        self.path = path
+        self.fsync_interval_s = fsync_interval_s
+        self.compact_every = compact_every
+        #: live admitted entries — mirrors the server's RUNNING journaled set
+        self.open: Dict[int, AdmitRecord] = {}
+        self.events_total = 0
+        self.syncs_total = 0
+        self.compactions_total = 0
+        self._fh = None
+        self._events_since_compact = 0
+        self._sync_handle: Optional[asyncio.TimerHandle] = None
+        self._dirty = False
+        self._dead = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def recover(self) -> JournalState:
+        """Replay the existing log, then compact it and open for append."""
+        state = replay_journal(self.path)
+        self.open = dict(state.open)
+        self._rewrite_snapshot()
+        return state
+
+    def close(self) -> None:
+        """Clean shutdown: flush, sync, close.  The open set is *kept* on
+        disk — a drained server that still held running periods restores
+        them on the next boot."""
+        self._dead = True
+        if self._fh is None:
+            return
+        self._cancel_scheduled_sync()
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+
+    def abandon(self) -> None:
+        """Crash-simulation shutdown: drop the handle without syncing.
+
+        Also poisons the append path — any state mutation the dying
+        process still performs (e.g. cleanup of parked handlers) must not
+        reach a log that a real SIGKILL would have left untouched.
+        """
+        self._dead = True
+        self._cancel_scheduled_sync()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    # records
+    # ------------------------------------------------------------------
+    def record_admit(self, record: AdmitRecord) -> None:
+        """Persist one admission.  Idempotent per ``pp_id``."""
+        if record.pp_id in self.open:
+            return
+        self.open[record.pp_id] = record
+        self._append(record.to_frame())
+
+    def record_close(self, pp_id: int) -> bool:
+        """Persist the release of a journaled period.
+
+        Returns ``False`` (and writes nothing) when the period was never
+        journaled — anonymous clients and parked periods have no admit
+        record to balance.
+        """
+        if pp_id not in self.open:
+            return False
+        del self.open[pp_id]
+        self._append({"k": "close", "pp": pp_id})
+        return True
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def _ensure_fh(self):
+        if self._fh is None:
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def _append(self, frame: Dict[str, Any]) -> None:
+        if self._dead:
+            return
+        fh = self._ensure_fh()
+        fh.write(json.dumps(frame, separators=(",", ":")).encode() + b"\n")
+        fh.flush()
+        self.events_total += 1
+        self._events_since_compact += 1
+        if self.fsync_interval_s <= 0:
+            os.fsync(fh.fileno())
+            self.syncs_total += 1
+        else:
+            self._dirty = True
+            self._schedule_sync()
+        if self._events_since_compact >= self.compact_every:
+            self._rewrite_snapshot()
+
+    def sync(self) -> None:
+        """Force any batched records to disk now."""
+        self._cancel_scheduled_sync()
+        if self._fh is not None and self._dirty:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.syncs_total += 1
+            self._dirty = False
+
+    def _schedule_sync(self) -> None:
+        if self._sync_handle is not None:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            # no loop (unit tests, replay-time writes): sync immediately
+            self.sync()
+            return
+        self._sync_handle = loop.call_later(self.fsync_interval_s, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._sync_handle = None
+        self.sync()
+
+    def _cancel_scheduled_sync(self) -> None:
+        if self._sync_handle is not None:
+            self._sync_handle.cancel()
+            self._sync_handle = None
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def _rewrite_snapshot(self) -> None:
+        """Atomically replace the log with one snapshot of the open set."""
+        self._cancel_scheduled_sync()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        snap: Dict[str, Any] = {
+            "k": "snap",
+            "v": JOURNAL_VERSION,
+            "open": [r.to_frame() for r in self.open.values()],
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(json.dumps(snap, separators=(",", ":")).encode() + b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._events_since_compact = 0
+        self._dirty = False
+        self.compactions_total += 1
+
+    def compact(self) -> None:
+        """Public compaction hook (tests, admin tooling)."""
+        self._rewrite_snapshot()

@@ -34,6 +34,7 @@ from ..workloads.export import PpCall, SessionScript
 from . import protocol
 from .client import ServeClient, ServeReplyError
 from .protocol import ErrorCode
+from .resilient import ResilientServeClient
 
 __all__ = [
     "LoadgenConfig",
@@ -65,6 +66,20 @@ class LoadgenConfig:
     max_hold_s: float = 0.25
     #: give up a call after this many RETRY_AFTER rounds
     max_retries: int = 200
+    #: first RETRY_AFTER backoff step (doubles per attempt, jittered)
+    backoff_base_s: float = 0.02
+    #: RETRY_AFTER backoff ceiling
+    backoff_cap_s: float = 0.5
+    #: use :class:`~repro.serve.resilient.ResilientServeClient` — clients
+    #: survive server restarts and flaky transports (lease + token re-issue)
+    resilient: bool = False
+    #: resilient clients: per-attempt bound on non-begin calls (silence
+    #: past it means a lost frame → reconnect and re-issue)
+    call_timeout_s: Optional[float] = 5.0
+    #: resilient clients: per-attempt bound on ``pp_begin``; None waits for
+    #: the server's park timeout — set one under lossy transports, where
+    #: silence can mean a dropped frame rather than a parked period
+    begin_timeout_s: Optional[float] = None
     #: send ``drain`` once the run finishes (lets a CI server exit cleanly)
     drain: bool = False
     #: RNG seed (arrival gaps, script order)
@@ -87,6 +102,9 @@ class _Tally:
     park_timeouts: int = 0
     draining_rejects: int = 0
     protocol_errors: int = 0
+    reconnects: int = 0
+    lost_periods: int = 0
+    deduped: int = 0
     latency_s: List[float] = field(default_factory=list)
     waited_s: List[float] = field(default_factory=list)
     utilization_samples: List[float] = field(default_factory=list)
@@ -110,6 +128,9 @@ class LoadgenReport:
     park_timeouts: int
     draining_rejects: int
     protocol_errors: int
+    reconnects: int
+    lost_periods: int
+    deduped: int
     throughput_pps: float
     admission_latency: LatencySummary
     park_time: LatencySummary
@@ -133,6 +154,9 @@ class LoadgenReport:
             "park_timeouts": self.park_timeouts,
             "draining_rejects": self.draining_rejects,
             "protocol_errors": self.protocol_errors,
+            "reconnects": self.reconnects,
+            "lost_periods": self.lost_periods,
+            "deduped": self.deduped,
             "throughput_pps": self.throughput_pps,
             "admission_latency_s": self.admission_latency.to_dict(),
             "park_time_s": self.park_time.to_dict(),
@@ -156,6 +180,9 @@ class LoadgenReport:
             f"{self.park_timeouts} park timeout(s), "
             f"{self.draining_rejects} draining reject(s), "
             f"{self.protocol_errors} protocol error(s)",
+            f"  resilience: {self.reconnects} reconnect(s), "
+            f"{self.deduped} deduped begin(s), "
+            f"{self.lost_periods} period(s) lost to the lease reaper",
             "  admission latency "
             + self.admission_latency.describe(unit="ms", scale=1e3),
             "  park time         "
@@ -200,6 +227,7 @@ class _Runner:
         self.tally = _Tally()
         self.rng = random.Random(cfg.seed)
         self._next_script = 0
+        self._next_client = 0
         self._deadline: Optional[float] = None
         self._stop = False
 
@@ -224,8 +252,47 @@ class _Runner:
     def _hold_s(self, call: PpCall) -> float:
         return min(call.hold_s * self.cfg.time_scale, self.cfg.max_hold_s)
 
+    def _retry_sleep_s(self, attempt: int, hint_s: Optional[float]) -> float:
+        """Exponential backoff with jitter, floored at the server's hint.
+
+        The server's ``retry_after_s`` is a minimum, not a schedule: a
+        client that re-knocks at exactly that cadence forever keeps the
+        pending queue saturated, so each rejection doubles the wait (up to
+        the cap) and jitter decorrelates the herd.
+        """
+        base = min(
+            self.cfg.backoff_base_s * (2 ** min(attempt, 6)),
+            self.cfg.backoff_cap_s,
+        )
+        base = max(base, hint_s or 0.0)
+        return base * (1.0 + 0.25 * self.rng.random())
+
+    async def _make_client(self):
+        """One connection: thin by default, resilient when configured."""
+        if not self.cfg.resilient:
+            return await ServeClient.connect(**self.connect_kwargs)
+        self._next_client += 1
+        client = ResilientServeClient(
+            **self.connect_kwargs,
+            client_id=f"loadgen-{self.cfg.seed}-{self._next_client}",
+            call_timeout_s=self.cfg.call_timeout_s,
+            begin_timeout_s=self.cfg.begin_timeout_s,
+            # loadgen counts RETRY_AFTER itself (its backoff loop is the
+            # experiment); the resilient layer handles transport faults only
+            retry_admission=False,
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+        await client.connect()
+        return client
+
+    def _absorb_counters(self, client: Any) -> None:
+        if isinstance(client, ResilientServeClient):
+            self.tally.reconnects += client.reconnects
+            self.tally.lost_periods += client.lost_periods
+            self.tally.deduped += client.deduped
+
     # ------------------------------------------------------------------
-    async def _run_call(self, client: ServeClient, call: PpCall) -> bool:
+    async def _run_call(self, client: Any, call: PpCall) -> bool:
         """One begin/hold/end round-trip.  Returns False to end the session."""
         tally = self.tally
         tally.calls += 1
@@ -241,8 +308,13 @@ class _Runner:
             except ServeReplyError as exc:
                 if exc.code == ErrorCode.RETRY_AFTER:
                     tally.retries += 1
+                    if not self._budget_left():
+                        # the run is over; don't keep knocking past the
+                        # deadline just because the server is saturated
+                        tally.dropped_calls += 1
+                        return False
                     await asyncio.sleep(
-                        (exc.retry_after_s or 0.05) + self.rng.random() * 0.02
+                        self._retry_sleep_s(attempt, exc.retry_after_s)
                     )
                     continue
                 if exc.code == ErrorCode.TIMEOUT:
@@ -270,7 +342,7 @@ class _Runner:
         tally.dropped_calls += 1
         return True
 
-    async def _run_session(self, client: ServeClient, script: SessionScript) -> None:
+    async def _run_session(self, client: Any, script: SessionScript) -> None:
         self.tally.sessions_started += 1
         try:
             for call in script.calls:
@@ -278,28 +350,31 @@ class _Runner:
                     self.tally.sessions_failed += 1
                     return
             self.tally.sessions_completed += 1
-        except (ProtocolError, ConnectionError, asyncio.IncompleteReadError):
+        except (ProtocolError, ServeError, ConnectionError,
+                asyncio.IncompleteReadError):
             self.tally.sessions_failed += 1
 
     # ------------------------------------------------------------------
     async def _closed_worker(self) -> None:
-        client = await ServeClient.connect(**self.connect_kwargs)
+        client = await self._make_client()
         try:
             while self._budget_left():
                 await self._run_session(client, self._take_script())
         finally:
+            self._absorb_counters(client)
             await client.close()
 
     async def _open_session(self, script: SessionScript) -> None:
         try:
-            client = await ServeClient.connect(**self.connect_kwargs)
-        except OSError:
+            client = await self._make_client()
+        except (OSError, ServeError):
             self.tally.sessions_started += 1
             self.tally.sessions_failed += 1
             return
         try:
             await self._run_session(client, script)
         finally:
+            self._absorb_counters(client)
             await client.close()
 
     async def _open_loop(self) -> None:
@@ -322,12 +397,13 @@ class _Runner:
         try:
             while True:
                 await asyncio.sleep(0.02)
-                reply = await client.query()
+                reply = await client.call("query", timeout=5.0)
                 for state in reply.get("resources", {}).values():
                     self.tally.utilization_samples.append(
                         float(state.get("utilization", 0.0))
                     )
-        except (ProtocolError, ServeReplyError, ConnectionError, OSError):
+        except (ProtocolError, ServeReplyError, ConnectionError, OSError,
+                asyncio.TimeoutError):
             return
         finally:
             await client.close()
@@ -369,6 +445,9 @@ class _Runner:
             park_timeouts=tally.park_timeouts,
             draining_rejects=tally.draining_rejects,
             protocol_errors=tally.protocol_errors,
+            reconnects=tally.reconnects,
+            lost_periods=tally.lost_periods,
+            deduped=tally.deduped,
             throughput_pps=tally.admitted / wall_s if wall_s > 0 else 0.0,
             admission_latency=summarize_samples(tally.latency_s),
             park_time=summarize_samples(
@@ -388,11 +467,14 @@ class _Runner:
         except OSError:
             return None
         try:
-            stats = await client.stats()
+            # Bounded: over a faulty transport (the chaos proxy) a lost
+            # reply must not hang the whole run for a statistics frame.
+            stats = (await client.call("stats", timeout=5.0))["stats"]
             if self.cfg.drain:
-                await client.drain()
+                await client.call("drain", timeout=5.0)
             return stats
-        except (ProtocolError, ServeReplyError, ConnectionError, OSError):
+        except (ProtocolError, ServeReplyError, ConnectionError, OSError,
+                asyncio.TimeoutError):
             return None
         finally:
             await client.close()

@@ -9,12 +9,15 @@ a typed error instead of undefined behaviour.
 
 Request frames::
 
+    {"v": 1, "id": 6, "op": "hello", "client": "app-7f3e"}
     {"v": 1, "id": 7, "op": "pp_begin", "resource": "llc",
-     "demand_bytes": 6606028, "reuse": "high", "label": "DGEMM"}
+     "demand_bytes": 6606028, "reuse": "high", "label": "DGEMM",
+     "token": "b7c1..."}                        # optional idempotency token
     {"v": 1, "id": 8, "op": "pp_end", "pp_id": 42}
     {"v": 1, "id": 9, "op": "query"}            # optional "pp_id"
     {"v": 1, "id": 10, "op": "stats"}
     {"v": 1, "id": 11, "op": "drain"}
+    {"v": 1, "id": 12, "op": "heartbeat"}       # renews the client lease
 
 Replies carry the request's ``id`` back and either ``"ok": true`` plus
 verb-specific fields, or ``"ok": false`` with a typed error::
@@ -39,6 +42,7 @@ from ..errors import ProtocolError
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "MAX_IDENT_CHARS",
     "VERBS",
     "ErrorCode",
     "Request",
@@ -56,7 +60,10 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 64 * 1024
 
 #: the verbs a client may send
-VERBS = ("pp_begin", "pp_end", "query", "stats", "drain")
+VERBS = ("hello", "heartbeat", "pp_begin", "pp_end", "query", "stats", "drain")
+
+#: upper bound on client-supplied identity strings (client ids, tokens)
+MAX_IDENT_CHARS = 128
 
 
 class ErrorCode:
@@ -71,6 +78,7 @@ class ErrorCode:
     RETRY_AFTER = "RETRY_AFTER"  # pending-admission queue full
     TIMEOUT = "TIMEOUT"  # parked longer than the park timeout
     DRAINING = "DRAINING"  # server no longer admits new periods
+    NOT_BOUND = "NOT_BOUND"  # heartbeat before hello (no client identity)
     INTERNAL = "INTERNAL"  # unexpected server-side failure
 
 
@@ -90,6 +98,10 @@ class Request:
     reuse: ReuseLevel = ReuseLevel.LOW
     sharing_key: Optional[str] = None
     label: str = ""
+    #: pp_begin idempotency token (dedupes re-issued begins, §journal)
+    token: Optional[str] = None
+    #: hello field: durable client identity the lease is bound to
+    client: Optional[str] = None
     #: pp_end / query field
     pp_id: Optional[int] = None
     #: raw frame, for logging
@@ -134,6 +146,23 @@ def _require_int(frame: Dict[str, Any], key: str, minimum: int = 0) -> int:
     if value < minimum:
         raise ProtocolError(
             ErrorCode.BAD_REQUEST, f"{key!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _optional_ident(frame: Dict[str, Any], key: str) -> Optional[str]:
+    """A short non-empty string field (client ids, idempotency tokens)."""
+    value = frame.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST, f"{key!r} must be a non-empty string"
+        )
+    if len(value) > MAX_IDENT_CHARS:
+        raise ProtocolError(
+            ErrorCode.BAD_REQUEST,
+            f"{key!r} exceeds {MAX_IDENT_CHARS} characters",
         )
     return value
 
@@ -197,8 +226,17 @@ def parse_request(frame: Dict[str, Any]) -> Request:
             reuse=reuse,
             sharing_key=sharing_key,
             label=label,
+            token=_optional_ident(frame, "token"),
             raw=frame,
         )
+
+    if op == "hello":
+        client = _optional_ident(frame, "client")
+        if client is None:
+            raise ProtocolError(
+                ErrorCode.BAD_REQUEST, "'hello' requires a 'client' identity"
+            )
+        return Request(op=op, id=request_id, client=client, raw=frame)
 
     if op == "pp_end":
         return Request(
@@ -206,7 +244,7 @@ def parse_request(frame: Dict[str, Any]) -> Request:
             raw=frame,
         )
 
-    # query / stats / drain: pp_id optional on query only
+    # heartbeat / query / stats / drain: pp_id optional on query only
     pp_id = None
     if op == "query" and "pp_id" in frame:
         pp_id = _require_int(frame, "pp_id", minimum=1)

@@ -1,0 +1,400 @@
+"""A fault-tolerant client for the admission-control service.
+
+:class:`~repro.serve.client.ServeClient` is deliberately thin: one
+connection, strict request/reply order, no recovery.  This module layers
+the client half of the service's fault-tolerance contract on top of it:
+
+* **Reconnect + hello.**  Every (re)connection re-binds the same durable
+  ``client_id`` with ``hello``, reattaching to periods that survived a
+  disconnect or a server restart under the lease.
+* **Idempotent pp_begin.**  Each admission carries a client-generated
+  idempotency token.  A reply lost to a dropped connection or a server
+  crash is re-issued with the *same* token; the server (and its journal)
+  dedupe it, so the demand is charged at most once.
+* **Exponential backoff with jitter.**  Transport failures and
+  ``RETRY_AFTER`` pushback both back off exponentially (with jitter, so a
+  thousand retrying clients do not stampede), floored at the server's
+  ``retry_after_s`` hint when one is given.
+* **Pipelined transport.**  Replies are matched to requests by ``id`` by a
+  background reader task instead of by arrival order, so heartbeats keep
+  flowing — and the lease keeps renewing — while a ``pp_begin`` is parked
+  on the server.
+* **Tolerant pp_end.**  A period the lease reaper already reclaimed (the
+  client was silent past the TTL) yields a ``lost`` marker instead of an
+  exception, and is counted in :attr:`lost_periods`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import random
+import uuid
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError, ServeError
+from . import protocol
+from .client import ServeClient, ServeReplyError
+from .protocol import ErrorCode
+
+__all__ = ["ResilientServeClient"]
+
+
+class ResilientServeClient:
+    """Reconnecting, retrying, lease-renewing admission client."""
+
+    def __init__(
+        self,
+        unix_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        *,
+        client_id: Optional[str] = None,
+        connect_timeout_s: float = 5.0,
+        call_timeout_s: Optional[float] = None,
+        begin_timeout_s: Optional[float] = None,
+        heartbeat_interval_s: Optional[float] = None,
+        max_attempts: int = 8,
+        backoff_base_s: float = 0.02,
+        backoff_cap_s: float = 1.0,
+        retry_admission: bool = True,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if unix_path is None and (host is None or port is None):
+            raise ServeError("need a unix socket path or a TCP host+port")
+        self.unix_path = unix_path
+        self.host = host
+        self.port = port
+        self.client_id = client_id or f"client-{uuid.uuid4().hex[:12]}"
+        self.connect_timeout_s = connect_timeout_s
+        self.call_timeout_s = call_timeout_s
+        self.begin_timeout_s = begin_timeout_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.retry_admission = retry_admission
+        self.lease_ttl_s: Optional[float] = None
+        #: fault counters, exposed for reports and tests
+        self.reconnects = 0
+        self.retries = 0
+        self.lost_periods = 0
+        self.deduped = 0
+        self._rng = rng if rng is not None else random.Random()
+        self._ids = itertools.count(1)
+        self._conn: Optional[ServeClient] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._hb_interval_s: Optional[float] = heartbeat_interval_s
+        self._send_lock: Optional[asyncio.Lock] = None
+        self._conn_lock: Optional[asyncio.Lock] = None
+        self._connected_once = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _locks(self) -> None:
+        # Locks are created lazily so the constructor needs no event loop.
+        if self._send_lock is None:
+            self._send_lock = asyncio.Lock()
+            self._conn_lock = asyncio.Lock()
+
+    async def connect(self) -> "ResilientServeClient":
+        """Establish the first connection (and lease).  Optional — every
+        call connects on demand — but useful to fail fast."""
+        await self._ensure_connected()
+        return self
+
+    async def close(self) -> None:
+        """Idempotent shutdown: stops the heartbeat, closes the transport."""
+        self._closed = True
+        for task in (self._heartbeat_task, self._reader_task):
+            if task is not None:
+                task.cancel()
+        for task in (self._heartbeat_task, self._reader_task):
+            if task is not None:
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await task
+        self._heartbeat_task = None
+        self._reader_task = None
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            await conn.close()
+        self._fail_pending(ServeError("client closed"))
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {
+            "reconnects": self.reconnects,
+            "retries": self.retries,
+            "lost_periods": self.lost_periods,
+            "deduped": self.deduped,
+        }
+
+    # ------------------------------------------------------------------
+    # connection machinery
+    # ------------------------------------------------------------------
+    async def _ensure_connected(self) -> ServeClient:
+        self._locks()
+        async with self._conn_lock:  # type: ignore[union-attr]
+            if self._closed:
+                raise ServeError("client is closed")
+            if self._conn is not None and not self._conn.closed:
+                return self._conn
+            last_exc: Optional[BaseException] = None
+            conn: Optional[ServeClient] = None
+            for attempt in range(self.max_attempts):
+                try:
+                    conn = await ServeClient.connect(
+                        unix_path=self.unix_path,
+                        host=self.host,
+                        port=self.port,
+                        timeout=self.connect_timeout_s,
+                    )
+                    break
+                except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                    last_exc = exc
+                    await asyncio.sleep(self._backoff(attempt))
+            if conn is None:
+                raise ServeError(
+                    f"could not reach the admission server after "
+                    f"{self.max_attempts} attempts: {last_exc}"
+                ) from last_exc
+            if self._connected_once:
+                self.reconnects += 1
+            self._connected_once = True
+            self._conn = conn
+            self._reader_task = asyncio.ensure_future(self._reader_loop(conn))
+            # Re-bind the durable identity on every (re)connection, so the
+            # lease transfers to this socket and replayed periods reattach.
+            try:
+                hello = await self._roundtrip(
+                    conn, "hello", timeout=self.connect_timeout_s,
+                    client=self.client_id,
+                )
+            except asyncio.TimeoutError:
+                await conn.close()
+                self._conn = None
+                raise
+            if not hello.get("ok"):
+                await conn.close()
+                self._conn = None
+                raise ServeReplyError(hello)
+            self.lease_ttl_s = hello.get("lease_ttl_s")
+            # Keep the lease warm by default: a third of the TTL unless the
+            # caller picked a cadence.
+            interval = self.heartbeat_interval_s
+            if interval is None and self.lease_ttl_s:
+                interval = self.lease_ttl_s / 3.0
+            if interval and self._heartbeat_task is None:
+                self._hb_interval_s = interval
+                self._heartbeat_task = asyncio.ensure_future(
+                    self._heartbeat_loop()
+                )
+            return conn
+
+    async def _reader_loop(self, conn: ServeClient) -> None:
+        """Dispatch reply frames to their callers by request id."""
+        try:
+            while True:
+                line = await conn.reader.readline()
+                if not line:
+                    break
+                try:
+                    reply = protocol.decode_frame(line)
+                except ProtocolError:
+                    continue  # undecodable reply: skip, id-matching resyncs
+                future = self._pending.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionError, ValueError, asyncio.CancelledError):
+            pass
+        finally:
+            if self._conn is conn:
+                self._conn = None
+            with contextlib.suppress(Exception):
+                await conn.close()
+            self._fail_pending(
+                ConnectionResetError("connection to the admission server lost")
+            )
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = dict(self._pending), {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _roundtrip(
+        self,
+        conn: ServeClient,
+        op: str,
+        timeout: Optional[float] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        request_id = next(self._ids)
+        frame: Dict[str, Any] = {
+            "v": protocol.PROTOCOL_VERSION, "id": request_id, "op": op,
+        }
+        frame.update(fields)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._send_lock:  # type: ignore[union-attr]
+                conn.writer.write(protocol.encode_frame(frame))
+                await conn.writer.drain()
+            if timeout is not None:
+                return await asyncio.wait_for(future, timeout=timeout)
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _heartbeat_loop(self) -> None:
+        """Keep the lease warm, even across reconnects and parked begins.
+
+        Failures are swallowed: a heartbeat that cannot be delivered now
+        will be superseded by the next one, and a server push-back frame
+        received while parked renews the lease server-side regardless of
+        whether this reply ever arrives.
+        """
+        while not self._closed:
+            await asyncio.sleep(self._hb_interval_s)
+            with contextlib.suppress(Exception):
+                await self.call("heartbeat", timeout=self._hb_interval_s)
+
+    def _backoff(self, attempt: int, floor_s: float = 0.0) -> float:
+        """Exponential backoff with 25% jitter, floored at ``floor_s``."""
+        base = min(self.backoff_base_s * (2 ** min(attempt, 10)), self.backoff_cap_s)
+        base = max(base, floor_s)
+        return base * (1.0 + 0.25 * self._rng.random())
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+    async def call(
+        self, op: str, timeout: Optional[float] = None, **fields: Any
+    ) -> Dict[str, Any]:
+        """One verb with transparent reconnect-and-retry on transport loss.
+
+        Connection failures *and per-attempt timeouts* are retried — the
+        frame (token included) is re-sent verbatim, which is safe for every
+        verb this client issues.  Silence past the timeout on a live socket
+        means the request or its reply was lost (a dropped frame, a
+        half-open peer): the connection is desynchronized either way, so it
+        is dropped and the call re-issued on a fresh one.  Typed error
+        replies raise :class:`~repro.serve.client.ServeReplyError`
+        unchanged.
+        """
+        if timeout is None:
+            # pp_begin legitimately parks for long stretches (the park
+            # timeout is the server's to enforce), so it gets its own —
+            # normally much larger — per-attempt bound.
+            timeout = (
+                self.begin_timeout_s if op == "pp_begin"
+                else self.call_timeout_s
+            )
+        attempt = 0
+        while True:
+            conn: Optional[ServeClient] = None
+            try:
+                conn = await self._ensure_connected()
+                reply = await self._roundtrip(conn, op, timeout=timeout, **fields)
+            except (
+                ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError,
+            ) as exc:
+                if isinstance(exc, asyncio.TimeoutError) and conn is not None:
+                    if self._conn is conn:
+                        self._conn = None
+                    with contextlib.suppress(Exception):
+                        await conn.close()
+                attempt += 1
+                self.retries += 1
+                if attempt >= self.max_attempts:
+                    raise ServeError(
+                        f"{op} failed after {attempt} transport retries"
+                    ) from exc
+                await asyncio.sleep(self._backoff(attempt))
+                continue
+            if not reply.get("ok"):
+                raise ServeReplyError(reply)
+            return reply
+
+    async def heartbeat(self) -> Dict[str, Any]:
+        return await self.call("heartbeat")
+
+    async def pp_begin(
+        self,
+        demand_bytes: int,
+        reuse: str = "low",
+        resource: str = "llc",
+        label: str = "",
+        sharing_key: Optional[str] = None,
+        token: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Idempotent admission: at most one charge per call, ever.
+
+        The generated token makes crash-time re-issue safe; with
+        ``retry_admission`` (the default) ``RETRY_AFTER`` pushback is also
+        absorbed with exponential backoff floored at the server's hint.
+        """
+        token = token or uuid.uuid4().hex
+        fields: Dict[str, Any] = {
+            "resource": resource,
+            "demand_bytes": demand_bytes,
+            "reuse": reuse,
+            "label": label,
+            "token": token,
+        }
+        if sharing_key is not None:
+            fields["sharing_key"] = sharing_key
+        attempt = 0
+        while True:
+            try:
+                reply = await self.call("pp_begin", timeout=timeout, **fields)
+            except ServeReplyError as exc:
+                if exc.code == ErrorCode.RETRY_AFTER and self.retry_admission:
+                    attempt += 1
+                    self.retries += 1
+                    await asyncio.sleep(
+                        self._backoff(attempt, floor_s=exc.retry_after_s or 0.0)
+                    )
+                    continue
+                raise
+            if reply.get("deduped"):
+                self.deduped += 1
+            return reply
+
+    async def pp_end(
+        self, pp_id: int, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """End a period; tolerate one the lease reaper already reclaimed."""
+        try:
+            return await self.call("pp_end", pp_id=pp_id, timeout=timeout)
+        except ServeReplyError as exc:
+            if exc.code == ErrorCode.UNKNOWN_PERIOD:
+                # The reaper (or a crash) released it first.  The demand is
+                # not charged any more, which is what pp_end is for — note
+                # it and move on.
+                self.lost_periods += 1
+                return {
+                    "ok": False,
+                    "pp_id": pp_id,
+                    "lost": True,
+                    "error": exc.reply.get("error"),
+                }
+            raise
+
+    async def query(self, pp_id: Optional[int] = None) -> Dict[str, Any]:
+        if pp_id is None:
+            return await self.call("query")
+        return await self.call("query", pp_id=pp_id)
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self.call("stats"))["stats"]
+
+    async def drain(self) -> Dict[str, Any]:
+        return await self.call("drain")

@@ -29,6 +29,14 @@ Design points:
 * **Graceful drain.**  SIGTERM (or the ``drain`` verb) stops admissions,
   wakes parked clients with a ``DRAINING`` error, waits up to the grace
   budget for running periods to end, then closes.
+* **Fault tolerance.**  Clients that introduce themselves with ``hello``
+  hold a lease (:mod:`repro.serve.leases`) renewed by every frame and the
+  ``heartbeat`` verb; a reaper reclaims the admitted demand of clients
+  whose lease lapses, so a crashed client cannot leak capacity.  With
+  ``--journal``, every admission of a lease-bound client is written ahead
+  to a crash-safe NDJSON log (:mod:`repro.serve.journal`) and replayed on
+  startup, so a SIGKILLed server restarts with its charge ledger, lease
+  table and idempotency-token index intact.
 """
 
 from __future__ import annotations
@@ -42,7 +50,6 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..config import MachineConfig, default_machine_config
-from ..core.api import ProgressPeriodApi
 from ..core.policy import AlwaysAdmitPolicy, SchedulingPolicy
 from ..core.predicate import SchedulingPredicate
 from ..core.progress_monitor import ProgressMonitor
@@ -51,11 +58,15 @@ from ..core.progress_period import (
     PeriodState,
     ProgressPeriod,
     ResourceKind,
+    ReuseLevel,
+    ensure_pp_ids_above,
 )
 from ..core.resource_monitor import ResourceMonitor
 from ..core.waitlist import Waitlist
 from ..errors import ProgressPeriodError, ProtocolError, ServeError
 from . import protocol
+from .journal import AdmissionJournal, AdmitRecord
+from .leases import ClientRecord, LeaseTable
 from .metrics import MetricsRegistry
 from .protocol import ErrorCode
 
@@ -98,6 +109,17 @@ class ServeConfig:
     metrics_json: Optional[str] = None
     #: dump interval for ``metrics_json``
     metrics_interval_s: float = 2.0
+    #: how long after its last frame a hello-bound client's admitted
+    #: periods survive before the lease reaper reclaims them
+    lease_ttl_s: float = 10.0
+    #: period of the lease-reaper sweep
+    lease_check_s: float = 0.25
+    #: crash-safe admission journal path (None = in-memory ledger only)
+    journal_path: Optional[str] = None
+    #: journal fsync batching window (0 = fsync every record)
+    journal_fsync_s: float = 0.0
+    #: journal events between snapshot+truncate compactions
+    journal_compact_every: int = 1000
 
 
 class ServiceSanitizer:
@@ -203,7 +225,17 @@ class AdmissionService:
         if cfg.sanitize:
             self.sanitizer = ServiceSanitizer(self)
             self.resources.observers.append(self.sanitizer)
+        self.leases = LeaseTable(cfg.lease_ttl_s)
+        self.journal: Optional[AdmissionJournal] = None
+        self.replayed_periods = 0
         self._build_metrics()
+        if cfg.journal_path:
+            self.journal = AdmissionJournal(
+                cfg.journal_path,
+                fsync_interval_s=cfg.journal_fsync_s,
+                compact_every=cfg.journal_compact_every,
+            )
+            self._recover()
 
     # ------------------------------------------------------------------
     def _build_metrics(self) -> None:
@@ -255,6 +287,102 @@ class AdmissionService:
         self.h_service = m.histogram(
             "service_time_s", "pp_begin-admission to pp_end duration"
         )
+        self.c_hello = m.counter("hello_total", "hello handshakes")
+        self.c_heartbeats = m.counter("heartbeats_total", "lease heartbeats")
+        self.c_idempotent = m.counter(
+            "idempotent_replays_total",
+            "pp_begin calls deduplicated by idempotency token",
+        )
+        self.c_leases_reclaimed = m.counter(
+            "leases_reclaimed_total",
+            "expired client leases the reaper reclaimed periods from",
+        )
+        self.c_lease_periods = m.counter(
+            "lease_reclaimed_periods_total",
+            "running periods cancelled by the lease reaper",
+        )
+        m.gauge("clients", fn=lambda: len(self.leases))
+        self.g_replayed = m.gauge(
+            "journal_replayed_periods", "periods restored from the journal at boot"
+        )
+        m.gauge(
+            "journal_events",
+            fn=lambda: self.journal.events_total if self.journal else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # leases and the journal
+    # ------------------------------------------------------------------
+    def make_record(self, client_id: Optional[str] = None) -> ClientRecord:
+        """A fresh per-client record (anonymous unless ``client_id``)."""
+        return ClientRecord(self, client_id)
+
+    def journal_admit(self, period: ProgressPeriod) -> None:
+        """Write-ahead one admission (lease-bound owners only)."""
+        if self.journal is None:
+            return
+        record = period.owner
+        client_id = getattr(record, "client_id", None)
+        if client_id is None:
+            return  # anonymous periods die with their connection anyway
+        key = period.request.sharing_key
+        client_key = (
+            key[1]
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "serve"
+            else None
+        )
+        self.journal.record_admit(AdmitRecord(
+            pp_id=period.pp_id,
+            client=client_id,
+            resource=period.resource.value,
+            demand_bytes=period.demand_bytes,
+            reuse=period.request.reuse.value,
+            sharing_key=client_key,
+            label=period.request.label,
+            forced=period.forced,
+            token=record.token_of(period.pp_id),
+        ))
+
+    def journal_close(self, pp_id: int) -> None:
+        """Balance a journaled admission (no-op for unjournaled periods)."""
+        if self.journal is not None:
+            self.journal.record_close(pp_id)
+
+    def _recover(self) -> None:
+        """Rebuild ledger, lease table and token index from the journal."""
+        assert self.journal is not None
+        state = self.journal.recover()
+        for rec in sorted(state.open.values(), key=lambda r: r.pp_id):
+            record, _ = self.leases.get_or_create(rec.client, self.make_record)
+            request = PeriodRequest(
+                resource=ResourceKind(rec.resource),
+                demand_bytes=rec.demand_bytes,
+                reuse=ReuseLevel(rec.reuse),
+                sharing_key=(
+                    ("serve", rec.sharing_key)
+                    if rec.sharing_key is not None
+                    else None
+                ),
+                label=rec.label,
+            )
+            period = ProgressPeriod(
+                request=request,
+                owner=record,
+                pp_id=rec.pp_id,
+                begin_time=time.monotonic(),
+            )
+            # forced must be set before restore() so the sanitizer's
+            # demand-bound check sees the exemption on the replay charge
+            period.forced = rec.forced
+            self.monitor.restore(period)
+            record.api.adopt(period)
+            record.bind_token(rec.token, rec.pp_id)
+            self.leases.renew(record)  # a fresh TTL of grace to reconnect
+            self.replayed_periods += 1
+        ensure_pp_ids_above(state.max_pp_id)
+        self.g_replayed.set(self.replayed_periods)
+        if self.replayed_periods:
+            self.note_usage()
 
     # ------------------------------------------------------------------
     def knows(self, kind: ResourceKind) -> bool:
@@ -301,7 +429,7 @@ class AdmissionService:
             }
             for kind, (usage, capacity) in self.resources.snapshot().items()
         }
-        return {
+        snap: Dict[str, Any] = {
             "policy": self.policy.name,
             "demand_bound_bytes": self.policy.demand_bound(
                 self.resources.state(ResourceKind.LLC).capacity_bytes
@@ -309,18 +437,34 @@ class AdmissionService:
             "open_periods": len(self.monitor.registry),
             "waiting": len(self.waitlist),
             "forced_admissions": self.forced_admissions,
+            "clients": len(self.leases),
+            "lease_ttl_s": self.leases.ttl_s,
             "resources": resources,
         }
+        if self.journal is not None:
+            snap["journal"] = {
+                "path": self.journal.path,
+                "events_total": self.journal.events_total,
+                "open": len(self.journal.open),
+                "replayed_periods": self.replayed_periods,
+            }
+        return snap
 
 
 class _Session:
-    """Per-connection state: the figure-4 API bound to this client."""
+    """Per-connection state: transport plus the client record speaking.
+
+    A fresh connection starts with an **anonymous** record whose periods
+    die with the socket.  ``hello`` swaps in a named, lease-bound
+    :class:`~repro.serve.leases.ClientRecord` that outlives connections.
+    """
 
     _ids = iter(range(1, 1 << 62))
 
     def __init__(self, service: AdmissionService, writer: asyncio.StreamWriter) -> None:
         self.id = next(self._ids)
-        self.api = ProgressPeriodApi(service.monitor, owner=self)
+        self.record = service.make_record()
+        self.record.session = self
         self.writer = writer
         self.closed = False
         #: frames that arrived while the connection was parked; processed
@@ -388,6 +532,7 @@ class AdmissionServer:
                 )
             )
         self._background.append(asyncio.ensure_future(self._guard_loop()))
+        self._background.append(asyncio.ensure_future(self._lease_loop()))
         if self.cfg.metrics_json:
             self._background.append(asyncio.ensure_future(self._metrics_loop()))
 
@@ -445,6 +590,36 @@ class AdmissionServer:
             self.service.sanitizer.finalize()
         if self.cfg.metrics_json:
             self.service.metrics.dump_json(self.cfg.metrics_json)
+        if self.service.journal is not None:
+            self.service.journal.close()
+
+    async def abort(self) -> None:
+        """Crash simulation: the in-process analogue of ``kill -9``.
+
+        No drain, no client notification, no journal flush — transports
+        are hard-dropped and the journal handle abandoned, leaving the log
+        exactly as a power cut would.  Used by the crash-recovery tests
+        and the chaos harness's in-process mode.
+        """
+        if self.service.journal is not None:
+            self.service.journal.abandon()  # poison appends *first*
+        for server in self._servers:
+            server.close()
+        for task in self._background:
+            task.cancel()
+        await asyncio.gather(*self._background, return_exceptions=True)
+        for future in list(self._parked.values()):
+            if not future.done():
+                future.cancel()
+        for session in list(self.sessions):
+            session.closed = True
+            with contextlib.suppress(Exception):
+                session.writer.transport.abort()
+        for server in self._servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        if self._unix_path and os.path.exists(self._unix_path):
+            os.unlink(self._unix_path)
 
     # ------------------------------------------------------------------
     # background tasks
@@ -459,6 +634,46 @@ class AdmissionServer:
         while True:
             await asyncio.sleep(self.cfg.metrics_interval_s)
             self.service.metrics.dump_json(self.cfg.metrics_json)
+
+    async def _lease_loop(self) -> None:
+        """Reap the admitted demand of clients whose lease lapsed."""
+        while True:
+            await asyncio.sleep(self.cfg.lease_check_s)
+            self._reap_expired()
+
+    def _reap_expired(self) -> None:
+        """One reaper sweep over every expired lease.
+
+        A dead client (no live connection) is fully reclaimed: all of its
+        periods are cancelled and the record forgotten.  A *live* but
+        silent client — a wedged proxy can hold a TCP session open long
+        after the process died — loses its RUNNING periods (parked ones
+        are already bounded by the park timeout) but keeps its record, so
+        a late frame still speaks for a known identity.
+        """
+        service = self.service
+        admitted: List[ProgressPeriod] = []
+        reclaimed_any = False
+        for record in service.leases.expired():
+            dead = record.session is None or record.session.closed
+            reclaimed = 0
+            for pp_id in list(record.api.open_ids()):
+                period = record.api.period(pp_id)
+                if dead or period.state is PeriodState.RUNNING:
+                    self._parked.pop(pp_id, None)
+                    admitted.extend(self._cancel_period(record, pp_id))
+                    reclaimed += 1
+            if reclaimed:
+                service.c_leases_reclaimed.inc()
+                service.c_lease_periods.inc(reclaimed)
+                reclaimed_any = True
+            if dead:
+                service.leases.forget(record)
+            else:
+                service.leases.renew(record)  # one reclaim per lapse, not per sweep
+        if reclaimed_any:
+            admitted.extend(service.rescue_starved())
+        self._wake(admitted)
 
     # ------------------------------------------------------------------
     # connection handling
@@ -518,6 +733,8 @@ class AdmissionServer:
                     protocol.error_reply(None, exc.code, exc.message)
                 )
                 continue
+            # Any well-formed frame proves the client is alive.
+            self.service.leases.renew(session.record)
             reply = await self._dispatch(session, reader, request)
             if reply is not None:
                 await session.send(reply)
@@ -535,6 +752,10 @@ class AdmissionServer:
                 return await self._op_pp_begin(session, reader, request)
             if request.op == "pp_end":
                 return self._op_pp_end(session, request)
+            if request.op == "hello":
+                return self._op_hello(session, request)
+            if request.op == "heartbeat":
+                return self._op_heartbeat(session, request)
             if request.op == "query":
                 return self._op_query(session, request)
             if request.op == "stats":
@@ -558,6 +779,26 @@ class AdmissionServer:
     ) -> Optional[Dict[str, Any]]:
         service = self.service
         service.c_begin.inc()
+        record = session.record
+        # Idempotent re-issue: a token that already names an open admitted
+        # period returns that period instead of charging twice — the
+        # resilient client re-sends pp_begin after a lost reply.
+        if request.token is not None:
+            known = record.tokens.get(request.token)
+            if known is not None:
+                try:
+                    period = record.api.period(known)
+                except ProgressPeriodError:
+                    record.drop_token(known)
+                    period = None
+                if period is not None and period.state is PeriodState.RUNNING:
+                    service.c_idempotent.inc()
+                    return self._admitted_reply(request.id, period, deduped=True)
+                if period is not None and period.state is PeriodState.WAITING:
+                    # A stale parked period from a taken-over connection:
+                    # supersede it rather than park the same token twice.
+                    self._parked.pop(known, None)
+                    self._wake(self._cancel_period(record, known))
         if self.draining:
             service.c_draining_rejects.inc()
             return protocol.error_reply(
@@ -581,14 +822,17 @@ class AdmissionServer:
         sharing_key = (
             ("serve", request.sharing_key) if request.sharing_key is not None else None
         )
-        pp_id = session.api.pp_begin(
+        pp_id = record.api.pp_begin(
             request.resource,
             request.demand_bytes,
             request.reuse,
             label=request.label,
             sharing_key=sharing_key,
         )
-        period = session.api.period(pp_id)
+        period = record.api.period(pp_id)
+        # Bind the token *before* any admission so _wake-time journaling
+        # of after-park admissions can read it off the owner record.
+        record.bind_token(request.token, pp_id)
         # Inline starvation guard: an empty resource must admit its lone
         # oversized period (mirrors RdaScheduler.on_pp_begin).
         if (
@@ -601,6 +845,7 @@ class AdmissionServer:
         if period.state is PeriodState.RUNNING:
             service.c_immediate.inc()
             service.note_usage()
+            service.journal_admit(period)
             return self._admitted_reply(request.id, period)
         return await self._park(session, reader, request, period)
 
@@ -651,13 +896,19 @@ class AdmissionServer:
                     read_task = None
                     if line:
                         session.pushback.append(line)
+                        # A pipelined frame (heartbeat included) proves the
+                        # parked client alive even before it is parsed.
+                        service.leases.renew(session.record)
                     else:
                         eof = True
                 if eof:
-                    # Client vanished while parked: cancel and release.
+                    # Client vanished while parked.  Anonymous periods are
+                    # cancelled outright; a lease-bound client may be
+                    # reconnecting, so its parked period is cancelled (the
+                    # reply target is gone) but re-issue by token is safe.
                     session.closed = True
                     service.c_disconnect_cancel.inc()
-                    self._wake(session.api.pp_cancel(period.pp_id))
+                    self._wake(self._cancel_period(session.record, period.pp_id))
                     self._wake(service.rescue_starved())
                     return None  # no one left to reply to
                 if future.done():
@@ -665,7 +916,7 @@ class AdmissionServer:
                 if not done and read_task is not None:
                     # Pure timeout: cancel the period and tell the client.
                     service.c_park_timeout.inc()
-                    self._wake(session.api.pp_cancel(period.pp_id))
+                    self._wake(self._cancel_period(session.record, period.pp_id))
                     self._wake(service.rescue_starved())
                     return protocol.error_reply(
                         request.id, ErrorCode.TIMEOUT,
@@ -682,7 +933,7 @@ class AdmissionServer:
                 ):
                     await read_task
         if future.result() == "drained":
-            self._wake(session.api.pp_cancel(period.pp_id))
+            self._wake(self._cancel_period(session.record, period.pp_id))
             return protocol.error_reply(
                 request.id, ErrorCode.DRAINING,
                 "server drained while the period was parked; period cancelled",
@@ -693,22 +944,107 @@ class AdmissionServer:
         return self._admitted_reply(request.id, period)
 
     def _admitted_reply(
-        self, request_id: Optional[int], period: ProgressPeriod
+        self,
+        request_id: Optional[int],
+        period: ProgressPeriod,
+        deduped: bool = False,
     ) -> Dict[str, Any]:
-        return protocol.ok_reply(
+        reply = protocol.ok_reply(
             request_id,
             pp_id=period.pp_id,
             admitted=True,
             waited_s=period.waited_s,
             forced=period.forced,
         )
+        if deduped:
+            reply["deduped"] = True
+        return reply
+
+    def _op_hello(
+        self, session: _Session, request: protocol.Request
+    ) -> Dict[str, Any]:
+        """Bind this connection to a durable, lease-holding client identity."""
+        service = self.service
+        record = session.record
+        if not record.anonymous:
+            if record.client_id == request.client:
+                service.leases.renew(record)  # re-hello: plain renewal
+                return self._hello_reply(request.id, record, resumed=True)
+            return protocol.error_reply(
+                request.id, ErrorCode.BAD_REQUEST,
+                f"connection is already bound to client "
+                f"{record.client_id!r}; open a new connection to speak for "
+                f"{request.client!r}",
+            )
+        if record.api.open_count:
+            return protocol.error_reply(
+                request.id, ErrorCode.BAD_REQUEST,
+                "'hello' must precede pp_begin on a connection "
+                "(anonymous periods cannot be adopted by an identity)",
+            )
+        named, resumed = service.leases.get_or_create(
+            request.client, service.make_record
+        )
+        old = named.session
+        if old is not None and old is not session and not old.closed:
+            # Connection takeover: the newest socket speaks for the client
+            # (the old one is typically a zombie behind a dead NAT/proxy).
+            old.closed = True
+            with contextlib.suppress(Exception):
+                old.writer.close()
+        named.session = session
+        session.record = named
+        service.leases.renew(named)
+        service.c_hello.inc()
+        return self._hello_reply(request.id, named, resumed=resumed)
+
+    def _hello_reply(
+        self, request_id: Optional[int], record: ClientRecord, resumed: bool
+    ) -> Dict[str, Any]:
+        open_periods = []
+        for pp_id in record.api.open_ids():
+            period = record.api.period(pp_id)
+            if period.state is PeriodState.RUNNING:
+                open_periods.append({
+                    "pp_id": pp_id,
+                    "token": record.token_of(pp_id),
+                    "demand_bytes": period.demand_bytes,
+                    "label": period.request.label,
+                    "forced": period.forced,
+                })
+        return protocol.ok_reply(
+            request_id,
+            client=record.client_id,
+            resumed=resumed,
+            lease_ttl_s=self.service.leases.ttl_s,
+            open=open_periods,
+        )
+
+    def _op_heartbeat(
+        self, session: _Session, request: protocol.Request
+    ) -> Dict[str, Any]:
+        record = session.record
+        if record.anonymous:
+            return protocol.error_reply(
+                request.id, ErrorCode.NOT_BOUND,
+                "heartbeat requires a client identity; send 'hello' first",
+            )
+        self.service.leases.renew(record)  # explicit on top of the per-frame renewal
+        self.service.c_heartbeats.inc()
+        return protocol.ok_reply(
+            request.id,
+            client=record.client_id,
+            lease_remaining_s=self.service.leases.remaining_s(record),
+            open_periods=record.api.open_count,
+        )
 
     def _op_pp_end(
         self, session: _Session, request: protocol.Request
     ) -> Dict[str, Any]:
         service = self.service
+        record = session.record
         try:
-            period = session.api.period(request.pp_id)
+            period = record.api.period(request.pp_id)
         except ProgressPeriodError:
             service.c_protocol_errors.inc()
             return protocol.error_reply(
@@ -716,7 +1052,12 @@ class AdmissionServer:
                 f"pp_id {request.pp_id} is not an open period of this "
                 "connection (already ended, cancelled, or never begun)",
             )
-        admitted = session.api.pp_end(request.pp_id)
+        # WAL discipline: the release hits the log before the ledger, so a
+        # crash in between replays a *closed* period as closed (the client
+        # saw no reply and will retry pp_end, which is tolerated).
+        record.drop_token(request.pp_id)
+        service.journal_close(request.pp_id)
+        admitted = record.api.pp_end(request.pp_id)
         service.c_end.inc()
         if period.admit_time is not None and period.end_time is not None:
             service.h_service.observe(period.end_time - period.admit_time)
@@ -734,7 +1075,7 @@ class AdmissionServer:
         snapshot["draining"] = self.draining
         if request.pp_id is not None:
             try:
-                period = session.api.period(request.pp_id)
+                period = session.record.api.period(request.pp_id)
             except ProgressPeriodError:
                 return protocol.error_reply(
                     request.id, ErrorCode.UNKNOWN_PERIOD,
@@ -778,30 +1119,62 @@ class AdmissionServer:
     # ------------------------------------------------------------------
     # wakeups and cleanup
     # ------------------------------------------------------------------
+    def _cancel_period(
+        self, record: ClientRecord, pp_id: int
+    ) -> List[ProgressPeriod]:
+        """Cancel one period with full bookkeeping: token, journal, charge.
+
+        Tolerates a period that is already gone (e.g. a takeover cancelled
+        it just before the old connection's EOF path runs) — cancellation
+        paths race by design and the loser must be a no-op.
+        """
+        record.drop_token(pp_id)
+        try:
+            record.api.period(pp_id)
+        except ProgressPeriodError:
+            return []
+        self.service.journal_close(pp_id)
+        return record.api.pp_cancel(pp_id)
+
     def _wake(self, admitted: List[ProgressPeriod]) -> None:
-        """Resolve the parked futures of newly admitted periods."""
+        """Resolve the parked futures of newly admitted periods.
+
+        Every waitlist admission — after a release, a rescue, or a reaper
+        reclaim — funnels through here, so this is also where after-park
+        admissions hit the journal: the write-ahead record lands before
+        the parked handler wakes to send its reply.
+        """
         for period in admitted:
+            self.service.journal_admit(period)
             future = self._parked.get(period.pp_id)
             if future is not None and not future.done():
                 future.set_result("admitted")
 
     def _cleanup_session(self, session: _Session) -> None:
-        """Client vanished: cancel its periods, release demand, wake others.
+        """Connection gone: settle what dies with it, keep what is leased.
 
-        A parked period leaves the waitlist; a running one releases its
-        demand, which can admit other clients' waiters — exactly the
-        kernel's thread-exit path (`abandon_owner`).
+        Anonymous records keep the original semantics — every period is
+        cancelled, demand released, waiters admitted (the kernel's
+        thread-exit path, `abandon_owner`).  A lease-bound record keeps
+        its RUNNING periods alive under the lease (the client may be
+        reconnecting); only parked periods are cancelled, because their
+        deferred reply has no destination any more.
         """
-        open_ids = session.api.open_ids()
-        if not open_ids:
-            return
+        record = session.record
+        if record.session is session:
+            record.session = None
+        cancelled = False
         admitted: List[ProgressPeriod] = []
-        for pp_id in open_ids:
-            self._parked.pop(pp_id, None)  # its own future dies with the task
-            admitted.extend(session.api.pp_cancel(pp_id))
-            self.service.c_disconnect_cancel.inc()
-        admitted.extend(self.service.rescue_starved())
-        self._wake(admitted)
+        for pp_id in record.api.open_ids():
+            period = record.api.period(pp_id)
+            if record.anonymous or period.state is PeriodState.WAITING:
+                self._parked.pop(pp_id, None)  # its future dies with the task
+                admitted.extend(self._cancel_period(record, pp_id))
+                self.service.c_disconnect_cancel.inc()
+                cancelled = True
+        if cancelled:
+            admitted.extend(self.service.rescue_starved())
+            self._wake(admitted)
 
 
 async def serve_until_drained(

@@ -1,0 +1,171 @@
+"""Crash → restart-from-journal → verified recovery, all in-process.
+
+``AdmissionServer.abort()`` is the in-process analogue of ``kill -9``
+(hard transport drop, journal handle abandoned unsynced); a second server
+booted on the same journal must rebuild the exact admitted ledger, and
+clients must be able to reattach and re-issue idempotently.  The
+subprocess + SIGKILL variant of the same contract lives in
+``test_chaos.py``.
+"""
+
+import asyncio
+from dataclasses import replace
+
+from repro.config import default_machine_config
+from repro.core.api import MB
+from repro.core.policy import StrictPolicy
+from repro.serve.client import ServeClient
+from repro.serve.server import AdmissionServer, ServeConfig
+
+CAPACITY_MB = 4.0
+
+
+def tiny_machine(capacity_mb: float = CAPACITY_MB):
+    machine = default_machine_config()
+    quantum = machine.llc.line_bytes * machine.llc.associativity
+    capacity = max(quantum, int(capacity_mb * 1024 * 1024) // quantum * quantum)
+    return replace(machine, llc=replace(machine.llc, capacity_bytes=capacity))
+
+
+def journal_cfg(tmp_path, **kwargs) -> ServeConfig:
+    defaults = dict(
+        policy=StrictPolicy(),
+        machine=tiny_machine(),
+        sanitize=True,
+        journal_path=str(tmp_path / "admission.ndjson"),
+        lease_ttl_s=10.0,
+    )
+    defaults.update(kwargs)
+    return ServeConfig(**defaults)
+
+
+def total_usage(service) -> int:
+    return sum(
+        state["usage_bytes"]
+        for state in service.snapshot()["resources"].values()
+    )
+
+
+class TestRestartFromJournal:
+    def test_admitted_ledger_survives_a_crash(self, tmp_path):
+        async def scenario():
+            cfg = journal_cfg(tmp_path)
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(cfg)
+            await server.start(unix_path=sock)
+
+            alice = await ServeClient.connect(unix_path=sock)
+            await alice.hello("alice")
+            a = await alice.pp_begin(MB(2), token="tok-a", label="a/dgemm")
+            bob = await ServeClient.connect(unix_path=sock)
+            await bob.hello("bob")
+            b = await bob.pp_begin(MB(1), token="tok-b")
+
+            usage_before = total_usage(server.service)
+            assert usage_before == MB(2) + MB(1)
+
+            await server.abort()  # kill -9, in effigy
+            await alice.close()
+            await bob.close()
+
+            reborn = AdmissionServer(journal_cfg(tmp_path))
+            service = reborn.service
+            # the ledger was rebuilt before the server even listens
+            assert service.replayed_periods == 2
+            assert total_usage(service) == usage_before
+            assert len(service.monitor.registry) == 2
+            assert len(service.waitlist) == 0
+            assert {"alice", "bob"} <= set(service.leases.records)
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+            await reborn.start(unix_path=sock)
+
+            # alice reattaches: hello lists her surviving period + token
+            alice2 = await ServeClient.connect(unix_path=sock)
+            hello = await alice2.hello("alice")
+            assert hello["resumed"] is True
+            assert [(p["pp_id"], p["token"]) for p in hello["open"]] == [
+                (a["pp_id"], "tok-a")
+            ]
+
+            # the re-issued begin (reply lost in the crash) dedupes by
+            # token instead of double-charging
+            again = await alice2.pp_begin(MB(2), token="tok-a")
+            assert again["deduped"] is True
+            assert again["pp_id"] == a["pp_id"]
+            assert total_usage(service) == usage_before
+            assert service.c_idempotent.value == 1
+
+            await alice2.pp_end(a["pp_id"])
+            bob2 = await ServeClient.connect(unix_path=sock)
+            await bob2.hello("bob")
+            await bob2.pp_end(b["pp_id"])
+            assert total_usage(service) == 0
+
+            await alice2.close()
+            await bob2.close()
+            reborn.request_drain()
+            await asyncio.wait_for(reborn.run_until_drained(), 10.0)
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+        asyncio.run(scenario())
+
+    def test_replayed_capacity_still_gates_admission(self, tmp_path):
+        async def scenario():
+            cfg = journal_cfg(tmp_path)
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(cfg)
+            await server.start(unix_path=sock)
+            holder = await ServeClient.connect(unix_path=sock)
+            await holder.hello("holder")
+            held = await holder.pp_begin(MB(3), token="t-h")
+            await server.abort()
+            await holder.close()
+
+            reborn = AdmissionServer(journal_cfg(tmp_path))
+            await reborn.start(unix_path=sock)
+            # replayed demand counts against the bound: a new 3 MB period
+            # parks behind the recovered one
+            newcomer = await ServeClient.connect(unix_path=sock)
+            begin = asyncio.ensure_future(newcomer.pp_begin(MB(3)))
+            await asyncio.sleep(0.15)
+            assert not begin.done()
+
+            # the recovered owner reattaches and releases; the waiter runs
+            holder2 = await ServeClient.connect(unix_path=sock)
+            await holder2.hello("holder")
+            await holder2.pp_end(held["pp_id"])
+            reply = await asyncio.wait_for(begin, 3.0)
+            assert reply["admitted"] is True
+            assert reply["waited_s"] > 0.0
+
+            await newcomer.pp_end(reply["pp_id"])
+            await newcomer.close()
+            await holder2.close()
+            await reborn.abort()
+            assert reborn.service.sanitizer.ok
+
+        asyncio.run(scenario())
+
+    def test_clean_close_after_crash_end_is_not_replayed(self, tmp_path):
+        async def scenario():
+            cfg = journal_cfg(tmp_path)
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(cfg)
+            await server.start(unix_path=sock)
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("c")
+            one = await client.pp_begin(MB(1), token="t1")
+            two = await client.pp_begin(MB(1), token="t2")
+            await client.pp_end(one["pp_id"])  # closed before the crash
+            await server.abort()
+            await client.close()
+
+            reborn = AdmissionServer(journal_cfg(tmp_path))
+            assert reborn.service.replayed_periods == 1
+            ids = list(reborn.service.monitor.registry)
+            assert [p.pp_id for p in ids] == [two["pp_id"]]
+            await reborn.start(unix_path=sock)
+            await reborn.abort()
+
+        asyncio.run(scenario())

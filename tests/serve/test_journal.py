@@ -1,0 +1,186 @@
+"""Crash-safe admission journal: replay, compaction, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.serve.journal import (
+    JOURNAL_VERSION,
+    AdmissionJournal,
+    AdmitRecord,
+    replay_journal,
+)
+
+
+def record(pp_id: int, client: str = "c1", token: str = None) -> AdmitRecord:
+    return AdmitRecord(
+        pp_id=pp_id,
+        client=client,
+        resource="llc",
+        demand_bytes=1024 * pp_id,
+        reuse="high",
+        sharing_key=None,
+        label=f"pp{pp_id}",
+        forced=False,
+        token=token or f"tok{pp_id}",
+    )
+
+
+class TestAdmitRecord:
+    def test_frame_round_trip(self):
+        rec = record(7, token="abc")
+        assert AdmitRecord.from_frame(rec.to_frame()) == rec
+
+    def test_malformed_frame_raises(self):
+        with pytest.raises(JournalError):
+            AdmitRecord.from_frame({"k": "admit", "client": "x"})
+
+
+class TestReplay:
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = replay_journal(str(tmp_path / "nope.ndjson"))
+        assert state.open == {}
+        assert state.max_pp_id == 0
+        assert state.events_replayed == 0
+
+    def test_admit_then_close_balances_out(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.record_admit(record(2))
+        assert journal.record_close(1) is True
+        journal.close()
+
+        state = replay_journal(path)
+        assert set(state.open) == {2}
+        assert state.open[2].demand_bytes == 2048
+        assert state.max_pp_id == 2
+
+    def test_close_of_unjournaled_period_writes_nothing(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        assert journal.record_close(99) is False
+        assert journal.events_total == 0
+
+    def test_admit_is_idempotent_per_pp_id(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(5))
+        journal.record_admit(record(5))  # the re-issued begin, deduped
+        assert journal.events_total == 1
+        journal.close()
+        assert len(replay_journal(path).open) == 1
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.record_admit(record(2))
+        journal.abandon()  # crash: no clean close
+        with open(path, "ab") as fh:
+            fh.write(b'{"k":"admit","pp":3,"cli')  # power cut mid-append
+
+        state = replay_journal(path)
+        assert set(state.open) == {1, 2}
+
+    def test_corruption_before_final_line_raises(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        good = json.dumps(record(1).to_frame()).encode()
+        with open(path, "wb") as fh:
+            fh.write(b"garbage\n" + good + b"\n")
+        with pytest.raises(JournalError, match="line 1"):
+            replay_journal(path)
+
+    def test_unknown_record_kind_raises(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        with open(path, "wb") as fh:
+            fh.write(b'{"k":"mystery"}\n')
+        with pytest.raises(JournalError, match="mystery"):
+            replay_journal(path)
+
+    def test_close_for_unknown_pp_is_ignored(self, tmp_path):
+        # its admit died in the previous incarnation's torn tail
+        path = str(tmp_path / "j.ndjson")
+        with open(path, "wb") as fh:
+            fh.write(b'{"k":"close","pp":9}\n')
+        state = replay_journal(path)
+        assert state.open == {}
+        assert state.max_pp_id == 9  # still advances the id high-water
+
+
+class TestCompaction:
+    def test_log_never_grows_with_traffic(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path, compact_every=10)
+        for i in range(1, 101):
+            journal.record_admit(record(i))
+            journal.record_close(i)
+        journal.close()
+        with open(path, "rb") as fh:
+            lines = [ln for ln in fh.read().split(b"\n") if ln]
+        # everything closed: the compacted log is a single empty snapshot
+        assert len(lines) <= 10
+        assert journal.compactions_total >= 9
+        assert replay_journal(path).open == {}
+
+    def test_snapshot_preserves_open_set(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.record_admit(record(2))
+        journal.compact()
+        journal.record_close(1)
+        journal.close()
+
+        state = replay_journal(path)
+        assert set(state.open) == {2}
+        first = json.loads(open(path, "rb").readline())
+        assert first["k"] == "snap" and first["v"] == JOURNAL_VERSION
+
+    def test_future_snapshot_version_rejected(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        with open(path, "wb") as fh:
+            fh.write(b'{"k":"snap","v":999,"open":[]}\n')
+        with pytest.raises(JournalError, match="999"):
+            replay_journal(path)
+
+    def test_recover_compacts_on_boot(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        for i in range(1, 6):
+            journal.record_admit(record(i))
+        journal.record_close(3)
+        journal.abandon()
+
+        reborn = AdmissionJournal(path)
+        state = reborn.recover()
+        assert set(state.open) == {1, 2, 4, 5}
+        assert set(reborn.open) == {1, 2, 4, 5}
+        # recovery rewrote the log as one snapshot line
+        with open(path, "rb") as fh:
+            lines = [ln for ln in fh.read().split(b"\n") if ln]
+        assert len(lines) == 1
+        reborn.close()
+
+
+class TestCrashDiscipline:
+    def test_abandon_poisons_the_append_path(self, tmp_path):
+        # a dying process must not journal its own teardown
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.abandon()
+        journal.record_close(1)  # e.g. cleanup of a parked handler
+        assert set(replay_journal(path).open) == {1}
+
+    def test_fsync_batching_keeps_every_flushed_record(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path, fsync_interval_s=60.0)
+        journal.record_admit(record(1))
+        journal.record_admit(record(2))
+        # records are flushed per append even when fsync is batched
+        assert len(replay_journal(path).open) == 2
+        journal.sync()
+        assert journal.syncs_total >= 1
+        journal.close()

@@ -1,0 +1,91 @@
+"""Edge cases for the metrics instruments and the latency summaries."""
+
+import asyncio
+import math
+
+from repro.experiments.metrics import summarize_samples
+from repro.serve.metrics import Histogram
+
+
+class TestHistogramEdges:
+    def test_zero_samples(self):
+        h = Histogram("empty")
+        assert h.count == 0
+        assert math.isnan(h.mean)
+        assert math.isnan(h.percentile(50.0))
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] is None
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["p50"] is None and snap["p99"] is None
+
+    def test_single_sample(self):
+        h = Histogram("one")
+        h.observe(0.25)
+        assert h.count == 1
+        assert h.mean == 0.25
+        assert h.min == h.max == 0.25
+        # with one observation every percentile collapses onto it
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert abs(h.percentile(q) - 0.25) < 1e-9
+        snap = h.snapshot()
+        assert snap["p50"] == snap["p99"]
+
+    def test_exact_zero_lands_in_the_underflow_bucket(self):
+        h = Histogram("zeroes")
+        h.observe(0.0)
+        h.observe(0.0)
+        assert h.count == 2
+        assert h.buckets[0] == 2
+        assert h.percentile(50.0) == 0.0
+
+    def test_snapshot_is_stable_under_concurrent_observes(self):
+        # single event loop: snapshot() between awaits must always see a
+        # consistent (count, sum) pair and never raise
+        async def scenario():
+            h = Histogram("busy")
+            done = False
+
+            async def observer():
+                for i in range(500):
+                    h.observe(i * 1e-4)
+                    if i % 50 == 0:
+                        await asyncio.sleep(0)
+
+            async def scraper():
+                last_count = 0
+                while not done:
+                    snap = h.snapshot()
+                    assert snap["count"] >= last_count
+                    if snap["count"]:
+                        assert snap["mean"] == snap["sum"] / snap["count"]
+                        assert snap["min"] <= snap["p50"] <= snap["max"]
+                    last_count = snap["count"]
+                    await asyncio.sleep(0)
+
+            scrape = asyncio.ensure_future(scraper())
+            await asyncio.gather(observer(), observer())
+            done = True
+            await scrape
+            assert h.count == 1000
+
+        asyncio.run(scenario())
+
+
+class TestLatencySummaryEdges:
+    def test_zero_samples(self):
+        s = summarize_samples([])
+        assert s.count == 0
+        assert math.isnan(s.mean) and math.isnan(s.p99)
+        assert s.describe() == "no samples"
+        assert s.to_dict()["count"] == 0
+
+    def test_single_sample(self):
+        s = summarize_samples([0.125])
+        assert s.count == 1
+        assert s.mean == s.p50 == s.p90 == s.p99 == s.max == 0.125
+        assert "n=1" in s.describe()
+
+    def test_identical_samples(self):
+        s = summarize_samples([0.5] * 10)
+        assert s.p50 == s.p99 == s.max == 0.5

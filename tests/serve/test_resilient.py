@@ -1,0 +1,183 @@
+"""ResilientServeClient: reconnects, idempotent re-issue, bounded calls."""
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+
+from repro.config import default_machine_config
+from repro.core.api import MB
+from repro.core.policy import StrictPolicy
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+from repro.serve.resilient import ResilientServeClient
+from repro.serve.server import AdmissionServer, ServeConfig
+
+CAPACITY_MB = 4.0
+
+
+def tiny_machine(capacity_mb: float = CAPACITY_MB):
+    machine = default_machine_config()
+    quantum = machine.llc.line_bytes * machine.llc.associativity
+    capacity = max(quantum, int(capacity_mb * 1024 * 1024) // quantum * quantum)
+    return replace(machine, llc=replace(machine.llc, capacity_bytes=capacity))
+
+
+def server_cfg(tmp_path, **kwargs) -> ServeConfig:
+    defaults = dict(
+        policy=StrictPolicy(),
+        machine=tiny_machine(),
+        sanitize=True,
+        journal_path=str(tmp_path / "admission.ndjson"),
+        lease_ttl_s=10.0,
+    )
+    defaults.update(kwargs)
+    return ServeConfig(**defaults)
+
+
+class TestResilience:
+    def test_survives_a_server_crash_and_restart(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(server_cfg(tmp_path))
+            await server.start(unix_path=sock)
+
+            client = ResilientServeClient(
+                unix_path=sock, client_id="phoenix",
+                backoff_base_s=0.01, max_attempts=20,
+            )
+            begun = await client.pp_begin(MB(2))
+            assert begun["admitted"] is True
+
+            await server.abort()
+            reborn = AdmissionServer(server_cfg(tmp_path))
+            await reborn.start(unix_path=sock)
+
+            # the next call reconnects, re-hellos and just works; the
+            # replayed period is still charged on the reborn server
+            q = await client.query()
+            assert client.reconnects >= 1
+            assert q["open_periods"] == 1
+            assert reborn.service.replayed_periods == 1
+
+            done = await client.pp_end(begun["pp_id"])
+            assert done.get("lost") is None
+            await client.close()
+            await reborn.abort()
+            assert reborn.service.sanitizer.ok
+
+        asyncio.run(scenario())
+
+    def test_token_reissue_dedupes(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(server_cfg(tmp_path))
+            await server.start(unix_path=sock)
+            client = ResilientServeClient(unix_path=sock, client_id="dup")
+            first = await client.pp_begin(MB(1), token="same-token")
+            again = await client.pp_begin(MB(1), token="same-token")
+            assert again["pp_id"] == first["pp_id"]
+            assert again["deduped"] is True
+            assert client.deduped == 1
+            # charged once, not twice
+            usage = sum(
+                s["usage_bytes"]
+                for s in server.service.snapshot()["resources"].values()
+            )
+            assert usage == MB(1)
+            await client.pp_end(first["pp_id"])
+            await client.close()
+            await server.abort()
+
+        asyncio.run(scenario())
+
+    def test_lost_period_yields_marker_not_exception(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(server_cfg(tmp_path))
+            await server.start(unix_path=sock)
+            client = ResilientServeClient(unix_path=sock, client_id="loser")
+            await client.connect()
+            gone = await client.pp_end(424242)
+            assert gone["lost"] is True
+            assert client.lost_periods == 1
+            await client.close()
+            await server.abort()
+
+        asyncio.run(scenario())
+
+    def test_close_is_idempotent_even_with_server_gone(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(server_cfg(tmp_path))
+            await server.start(unix_path=sock)
+            client = ResilientServeClient(unix_path=sock, client_id="bye")
+            await client.connect()
+            await server.abort()
+            await client.close()
+            await client.close()
+            with pytest.raises(ServeError):
+                await client.query()
+
+        asyncio.run(scenario())
+
+    def test_unreachable_server_fails_fast_with_serve_error(self, tmp_path):
+        async def scenario():
+            client = ResilientServeClient(
+                unix_path=str(tmp_path / "nothing.sock"),
+                connect_timeout_s=0.2, max_attempts=2, backoff_base_s=0.01,
+            )
+            with pytest.raises(ServeError):
+                await client.connect()
+
+        asyncio.run(scenario())
+
+    def test_heartbeats_flow_while_parked(self, tmp_path):
+        async def scenario():
+            sock = str(tmp_path / "serve.sock")
+            server = AdmissionServer(
+                server_cfg(tmp_path, lease_ttl_s=0.4, lease_check_s=0.05)
+            )
+            await server.start(unix_path=sock)
+            holder = ResilientServeClient(unix_path=sock, client_id="holder")
+            held = await holder.pp_begin(MB(3))
+
+            parked = ResilientServeClient(unix_path=sock, client_id="parked")
+            begin = asyncio.ensure_future(parked.pp_begin(MB(3)))
+            # parked well past the lease TTL: the auto-heartbeat (ttl/3)
+            # keeps both leases alive, so nothing is reclaimed
+            await asyncio.sleep(0.9)
+            assert not begin.done()
+            assert server.service.c_leases_reclaimed.value == 0
+            assert server.service.c_heartbeats.value > 0
+
+            await holder.pp_end(held["pp_id"])
+            reply = await asyncio.wait_for(begin, 3.0)
+            assert reply["admitted"] is True
+            await parked.pp_end(reply["pp_id"])
+            await holder.close()
+            await parked.close()
+            await server.abort()
+            assert server.service.sanitizer.ok
+
+        asyncio.run(scenario())
+
+
+class TestThinClientBounds:
+    def test_call_timeout_raises_and_connection_is_disposable(self, tmp_path):
+        async def scenario():
+            # a server that accepts and then says nothing
+            async def mute(reader, writer):
+                await reader.read()
+
+            sock = str(tmp_path / "mute.sock")
+            server = await asyncio.start_unix_server(mute, path=sock)
+            client = await ServeClient.connect(unix_path=sock, timeout=1.0)
+            with pytest.raises(asyncio.TimeoutError):
+                await client.call("query", timeout=0.1)
+            await client.close()
+            await client.close()  # idempotent
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
