@@ -1,0 +1,78 @@
+"""Regression gate: compare current BENCH records against a baseline.
+
+The comparator is unit-driven — a record's ``unit`` tells it which
+direction is a regression (see :mod:`repro.bench.schema`):
+
+* ``*/s``   — throughput; current < baseline × (1 - tolerance) fails.
+* ``s``     — latency; current > baseline × (1 + tolerance) fails.
+* anything else — informational count; reported, never gated.
+
+A ``config_digest`` mismatch is always a hard failure: it means the
+measured configuration changed, so the numbers are not comparable and the
+committed baselines must be re-blessed (``repro bench`` writes fresh ones).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .schema import BenchRecord
+
+__all__ = ["compare_records", "format_problems"]
+
+
+def _index(records: Sequence[BenchRecord]) -> Dict[Tuple[str, str], BenchRecord]:
+    return {(r.area, r.metric): r for r in records}
+
+
+def compare_records(
+    baseline: Sequence[BenchRecord],
+    current: Sequence[BenchRecord],
+    tolerance: float = 0.30,
+) -> List[str]:
+    """Return a list of human-readable problems (empty = gate passes)."""
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    problems: List[str] = []
+    base_by_key = _index(baseline)
+    cur_by_key = _index(current)
+
+    for key, base in sorted(base_by_key.items()):
+        name = f"{key[0]}/{key[1]}"
+        cur = cur_by_key.get(key)
+        if cur is None:
+            problems.append(f"{name}: metric missing from current run")
+            continue
+        if cur.config_digest != base.config_digest:
+            problems.append(
+                f"{name}: config digest changed "
+                f"({base.config_digest} -> {cur.config_digest}); the "
+                "benchmark configuration is different — re-bless the "
+                "baselines with `python -m repro bench`"
+            )
+            continue
+        if not base.gated:
+            continue
+        if base.value == 0:
+            continue  # nothing meaningful to compare against
+        if base.higher_is_better and cur.value < base.value * (1.0 - tolerance):
+            problems.append(
+                f"{name}: {cur.value:g} {cur.unit} is "
+                f"{(1.0 - cur.value / base.value):.0%} below baseline "
+                f"{base.value:g} (tolerance {tolerance:.0%})"
+            )
+        elif base.lower_is_better and cur.value > base.value * (1.0 + tolerance):
+            problems.append(
+                f"{name}: {cur.value:g} {cur.unit} is "
+                f"{(cur.value / base.value - 1.0):.0%} above baseline "
+                f"{base.value:g} (tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def format_problems(problems: Sequence[str]) -> str:
+    if not problems:
+        return "bench: no regressions beyond tolerance"
+    lines = [f"bench: {len(problems)} regression problem(s):"]
+    lines += [f"  - {p}" for p in problems]
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Benchmark record schema: one flat, stable shape for every area.
+
+Every benchmark — the simulator kernel, the admission service, the
+experiment fleet — reduces to a list of records with exactly these keys:
+
+``{area, metric, value, unit, seed, config_digest, wall_s}``
+
+* ``area`` — which subsystem produced the number (``sim``/``serve``/``fleet``).
+* ``metric`` — what was measured (``events_per_s``, ``admission_latency_p99_s``…).
+* ``value`` — the measurement.
+* ``unit`` — carries the comparison direction: units ending in ``/s`` are
+  higher-is-better throughputs, a bare ``s`` is a lower-is-better latency,
+  anything else is an informational count the regression gate ignores.
+* ``seed`` — the RNG seed the workload was pinned to.
+* ``config_digest`` — hash of everything that defines the measured
+  configuration (workload shape, machine, policy, seed) but *not* how many
+  repetitions were timed, so ``--quick`` and full runs stay comparable.
+* ``wall_s`` — wall time of the rep the value was taken from.
+
+The digest is the guard rail: comparing records whose digests differ is
+comparing different experiments, and the comparator refuses to do it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List
+
+from ..errors import ReproError
+
+__all__ = [
+    "RECORD_FIELDS",
+    "BenchError",
+    "BenchRecord",
+    "config_digest",
+    "load_records",
+    "write_records",
+]
+
+#: the one and only record shape — tests pin this
+RECORD_FIELDS = (
+    "area", "metric", "value", "unit", "seed", "config_digest", "wall_s",
+)
+
+
+class BenchError(ReproError):
+    """A benchmark harness failure (bad record file, digest mismatch…)."""
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark measurement."""
+
+    area: str
+    metric: str
+    value: float
+    unit: str
+    seed: int
+    config_digest: str
+    wall_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in RECORD_FIELDS}
+
+    @property
+    def higher_is_better(self) -> bool:
+        return self.unit.endswith("/s")
+
+    @property
+    def lower_is_better(self) -> bool:
+        return self.unit == "s"
+
+    @property
+    def gated(self) -> bool:
+        """Whether the regression comparator gates on this record."""
+        return self.higher_is_better or self.lower_is_better
+
+
+def config_digest(spec: Any) -> str:
+    """Stable hex digest of a JSON-canonicalizable benchmark spec.
+
+    Callers must exclude repetition counts from ``spec`` so that quick and
+    full runs of the same workload share a digest.
+    """
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def write_records(path: str, records: Iterable[BenchRecord]) -> None:
+    """Write records as a sorted, indented JSON array (diff-friendly)."""
+    payload = [r.to_dict() for r in records]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_records(path: str) -> List[BenchRecord]:
+    """Load and validate a BENCH_*.json file (exact schema enforced)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, list):
+        raise BenchError(f"{path}: expected a JSON array of records")
+    records: List[BenchRecord] = []
+    for i, item in enumerate(payload):
+        if not isinstance(item, dict):
+            raise BenchError(f"{path}[{i}]: expected an object")
+        if set(item) != set(RECORD_FIELDS):
+            raise BenchError(
+                f"{path}[{i}]: keys {sorted(item)} != schema "
+                f"{sorted(RECORD_FIELDS)}"
+            )
+        records.append(BenchRecord(**item))
+    return records

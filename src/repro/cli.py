@@ -227,6 +227,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="use lease-bound resilient clients that survive server "
         "restarts and flaky transports",
     )
+    load_p.add_argument(
+        "--binary", action="store_true",
+        help="negotiate the length-prefixed binary framing in each "
+        "client's hello (incompatible with --resilient)",
+    )
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -279,6 +284,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true", help="render bar charts instead of tables"
     )
     _add_grid_options(sweep_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the performance benchmark harness (BENCH_*.json)"
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="time each workload once instead of best-of-3 (CI smoke mode)",
+    )
+    bench_p.add_argument(
+        "--seed", type=int, default=1234, help="workload RNG seed (default 1234)"
+    )
+    bench_p.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="where BENCH_*.json files are written (default: repo root)",
+    )
+    bench_p.add_argument(
+        "--areas", nargs="*", choices=("sim", "serve", "fleet"),
+        default=("sim", "serve", "fleet"),
+        help="benchmark areas to run (default: all three)",
+    )
+    bench_p.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"fleet result cache directory (default {DEFAULT_CACHE_DIR!r})",
+    )
+    bench_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fleet worker processes (default: serial)",
+    )
+    bench_p.add_argument(
+        "--compare-to", default=None, metavar="DIR",
+        help="directory holding baseline BENCH_*.json files; exit 1 on any "
+        "metric regressing beyond --tolerance",
+    )
+    bench_p.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="FRACTION",
+        help="allowed relative regression for gated metrics (default 0.30)",
+    )
 
     fig_p = sub.add_parser("fig", help="regenerate one figure")
     fig_p.add_argument("number", type=int, choices=(1, 11, 12, 13))
@@ -471,6 +513,12 @@ def _cmd_loadgen(args) -> int:
     if args.socket is None and args.host is None:
         print("loadgen: need --socket or --host/--port", file=sys.stderr)
         return 2
+    if args.binary and args.resilient:
+        print(
+            "loadgen: --binary and --resilient are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
     if args.workload == "fig4":
         scripts = fig4_scripts(n=8)
         time_scale = args.time_scale if args.time_scale is not None else 1.0
@@ -496,6 +544,7 @@ def _cmd_loadgen(args) -> int:
         time_scale=time_scale,
         drain=args.drain,
         resilient=args.resilient,
+        binary=args.binary,
         seed=args.seed,
     )
     try:
@@ -585,6 +634,26 @@ def _cmd_sweep(args) -> int:
     print(report.render_comparison_summary(sweep))
     print(tracker.summary())
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import BenchError, BenchOptions, run_bench
+
+    opts = BenchOptions(
+        quick=args.quick,
+        seed=args.seed,
+        out_dir=args.out_dir,
+        areas=args.areas,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        compare_to=args.compare_to,
+        tolerance=args.tolerance,
+    )
+    try:
+        return run_bench(opts)
+    except BenchError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_fig(args) -> int:
@@ -683,6 +752,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "fig":
         return _cmd_fig(args)
     raise AssertionError("unreachable")

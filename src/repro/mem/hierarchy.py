@@ -79,27 +79,33 @@ class CacheHierarchy:
         self.cores = [CoreCaches(self.config, seed=seed) for _ in range(n_cores)]
         self.llc = Cache(self.config.llc, seed=seed)
         self.stats = [HierarchyStats() for _ in range(n_cores)]
+        # Per-level outcomes are fixed by the config, so the frozen results
+        # (and their cumulative latencies) are built once and shared across
+        # every access() call instead of being recomputed per lookup.
+        cfg = self.config
+        l2_latency = cfg.l1d.latency_s + cfg.l2.latency_s
+        llc_latency = l2_latency + cfg.llc.latency_s
+        self._hit_l1 = AccessResult("L1", cfg.l1d.latency_s)
+        self._hit_l2 = AccessResult("L2", l2_latency)
+        self._hit_llc = AccessResult("LLC", llc_latency)
+        self._miss_dram = AccessResult("DRAM", llc_latency + cfg.memory.latency_s)
 
     # ------------------------------------------------------------------
     def access(self, core: int, address: int) -> AccessResult:
         """Push one byte address through core-private levels into the LLC."""
-        cfg = self.config
         caches = self.cores[core]
         st = self.stats[core]
         if caches.l1.access(address):
             st.l1_hits += 1
-            return AccessResult("L1", cfg.l1d.latency_s)
+            return self._hit_l1
         if caches.l2.access(address):
             st.l2_hits += 1
-            return AccessResult("L2", cfg.l1d.latency_s + cfg.l2.latency_s)
-        base = cfg.l1d.latency_s + cfg.l2.latency_s
+            return self._hit_l2
         if self.llc.access(address):
             st.llc_hits += 1
-            return AccessResult("LLC", base + cfg.llc.latency_s)
+            return self._hit_llc
         st.dram_accesses += 1
-        return AccessResult(
-            "DRAM", base + cfg.llc.latency_s + cfg.memory.latency_s
-        )
+        return self._miss_dram
 
     def access_trace(self, core: int, addresses: Iterable[int]) -> HierarchyStats:
         """Run a trace on one core; returns that core's cumulative stats."""

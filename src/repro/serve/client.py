@@ -49,6 +49,9 @@ class ServeClient:
         self.writer = writer
         self._ids = itertools.count(1)
         self._closed = False
+        #: length-prefixed binary framing; flips on after a successful
+        #: ``hello(binary=True)`` handshake (the switch is one-way)
+        self.binary = False
 
     @classmethod
     async def connect(
@@ -114,18 +117,35 @@ class ServeClient:
         frame.update(fields)
 
         async def round_trip() -> Dict[str, Any]:
-            self.writer.write(protocol.encode_frame(frame))
+            if self.binary:
+                self.writer.write(protocol.encode_binary_frame(frame))
+            else:
+                self.writer.write(protocol.encode_frame(frame))
             await self.writer.drain()
+            return await self._read_reply()
+
+        if timeout is None:
+            return await round_trip()
+        return await asyncio.wait_for(round_trip(), timeout=timeout)
+
+    async def _read_reply(self) -> Dict[str, Any]:
+        """Read one reply frame in the connection's current encoding."""
+        if not self.binary:
             line = await self.reader.readline()
             if not line:
                 raise ProtocolError(
                     protocol.ErrorCode.INTERNAL, "server closed the connection"
                 )
             return protocol.decode_frame(line)
-
-        if timeout is None:
-            return await round_trip()
-        return await asyncio.wait_for(round_trip(), timeout=timeout)
+        try:
+            header = await self.reader.readexactly(protocol.BINARY_HEADER_BYTES)
+            length = protocol.parse_binary_header(header)
+            payload = await self.reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(
+                protocol.ErrorCode.INTERNAL, "server closed the connection"
+            ) from None
+        return protocol.decode_binary_frame(header + payload)
 
     async def call(
         self, op: str, timeout: Optional[float] = None, **fields: Any
@@ -137,8 +157,18 @@ class ServeClient:
         return reply
 
     # ------------------------------------------------------------------
-    async def hello(self, client: str) -> Dict[str, Any]:
-        """Bind this connection to a durable, lease-holding identity."""
+    async def hello(self, client: str, binary: bool = False) -> Dict[str, Any]:
+        """Bind this connection to a durable, lease-holding identity.
+
+        With ``binary=True`` the hello also negotiates the length-prefixed
+        binary framing: the handshake itself runs in the current encoding,
+        and every frame after the server's acknowledging reply switches.
+        """
+        if binary:
+            reply = await self.call("hello", client=client, binary=True)
+            if reply.get("binary"):
+                self.binary = True
+            return reply
         return await self.call("hello", client=client)
 
     async def heartbeat(self) -> Dict[str, Any]:

@@ -82,6 +82,9 @@ class LoadgenConfig:
     begin_timeout_s: Optional[float] = None
     #: send ``drain`` once the run finishes (lets a CI server exit cleanly)
     drain: bool = False
+    #: negotiate the length-prefixed binary framing in each client's hello
+    #: (thin clients only; incompatible with ``resilient``)
+    binary: bool = False
     #: RNG seed (arrival gaps, script order)
     seed: int = 0
 
@@ -221,6 +224,11 @@ class _Runner:
             raise ServeError(f"unknown loadgen mode {cfg.mode!r}")
         if cfg.sessions is None and cfg.duration_s is None:
             raise ServeError("bound the run: set sessions and/or duration_s")
+        if cfg.binary and cfg.resilient:
+            raise ServeError(
+                "binary framing and the resilient client are mutually "
+                "exclusive (reconnect re-negotiation is not implemented)"
+            )
         self.scripts = list(scripts)
         self.cfg = cfg
         self.connect_kwargs = {"unix_path": unix_path, "host": host, "port": port}
@@ -270,7 +278,15 @@ class _Runner:
     async def _make_client(self):
         """One connection: thin by default, resilient when configured."""
         if not self.cfg.resilient:
-            return await ServeClient.connect(**self.connect_kwargs)
+            client = await ServeClient.connect(**self.connect_kwargs)
+            if self.cfg.binary:
+                # binary framing is negotiated in hello, so binary-mode
+                # clients carry a (lease-bound) identity
+                self._next_client += 1
+                await client.hello(
+                    f"loadgen-{self.cfg.seed}-{self._next_client}", binary=True
+                )
+            return client
         self._next_client += 1
         client = ResilientServeClient(
             **self.connect_kwargs,

@@ -287,6 +287,10 @@ class AdmissionService:
         self.h_service = m.histogram(
             "service_time_s", "pp_begin-admission to pp_end duration"
         )
+        self.h_admission = m.histogram(
+            "admission_latency_s",
+            "pp_begin receipt to admitted reply (park time included)",
+        )
         self.c_hello = m.counter("hello_total", "hello handshakes")
         self.c_heartbeats = m.counter("heartbeats_total", "lease heartbeats")
         self.c_idempotent = m.counter(
@@ -470,12 +474,20 @@ class _Session:
         #: frames that arrived while the connection was parked; processed
         #: in order once the deferred pp_begin reply has been sent
         self.pushback: List[bytes] = []
+        #: length-prefixed binary framing, negotiated in "hello"; the
+        #: switch takes effect after the hello reply (which is still sent
+        #: in the encoding the request arrived in)
+        self.binary = False
+        self.binary_pending = False
 
     async def send(self, frame: Dict[str, Any]) -> None:
         if self.closed:
             return
+        encode = (
+            protocol.encode_binary_frame if self.binary else protocol.encode_frame
+        )
         try:
-            self.writer.write(protocol.encode_frame(frame))
+            self.writer.write(encode(frame))
             await self.writer.drain()
         except (ConnectionError, RuntimeError):
             self.closed = True
@@ -692,6 +704,39 @@ class AdmissionServer:
             with contextlib.suppress(Exception):
                 writer.close()
 
+    async def _read_frame(
+        self, session: _Session, reader: asyncio.StreamReader
+    ) -> bytes:
+        """Read one raw frame in the session's current encoding.
+
+        Returns ``b""`` on clean EOF.  Raises :class:`ProtocolError` for a
+        truncated or oversized binary frame (the stream cannot be
+        re-synchronized, so the caller replies with the typed error and
+        hangs up).
+        """
+        if not session.binary:
+            return await reader.readline()
+        try:
+            header = await reader.readexactly(protocol.BINARY_HEADER_BYTES)
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return b""  # EOF at a frame boundary
+            raise ProtocolError(
+                ErrorCode.BAD_FRAME,
+                f"connection closed inside a binary frame header "
+                f"({len(exc.partial)} of {protocol.BINARY_HEADER_BYTES} bytes)",
+            ) from None
+        length = protocol.parse_binary_header(header, self.cfg.max_frame_bytes)
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                ErrorCode.BAD_FRAME,
+                f"connection closed inside a binary frame payload "
+                f"({len(exc.partial)} of {length} bytes)",
+            ) from None
+        return header + payload
+
     async def _serve_session(
         self, session: _Session, reader: asyncio.StreamReader
     ) -> None:
@@ -702,10 +747,11 @@ class AdmissionServer:
                 try:
                     if self.cfg.idle_timeout_s is not None:
                         line = await asyncio.wait_for(
-                            reader.readline(), timeout=self.cfg.idle_timeout_s
+                            self._read_frame(session, reader),
+                            timeout=self.cfg.idle_timeout_s,
                         )
                     else:
-                        line = await reader.readline()
+                        line = await self._read_frame(session, reader)
                 except asyncio.TimeoutError:
                     return  # idle client: hang up
                 except (ConnectionError, asyncio.IncompleteReadError):
@@ -720,12 +766,20 @@ class AdmissionServer:
                         f"request frame exceeds {self.cfg.max_frame_bytes} bytes",
                     ))
                     return
+                except ProtocolError as exc:
+                    # Truncated or oversized binary frame: typed error, then
+                    # hang up (the length-prefixed stream is unrecoverable).
+                    self.service.c_protocol_errors.inc()
+                    await session.send(
+                        protocol.error_reply(None, exc.code, exc.message)
+                    )
+                    return
                 if not line:
                     return  # EOF
             self.service.c_requests.inc()
             try:
                 request = protocol.parse_request(
-                    protocol.decode_frame(line, self.cfg.max_frame_bytes)
+                    protocol.decode_any_frame(line, self.cfg.max_frame_bytes)
                 )
             except ProtocolError as exc:
                 self.service.c_protocol_errors.inc()
@@ -738,6 +792,11 @@ class AdmissionServer:
             reply = await self._dispatch(session, reader, request)
             if reply is not None:
                 await session.send(reply)
+            if session.binary_pending:
+                # hello negotiated binary framing; it applies to every
+                # frame after the (just-sent) hello reply.
+                session.binary_pending = False
+                session.binary = True
             if request.op == "drain":
                 self.request_drain()
 
@@ -878,7 +937,9 @@ class AdmissionServer:
         try:
             while True:
                 if read_task is None:
-                    read_task = asyncio.ensure_future(reader.readline())
+                    read_task = asyncio.ensure_future(
+                        self._read_frame(session, reader)
+                    )
                 timeout = (
                     None if deadline is None else max(0.0, deadline - loop.time())
                 )
@@ -891,7 +952,14 @@ class AdmissionServer:
                 if read_task in done:
                     try:
                         line = read_task.result()
-                    except (ConnectionError, ValueError):
+                    except (
+                        ConnectionError,
+                        ValueError,
+                        asyncio.IncompleteReadError,
+                        ProtocolError,
+                    ):
+                        # A malformed binary frame while parked is handled
+                        # like a disconnect: the stream is unrecoverable.
                         line, eof = b"", True
                     read_task = None
                     if line:
@@ -929,7 +997,11 @@ class AdmissionServer:
             if read_task is not None:
                 read_task.cancel()
                 with contextlib.suppress(
-                    asyncio.CancelledError, ConnectionError, ValueError
+                    asyncio.CancelledError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    ValueError,
+                    ProtocolError,
                 ):
                     await read_task
         if future.result() == "drained":
@@ -949,6 +1021,10 @@ class AdmissionServer:
         period: ProgressPeriod,
         deduped: bool = False,
     ) -> Dict[str, Any]:
+        if not deduped:
+            self.service.h_admission.observe(
+                max(0.0, time.monotonic() - period.begin_time)
+            )
         reply = protocol.ok_reply(
             request_id,
             pp_id=period.pp_id,
@@ -966,10 +1042,20 @@ class AdmissionServer:
         """Bind this connection to a durable, lease-holding client identity."""
         service = self.service
         record = session.record
+        binary = request.raw.get("binary", False)
+        if not isinstance(binary, bool):
+            return protocol.error_reply(
+                request.id, ErrorCode.BAD_REQUEST,
+                "'binary' must be a boolean when present",
+            )
         if not record.anonymous:
             if record.client_id == request.client:
                 service.leases.renew(record)  # re-hello: plain renewal
-                return self._hello_reply(request.id, record, resumed=True)
+                if binary and not session.binary:
+                    session.binary_pending = True
+                return self._hello_reply(
+                    request.id, record, resumed=True, binary=binary
+                )
             return protocol.error_reply(
                 request.id, ErrorCode.BAD_REQUEST,
                 f"connection is already bound to client "
@@ -996,10 +1082,16 @@ class AdmissionServer:
         session.record = named
         service.leases.renew(named)
         service.c_hello.inc()
-        return self._hello_reply(request.id, named, resumed=resumed)
+        if binary and not session.binary:
+            session.binary_pending = True
+        return self._hello_reply(request.id, named, resumed=resumed, binary=binary)
 
     def _hello_reply(
-        self, request_id: Optional[int], record: ClientRecord, resumed: bool
+        self,
+        request_id: Optional[int],
+        record: ClientRecord,
+        resumed: bool,
+        binary: bool = False,
     ) -> Dict[str, Any]:
         open_periods = []
         for pp_id in record.api.open_ids():
@@ -1012,13 +1104,16 @@ class AdmissionServer:
                     "label": period.request.label,
                     "forced": period.forced,
                 })
-        return protocol.ok_reply(
+        reply = protocol.ok_reply(
             request_id,
             client=record.client_id,
             resumed=resumed,
             lease_ttl_s=self.service.leases.ttl_s,
             open=open_periods,
         )
+        if binary:
+            reply["binary"] = True
+        return reply
 
     def _op_heartbeat(
         self, session: _Session, request: protocol.Request

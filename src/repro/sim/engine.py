@@ -4,6 +4,13 @@ The engine is deliberately minimal — the OS model in :mod:`repro.sim.kernel`
 builds everything else on top of :meth:`Engine.schedule` and
 :meth:`Engine.cancel`.  Events at equal timestamps fire in scheduling order
 (FIFO), which makes simulations fully deterministic.
+
+Performance notes: heap entries are ``(time, seq, handle)`` tuples so the
+heap orders them with C-level tuple comparisons (``seq`` is unique, so the
+handle itself is never compared), and :meth:`Engine.run` is a flattened
+dispatch loop with the queue, ``heappop`` and hook list hoisted into locals.
+Compaction rewrites the queue *in place* (slice assignment) so the run
+loop's local alias stays valid across a compaction triggered mid-callback.
 """
 
 from __future__ import annotations
@@ -71,7 +78,9 @@ class Engine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[EventHandle] = []
+        # heap of (time, seq, EventHandle); seq breaks ties FIFO and keeps
+        # tuple comparison from ever reaching the handle
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._running = False
         self._cancelled_in_queue = 0
@@ -92,7 +101,10 @@ class Engine:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, (time, handle.seq, handle))
+        return handle
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any
@@ -103,7 +115,7 @@ class Engine:
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
         handle = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
+        heapq.heappush(self._queue, (time, handle.seq, handle))
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
@@ -124,7 +136,8 @@ class Engine:
             self._cancelled_in_queue >= self.COMPACT_MIN_CANCELLED
             and self._cancelled_in_queue * 2 > len(self._queue)
         ):
-            self._queue = [h for h in self._queue if not h.cancelled]
+            # slice-assign: the run loop holds a local alias to this list
+            self._queue[:] = [e for e in self._queue if not e[2].cancelled]
             heapq.heapify(self._queue)
             self._cancelled_in_queue = 0
 
@@ -134,21 +147,23 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` if queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
             self._note_popped_cancelled()
-        return self._queue[0].time if self._queue else None
+        return queue[0][0] if queue else None
 
     def step(self) -> bool:
         """Run the single next event.  Returns False when the queue is empty."""
-        while self._queue:
-            handle = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, handle = heapq.heappop(queue)
             if handle.cancelled or handle.callback is None:
                 self._note_popped_cancelled()
                 continue
-            if handle.time < self._now:
+            if time < self._now:
                 raise SimulationError("event queue went backwards in time")
-            self._now = handle.time
+            self._now = time
             callback, args = handle.callback, handle.args
             handle.cancel()  # consumed
             self.events_processed += 1
@@ -171,20 +186,40 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         processed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        hooks = self.post_event_hooks
         try:
             while True:
-                next_time = self.peek_time()
-                if until is not None and (next_time is None or next_time > until):
+                # drop cancelled leaders so queue[0] is the next live event
+                while queue and queue[0][2].cancelled:
+                    heappop(queue)
+                    if self._cancelled_in_queue:
+                        self._cancelled_in_queue -= 1
+                if not queue:
                     # The clock must land on `until` even when no event lies
                     # before it (including an entirely empty queue) — but it
                     # never moves backwards.
+                    if until is not None and until > self._now:
+                        self._now = until
+                    break
+                time = queue[0][0]
+                if until is not None and time > until:
                     if until > self._now:
                         self._now = until
                     break
-                if next_time is None:
-                    break
-                if not self.step():
-                    break
+                handle = heappop(queue)[2]
+                if time < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = time
+                callback, args = handle.callback, handle.args
+                handle.cancel()  # consumed
+                self.events_processed += 1
+                callback(*args)
+                if hooks:
+                    now = self._now
+                    for hook in hooks:
+                        hook(now)
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     raise SimulationError(

@@ -117,6 +117,15 @@ class Kernel:
         self._barriers: Dict[tuple[int, int], WaitQueue] = {}
         self._last_accrual = self.engine.now
         self._pending_switches = 0
+        # Memoized output of _recompute_rates.  The co-running set recurs
+        # constantly (every quantum rotation cycles through the same handful
+        # of placements), and resolve()/rate()/apply_bandwidth_cap() are pure
+        # functions of (phases, sharing scopes, freq_scale) — so rates and
+        # cache points are keyed on the ordered (id(phase), pid) signature of
+        # the running threads.  Phase objects are frozen and outlive the
+        # kernel's processes, so ids are stable for the kernel's lifetime.
+        self._rate_cache: Dict[tuple, tuple] = {}
+        self._RATE_CACHE_MAX = 4096
         self._exited_threads = 0
         self._total_threads = 0
         #: optional KernelTracer recording scheduling events
@@ -461,6 +470,40 @@ class Kernel:
         running = self._running_threads()
         if not running:
             return
+        key = (
+            self.freq_scale,
+            tuple((id(t.current_phase), t.process.pid) for t in running),
+        )
+        cached = self._rate_cache.get(key)
+        if cached is None:
+            cached = self._rates_for(running)
+            if len(self._rate_cache) >= self._RATE_CACHE_MAX:
+                self._rate_cache.clear()
+            self._rate_cache[key] = cached
+        rate_triples, points = cached
+        for t, (spi, dpi, lpi) in zip(running, rate_triples):
+            t.seconds_per_instr = spi
+            t.dram_per_instr = dpi
+            t.llc_refs_per_instr = lpi
+        if not placed:
+            return
+        # Charge switch + cold-reload cost to threads that just landed on a
+        # core previously running someone else (figure 1's reload effect).
+        exec_model = self.machine.exec_model
+        point_of = {t.tid: p for t, p in zip(running, points)}
+        for core, thread, switched in placed:
+            if not switched:
+                continue
+            thread.stall_remaining_s += self.config.scheduler.context_switch_s
+            if self.config.scheduler.model_cache_reload:
+                phase = thread.current_phase
+                assert phase is not None
+                reload = exec_model.reload_cost(phase, point_of[thread.tid])
+                thread.stall_remaining_s += reload.seconds
+                thread.stall_dram_total += reload.dram_accesses
+
+    def _rates_for(self, running: Sequence[Thread]) -> tuple:
+        """Slow path: derive (rate triples, cache points) for a co-running set."""
         demands = []
         phases: list[Phase] = []
         for t in running:
@@ -476,9 +519,8 @@ class Kernel:
             )
         points = self.machine.llc_model.resolve(demands)
         exec_model = self.machine.exec_model
-        point_of = {t.tid: p for t, p in zip(running, points)}
         rates = []
-        for t, phase, point in zip(running, phases, points):
+        for phase, point in zip(phases, points):
             base = exec_model.rate(phase, point, freq_scale=self.freq_scale)
             overhead = 0.0
             if self.extension is not None and phase.pp is not None:
@@ -489,24 +531,19 @@ class Kernel:
                 exec_model.rate(phase, point, overhead, freq_scale=self.freq_scale)
             )
         rates = exec_model.apply_bandwidth_cap(rates)
-        for t, rate in zip(running, rates):
-            t.seconds_per_instr = rate.seconds_per_instr
-            t.dram_per_instr = rate.dram_per_instr
-            t.llc_refs_per_instr = rate.llc_refs_per_instr
-        # Charge switch + cold-reload cost to threads that just landed on a
-        # core previously running someone else (figure 1's reload effect).
-        for core, thread, switched in placed:
-            if not switched:
-                continue
-            thread.stall_remaining_s += self.config.scheduler.context_switch_s
-            if self.config.scheduler.model_cache_reload:
-                phase = thread.current_phase
-                assert phase is not None
-                reload = exec_model.reload_cost(phase, point_of[thread.tid])
-                thread.stall_remaining_s += reload.seconds
-                thread.stall_dram_total += reload.dram_accesses
+        return (
+            tuple(
+                (r.seconds_per_instr, r.dram_per_instr, r.llc_refs_per_instr)
+                for r in rates
+            ),
+            tuple(points),
+        )
 
     def _reschedule_all(self) -> None:
+        engine = self.engine
+        now = engine.now
+        schedule_at = engine.schedule_at
+        core_event = self._core_event
         for core in self.cores:
             if core.event is not None:
                 core.event.cancel()
@@ -519,14 +556,12 @@ class Kernel:
                     f"thread {thread.tid} has no execution rate"
                 )
             t_done = (
-                self.engine.now
+                now
                 + thread.stall_remaining_s
                 + thread.instr_remaining() * thread.seconds_per_instr
             )
-            t_event = min(t_done, max(core.quantum_end, self.engine.now))
-            core.event = self.engine.schedule_at(
-                max(t_event, self.engine.now), self._core_event, core
-            )
+            t_event = min(t_done, max(core.quantum_end, now))
+            core.event = schedule_at(max(t_event, now), core_event, core)
 
     # ==================================================================
     # event handler

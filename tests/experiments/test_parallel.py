@@ -280,3 +280,33 @@ class TestSweepDeterminism:
         )
         second = sweep(build, factors, jobs=1, cache=tmp_path)
         assert first == second
+
+
+# ----------------------------------------------------------------------
+# The bench harness rides on the same cache
+# ----------------------------------------------------------------------
+class TestBenchFleetCache:
+    def test_warm_bench_runs_zero_simulations_and_matches(
+        self, tmp_path, monkeypatch
+    ):
+        """A second `repro bench` fleet pass must be pure cache reuse: zero
+        simulations executed, and every deterministic record (digest,
+        runs_total, failures, gflops_total) identical to the cold pass."""
+        from repro.bench.areas import bench_fleet
+
+        cache_dir = str(tmp_path / "bench-cache")
+        cold = {r.metric: r for r in bench_fleet(7, cache_dir=cache_dir)}
+        monkeypatch.setattr(
+            parallel, "_execute", lambda request: pytest.fail("simulated again")
+        )
+        warm = {r.metric: r for r in bench_fleet(7, cache_dir=cache_dir)}
+
+        assert set(cold) == set(warm)
+        for metric, a in cold.items():
+            b = warm[metric]
+            assert a.config_digest == b.config_digest
+            assert a.seed == b.seed == 7
+            if not (a.unit.endswith("/s") or a.unit == "s"):
+                # counts and totals are simulation outputs — exact reuse
+                assert a.value == b.value, metric
+        assert cold["failures"].value == 0.0

@@ -1,0 +1,186 @@
+"""Property test: the optimized Engine is trace-identical to a reference.
+
+The production :class:`~repro.sim.engine.Engine` earns its speed from a
+tuple-keyed heap, tombstone cancellation with in-place compaction, and a
+flattened dispatch loop.  None of that may be observable: this file pits it
+against ``ReferenceEngine`` — a deliberately naive straight-line
+implementation (sorted-scan event list, no heap, no tombstones, no local
+aliasing) — over Hypothesis-generated schedules that include cancels from
+inside callbacks, reschedules (callbacks scheduling new events, possibly at
+the current instant), equal-timestamp collisions, and ``run(until=)``
+segments over empty and non-empty queues.  Both must produce byte-equal
+traces: same (time, label) firing order, same final clock, same
+events_processed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+# ----------------------------------------------------------------------
+# the straight-line reference
+# ----------------------------------------------------------------------
+class _RefHandle:
+    def __init__(self, time: float, seq: int, callback, args) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+
+class ReferenceEngine:
+    """Spec-by-construction event loop: O(n) scan per event, no cleverness."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._events: List[_RefHandle] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any):
+        assert delay >= 0
+        handle = _RefHandle(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        self._events.append(handle)
+        return handle
+
+    def cancel(self, handle: _RefHandle) -> None:
+        handle.cancelled = True
+
+    def _next(self) -> Optional[_RefHandle]:
+        live = [e for e in self._events if not e.cancelled]
+        if not live:
+            return None
+        return min(live, key=lambda e: (e.time, e.seq))
+
+    def run(self, until: Optional[float] = None) -> None:
+        while True:
+            event = self._next()
+            if event is None or (until is not None and event.time > until):
+                if until is not None and until > self._now:
+                    self._now = until
+                return
+            self._events.remove(event)
+            self._now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+
+
+# ----------------------------------------------------------------------
+# one schedule spec driven through either engine
+# ----------------------------------------------------------------------
+# Delays come from a tiny grid so that equal-timestamp collisions (the FIFO
+# tie-break) are the common case, not a fluke.
+_DELAYS = st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0])
+
+_ROOT = st.fixed_dictionaries({
+    "delay": _DELAYS,
+    # roots this one cancels when it fires (indices into the root list;
+    # out-of-range indices are ignored by the driver)
+    "cancels": st.lists(st.integers(0, 15), max_size=2),
+    # children this one schedules when it fires (a reschedule, possibly at
+    # delay 0.0 = the current instant)
+    "children": st.lists(_DELAYS, max_size=2),
+})
+
+_SPEC = st.fixed_dictionaries({
+    "roots": st.lists(_ROOT, max_size=16),
+    # roots cancelled from outside before the run starts
+    "precancel": st.lists(st.integers(0, 15), max_size=4),
+    # optional first run(until=...) segment before the draining run()
+    "until": st.one_of(st.none(), _DELAYS),
+})
+
+
+def _drive(engine, spec) -> List[Any]:
+    """Execute one spec against ``engine``; return the observable trace."""
+    trace: List[Any] = []
+    handles: List[Any] = []
+
+    def fire(label: str, cancels, children) -> None:
+        trace.append((round(engine.now, 9), label))
+        for idx in cancels:
+            if idx < len(handles):
+                engine.cancel(handles[idx])
+        for k, delay in enumerate(children):
+            child_label = f"{label}.{k}"
+            engine.schedule(delay, fire, child_label, (), ())
+
+    for i, root in enumerate(spec["roots"]):
+        handles.append(
+            engine.schedule(
+                root["delay"], fire, f"r{i}", root["cancels"], root["children"]
+            )
+        )
+    for idx in spec["precancel"]:
+        if idx < len(handles):
+            engine.cancel(handles[idx])
+
+    if spec["until"] is not None:
+        engine.run(until=spec["until"])
+        trace.append(("segment", round(engine.now, 9)))
+    engine.run()
+    trace.append(("final", round(engine.now, 9), engine.events_processed))
+    return trace
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(spec=_SPEC)
+    def test_trace_identical_to_reference(self, spec):
+        assert _drive(Engine(), spec) == _drive(ReferenceEngine(), spec)
+
+    @settings(max_examples=50, deadline=None)
+    @given(until=_DELAYS)
+    def test_run_until_on_empty_queue_matches(self, until):
+        spec = {"roots": [], "precancel": [], "until": until}
+        assert _drive(Engine(), spec) == _drive(ReferenceEngine(), spec)
+
+    def test_compaction_pressure_does_not_change_the_trace(self):
+        # enough mid-run cancels to force _maybe_compact() inside run():
+        # one root cancels 200 later-scheduled siblings when it fires
+        def build(engine):
+            trace = []
+            victims = []
+
+            def early():
+                trace.append((engine.now, "early"))
+                for handle in victims:
+                    engine.cancel(handle)
+
+            def victim(i):
+                trace.append((engine.now, f"v{i}"))
+
+            engine.schedule(0.5, early)
+            for i in range(4 * Engine.COMPACT_MIN_CANCELLED):
+                victims.append(engine.schedule(1.0 + i * 1e-6, victim, i))
+            survivor = engine.schedule(3.0, lambda: trace.append((engine.now, "end")))
+            assert survivor is not None
+            engine.run()
+            trace.append(("final", engine.now, engine.events_processed))
+            return trace
+
+        assert build(Engine()) == build(ReferenceEngine())
+
+    def test_reference_engine_sanity(self):
+        # the reference itself honours FIFO order at equal timestamps
+        eng = ReferenceEngine()
+        out = []
+        eng.schedule(1.0, out.append, "a")
+        eng.schedule(1.0, out.append, "b")
+        eng.schedule(0.0, out.append, "c")
+        eng.run()
+        assert out == ["c", "a", "b"]
+        assert math.isclose(eng.now, 1.0)

@@ -100,6 +100,28 @@ def compromise_barrier() -> str:
     return _run(wl, CompromisePolicy(oversubscription=1.5))
 
 
+@golden("strict_waitlist_storm.trace")
+def strict_waitlist_storm() -> str:
+    """6 single-phase processes each demanding 0.6 MB against 1 MiB under
+    RDA:Strict — at most one admitted period fits, so the waitlist stays
+    deep the whole run and the trace is dominated by deny/wake churn (the
+    heap-tombstone and compaction paths the engine rewrite touched)."""
+    wl = Workload(
+        name="golden-waitlist",
+        processes=[
+            ProcessSpec(
+                name="w",
+                program=[
+                    make_phase("hog", instructions=150_000, wss_mb=0.6),
+                    make_phase("tail", instructions=100_000, wss_mb=0.6),
+                ],
+            )
+        ]
+        * 6,
+    )
+    return _run(wl, StrictPolicy())
+
+
 class TestGoldenTraces:
     def test_strict_contended_matches_golden(self):
         expected = (DATA_DIR / "strict_contended.trace").read_text()
@@ -108,6 +130,16 @@ class TestGoldenTraces:
     def test_compromise_barrier_matches_golden(self):
         expected = (DATA_DIR / "compromise_barrier.trace").read_text()
         assert compromise_barrier() == expected
+
+    def test_strict_waitlist_storm_matches_golden(self):
+        expected = (DATA_DIR / "strict_waitlist_storm.trace").read_text()
+        assert strict_waitlist_storm() == expected
+
+    def test_waitlist_storm_is_waitlist_heavy(self):
+        text = strict_waitlist_storm()
+        denies = text.count("pp_deny")
+        wakes = text.count("pp_wake")
+        assert denies >= 5 and wakes >= 5
 
     def test_serialization_is_history_independent(self):
         """Global tid counters advance between runs; the serialized form
