@@ -1,16 +1,19 @@
-"""The three benchmark areas: simulator kernel, admission service, fleet.
+"""The benchmark areas: simulator kernel, admission service, cluster, fleet.
 
 Each area runs a pinned, seeded workload and reduces it to a handful of
 :class:`~repro.bench.schema.BenchRecord` rows.  Workloads are sized so a
 ``--quick`` pass finishes in a few seconds on a laptop while still hitting
 the hot paths the records are meant to guard: the event-loop inner loop
 and rate memoization (sim), frame codec + parking + the metrics registry
-(serve), and the content-addressed result cache (fleet).
+(serve), the placer front-end's redirect/forward paths (cluster), and the
+content-addressed result cache (fleet).
 
 Repetitions time the *same* deterministic workload several times and keep
-the best wall clock (classic min-of-N to shed scheduler noise); rep counts
-are deliberately excluded from the config digest so quick and full runs of
-one configuration remain comparable.
+the best result (classic min-of-N to shed scheduler noise) — best wall
+clock for the single-payload areas, best value *per metric* for the serve
+and cluster areas, whose latency percentiles spike independently of wall
+time.  Rep counts are deliberately excluded from the config digest so
+quick and full runs of one configuration remain comparable.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ from ..workloads.base import Phase, PpSpec, ProcessSpec, Workload
 from ..workloads.suite import workload_by_name
 from .schema import BenchRecord, config_digest
 
-__all__ = ["bench_sim", "bench_serve", "bench_fleet"]
+__all__ = ["bench_sim", "bench_serve", "bench_cluster", "bench_fleet"]
 
 
 def _best_of(reps: int, fn: Callable[[], Tuple[float, object]]) -> Tuple[float, object]:
@@ -48,6 +51,27 @@ def _best_of(reps: int, fn: Callable[[], Tuple[float, object]]) -> Tuple[float, 
         if best_wall is None or wall < best_wall:
             best_wall, best_payload = wall, payload
     return best_wall, best_payload
+
+
+def _merge_best(rep_records: List[List[BenchRecord]]) -> List[BenchRecord]:
+    """Element-wise best across repetitions of the same record list.
+
+    Picking the whole record set from the min-*wall* rep does not shed
+    latency noise: one 2 ms scheduler stall inflates a p99 forty-fold
+    while moving a 100 ms wall by 2%.  Classic min-of-N must apply per
+    metric — max for throughputs, min for latencies; informational counts
+    are deterministic across reps, so the first rep's value stands.
+    """
+    merged = list(rep_records[0])
+    for records in rep_records[1:]:
+        for i, (best, cur) in enumerate(zip(merged, records)):
+            take = (
+                (cur.higher_is_better and cur.value > best.value)
+                or (cur.lower_is_better and cur.value < best.value)
+            )
+            if take:
+                merged[i] = cur
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -168,7 +192,9 @@ def bench_sim(seed: int, reps: int) -> List[BenchRecord]:
 # ----------------------------------------------------------------------
 # serve: admissions/sec + admission latency via the metrics registry
 # ----------------------------------------------------------------------
-_SERVE_SESSIONS = 80
+# 400 sessions keep the p99 a real percentile (several samples above it)
+# instead of a max-of-80 extreme value that jitters 4x on a noisy host
+_SERVE_SESSIONS = 400
 _SERVE_CLIENTS = 4
 _SERVE_CAPACITY_MB = 8.0
 _SERVE_DEMAND_MB = 6.3
@@ -219,29 +245,104 @@ def bench_serve(seed: int, reps: int) -> List[BenchRecord]:
         snapshot = server.service.metrics.snapshot()
         return wall, report, snapshot
 
-    def serve_rep() -> Tuple[float, object]:
+    def serve_rep() -> List[BenchRecord]:
         import tempfile
 
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
             wall, report, snapshot = asyncio.run(one_run(f"{tmp}/bench.sock"))
-        return wall, (report, snapshot)
+        hist = snapshot["histograms"]["admission_latency_s"]
 
-    wall, (report, snapshot) = _best_of(reps, serve_rep)
-    hist = snapshot["histograms"]["admission_latency_s"]
+        def rec(metric: str, value: float, unit: str) -> BenchRecord:
+            return BenchRecord(
+                area="serve", metric=metric, value=value, unit=unit,
+                seed=seed, config_digest=digest, wall_s=round(wall, 6),
+            )
 
-    def rec(metric: str, value: float, unit: str) -> BenchRecord:
-        return BenchRecord(
-            area="serve", metric=metric, value=value, unit=unit,
-            seed=seed, config_digest=digest, wall_s=round(wall, 6),
+        return [
+            rec("admissions_per_s", round(report.admitted / wall, 1),
+                "admissions/s"),
+            rec("admission_latency_p50_s", round(float(hist["p50"]), 9), "s"),
+            rec("admission_latency_p99_s", round(float(hist["p99"]), 9), "s"),
+            rec("admitted_total", float(report.admitted), "admissions"),
+        ]
+
+    return _merge_best([serve_rep() for _ in range(max(1, reps))])
+
+
+# ----------------------------------------------------------------------
+# cluster: admissions/sec through the sharded front-end placer
+# ----------------------------------------------------------------------
+_CLUSTER_SHARDS = 3
+_CLUSTER_SESSIONS = 240
+_CLUSTER_CLIENTS = 6
+_CLUSTER_DEMAND_MB = 5.1
+
+
+def bench_cluster(seed: int, reps: int) -> List[BenchRecord]:
+    # lazy import, same reasoning as bench_serve
+    from ..serve.cluster import start_local_cluster
+    from ..serve.loadgen import LoadgenConfig, fig4_scripts, run_loadgen
+    from ..serve.server import ServeConfig
+
+    machine = _serve_machine()
+    policy = StrictPolicy()
+    scripts = fig4_scripts(
+        n=_CLUSTER_CLIENTS, demand_mb=_CLUSTER_DEMAND_MB, hold_s=0.0
+    )
+    load_cfg = LoadgenConfig(
+        mode="closed", clients=_CLUSTER_CLIENTS, sessions=_CLUSTER_SESSIONS,
+        time_scale=1.0, seed=seed, cluster=True, binary=True,
+    )
+    digest = config_digest({
+        "area": "cluster",
+        "shards": _CLUSTER_SHARDS,
+        "machine": _canonical(machine),
+        "policy": _canonical(policy),
+        "scripts": _canonical(list(scripts)),
+        "loadgen": _canonical(load_cfg),
+    })
+
+    async def one_run(tmp_sock: str):
+        cluster = await start_local_cluster(
+            ServeConfig(policy=policy, machine=machine),
+            _CLUSTER_SHARDS, tmp_sock, seed=seed,
         )
+        run_task = asyncio.ensure_future(cluster.run_until_drained())
+        t0 = time.perf_counter()
+        report = await run_loadgen(scripts, load_cfg, unix_path=tmp_sock)
+        wall = time.perf_counter() - t0
+        cluster.request_drain()
+        await asyncio.wait_for(run_task, 30.0)
+        frontend = cluster.frontend
+        counters = {
+            "placements": frontend.c_placements.value,
+            "redirects": frontend.c_redirects.value,
+            "forwards": frontend.c_forwards.value,
+        }
+        return wall, report, counters
 
-    return [
-        rec("admissions_per_s", round(report.admitted / wall, 1),
-            "admissions/s"),
-        rec("admission_latency_p50_s", round(float(hist["p50"]), 9), "s"),
-        rec("admission_latency_p99_s", round(float(hist["p99"]), 9), "s"),
-        rec("admitted_total", float(report.admitted), "admissions"),
-    ]
+    def cluster_rep() -> List[BenchRecord]:
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            wall, report, counters = asyncio.run(one_run(f"{tmp}/placer.sock"))
+
+        def rec(metric: str, value: float, unit: str) -> BenchRecord:
+            return BenchRecord(
+                area="cluster", metric=metric, value=value, unit=unit,
+                seed=seed, config_digest=digest, wall_s=round(wall, 6),
+            )
+
+        return [
+            rec("admissions_per_s", round(report.admitted / wall, 1),
+                "admissions/s"),
+            rec("placements_per_s", round(counters["placements"] / wall, 1),
+                "placements/s"),
+            rec("admitted_total", float(report.admitted), "admissions"),
+            rec("redirects_total", float(counters["redirects"]), "redirects"),
+        ]
+
+    return _merge_best([cluster_rep() for _ in range(max(1, reps))])
 
 
 # ----------------------------------------------------------------------

@@ -3,13 +3,15 @@
 One benchmark pass produces three files (one per area) in the output
 directory::
 
-    BENCH_sim.json    kernel + engine events/sec
-    BENCH_serve.json  admissions/sec and admission latency percentiles
-    BENCH_fleet.json  sims/sec through run_grid and its result cache
+    BENCH_sim.json      kernel + engine events/sec
+    BENCH_serve.json    admissions/sec and admission latency percentiles
+    BENCH_cluster.json  admissions/sec through the sharded placer front-end
+    BENCH_fleet.json    sims/sec through run_grid and its result cache
 
-``--quick`` times each workload once; the full mode times the identical
-workload three times and keeps the best rep, so both modes share config
-digests and stay mutually comparable.  When a baseline directory is given,
+``--quick`` times each workload once (the sub-second serve and cluster
+areas keep min-of-3 even in quick mode — their latency tails need it);
+the full mode times the identical workload three times and keeps the best
+rep, so both modes share config digests and stay mutually comparable.  When a baseline directory is given,
 the comparison loads it *before* any output is written — comparing against
 the committed baselines and then overwriting them in place (the CI flow)
 is safe.
@@ -31,12 +33,16 @@ __all__ = ["AREA_NAMES", "BENCH_FILES", "BenchOptions", "run_bench"]
 BENCH_FILES: Dict[str, str] = {
     "sim": "BENCH_sim.json",
     "serve": "BENCH_serve.json",
+    "cluster": "BENCH_cluster.json",
     "fleet": "BENCH_fleet.json",
 }
 AREA_NAMES = tuple(BENCH_FILES)
 
-#: repetitions per timed workload (best-of-N); quick collapses to 1
+#: repetitions per timed workload (best-of-N); quick collapses to 1...
 FULL_REPS = 3
+#: ...except for the sub-second serve/cluster areas, whose latency tails
+#: need min-of-N even in quick mode (three reps still finish in <1 s)
+QUICK_REPS = {"serve": 3, "cluster": 3}
 
 
 @dataclass
@@ -54,11 +60,13 @@ class BenchOptions:
 
 
 def _run_area(name: str, opts: BenchOptions) -> List[BenchRecord]:
-    reps = 1 if opts.quick else FULL_REPS
+    reps = QUICK_REPS.get(name, 1) if opts.quick else FULL_REPS
     if name == "sim":
         return areas.bench_sim(opts.seed, reps)
     if name == "serve":
         return areas.bench_serve(opts.seed, reps)
+    if name == "cluster":
+        return areas.bench_cluster(opts.seed, reps)
     if name == "fleet":
         return areas.bench_fleet(
             opts.seed, cache_dir=opts.cache_dir, jobs=opts.jobs

@@ -176,6 +176,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--lease-check", type=float, default=0.25, metavar="SECONDS",
         help="lease reaper sweep interval",
     )
+    serve_p.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run N admission shards behind a demand-aware placer "
+        "front-end on --socket (shard i listens on <socket>.shard<i>; "
+        "capacity/journal options apply per shard)",
+    )
+    serve_p.add_argument(
+        "--placer-seed", type=int, default=0, metavar="SEED",
+        help="tie-break seed of the cluster placer (with --shards > 1)",
+    )
+
+    place_p = sub.add_parser(
+        "place",
+        help="run a demand-aware placer front-end over already-running "
+        "admission shards",
+    )
+    place_p.add_argument(
+        "--socket", default="repro-place.sock", metavar="PATH",
+        help="unix socket the front-end listens on",
+    )
+    place_p.add_argument(
+        "--shard", action="append", default=[], metavar="NAME=ADDR",
+        help="one shard as name=unix-socket-path or name=host:port "
+        "(repeatable; at least one required)",
+    )
+    place_p.add_argument("--seed", type=int, default=0)
+    place_p.add_argument(
+        "--no-migration", action="store_true",
+        help="disable parked-client migration between shards",
+    )
+    place_p.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="periodically dump the placer metrics snapshot to this file",
+    )
 
     load_p = sub.add_parser(
         "loadgen", help="drive a running admission server with replayed load"
@@ -230,7 +264,12 @@ def build_parser() -> argparse.ArgumentParser:
     load_p.add_argument(
         "--binary", action="store_true",
         help="negotiate the length-prefixed binary framing in each "
-        "client's hello (incompatible with --resilient)",
+        "client's hello (resilient clients re-negotiate on reconnect)",
+    )
+    load_p.add_argument(
+        "--cluster", action="store_true",
+        help="target is a placer front-end: use resilient clients that "
+        "follow REDIRECT replies to their assigned shard",
     )
 
     chaos_p = sub.add_parser(
@@ -273,6 +312,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    chaos_p.add_argument(
+        "--cluster", action="store_true",
+        help="cluster campaign: SIGKILL/restart individual admission "
+        "shards behind a placer front-end instead of the single server",
+    )
+    chaos_p.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="shard count for --cluster (default 3)",
+    )
 
     sweep_p = sub.add_parser(
         "sweep", help="figures 7-10: every workload under every policy"
@@ -300,9 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="where BENCH_*.json files are written (default: repo root)",
     )
     bench_p.add_argument(
-        "--areas", nargs="*", choices=("sim", "serve", "fleet"),
-        default=("sim", "serve", "fleet"),
-        help="benchmark areas to run (default: all three)",
+        "--areas", nargs="*", choices=("sim", "serve", "fleet", "cluster"),
+        default=("sim", "serve", "fleet", "cluster"),
+        help="benchmark areas to run (default: all)",
     )
     bench_p.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
@@ -501,6 +549,80 @@ def _cmd_serve(args) -> int:
             return 0 if sanitizer.ok else 1
         return 0
 
+    async def run_cluster() -> int:
+        from .serve.cluster import start_local_cluster
+
+        cluster = await start_local_cluster(
+            cfg, args.shards, socket_path, seed=args.placer_seed
+        )
+        cluster.install_signal_handlers()
+        policy_name = cfg.policy.name if cfg.policy else "Always Admit"
+        print(
+            f"# serving clustered admission control ({policy_name}, "
+            f"{args.shards} shard(s) x "
+            f"LLC {cfg.machine.llc_capacity / (1024 * 1024):.1f} MiB) "
+            f"on unix:{socket_path}",
+            flush=True,
+        )
+        return await cluster.run_until_drained()
+
+    if args.shards > 1:
+        if socket_path is None:
+            print(
+                "serve: --shards needs --socket (shards listen on "
+                "<socket>.shard<i>)", file=sys.stderr,
+            )
+            return 2
+        return asyncio.run(run_cluster())
+    return asyncio.run(run())
+
+
+def _parse_shard_spec(spec: str):
+    """``name=unix-path`` or ``name=host:port`` into a ShardAddress."""
+    from .serve.placer import ShardAddress
+
+    name, sep, addr = spec.partition("=")
+    if not sep or not name or not addr:
+        raise ValueError(f"bad shard spec {spec!r}: expected name=addr")
+    host, sep, port = addr.rpartition(":")
+    if sep and port.isdigit() and "/" not in addr:
+        return ShardAddress(name=name, host=host, port=int(port))
+    return ShardAddress(name=name, unix_path=addr)
+
+
+def _cmd_place(args) -> int:
+    import asyncio
+
+    from .serve.cluster import ClusterConfig, ClusterFrontend
+
+    try:
+        shards = tuple(_parse_shard_spec(spec) for spec in args.shard)
+    except ValueError as exc:
+        print(f"place: {exc}", file=sys.stderr)
+        return 2
+    if not shards:
+        print("place: need at least one --shard name=addr", file=sys.stderr)
+        return 2
+    cfg = ClusterConfig(
+        shards=shards,
+        seed=args.seed,
+        migration=not args.no_migration,
+        metrics_json=args.metrics_json,
+    )
+
+    async def run() -> int:
+        frontend = ClusterFrontend(cfg)
+        await frontend.start(unix_path=args.socket)
+        frontend.install_signal_handlers()
+        print(
+            f"# placing over {len(shards)} shard(s) "
+            f"({', '.join(s.describe() for s in shards)}) "
+            f"on unix:{args.socket}",
+            flush=True,
+        )
+        await frontend.run_until_drained()
+        return 0
+
     return asyncio.run(run())
 
 
@@ -512,12 +634,6 @@ def _cmd_loadgen(args) -> int:
 
     if args.socket is None and args.host is None:
         print("loadgen: need --socket or --host/--port", file=sys.stderr)
-        return 2
-    if args.binary and args.resilient:
-        print(
-            "loadgen: --binary and --resilient are mutually exclusive",
-            file=sys.stderr,
-        )
         return 2
     if args.workload == "fig4":
         scripts = fig4_scripts(n=8)
@@ -545,6 +661,7 @@ def _cmd_loadgen(args) -> int:
         drain=args.drain,
         resilient=args.resilient,
         binary=args.binary,
+        cluster=args.cluster,
         seed=args.seed,
     )
     try:
@@ -565,7 +682,9 @@ def _cmd_chaos(args) -> int:
     import json as json_mod
     import tempfile
 
-    from .serve.chaos import ChaosConfig, run_chaos_sync
+    from .serve.chaos import (
+        ChaosConfig, run_chaos_sync, run_cluster_chaos_sync,
+    )
 
     cfg = ChaosConfig(
         seed=args.seed,
@@ -576,13 +695,15 @@ def _cmd_chaos(args) -> int:
         policy=args.policy,
         capacity_mb=args.capacity_mb,
         lease_ttl_s=args.lease_ttl,
+        shards=args.shards if args.cluster else 0,
     )
+    campaign = run_cluster_chaos_sync if args.cluster else run_chaos_sync
     try:
         if args.workdir is not None:
-            report = run_chaos_sync(cfg, args.workdir)
+            report = campaign(cfg, args.workdir)
         else:
             with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
-                report = run_chaos_sync(cfg, workdir)
+                report = campaign(cfg, workdir)
     except (ReproError, OSError) as exc:
         print(f"chaos: {exc}", file=sys.stderr)
         return 1
@@ -746,6 +867,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_sanitize(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "place":
+        return _cmd_place(args)
     if args.command == "loadgen":
         return _cmd_loadgen(args)
     if args.command == "chaos":

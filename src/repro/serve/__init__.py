@@ -10,8 +10,13 @@ fault-tolerance layer: client leases, a crash-safe admission journal, and
 a chaos harness that proves the whole stack survives kills and flaky
 transports without leaking a byte of capacity.
 
-Entry points: ``python -m repro serve``, ``python -m repro loadgen`` and
-``python -m repro chaos``.
+Scaling out, :mod:`repro.serve.cluster` runs N admission shards (one per
+simulated socket) behind a demand-aware placer front-end that assigns
+each client a shard by dominant-remaining-resource scoring, redirects or
+forwards its frames, and migrates parked clients to shards with headroom.
+
+Entry points: ``python -m repro serve``, ``python -m repro place``,
+``python -m repro loadgen`` and ``python -m repro chaos``.
 """
 
 from .chaos import (
@@ -20,8 +25,16 @@ from .chaos import (
     ChaosReport,
     run_chaos,
     run_chaos_sync,
+    run_cluster_chaos,
+    run_cluster_chaos_sync,
 )
 from .client import ServeClient, ServeReplyError
+from .cluster import (
+    ClusterConfig,
+    ClusterFrontend,
+    LocalCluster,
+    start_local_cluster,
+)
 from .journal import (
     AdmissionJournal,
     AdmitRecord,
@@ -37,6 +50,12 @@ from .loadgen import (
     run_loadgen_sync,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .placer import (
+    ClusterError,
+    DemandAwarePlacer,
+    ShardAddress,
+    ShardState,
+)
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -48,7 +67,7 @@ from .protocol import (
     ok_reply,
     parse_request,
 )
-from .resilient import ResilientServeClient
+from .resilient import ResilientServeClient, backoff_sleep_s
 from .server import (
     AdmissionServer,
     AdmissionService,
@@ -66,7 +85,11 @@ __all__ = [
     "ChaosProxy",
     "ChaosReport",
     "ClientRecord",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterFrontend",
     "Counter",
+    "DemandAwarePlacer",
     "ErrorCode",
     "Gauge",
     "Histogram",
@@ -74,6 +97,7 @@ __all__ = [
     "LeaseTable",
     "LoadgenConfig",
     "LoadgenReport",
+    "LocalCluster",
     "MAX_FRAME_BYTES",
     "MetricsRegistry",
     "PROTOCOL_VERSION",
@@ -83,6 +107,9 @@ __all__ = [
     "ServeConfig",
     "ServeReplyError",
     "ServiceSanitizer",
+    "ShardAddress",
+    "ShardState",
+    "backoff_sleep_s",
     "decode_frame",
     "encode_frame",
     "error_reply",
@@ -92,7 +119,10 @@ __all__ = [
     "replay_journal",
     "run_chaos",
     "run_chaos_sync",
+    "run_cluster_chaos",
+    "run_cluster_chaos_sync",
     "run_loadgen",
     "run_loadgen_sync",
     "serve_until_drained",
+    "start_local_cluster",
 ]

@@ -46,6 +46,8 @@ __all__ = [
     "ServerProcess",
     "run_chaos",
     "run_chaos_sync",
+    "run_cluster_chaos",
+    "run_cluster_chaos_sync",
 ]
 
 #: fault kinds the proxy can inject, in threshold order
@@ -89,6 +91,9 @@ class ChaosConfig:
     settle_timeout_s: float = 15.0
     #: how long one server (re)start may take
     server_start_timeout_s: float = 15.0
+    #: cluster campaign: admission shards behind a placer front-end
+    #: (0 = classic single-server campaign)
+    shards: int = 0
 
 
 class ChaosProxy:
@@ -357,6 +362,9 @@ class ChaosReport:
     sanitizer_ok: Optional[bool]
     server_exit_code: Optional[int]
     server_output: List[str] = field(default_factory=list)
+    #: cluster campaigns: shard count and front-end counters (else 0/empty)
+    shards: int = 0
+    cluster_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -387,6 +395,8 @@ class ChaosReport:
             "final_waiting": self.final_waiting,
             "sanitizer_ok": self.sanitizer_ok,
             "server_exit_code": self.server_exit_code,
+            "shards": self.shards,
+            "cluster_counters": dict(self.cluster_counters),
             "ok": self.ok,
         }
 
@@ -394,8 +404,12 @@ class ChaosReport:
         fault_bits = ", ".join(
             f"{self.faults[k]} {k}" for k in FAULT_KINDS if self.faults[k]
         )
+        shape = (
+            f"cluster chaos campaign ({self.shards} shard(s), "
+            if self.shards else "chaos campaign ("
+        )
         lines = [
-            f"chaos campaign (seed {self.seed}): {self.wall_s:.2f} s wall, "
+            f"{shape}seed {self.seed}): {self.wall_s:.2f} s wall, "
             f"{self.kills} kill(s), {self.faults_total} fault(s) injected"
             + (f" ({fault_bits})" if fault_bits else ""),
             f"  load: {self.load.admitted}/{self.load.calls} admitted, "
@@ -414,8 +428,15 @@ class ChaosReport:
                 else "n/a"
             )
             + f", server exit {self.server_exit_code}",
-            f"  verdict: {'OK' if self.ok else 'FAILED'}",
         ]
+        if self.cluster_counters:
+            lines.append(
+                "  placer: "
+                + ", ".join(
+                    f"{v} {k}" for k, v in sorted(self.cluster_counters.items())
+                )
+            )
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAILED'}")
         return "\n".join(lines)
 
 
@@ -544,3 +565,209 @@ async def run_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
 def run_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
     """Blocking wrapper around :func:`run_chaos` (CLI entry point)."""
     return asyncio.run(run_chaos(cfg, workdir))
+
+
+# ----------------------------------------------------------------------
+# cluster campaign
+# ----------------------------------------------------------------------
+async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """Kill individual shards behind a placer front-end, then judge.
+
+    The fault model differs from the single-server campaign: instead of a
+    frame-mangling proxy, the injected fault is *shard death* — each cycle
+    SIGKILLs one shard (round robin), which strands that shard's clients
+    mid-protocol.  The contract under test is the cluster fault path: the
+    front-end's health loop marks the shard dead, stranded clients fall
+    back to the front-end and are re-placed on live shards, and the killed
+    shard restarts from its own journal.  Settling requires *every* shard
+    to quiesce to zero open periods, zero charged bytes and zero waiters.
+    """
+    from .cluster import ClusterConfig, ClusterFrontend
+    from .placer import ShardAddress
+
+    n_shards = max(1, cfg.shards or 3)
+    os.makedirs(workdir, exist_ok=True)
+    placer_path = os.path.join(workdir, "placer.sock")
+
+    t_start = time.monotonic()
+    shards: List[ServerProcess] = []
+    addresses: List[ShardAddress] = []
+    for i in range(n_shards):
+        socket_path = os.path.join(workdir, f"shard{i}.sock")
+        journal_path = os.path.join(workdir, f"shard{i}-journal.ndjson")
+        shard = ServerProcess(socket_path, journal_path, cfg)
+        await shard.start()
+        shards.append(shard)
+        addresses.append(ShardAddress(name=f"shard{i}", unix_path=socket_path))
+
+    frontend = ClusterFrontend(ClusterConfig(
+        shards=tuple(addresses),
+        seed=cfg.seed,
+        health_interval_s=0.1,
+        probe_timeout_s=2.0,
+    ))
+    await frontend.start(unix_path=placer_path)
+    frontend_task = asyncio.ensure_future(frontend.run_until_drained())
+
+    load_cfg = LoadgenConfig(
+        mode="closed",
+        clients=cfg.clients,
+        sessions=cfg.sessions,
+        duration_s=cfg.duration_s,
+        time_scale=1.0,
+        max_hold_s=max(cfg.hold_s, 0.25),
+        max_retries=100_000,
+        cluster=True,
+        call_timeout_s=2.0,
+        begin_timeout_s=cfg.park_timeout_s + 2.0,
+        seed=cfg.seed,
+    )
+    scripts = fig4_scripts(
+        n=max(8, cfg.clients * 2), demand_mb=cfg.demand_mb, hold_s=cfg.hold_s
+    )
+    load_task = asyncio.ensure_future(
+        run_loadgen(scripts, load_cfg, unix_path=placer_path)
+    )
+
+    kills = 0
+    try:
+        for cycle in range(cfg.kills):
+            await asyncio.sleep(cfg.kill_interval_s)
+            if load_task.done():
+                break
+            victim = shards[cycle % n_shards]
+            victim.kill()
+            await victim.wait()
+            kills += 1
+            await victim.start()
+        load = await load_task
+    except BaseException:
+        load_task.cancel()
+        with contextlib.suppress(BaseException):
+            await load_task
+        frontend.request_drain()
+        with contextlib.suppress(BaseException):
+            await frontend_task
+        for shard in shards:
+            shard.kill()
+            with contextlib.suppress(Exception):
+                await shard.wait(timeout_s=5.0)
+        raise
+
+    # ------------------------------------------------------------------
+    # settle: every shard must quiesce once the load's leases expire
+    # ------------------------------------------------------------------
+    settled = False
+    settle_t0 = time.monotonic()
+    final_open = final_usage = final_waiting = -1
+    sanitizer_ok: Optional[bool] = None
+    replayed = 0
+    deadline = settle_t0 + cfg.settle_timeout_s
+
+    async def probe_shard(shard: ServerProcess) -> Dict[str, Any]:
+        probe = await ServeClient.connect(
+            unix_path=shard.socket_path, timeout=5.0
+        )
+        try:
+            return await probe.query()
+        finally:
+            await probe.close()
+
+    while time.monotonic() < deadline:
+        final_open = final_usage = final_waiting = 0
+        replayed = 0
+        try:
+            for shard in shards:
+                q = await probe_shard(shard)
+                final_open += int(q.get("open_periods", 0))
+                final_waiting += int(q.get("waiting", 0))
+                final_usage += sum(
+                    int(state.get("usage_bytes", 0))
+                    for state in q.get("resources", {}).values()
+                )
+                replayed += int(
+                    (q.get("journal") or {}).get("replayed_periods", 0)
+                )
+        except (ReproError, OSError, asyncio.TimeoutError):
+            await asyncio.sleep(0.1)
+            continue
+        if final_open == 0 and final_usage == 0 and final_waiting == 0:
+            settled = True
+            break
+        await asyncio.sleep(0.1)
+    settle_s = time.monotonic() - settle_t0
+
+    # drain every shard, then the front-end, and collect verdicts
+    exit_worst: Optional[int] = 0
+    for shard in shards:
+        try:
+            probe = await ServeClient.connect(
+                unix_path=shard.socket_path, timeout=5.0
+            )
+            try:
+                stats = await probe.stats()
+                sanitizer = stats.get("sanitizer")
+                if sanitizer is not None:
+                    shard_ok = bool(sanitizer.get("ok"))
+                    sanitizer_ok = (
+                        shard_ok if sanitizer_ok is None
+                        else sanitizer_ok and shard_ok
+                    )
+                await probe.drain()
+            finally:
+                await probe.close()
+        except (ReproError, OSError, asyncio.TimeoutError):
+            exit_worst = 1
+    for shard in shards:
+        code: Optional[int] = None
+        with contextlib.suppress(asyncio.TimeoutError):
+            code = await shard.wait(timeout_s=10.0)
+        if code is None:
+            shard.kill()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await shard.wait(timeout_s=5.0)
+        if code != 0 and exit_worst == 0:
+            exit_worst = code if code is not None else 1
+    cluster_counters = {
+        name: counter.value
+        for name, counter in (
+            ("placements", frontend.c_placements),
+            ("redirects", frontend.c_redirects),
+            ("forwards", frontend.c_forwards),
+            ("migrations", frontend.c_migrations),
+            ("migration_failures", frontend.c_migration_failures),
+        )
+    }
+    frontend.request_drain()
+    with contextlib.suppress(BaseException):
+        await frontend_task
+
+    output: List[str] = []
+    for i, shard in enumerate(shards):
+        output.extend(f"[shard{i}] {line}" for line in shard.output)
+
+    return ChaosReport(
+        seed=cfg.seed,
+        wall_s=time.monotonic() - t_start,
+        kills=kills,
+        faults={kind: 0 for kind in FAULT_KINDS},
+        faults_total=0,
+        proxy_connections=0,
+        load=load,
+        replayed_periods_last_boot=replayed,
+        settled=settled,
+        settle_s=settle_s,
+        final_open_periods=final_open,
+        final_usage_bytes=final_usage,
+        final_waiting=final_waiting,
+        sanitizer_ok=sanitizer_ok,
+        server_exit_code=exit_worst,
+        server_output=output,
+        shards=n_shards,
+        cluster_counters=cluster_counters,
+    )
+
+
+def run_cluster_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """Blocking wrapper around :func:`run_cluster_chaos` (CLI entry)."""
+    return asyncio.run(run_cluster_chaos(cfg, workdir))

@@ -24,7 +24,17 @@ service durability:
 * **Tolerant replay.**  ``replay_journal`` rebuilds the open set.  A torn
   final line (the classic power-cut artifact) is ignored; corruption
   anywhere else raises :class:`~repro.errors.JournalError` rather than
-  silently reviving a wrong ledger.
+  silently reviving a wrong ledger.  A torn *snapshot* record is never
+  tolerated: snapshots only ever reach the log through an fsync-then-
+  atomic-rename, so a partial one cannot be a benign crash artifact — it
+  is real corruption, and dropping it would silently lose the whole open
+  set.
+* **Crash-safe compaction.**  ``_rewrite_snapshot`` writes the snapshot
+  to a pid-suffixed temp file, fsyncs it, atomically renames it over the
+  log, then fsyncs the directory so the rename itself is durable.  A
+  crash at any point leaves either the old log or the new one — never a
+  partial snapshot — and ``recover`` sweeps up temp files the crash
+  stranded.
 
 The journal stores *admitted* periods only.  Parked (WAITING) periods
 hold no capacity and their owners are blocked on a reply that died with
@@ -118,12 +128,21 @@ def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
     return obj if isinstance(obj, dict) else None
 
 
+#: a snapshot record as serialized by ``_rewrite_snapshot`` always starts
+#: with these bytes; used to tell a torn snapshot from a torn append
+_SNAP_PREFIX = b'{"k":"snap"'
+
+
 def replay_journal(path: str) -> JournalState:
     """Rebuild the open admitted set from a journal file.
 
     Missing file → empty state (first boot).  A torn *final* line is
     dropped; an undecodable line anywhere else is corruption and raises
-    :class:`JournalError`.
+    :class:`JournalError`.  A torn final line that is a snapshot record
+    also raises: snapshots reach the log only through fsync + atomic
+    rename (never through an interruptible append), so a partial one
+    means the file itself was damaged, and tolerating it would silently
+    drop every open period the snapshot carried.
     """
     state = JournalState(open={}, max_pp_id=0, events_replayed=0)
     if not os.path.exists(path):
@@ -136,6 +155,12 @@ def replay_journal(path: str) -> JournalState:
     for i, line in enumerate(lines):
         frame = _parse_line(line)
         if frame is None:
+            if line.startswith(_SNAP_PREFIX):
+                raise JournalError(
+                    f"{path}: partial snapshot record at line {i + 1} "
+                    "(snapshots are written atomically; this is corruption, "
+                    "not a torn append)"
+                )
             if i == len(lines) - 1:
                 break  # torn tail from a crash mid-append: tolerated
             raise JournalError(
@@ -202,10 +227,34 @@ class AdmissionJournal:
     # ------------------------------------------------------------------
     def recover(self) -> JournalState:
         """Replay the existing log, then compact it and open for append."""
+        self._sweep_stale_tmp()
         state = replay_journal(self.path)
         self.open = dict(state.open)
         self._rewrite_snapshot()
         return state
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp snapshots a crash left behind mid-compaction.
+
+        A crash between writing ``<path>.tmp.<pid>`` and renaming it
+        strands the temp file; the log itself is still the previous
+        (valid) incarnation.  The stale temp is garbage — a *different*
+        process's pid may even collide with ours later — so sweep all of
+        them before replaying.
+        """
+        directory = os.path.dirname(self.path) or "."
+        prefix = os.path.basename(self.path) + ".tmp."
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith(prefix):
+                with_dir = os.path.join(directory, name)
+                try:
+                    os.unlink(with_dir)
+                except OSError:
+                    pass
 
     def close(self) -> None:
         """Clean shutdown: flush, sync, close.  The open set is *kept* on
@@ -330,9 +379,27 @@ class AdmissionJournal:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, self.path)
+        # The rename is atomic but not yet durable: fsync the directory so
+        # a power cut cannot resurrect the pre-compaction log *and* the
+        # temp file.  Either the old log or the new one survives — never a
+        # partial snapshot (replay_journal enforces the same contract).
+        self._fsync_dir()
         self._events_since_compact = 0
         self._dirty = False
         self.compactions_total += 1
+
+    def _fsync_dir(self) -> None:
+        directory = os.path.dirname(self.path) or "."
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return  # platform without directory fds: rename-only durability
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
 
     def compact(self) -> None:
         """Public compaction hook (tests, admin tooling)."""

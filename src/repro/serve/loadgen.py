@@ -34,7 +34,7 @@ from ..workloads.export import PpCall, SessionScript
 from . import protocol
 from .client import ServeClient, ServeReplyError
 from .protocol import ErrorCode
-from .resilient import ResilientServeClient
+from .resilient import ResilientServeClient, backoff_sleep_s
 
 __all__ = [
     "LoadgenConfig",
@@ -83,8 +83,11 @@ class LoadgenConfig:
     #: send ``drain`` once the run finishes (lets a CI server exit cleanly)
     drain: bool = False
     #: negotiate the length-prefixed binary framing in each client's hello
-    #: (thin clients only; incompatible with ``resilient``)
+    #: (resilient clients re-negotiate it on every reconnect)
     binary: bool = False
+    #: target is a cluster front-end: clients are resilient and follow
+    #: REDIRECT replies to their assigned shard
+    cluster: bool = False
     #: RNG seed (arrival gaps, script order)
     seed: int = 0
 
@@ -108,6 +111,7 @@ class _Tally:
     reconnects: int = 0
     lost_periods: int = 0
     deduped: int = 0
+    redirects: int = 0
     latency_s: List[float] = field(default_factory=list)
     waited_s: List[float] = field(default_factory=list)
     utilization_samples: List[float] = field(default_factory=list)
@@ -134,6 +138,7 @@ class LoadgenReport:
     reconnects: int
     lost_periods: int
     deduped: int
+    redirects: int
     throughput_pps: float
     admission_latency: LatencySummary
     park_time: LatencySummary
@@ -160,6 +165,7 @@ class LoadgenReport:
             "reconnects": self.reconnects,
             "lost_periods": self.lost_periods,
             "deduped": self.deduped,
+            "redirects": self.redirects,
             "throughput_pps": self.throughput_pps,
             "admission_latency_s": self.admission_latency.to_dict(),
             "park_time_s": self.park_time.to_dict(),
@@ -185,6 +191,7 @@ class LoadgenReport:
             f"{self.protocol_errors} protocol error(s)",
             f"  resilience: {self.reconnects} reconnect(s), "
             f"{self.deduped} deduped begin(s), "
+            f"{self.redirects} redirect(s), "
             f"{self.lost_periods} period(s) lost to the lease reaper",
             "  admission latency "
             + self.admission_latency.describe(unit="ms", scale=1e3),
@@ -224,13 +231,12 @@ class _Runner:
             raise ServeError(f"unknown loadgen mode {cfg.mode!r}")
         if cfg.sessions is None and cfg.duration_s is None:
             raise ServeError("bound the run: set sessions and/or duration_s")
-        if cfg.binary and cfg.resilient:
-            raise ServeError(
-                "binary framing and the resilient client are mutually "
-                "exclusive (reconnect re-negotiation is not implemented)"
-            )
         self.scripts = list(scripts)
         self.cfg = cfg
+        #: cluster mode needs clients that follow REDIRECT replies and
+        #: fall back to the front-end when their shard dies — which is
+        #: exactly what the resilient client does
+        self.resilient = cfg.resilient or cfg.cluster
         self.connect_kwargs = {"unix_path": unix_path, "host": host, "port": port}
         self.tally = _Tally()
         self.rng = random.Random(cfg.seed)
@@ -266,18 +272,21 @@ class _Runner:
         The server's ``retry_after_s`` is a minimum, not a schedule: a
         client that re-knocks at exactly that cadence forever keeps the
         pending queue saturated, so each rejection doubles the wait (up to
-        the cap) and jitter decorrelates the herd.
+        the cap) and jitter decorrelates the herd.  The hint is a hard
+        floor even past the cap — see :func:`backoff_sleep_s`.
         """
-        base = min(
-            self.cfg.backoff_base_s * (2 ** min(attempt, 6)),
+        return backoff_sleep_s(
+            attempt,
+            self.cfg.backoff_base_s,
             self.cfg.backoff_cap_s,
+            self.rng,
+            floor_s=hint_s or 0.0,
+            max_exp=6,
         )
-        base = max(base, hint_s or 0.0)
-        return base * (1.0 + 0.25 * self.rng.random())
 
     async def _make_client(self):
         """One connection: thin by default, resilient when configured."""
-        if not self.cfg.resilient:
+        if not self.resilient:
             client = await ServeClient.connect(**self.connect_kwargs)
             if self.cfg.binary:
                 # binary framing is negotiated in hello, so binary-mode
@@ -296,6 +305,8 @@ class _Runner:
             # loadgen counts RETRY_AFTER itself (its backoff loop is the
             # experiment); the resilient layer handles transport faults only
             retry_admission=False,
+            binary=self.cfg.binary,
+            follow_redirects=self.cfg.cluster,
             rng=random.Random(self.rng.randrange(1 << 30)),
         )
         await client.connect()
@@ -306,6 +317,7 @@ class _Runner:
             self.tally.reconnects += client.reconnects
             self.tally.lost_periods += client.lost_periods
             self.tally.deduped += client.deduped
+            self.tally.redirects += client.redirects
 
     # ------------------------------------------------------------------
     async def _run_call(self, client: Any, call: PpCall) -> bool:
@@ -464,6 +476,7 @@ class _Runner:
             reconnects=tally.reconnects,
             lost_periods=tally.lost_periods,
             deduped=tally.deduped,
+            redirects=tally.redirects,
             throughput_pps=tally.admitted / wall_s if wall_s > 0 else 0.0,
             admission_latency=summarize_samples(tally.latency_s),
             park_time=summarize_samples(

@@ -32,6 +32,7 @@ See ``docs/SERVE.md`` for the full specification.
 
 from __future__ import annotations
 
+import asyncio
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -55,6 +56,7 @@ __all__ = [
     "parse_binary_header",
     "decode_binary_frame",
     "decode_any_frame",
+    "read_raw_frame",
     "ok_reply",
     "error_reply",
 ]
@@ -93,6 +95,7 @@ class ErrorCode:
     TIMEOUT = "TIMEOUT"  # parked longer than the park timeout
     DRAINING = "DRAINING"  # server no longer admits new periods
     NOT_BOUND = "NOT_BOUND"  # heartbeat before hello (no client identity)
+    REDIRECT = "REDIRECT"  # speak to the shard named in error.shard instead
     INTERNAL = "INTERNAL"  # unexpected server-side failure
 
 
@@ -219,6 +222,65 @@ def decode_any_frame(
     if buf[:1] == bytes((BINARY_MAGIC,)):
         return decode_binary_frame(buf, max_bytes)
     return decode_frame(buf, max_bytes)
+
+
+async def read_raw_frame(
+    reader: asyncio.StreamReader,
+    binary: Optional[bool],
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Read one raw frame in the connection's current encoding.
+
+    ``binary=None`` sniffs the encoding per frame from the first byte
+    (the binary magic never opens a JSON text) — used by the cluster
+    forwarding pump, whose inbound leg may flip encodings between frames
+    while the read is already parked.  Returns the complete frame bytes
+    (header + payload for binary, the terminated line for NDJSON) or
+    ``b""`` on a clean EOF at a frame boundary.  EOF *inside* a binary
+    frame raises :class:`~repro.errors.ProtocolError` with ``BAD_FRAME``
+    — there is no newline to resynchronize on, so a torn binary frame is
+    fatal to the connection.  Shared by the server, the cluster
+    forwarding pump and the resilient client's reader loop so all three
+    agree on framing.
+    """
+    sniffed = b""
+    if binary is None:
+        try:
+            sniffed = await reader.readexactly(1)
+        except asyncio.IncompleteReadError:
+            return b""  # clean EOF before any frame
+        binary = sniffed == bytes((BINARY_MAGIC,))
+    if not binary:
+        line = sniffed + await reader.readline()
+        if len(line) > max_bytes:
+            raise ProtocolError(
+                ErrorCode.FRAME_TOO_LARGE,
+                f"frame of {len(line)} bytes exceeds the {max_bytes}-byte limit",
+            )
+        return line
+    try:
+        header = sniffed + await reader.readexactly(
+            BINARY_HEADER_BYTES - len(sniffed)
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial and not sniffed:
+            return b""  # clean EOF between frames
+        raise ProtocolError(
+            ErrorCode.BAD_FRAME,
+            f"connection closed inside a binary frame header "
+            f"({len(sniffed) + len(exc.partial)} of {BINARY_HEADER_BYTES} "
+            f"bytes)",
+        ) from None
+    length = parse_binary_header(header, max_bytes)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            ErrorCode.BAD_FRAME,
+            f"connection closed inside a binary frame payload "
+            f"({len(exc.partial)} of {length} bytes)",
+        ) from None
+    return header + payload
 
 
 # ----------------------------------------------------------------------

@@ -6,7 +6,16 @@ the client half of the service's fault-tolerance contract on top of it:
 
 * **Reconnect + hello.**  Every (re)connection re-binds the same durable
   ``client_id`` with ``hello``, reattaching to periods that survived a
-  disconnect or a server restart under the lease.
+  disconnect or a server restart under the lease.  When the client was
+  built with ``binary=True``, each re-``hello`` also renegotiates the
+  length-prefixed binary framing, so the fast codec survives crashes and
+  reconnects instead of silently degrading to NDJSON.
+* **Redirect following.**  A cluster front-end (``repro.serve.cluster``)
+  may answer ``hello`` with a typed ``REDIRECT`` carrying the address of
+  the admission shard this client was placed on.  The client transparently
+  re-connects there (bounded hops, counted in :attr:`redirects`); when a
+  redirected-to shard later becomes unreachable the client falls back to
+  the original front-end address so the placer can re-place it.
 * **Idempotent pp_begin.**  Each admission carries a client-generated
   idempotency token.  A reply lost to a dropped connection or a server
   crash is re-issued with the *same* token; the server (and its journal)
@@ -38,7 +47,27 @@ from . import protocol
 from .client import ServeClient, ServeReplyError
 from .protocol import ErrorCode
 
-__all__ = ["ResilientServeClient"]
+__all__ = ["ResilientServeClient", "backoff_sleep_s"]
+
+
+def backoff_sleep_s(
+    attempt: int,
+    base_s: float,
+    cap_s: float,
+    rng: random.Random,
+    floor_s: float = 0.0,
+    max_exp: int = 10,
+) -> float:
+    """Exponential backoff with 25% jitter, floored at ``floor_s``.
+
+    ``floor_s`` carries the server's ``retry_after_s`` hint and is applied
+    *after* the ``cap_s`` clamp: the hint is the server's stated minimum
+    and must hold as a hard floor even when it exceeds the client's own
+    backoff cap (regression-tested in ``tests/serve/test_resilient.py``).
+    """
+    base = min(base_s * (2 ** min(attempt, max_exp)), cap_s)
+    base = max(base, floor_s)
+    return base * (1.0 + 0.25 * rng.random())
 
 
 class ResilientServeClient:
@@ -59,6 +88,9 @@ class ResilientServeClient:
         backoff_base_s: float = 0.02,
         backoff_cap_s: float = 1.0,
         retry_admission: bool = True,
+        binary: bool = False,
+        follow_redirects: bool = True,
+        max_redirects: int = 8,
         rng: Optional[random.Random] = None,
     ) -> None:
         if unix_path is None and (host is None or port is None):
@@ -66,6 +98,15 @@ class ResilientServeClient:
         self.unix_path = unix_path
         self.host = host
         self.port = port
+        #: the address the caller gave us (a shard, or a cluster front-end)
+        self._home: Dict[str, Any] = {
+            "unix_path": unix_path, "host": host, "port": port,
+        }
+        #: where we currently connect — diverges from home after a REDIRECT
+        self._target: Dict[str, Any] = dict(self._home)
+        self.binary = binary
+        self.follow_redirects = follow_redirects
+        self.max_redirects = max_redirects
         self.client_id = client_id or f"client-{uuid.uuid4().hex[:12]}"
         self.connect_timeout_s = connect_timeout_s
         self.call_timeout_s = call_timeout_s
@@ -81,6 +122,7 @@ class ResilientServeClient:
         self.retries = 0
         self.lost_periods = 0
         self.deduped = 0
+        self.redirects = 0
         self._rng = rng if rng is not None else random.Random()
         self._ids = itertools.count(1)
         self._conn: Optional[ServeClient] = None
@@ -132,6 +174,7 @@ class ResilientServeClient:
             "retries": self.retries,
             "lost_periods": self.lost_periods,
             "deduped": self.deduped,
+            "redirects": self.redirects,
         }
 
     # ------------------------------------------------------------------
@@ -145,68 +188,120 @@ class ResilientServeClient:
             if self._conn is not None and not self._conn.closed:
                 return self._conn
             last_exc: Optional[BaseException] = None
-            conn: Optional[ServeClient] = None
-            for attempt in range(self.max_attempts):
+            redirects_left = self.max_redirects
+            attempt = 0
+            while attempt < self.max_attempts:
                 try:
                     conn = await ServeClient.connect(
-                        unix_path=self.unix_path,
-                        host=self.host,
-                        port=self.port,
-                        timeout=self.connect_timeout_s,
+                        timeout=self.connect_timeout_s, **self._target
                     )
-                    break
                 except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
                     last_exc = exc
+                    attempt += 1
+                    if self._target != self._home:
+                        # The shard we were redirected to is unreachable:
+                        # fall back to the front-end so the placer can
+                        # re-place us on a live shard.
+                        self._target = dict(self._home)
+                        redirects_left = self.max_redirects
                     await asyncio.sleep(self._backoff(attempt))
-            if conn is None:
-                raise ServeError(
-                    f"could not reach the admission server after "
-                    f"{self.max_attempts} attempts: {last_exc}"
-                ) from last_exc
-            if self._connected_once:
-                self.reconnects += 1
-            self._connected_once = True
-            self._conn = conn
-            self._reader_task = asyncio.ensure_future(self._reader_loop(conn))
-            # Re-bind the durable identity on every (re)connection, so the
-            # lease transfers to this socket and replayed periods reattach.
-            try:
-                hello = await self._roundtrip(
-                    conn, "hello", timeout=self.connect_timeout_s,
-                    client=self.client_id,
+                    continue
+                if self._connected_once:
+                    self.reconnects += 1
+                self._connected_once = True
+                self._conn = conn
+                self._reader_task = asyncio.ensure_future(
+                    self._reader_loop(conn)
                 )
-            except asyncio.TimeoutError:
+                # Re-bind the durable identity on every (re)connection, so
+                # the lease transfers to this socket and replayed periods
+                # reattach.  Binary framing is renegotiated here too — the
+                # codec choice is per-connection, so every re-hello must
+                # re-request it or a reconnect would silently fall back to
+                # NDJSON.
+                hello_fields: Dict[str, Any] = {"client": self.client_id}
+                if self.binary:
+                    hello_fields["binary"] = True
+                if self.follow_redirects:
+                    hello_fields["redirect"] = True
+                try:
+                    hello = await self._roundtrip(
+                        conn, "hello", timeout=self.connect_timeout_s,
+                        **hello_fields,
+                    )
+                except (ConnectionError, asyncio.TimeoutError) as exc:
+                    await conn.close()
+                    self._conn = None
+                    last_exc = exc
+                    attempt += 1
+                    await asyncio.sleep(self._backoff(attempt))
+                    continue
+                if hello.get("ok"):
+                    self.lease_ttl_s = hello.get("lease_ttl_s")
+                    # Keep the lease warm by default: a third of the TTL
+                    # unless the caller picked a cadence.
+                    interval = self.heartbeat_interval_s
+                    if interval is None and self.lease_ttl_s:
+                        interval = self.lease_ttl_s / 3.0
+                    if interval and self._heartbeat_task is None:
+                        self._hb_interval_s = interval
+                        self._heartbeat_task = asyncio.ensure_future(
+                            self._heartbeat_loop()
+                        )
+                    return conn
+                error = hello.get("error") or {}
                 await conn.close()
                 self._conn = None
-                raise
-            if not hello.get("ok"):
-                await conn.close()
-                self._conn = None
+                if (
+                    error.get("code") == ErrorCode.REDIRECT
+                    and self.follow_redirects
+                    and redirects_left > 0
+                ):
+                    shard = error.get("shard") or {}
+                    target = {
+                        "unix_path": shard.get("unix_path"),
+                        "host": shard.get("host"),
+                        "port": shard.get("port"),
+                    }
+                    if target["unix_path"] is None and (
+                        target["host"] is None or target["port"] is None
+                    ):
+                        raise ServeReplyError(hello)  # unusable redirect
+                    redirects_left -= 1
+                    self.redirects += 1
+                    self._target = target
+                    continue  # a redirect is progress, not a failed attempt
                 raise ServeReplyError(hello)
-            self.lease_ttl_s = hello.get("lease_ttl_s")
-            # Keep the lease warm by default: a third of the TTL unless the
-            # caller picked a cadence.
-            interval = self.heartbeat_interval_s
-            if interval is None and self.lease_ttl_s:
-                interval = self.lease_ttl_s / 3.0
-            if interval and self._heartbeat_task is None:
-                self._hb_interval_s = interval
-                self._heartbeat_task = asyncio.ensure_future(
-                    self._heartbeat_loop()
-                )
-            return conn
+            raise ServeError(
+                f"could not reach the admission server after "
+                f"{self.max_attempts} attempts: {last_exc}"
+            ) from last_exc
 
     async def _reader_loop(self, conn: ServeClient) -> None:
-        """Dispatch reply frames to their callers by request id."""
+        """Dispatch reply frames to their callers by request id.
+
+        The loop owns the connection's encoding state: when the server
+        acknowledges a ``hello {binary}``, the very next frame it sends is
+        length-prefixed, so the switch must happen here — between two
+        reads — not in the caller that sent the hello (which only learns
+        of the ack after this loop has already gone back to reading).
+        """
         try:
             while True:
-                line = await conn.reader.readline()
-                if not line:
+                try:
+                    buf = await protocol.read_raw_frame(
+                        conn.reader, conn.binary
+                    )
+                except ProtocolError:
+                    break  # torn binary frame: the stream is desynchronized
+                if not buf:
                     break
                 try:
-                    reply = protocol.decode_frame(line)
+                    reply = protocol.decode_any_frame(buf)
                 except ProtocolError:
                     continue  # undecodable reply: skip, id-matching resyncs
+                if reply.get("ok") and reply.get("binary") and not conn.binary:
+                    conn.binary = True  # hello ack: switch both directions
                 future = self._pending.pop(reply.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(reply)
@@ -243,7 +338,10 @@ class ResilientServeClient:
         self._pending[request_id] = future
         try:
             async with self._send_lock:  # type: ignore[union-attr]
-                conn.writer.write(protocol.encode_frame(frame))
+                if conn.binary:
+                    conn.writer.write(protocol.encode_binary_frame(frame))
+                else:
+                    conn.writer.write(protocol.encode_frame(frame))
                 await conn.writer.drain()
             if timeout is not None:
                 return await asyncio.wait_for(future, timeout=timeout)
@@ -266,9 +364,10 @@ class ResilientServeClient:
 
     def _backoff(self, attempt: int, floor_s: float = 0.0) -> float:
         """Exponential backoff with 25% jitter, floored at ``floor_s``."""
-        base = min(self.backoff_base_s * (2 ** min(attempt, 10)), self.backoff_cap_s)
-        base = max(base, floor_s)
-        return base * (1.0 + 0.25 * self._rng.random())
+        return backoff_sleep_s(
+            attempt, self.backoff_base_s, self.backoff_cap_s, self._rng,
+            floor_s=floor_s,
+        )
 
     # ------------------------------------------------------------------
     # calls

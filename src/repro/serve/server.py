@@ -120,6 +120,8 @@ class ServeConfig:
     journal_fsync_s: float = 0.0
     #: journal events between snapshot+truncate compactions
     journal_compact_every: int = 1000
+    #: cluster shard label surfaced in query snapshots (None = standalone)
+    shard_name: Optional[str] = None
 
 
 class ServiceSanitizer:
@@ -435,6 +437,7 @@ class AdmissionService:
         }
         snap: Dict[str, Any] = {
             "policy": self.policy.name,
+            **({"shard": self.cfg.shard_name} if self.cfg.shard_name else {}),
             "demand_bound_bytes": self.policy.demand_bound(
                 self.resources.state(ResourceKind.LLC).capacity_bytes
             ),
@@ -716,26 +719,9 @@ class AdmissionServer:
         """
         if not session.binary:
             return await reader.readline()
-        try:
-            header = await reader.readexactly(protocol.BINARY_HEADER_BYTES)
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return b""  # EOF at a frame boundary
-            raise ProtocolError(
-                ErrorCode.BAD_FRAME,
-                f"connection closed inside a binary frame header "
-                f"({len(exc.partial)} of {protocol.BINARY_HEADER_BYTES} bytes)",
-            ) from None
-        length = protocol.parse_binary_header(header, self.cfg.max_frame_bytes)
-        try:
-            payload = await reader.readexactly(length)
-        except asyncio.IncompleteReadError as exc:
-            raise ProtocolError(
-                ErrorCode.BAD_FRAME,
-                f"connection closed inside a binary frame payload "
-                f"({len(exc.partial)} of {length} bytes)",
-            ) from None
-        return header + payload
+        return await protocol.read_raw_frame(
+            reader, True, self.cfg.max_frame_bytes
+        )
 
     async def _serve_session(
         self, session: _Session, reader: asyncio.StreamReader

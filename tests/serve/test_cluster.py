@@ -1,0 +1,297 @@
+"""Cluster front-end: redirect, forward, aggregation, equivalence, migration."""
+
+import asyncio
+import dataclasses
+from dataclasses import replace
+
+import pytest
+
+from repro.config import default_machine_config
+from repro.core.api import MB
+from repro.core.policy import StrictPolicy
+from repro.serve.client import ServeClient
+from repro.serve.protocol import ErrorCode
+from repro.serve.resilient import ResilientServeClient
+from repro.serve.server import AdmissionServer, ServeConfig
+from repro.serve.cluster import start_local_cluster
+
+CAPACITY_MB = 4.0
+
+
+def tiny_machine(capacity_mb: float = CAPACITY_MB):
+    machine = default_machine_config()
+    quantum = machine.llc.line_bytes * machine.llc.associativity
+    capacity = max(quantum, int(capacity_mb * 1024 * 1024) // quantum * quantum)
+    return replace(machine, llc=replace(machine.llc, capacity_bytes=capacity))
+
+
+async def start_cluster(tmp_path, n=2, capacity_mb=CAPACITY_MB, seed=0,
+                        **frontend_overrides):
+    """A local cluster with test-speed health/balance loops."""
+    sock = str(tmp_path / "placer.sock")
+    cfg = ServeConfig(
+        policy=StrictPolicy(), machine=tiny_machine(capacity_mb), sanitize=True
+    )
+    cluster = await start_local_cluster(cfg, n, sock, seed=seed)
+    overrides = dict(
+        health_interval_s=0.05, balance_interval_s=0.05, migrate_after_s=0.1
+    )
+    overrides.update(frontend_overrides)
+    cluster.frontend.cfg = dataclasses.replace(
+        cluster.frontend.cfg, **overrides
+    )
+    return cluster, sock
+
+
+async def drain(cluster):
+    cluster.request_drain()
+    return await asyncio.wait_for(cluster.run_until_drained(), 20.0)
+
+
+class TestRedirect:
+    def test_redirecting_hello_gets_a_typed_shard_address(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path)
+            client = await ServeClient.connect(unix_path=sock)
+            reply = await client.call_raw(
+                "hello", client="seeker", redirect=True, timeout=5.0
+            )
+            assert reply["ok"] is False
+            error = reply["error"]
+            assert error["code"] == ErrorCode.REDIRECT
+            shard = error["shard"]
+            assert shard["name"].startswith("shard")
+            assert shard["unix_path"].endswith(f".{shard['name']}")
+            await client.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_resilient_client_follows_the_redirect(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path)
+            client = ResilientServeClient(
+                unix_path=sock, client_id="hopper",
+                backoff_base_s=0.01, max_attempts=10,
+            )
+            begun = await client.pp_begin(MB(1))
+            assert begun["admitted"] is True
+            assert client.redirects == 1
+            # after the redirect the client speaks to the shard directly
+            assert cluster.frontend.c_forwards.value == 0
+            await client.pp_end(begun["pp_id"])
+            await client.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_shard_death_falls_back_and_replaces(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path)
+            client = ResilientServeClient(
+                unix_path=sock, client_id="survivor",
+                backoff_base_s=0.01, max_attempts=40,
+            )
+            begun = await client.pp_begin(MB(1))
+            home = cluster.frontend.placer.assignments["survivor"]
+            victim = next(
+                s for s in cluster.servers
+                if s.cfg.shard_name == home
+            )
+            await victim.abort()
+            # next call: shard socket is gone, the client falls back to the
+            # front-end, which re-places it on the surviving shard
+            reply = await asyncio.wait_for(client.pp_begin(MB(1)), 15.0)
+            assert reply["admitted"] is True
+            now = cluster.frontend.placer.assignments["survivor"]
+            assert now != home
+            assert cluster.frontend.placer.replacements_total >= 1
+            await client.pp_end(reply["pp_id"])
+            await client.close()
+            cluster.servers.remove(victim)
+            assert await drain(cluster) == 0
+            assert begun["admitted"] is True
+
+        asyncio.run(scenario())
+
+
+class TestForward:
+    def test_thin_client_is_forwarded_transparently(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path)
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("plain")
+            begun = await client.pp_begin(MB(1), timeout=5.0)
+            assert begun["admitted"] is True
+            done = await client.pp_end(begun["pp_id"], timeout=5.0)
+            assert done["released"] is True
+            assert cluster.frontend.c_forwards.value == 1
+            await client.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_binary_negotiation_rides_through_the_pump(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path)
+            client = await ServeClient.connect(unix_path=sock)
+            ack = await client.hello("bin", binary=True)
+            assert ack["binary"] is True
+            assert client.binary is True
+            # frames after the ack travel length-prefixed on both legs
+            begun = await client.pp_begin(MB(1), timeout=5.0)
+            assert begun["admitted"] is True
+            await client.pp_end(begun["pp_id"], timeout=5.0)
+            await client.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_anonymous_begin_is_placed_and_forwarded(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path)
+            client = await ServeClient.connect(unix_path=sock)
+            begun = await client.pp_begin(MB(1), timeout=5.0)
+            assert begun["admitted"] is True
+            await client.pp_end(begun["pp_id"], timeout=5.0)
+            await client.close()
+            assert cluster.frontend.c_forwards.value == 1
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+
+class TestAggregation:
+    def test_query_sums_resources_across_shards(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path, n=3)
+            holders = []
+            for i in range(3):
+                c = await ServeClient.connect(unix_path=sock)
+                await c.hello(f"holder-{i}")
+                begun = await c.pp_begin(MB(2), timeout=5.0)
+                holders.append((c, begun["pp_id"]))
+            probe = await ServeClient.connect(unix_path=sock)
+            q = await probe.query()
+            assert q["cluster"] is True
+            assert q["open_periods"] == 3
+            llc = q["resources"]["llc"]
+            assert llc["usage_bytes"] == 3 * MB(2)
+            # 3 shards of per-shard capacity: the cluster manages the sum
+            assert llc["capacity_bytes"] > 2 * MB(CAPACITY_MB)
+            assert set(q["shards"]) == {"shard0", "shard1", "shard2"}
+            assert q["placer"]["placements_total"] >= 3
+            stats = await probe.stats()
+            assert stats["counters"]["forwards_total"] == 3
+            assert stats["shard_counters"]["requests_total"] > 0
+            await probe.close()
+            for c, pp_id in holders:
+                await c.pp_end(pp_id, timeout=5.0)
+                await c.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_per_period_query_is_rejected_at_the_frontend(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path)
+            probe = await ServeClient.connect(unix_path=sock)
+            reply = await probe.call_raw("query", pp_id=1, timeout=5.0)
+            assert reply["ok"] is False
+            assert reply["error"]["code"] == ErrorCode.BAD_REQUEST
+            await probe.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+
+class TestEquivalence:
+    """A 1-shard cluster admits exactly like the bare server it wraps."""
+
+    SESSIONS = [2.0, 3.5, 1.0, 3.9, 0.5, 2.2, 1.7, 3.0]
+
+    async def _run_sessions(self, sock):
+        decisions = []
+        base = None
+        for i, demand_mb in enumerate(self.SESSIONS):
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello(f"eq-{i}")
+            begun = await client.pp_begin(MB(demand_mb), timeout=10.0)
+            # pp_ids come from a process-global counter; compare the
+            # *relative* allocation sequence, which is what admission
+            # equivalence actually promises
+            base = begun["pp_id"] if base is None else base
+            decisions.append(
+                (begun["pp_id"] - base, begun["admitted"], begun["forced"])
+            )
+            await client.pp_end(begun["pp_id"], timeout=10.0)
+            await client.close()
+        return decisions
+
+    def test_single_shard_cluster_matches_bare_server(self, tmp_path):
+        async def scenario():
+            bare_sock = str(tmp_path / "bare.sock")
+            bare = AdmissionServer(ServeConfig(
+                policy=StrictPolicy(), machine=tiny_machine(), sanitize=True
+            ))
+            await bare.start(unix_path=bare_sock)
+            bare_decisions = await self._run_sessions(bare_sock)
+            bare.request_drain()
+            await asyncio.wait_for(bare.run_until_drained(), 10.0)
+
+            cluster, sock = await start_cluster(tmp_path, n=1)
+            cluster_decisions = await self._run_sessions(sock)
+            assert await drain(cluster) == 0
+            assert cluster_decisions == bare_decisions
+
+        asyncio.run(scenario())
+
+
+class TestMigration:
+    def test_parked_begin_moves_to_the_shard_with_headroom(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path, n=2)
+            fe = cluster.frontend
+            fillers = []
+            # two 3 MB fillers, staggered so the health loop observes the
+            # first before the second is placed (they land on both shards)
+            for i in range(2):
+                c = await ServeClient.connect(unix_path=sock)
+                await c.hello(f"filler-{i}")
+                begun = await c.pp_begin(MB(3), timeout=5.0)
+                assert begun["admitted"] is True
+                fillers.append((c, begun["pp_id"]))
+                await asyncio.sleep(0.2)
+
+            parker = await ServeClient.connect(unix_path=sock)
+            await parker.hello("parker")
+            begin = asyncio.ensure_future(
+                parker.pp_begin(MB(2.5), timeout=30.0)
+            )
+            await asyncio.sleep(0.4)
+            assert not begin.done()
+            home = fe.placer.assignments["parker"]
+
+            # free the *other* shard: parker's home stays saturated, so the
+            # balance loop must migrate the parked begin across
+            other = next(
+                i for i in range(2)
+                if fe.placer.assignments[f"filler-{i}"] != home
+            )
+            c, pp_id = fillers[other]
+            await c.pp_end(pp_id, timeout=5.0)
+
+            reply = await asyncio.wait_for(begin, 15.0)
+            assert reply["admitted"] is True
+            assert fe.c_migrations.value >= 1
+            assert fe.placer.assignments["parker"] != home
+            await parker.pp_end(reply["pp_id"], timeout=5.0)
+
+            keep = fillers[1 - other]
+            await keep[0].pp_end(keep[1], timeout=5.0)
+            for c, _ in fillers:
+                await c.close()
+            await parker.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())

@@ -184,3 +184,74 @@ class TestCrashDiscipline:
         journal.sync()
         assert journal.syncs_total >= 1
         journal.close()
+
+
+class TestSnapshotCrashSafety:
+    def test_torn_snapshot_is_corruption_not_a_torn_tail(self, tmp_path):
+        # a torn *append* at the tail is tolerated, but snapshots only
+        # reach the log through fsync + atomic rename — a partial one can
+        # only mean the file itself was damaged
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.record_admit(record(2))
+        journal.compact()
+        journal.close()
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])  # tear the snapshot line
+        with pytest.raises(JournalError, match="partial snapshot"):
+            replay_journal(path)
+
+    def test_torn_tail_after_a_snapshot_is_still_tolerated(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.compact()
+        journal.record_admit(record(2))
+        journal.close()
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[:-9])  # tear the trailing admit mid-line
+        state = replay_journal(path)
+        assert set(state.open) == {1}
+
+    def test_crash_inside_compaction_keeps_the_old_log(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.record_admit(record(2))
+
+        import os as os_mod
+
+        def boom(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr("repro.serve.journal.os.replace", boom)
+        with pytest.raises(OSError):
+            journal.compact()
+        monkeypatch.undo()
+        journal.abandon()
+
+        # the old (pre-compaction) log is intact and replayable, and the
+        # stranded temp snapshot is swept on the next recover
+        assert any(
+            name.startswith("j.ndjson.tmp.") for name in os_mod.listdir(tmp_path)
+        )
+        reborn = AdmissionJournal(path)
+        state = reborn.recover()
+        assert set(state.open) == {1, 2}
+        assert not any(
+            name.startswith("j.ndjson.tmp.") for name in os_mod.listdir(tmp_path)
+        )
+        reborn.close()
+
+    def test_recover_sweeps_stale_temp_snapshots(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        # a previous incarnation (different pid) died mid-compaction
+        stale = tmp_path / "j.ndjson.tmp.99999"
+        stale.write_bytes(b'{"k":"snap","v":1,"open":[]}\n')
+        journal = AdmissionJournal(path)
+        journal.recover()
+        assert not stale.exists()
+        journal.close()
