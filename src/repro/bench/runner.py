@@ -3,10 +3,11 @@
 One benchmark pass produces three files (one per area) in the output
 directory::
 
-    BENCH_sim.json      kernel + engine events/sec
-    BENCH_serve.json    admissions/sec and admission latency percentiles
-    BENCH_cluster.json  admissions/sec through the sharded placer front-end
-    BENCH_fleet.json    sims/sec through run_grid and its result cache
+    BENCH_sim.json            kernel + engine events/sec
+    BENCH_serve.json          admissions/sec and admission latency percentiles
+    BENCH_cluster.json        admissions/sec through the sharded placer front-end
+    BENCH_fleet.json          sims/sec through run_grid and its result cache
+    BENCH_serve_overload.json shed throughput and bounded sojourn under storm
 
 ``--quick`` times each workload once (the sub-second serve and cluster
 areas keep min-of-3 even in quick mode — their latency tails need it);
@@ -35,14 +36,16 @@ BENCH_FILES: Dict[str, str] = {
     "serve": "BENCH_serve.json",
     "cluster": "BENCH_cluster.json",
     "fleet": "BENCH_fleet.json",
+    "serve_overload": "BENCH_serve_overload.json",
 }
 AREA_NAMES = tuple(BENCH_FILES)
 
 #: repetitions per timed workload (best-of-N); quick collapses to 1...
 FULL_REPS = 3
 #: ...except for the sub-second serve/cluster areas, whose latency tails
-#: need min-of-N even in quick mode (three reps still finish in <1 s)
-QUICK_REPS = {"serve": 3, "cluster": 3}
+#: need min-of-N even in quick mode (three reps still finish in <1 s);
+#: serve_overload runs seconds-long saturated reps, so quick keeps 2
+QUICK_REPS = {"serve": 3, "cluster": 3, "serve_overload": 2}
 
 
 @dataclass
@@ -71,6 +74,8 @@ def _run_area(name: str, opts: BenchOptions) -> List[BenchRecord]:
         return areas.bench_fleet(
             opts.seed, cache_dir=opts.cache_dir, jobs=opts.jobs
         )
+    if name == "serve_overload":
+        return areas.bench_serve_overload(opts.seed, reps)
     raise BenchError(f"unknown bench area {name!r}; choose from {AREA_NAMES}")
 
 

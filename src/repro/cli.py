@@ -46,6 +46,28 @@ def policy_by_name(name: str) -> Optional[SchedulingPolicy]:
     )
 
 
+def _positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -134,6 +156,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--park-timeout", type=float, default=30.0, metavar="SECONDS",
         help="how long one client may stay parked before a TIMEOUT reply",
+    )
+    serve_p.add_argument(
+        "--park-deadline", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="queue-sojourn bound on parked admissions: past it the period "
+        "is cancelled with PARK_TIMEOUT and a retry hint (default: off)",
+    )
+    serve_p.add_argument(
+        "--retry-hint-floor", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="with --retry-hint-cap, scale RETRY_AFTER hints from live "
+        "queue occupancy and admission latency, clamped to "
+        "[floor, cap] (default: the constant 0.5 s hint)",
+    )
+    serve_p.add_argument(
+        "--retry-hint-cap", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="upper clamp for adaptive RETRY_AFTER hints (needs "
+        "--retry-hint-floor)",
+    )
+    serve_p.add_argument(
+        "--max-pending-per-client", type=_positive_int, default=None,
+        metavar="N",
+        help="per-client parked-admission quota; beyond it pp_begin gets "
+        "RETRY_AFTER even while the global queue has room (default: off)",
+    )
+    serve_p.add_argument(
+        "--write-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="disconnect a session whose reply write stalls this long "
+        "(slow-consumer defense; default: wait forever)",
     )
     serve_p.add_argument(
         "--idle-timeout", type=float, default=None, metavar="SECONDS",
@@ -271,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="target is a placer front-end: use resilient clients that "
         "follow REDIRECT replies to their assigned shard",
     )
+    _add_resilient_client_options(load_p)
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -321,6 +375,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=3, metavar="N",
         help="shard count for --cluster (default 3)",
     )
+    chaos_p.add_argument(
+        "--overload", action="store_true",
+        help="overload campaign: open-loop arrival storm plus slow "
+        "consumers against a server with the overload defenses armed "
+        "(adaptive retry hints, park deadlines, quotas, write budget)",
+    )
+    chaos_p.add_argument(
+        "--storm-rate", type=_positive_float, default=150.0, metavar="RATE",
+        help="--overload: mean session arrivals per second (default 150)",
+    )
+    chaos_p.add_argument(
+        "--slowloris", type=int, default=2, metavar="N",
+        help="--overload: concurrent slow consumers that never read "
+        "replies (default 2)",
+    )
+    chaos_p.add_argument(
+        "--p99-bound", type=_positive_float, default=5.0, metavar="SECONDS",
+        help="--overload: admitted calls must keep p99 admission latency "
+        "under this (default 5.0)",
+    )
+    _add_resilient_client_options(chaos_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="figures 7-10: every workload under every policy"
@@ -348,8 +423,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="where BENCH_*.json files are written (default: repo root)",
     )
     bench_p.add_argument(
-        "--areas", nargs="*", choices=("sim", "serve", "fleet", "cluster"),
-        default=("sim", "serve", "fleet", "cluster"),
+        "--areas", nargs="*",
+        choices=("sim", "serve", "fleet", "cluster", "serve_overload"),
+        default=("sim", "serve", "fleet", "cluster", "serve_overload"),
         help="benchmark areas to run (default: all)",
     )
     bench_p.add_argument(
@@ -378,6 +454,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_options(fig_p)
 
     return parser
+
+
+def _add_resilient_client_options(parser: argparse.ArgumentParser) -> None:
+    """Resilient-client tuning shared by ``loadgen`` and ``chaos``."""
+    parser.add_argument(
+        "--backoff-cap", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="resilient clients: transport-retry backoff ceiling "
+        "(default: the client's own 1.0 s)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=_positive_int, default=None, metavar="N",
+        help="resilient clients: open the circuit breaker after N "
+        "consecutive connect failures (default: breaker disabled)",
+    )
+    parser.add_argument(
+        "--breaker-reset", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="resilient clients: breaker reset window before the "
+        "half-open probe (default 1.0, or 0.2 under chaos --overload)",
+    )
 
 
 def _add_grid_options(parser: argparse.ArgumentParser) -> None:
@@ -503,6 +600,11 @@ def _cmd_serve(args) -> int:
         strict_fifo=args.fifo,
         max_pending=args.max_pending,
         park_timeout_s=args.park_timeout,
+        park_deadline_s=args.park_deadline,
+        retry_hint_floor_s=args.retry_hint_floor,
+        retry_hint_cap_s=args.retry_hint_cap,
+        max_pending_per_client=args.max_pending_per_client,
+        write_timeout_s=args.write_timeout,
         idle_timeout_s=args.idle_timeout,
         drain_grace_s=args.drain_grace,
         sanitize=args.sanitize,
@@ -662,6 +764,11 @@ def _cmd_loadgen(args) -> int:
         resilient=args.resilient,
         binary=args.binary,
         cluster=args.cluster,
+        client_backoff_cap_s=args.backoff_cap,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=(
+            args.breaker_reset if args.breaker_reset is not None else 1.0
+        ),
         seed=args.seed,
     )
     try:
@@ -684,8 +791,13 @@ def _cmd_chaos(args) -> int:
 
     from .serve.chaos import (
         ChaosConfig, run_chaos_sync, run_cluster_chaos_sync,
+        run_overload_chaos_sync,
     )
 
+    if args.overload and args.cluster:
+        print("chaos: --overload and --cluster are mutually exclusive",
+              file=sys.stderr)
+        return 2
     cfg = ChaosConfig(
         seed=args.seed,
         duration_s=args.duration,
@@ -696,8 +808,21 @@ def _cmd_chaos(args) -> int:
         capacity_mb=args.capacity_mb,
         lease_ttl_s=args.lease_ttl,
         shards=args.shards if args.cluster else 0,
+        storm_rate=args.storm_rate,
+        slowloris=args.slowloris,
+        p99_bound_s=args.p99_bound,
+        backoff_cap_s=args.backoff_cap,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=(
+            args.breaker_reset if args.breaker_reset is not None else 0.2
+        ),
     )
-    campaign = run_cluster_chaos_sync if args.cluster else run_chaos_sync
+    if args.overload:
+        campaign = run_overload_chaos_sync
+    elif args.cluster:
+        campaign = run_cluster_chaos_sync
+    else:
+        campaign = run_chaos_sync
     try:
         if args.workdir is not None:
             report = campaign(cfg, args.workdir)

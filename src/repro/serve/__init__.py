@@ -27,6 +27,8 @@ from .chaos import (
     run_chaos_sync,
     run_cluster_chaos,
     run_cluster_chaos_sync,
+    run_overload_chaos,
+    run_overload_chaos_sync,
 )
 from .client import ServeClient, ServeReplyError
 from .cluster import (
@@ -73,6 +75,8 @@ from .server import (
     AdmissionService,
     ServeConfig,
     ServiceSanitizer,
+    adaptive_retry_hint_s,
+    quota_admits,
     serve_until_drained,
 )
 
@@ -109,6 +113,7 @@ __all__ = [
     "ServiceSanitizer",
     "ShardAddress",
     "ShardState",
+    "adaptive_retry_hint_s",
     "backoff_sleep_s",
     "decode_frame",
     "encode_frame",
@@ -116,6 +121,7 @@ __all__ = [
     "fig4_scripts",
     "ok_reply",
     "parse_request",
+    "quota_admits",
     "replay_journal",
     "run_chaos",
     "run_chaos_sync",
@@ -123,6 +129,8 @@ __all__ = [
     "run_cluster_chaos_sync",
     "run_loadgen",
     "run_loadgen_sync",
+    "run_overload_chaos",
+    "run_overload_chaos_sync",
     "serve_until_drained",
     "start_local_cluster",
 ]

@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import os
 import random
 import signal
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ReproError, ServeError
@@ -48,6 +49,8 @@ __all__ = [
     "run_chaos_sync",
     "run_cluster_chaos",
     "run_cluster_chaos_sync",
+    "run_overload_chaos",
+    "run_overload_chaos_sync",
 ]
 
 #: fault kinds the proxy can inject, in threshold order
@@ -94,6 +97,27 @@ class ChaosConfig:
     #: cluster campaign: admission shards behind a placer front-end
     #: (0 = classic single-server campaign)
     shards: int = 0
+    #: overload campaign: server-side overload knobs, passed to ``serve``
+    #: only when set — the classic campaigns add no extra flags, and
+    #: :func:`run_overload_chaos` fills in tight defaults for unset ones
+    max_pending: Optional[int] = None
+    retry_hint_floor_s: Optional[float] = None
+    retry_hint_cap_s: Optional[float] = None
+    park_deadline_s: Optional[float] = None
+    max_pending_per_client: Optional[int] = None
+    write_timeout_s: Optional[float] = None
+    #: overload campaign: open-loop storm arrivals per second
+    storm_rate: float = 150.0
+    #: overload campaign: concurrent slow consumers that never read replies
+    slowloris: int = 2
+    #: overload campaign: admitted calls must keep p99 latency under this
+    p99_bound_s: float = 5.0
+    #: overload campaign: storm clients' transport backoff ceiling
+    #: (None keeps the resilient client's own default)
+    backoff_cap_s: Optional[float] = None
+    #: overload campaign: storm clients' circuit-breaker threshold/reset
+    breaker_threshold: Optional[int] = None
+    breaker_reset_s: float = 0.2
 
 
 class ChaosProxy:
@@ -255,7 +279,7 @@ class ServerProcess:
         self._drain_task: Optional[asyncio.Task] = None
 
     def _argv(self) -> List[str]:
-        return [
+        argv = [
             sys.executable, "-m", "repro", "serve",
             "--socket", self.socket_path,
             "--policy", self.cfg.policy,
@@ -268,6 +292,20 @@ class ServerProcess:
             "--drain-grace", "3.0",
             "--sanitize",
         ]
+        # Overload knobs ride along only when a campaign sets them, so the
+        # classic campaigns keep their exact historical command line.
+        optional = (
+            ("--max-pending", self.cfg.max_pending),
+            ("--retry-hint-floor", self.cfg.retry_hint_floor_s),
+            ("--retry-hint-cap", self.cfg.retry_hint_cap_s),
+            ("--park-deadline", self.cfg.park_deadline_s),
+            ("--max-pending-per-client", self.cfg.max_pending_per_client),
+            ("--write-timeout", self.cfg.write_timeout_s),
+        )
+        for flag, value in optional:
+            if value is not None:
+                argv += [flag, str(value)]
+        return argv
 
     async def start(self) -> None:
         env = dict(os.environ)
@@ -365,11 +403,18 @@ class ChaosReport:
     #: cluster campaigns: shard count and front-end counters (else 0/empty)
     shards: int = 0
     cluster_counters: Dict[str, int] = field(default_factory=dict)
+    #: overload campaigns: extra verdict inputs (inert for the others)
+    overload: bool = False
+    p99_bound_s: Optional[float] = None
+    p99_observed_s: Optional[float] = None
+    slowloris_clients: int = 0
+    slowloris_disconnects: int = 0
+    final_clients: int = 0
 
     @property
     def ok(self) -> bool:
         """The recovery contract: quiescent, conserved, clean exit."""
-        return (
+        verdict = (
             self.settled
             and self.final_open_periods == 0
             and self.final_usage_bytes == 0
@@ -377,6 +422,20 @@ class ChaosReport:
             and self.sanitizer_ok is not False
             and self.server_exit_code == 0
         )
+        if self.overload:
+            # Degradation contract: admitted calls stay fast, every shed
+            # reply carries a retry hint, and dead slow consumers' leases
+            # are reclaimed (no leaked clients).
+            verdict = (
+                verdict
+                and self.load.sheds_without_hint == 0
+                and self.final_clients == 0
+                and self.load.admission_latency.count > 0
+                and self.p99_bound_s is not None
+                and self.p99_observed_s is not None
+                and self.p99_observed_s <= self.p99_bound_s
+            )
+        return verdict
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -397,6 +456,12 @@ class ChaosReport:
             "server_exit_code": self.server_exit_code,
             "shards": self.shards,
             "cluster_counters": dict(self.cluster_counters),
+            "overload": self.overload,
+            "p99_bound_s": self.p99_bound_s,
+            "p99_observed_s": self.p99_observed_s,
+            "slowloris_clients": self.slowloris_clients,
+            "slowloris_disconnects": self.slowloris_disconnects,
+            "final_clients": self.final_clients,
             "ok": self.ok,
         }
 
@@ -406,7 +471,10 @@ class ChaosReport:
         )
         shape = (
             f"cluster chaos campaign ({self.shards} shard(s), "
-            if self.shards else "chaos campaign ("
+            if self.shards
+            else "overload campaign ("
+            if self.overload
+            else "chaos campaign ("
         )
         lines = [
             f"{shape}seed {self.seed}): {self.wall_s:.2f} s wall, "
@@ -435,6 +503,25 @@ class ChaosReport:
                 + ", ".join(
                     f"{v} {k}" for k, v in sorted(self.cluster_counters.items())
                 )
+            )
+        if self.overload:
+            p99 = (
+                f"{self.p99_observed_s * 1e3:.1f} ms"
+                if self.p99_observed_s is not None
+                and self.p99_observed_s == self.p99_observed_s
+                else "n/a"
+            )
+            bound = (
+                f"{self.p99_bound_s * 1e3:.0f} ms"
+                if self.p99_bound_s is not None else "n/a"
+            )
+            lines.append(
+                f"  overload: admitted p99 {p99} (bound {bound}), "
+                f"{self.load.shed_calls} call(s) shed "
+                f"({self.load.sheds_without_hint} missing a retry hint), "
+                f"{self.slowloris_disconnects}/{self.slowloris_clients} "
+                f"slow consumer(s) disconnected, "
+                f"{self.final_clients} client lease(s) left"
             )
         lines.append(f"  verdict: {'OK' if self.ok else 'FAILED'}")
         return "\n".join(lines)
@@ -771,3 +858,256 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
 def run_cluster_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
     """Blocking wrapper around :func:`run_cluster_chaos` (CLI entry)."""
     return asyncio.run(run_cluster_chaos(cfg, workdir))
+
+
+# ----------------------------------------------------------------------
+# overload campaign
+# ----------------------------------------------------------------------
+async def _slowloris(
+    socket_path: str, index: int, stop: asyncio.Event
+) -> int:
+    """One slow consumer: hello, then flood requests while never reading.
+
+    The server's replies pile up in the socket it can't flush, its
+    bounded ``drain()`` trips the write budget, and it aborts the
+    connection — at which point this task reconnects and floods again.
+    Returns how many times the connection was severed under it.
+
+    Shutdown is via ``stop`` (checked every iteration), not cancellation
+    alone: on 3.11 a ``wait_for`` whose inner future completed just as
+    the cancel landed swallows the CancelledError, and this loop runs
+    hot enough to hit that race almost surely.
+    """
+    disconnects = 0
+    seq = 0
+    while not stop.is_set():
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                socket_path, limit=256 * 1024
+            )
+        except OSError:
+            # Server mid-restart: try again shortly.
+            try:
+                await asyncio.sleep(0.1)
+                continue
+            except asyncio.CancelledError:
+                return disconnects
+        try:
+            hello = {
+                "id": seq, "op": "hello", "client": f"slowloris-{index}",
+            }
+            seq += 1
+            writer.write((json.dumps(hello) + "\n").encode("utf-8"))
+            await writer.drain()
+            while not stop.is_set():
+                frame = {"id": seq, "op": "stats"}
+                seq += 1
+                writer.write((json.dumps(frame) + "\n").encode("utf-8"))
+                # Bound our own drain: once the server aborts us the
+                # write surfaces as a ConnectionError and we reconnect.
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(writer.drain(), timeout=0.2)
+                # Pace the flood: the attack is the unread reply backlog,
+                # not request volume — unpaced, this loop monopolizes the
+                # driver's event loop and drowns the storm it rides with.
+                await asyncio.sleep(0.002)
+        except (ConnectionError, OSError):
+            disconnects += 1
+        except asyncio.CancelledError:
+            return disconnects
+        finally:
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
+    return disconnects
+
+
+async def run_overload_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """Overload campaign: storm the server, starve it, kill it, judge it.
+
+    Three attacks run at once against one journal-backed server with the
+    overload defenses armed (any knob the caller left unset gets a tight
+    default):
+
+    * an **open-loop arrival storm** — Poisson arrivals at
+      ``storm_rate``/s that do not slow down when the server does, so the
+      pending queue saturates and the shedding paths (adaptive
+      RETRY_AFTER, per-client quotas, park deadlines) all fire;
+    * **slow consumers** — connections that write requests but never read
+      replies, exercising the bounded write budget and lease reclaim;
+    * the usual **SIGKILL/restart** cycles mid-storm.
+
+    The verdict extends the recovery contract: admitted calls must keep
+    p99 admission latency under ``p99_bound_s``, every shed reply must
+    carry a retry hint, and no client lease may survive the settle.
+    """
+    # Arm every unset overload knob with a deliberately tight default so
+    # the storm actually trips each defense within a short campaign.
+    cfg = replace(
+        cfg,
+        max_pending=16 if cfg.max_pending is None else cfg.max_pending,
+        retry_hint_floor_s=(
+            0.05 if cfg.retry_hint_floor_s is None else cfg.retry_hint_floor_s
+        ),
+        retry_hint_cap_s=(
+            2.0 if cfg.retry_hint_cap_s is None else cfg.retry_hint_cap_s
+        ),
+        park_deadline_s=(
+            1.0 if cfg.park_deadline_s is None else cfg.park_deadline_s
+        ),
+        max_pending_per_client=(
+            2 if cfg.max_pending_per_client is None
+            else cfg.max_pending_per_client
+        ),
+        write_timeout_s=(
+            1.0 if cfg.write_timeout_s is None else cfg.write_timeout_s
+        ),
+        # The storm must oversubscribe capacity or nothing sheds: at the
+        # classic campaign's 10 ms holds, 150 arrivals/s of 2 MB fits in
+        # an 8 MB machine with room to spare.  150 ms holds put offered
+        # load at ~5-6x capacity.
+        hold_s=max(cfg.hold_s, 0.15),
+    )
+    os.makedirs(workdir, exist_ok=True)
+    socket_path = os.path.join(workdir, "overload-server.sock")
+    journal_path = os.path.join(workdir, "overload-journal.ndjson")
+
+    t_start = time.monotonic()
+    server = ServerProcess(socket_path, journal_path, cfg)
+    await server.start()
+
+    slow_stop = asyncio.Event()
+    slow_tasks = [
+        asyncio.ensure_future(_slowloris(socket_path, i, slow_stop))
+        for i in range(cfg.slowloris)
+    ]
+
+    assert cfg.park_deadline_s is not None  # armed above
+    load_cfg = LoadgenConfig(
+        mode="open",
+        rate=cfg.storm_rate,
+        sessions=cfg.sessions,
+        duration_s=cfg.duration_s,
+        time_scale=1.0,
+        max_hold_s=max(cfg.hold_s, 0.05),
+        # A storm client that keeps being shed gives up quickly — the
+        # point is terminal shed accounting, not eventual admission.
+        max_retries=6,
+        resilient=True,
+        call_timeout_s=2.0,
+        begin_timeout_s=min(cfg.park_deadline_s, cfg.park_timeout_s) + 2.0,
+        client_backoff_cap_s=cfg.backoff_cap_s,
+        breaker_threshold=cfg.breaker_threshold,
+        breaker_reset_s=cfg.breaker_reset_s,
+        seed=cfg.seed,
+    )
+    scripts = fig4_scripts(
+        n=max(8, cfg.clients * 2), demand_mb=cfg.demand_mb, hold_s=cfg.hold_s
+    )
+    load_task = asyncio.ensure_future(
+        run_loadgen(scripts, load_cfg, unix_path=socket_path)
+    )
+
+    kills = 0
+    try:
+        for _ in range(cfg.kills):
+            await asyncio.sleep(cfg.kill_interval_s)
+            if load_task.done():
+                break
+            server.kill()
+            await server.wait()
+            kills += 1
+            await server.start()
+        load = await load_task
+    except BaseException:
+        load_task.cancel()
+        slow_stop.set()
+        for task in slow_tasks:
+            task.cancel()
+        with contextlib.suppress(BaseException):
+            await load_task
+        for task in slow_tasks:
+            with contextlib.suppress(BaseException):
+                await task
+        raise
+
+    # Storm is over: call off the slow consumers, then let the lease
+    # reaper reclaim everything they and the storm clients left behind.
+    slow_stop.set()
+    for task in slow_tasks:
+        task.cancel()
+    slow_results = await asyncio.gather(*slow_tasks, return_exceptions=True)
+    slow_disconnects = sum(r for r in slow_results if isinstance(r, int))
+
+    settled = False
+    settle_t0 = time.monotonic()
+    final_open = final_usage = final_waiting = final_clients = -1
+    sanitizer_ok: Optional[bool] = None
+    replayed = 0
+    probe = await ServeClient.connect(unix_path=socket_path, timeout=5.0)
+    try:
+        deadline = settle_t0 + cfg.settle_timeout_s
+        while time.monotonic() < deadline:
+            q = await probe.query()
+            final_open = int(q.get("open_periods", -1))
+            final_waiting = int(q.get("waiting", -1))
+            final_clients = int(q.get("clients", -1))
+            final_usage = sum(
+                int(state.get("usage_bytes", 0))
+                for state in q.get("resources", {}).values()
+            )
+            replayed = int((q.get("journal") or {}).get("replayed_periods", 0))
+            if (
+                final_open == 0
+                and final_usage == 0
+                and final_waiting == 0
+                and final_clients == 0
+            ):
+                settled = True
+                break
+            await asyncio.sleep(0.1)
+        stats = await probe.stats()
+        sanitizer = stats.get("sanitizer")
+        if sanitizer is not None:
+            sanitizer_ok = bool(sanitizer.get("ok"))
+        await probe.drain()
+    finally:
+        await probe.close()
+    settle_s = time.monotonic() - settle_t0
+
+    exit_code: Optional[int] = None
+    with contextlib.suppress(asyncio.TimeoutError):
+        exit_code = await server.wait(timeout_s=10.0)
+    if exit_code is None:
+        server.kill()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await server.wait(timeout_s=5.0)
+
+    return ChaosReport(
+        seed=cfg.seed,
+        wall_s=time.monotonic() - t_start,
+        kills=kills,
+        faults={kind: 0 for kind in FAULT_KINDS},
+        faults_total=0,
+        proxy_connections=0,
+        load=load,
+        replayed_periods_last_boot=replayed,
+        settled=settled,
+        settle_s=settle_s,
+        final_open_periods=final_open,
+        final_usage_bytes=final_usage,
+        final_waiting=final_waiting,
+        sanitizer_ok=sanitizer_ok,
+        server_exit_code=exit_code,
+        server_output=list(server.output),
+        overload=True,
+        p99_bound_s=cfg.p99_bound_s,
+        p99_observed_s=load.admission_latency.p99,
+        slowloris_clients=cfg.slowloris,
+        slowloris_disconnects=slow_disconnects,
+        final_clients=final_clients,
+    )
+
+
+def run_overload_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """Blocking wrapper around :func:`run_overload_chaos` (CLI entry)."""
+    return asyncio.run(run_overload_chaos(cfg, workdir))

@@ -88,7 +88,9 @@ class ServeClient:
         try:
             self.writer.close()
             await self.writer.wait_closed()
-        except (ConnectionError, RuntimeError):
+        except (OSError, RuntimeError):
+            # OSError covers ConnectionError plus the EINVAL a transport
+            # aborted mid-close can surface from wait_closed();
             # RuntimeError covers "Event loop is closed" during teardown.
             pass
         # Unblock any pending readline cleanly: feeding EOF makes a racing

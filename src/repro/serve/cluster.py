@@ -94,6 +94,15 @@ class ClusterConfig:
     migration: bool = True
     #: hint attached to RETRY_AFTER when no shard is alive
     retry_after_s: float = 0.25
+    #: brownout mode: when no live shard can fit the observed peak demand
+    #: AND the fragmentation gauge holds at/above this threshold for
+    #: ``brownout_sweeps`` consecutive health sweeps, *new* clients are
+    #: shed with a typed OVERLOAD error (None = brownout disabled)
+    brownout_fragmentation: Optional[float] = None
+    #: consecutive saturated health sweeps before brownout engages
+    brownout_sweeps: int = 3
+    #: cluster-wide retry hint carried by OVERLOAD sheds
+    brownout_retry_s: float = 0.5
     #: largest accepted request frame
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     #: flat file the cluster metrics snapshot is dumped to
@@ -452,9 +461,22 @@ class ClusterFrontend:
         self.c_requests = self.metrics.counter(
             "requests_total", "frames handled by the front-end itself"
         )
+        self.c_brownout_shed = self.metrics.counter(
+            "brownout_shed_total", "new clients shed with OVERLOAD"
+        )
+        #: brownout state: set/cleared by the health loop
+        self._brownout = False
+        self._brownout_streak = 0
+        #: per-resource high-water mark of declared demand, the yardstick
+        #: for "could any shard even fit a typical new client?"
+        self._peak_demand: Dict[str, int] = {}
         self.metrics.gauge(
             "fragmentation", "1 - largest_free/total_free over live shards",
             fn=self.placer.fragmentation,
+        )
+        self.metrics.gauge(
+            "brownout", "1 while the front-end is shedding new clients",
+            fn=lambda: float(self._brownout),
         )
         self.metrics.gauge(
             "shards_alive", fn=lambda: float(len(self.placer.alive_shards()))
@@ -560,6 +582,9 @@ class ClusterFrontend:
     # ------------------------------------------------------------------
     def note_demand(self, client_id: str, demand: Dict[str, int]) -> None:
         """Fold a declared pp_begin demand into the client's profile."""
+        for resource, amount in demand.items():
+            if amount > self._peak_demand.get(resource, 0):
+                self._peak_demand[resource] = amount
         with contextlib.suppress(ClusterError):
             self.placer.place(client_id, demand)
 
@@ -621,6 +646,39 @@ class ClusterFrontend:
                 open_periods=reply.get("open_periods"),
                 alive=True,
             )
+        self._update_brownout()
+
+    def _update_brownout(self) -> None:
+        """Hysteretic brownout decision, one call per health sweep.
+
+        Saturated = every live shard is infeasible for the observed peak
+        demand AND fragmentation holds at/above the threshold.  Brownout
+        engages only after ``brownout_sweeps`` consecutive saturated
+        sweeps (so one transient spike doesn't shed clients) and releases
+        the moment any headroom returns.
+        """
+        threshold = self.cfg.brownout_fragmentation
+        if threshold is None:
+            return
+        live = self.placer.alive_shards()
+        saturated = (
+            bool(live)
+            and bool(self._peak_demand)
+            and not any(s.fits_observed(self._peak_demand) for s in live)
+            and self.placer.fragmentation() >= threshold
+        )
+        if saturated:
+            self._brownout_streak += 1
+            if self._brownout_streak >= self.cfg.brownout_sweeps:
+                self._brownout = True
+        else:
+            self._brownout_streak = 0
+            self._brownout = False
+
+    def _shed_new_client(self, client_id: str) -> bool:
+        """Should this client be shed right now?  Known (already-assigned)
+        clients ride out the brownout; only new arrivals are shed."""
+        return self._brownout and client_id not in self.placer.assignments
 
     async def _health_loop(self) -> None:
         while True:
@@ -744,6 +802,14 @@ class ClusterFrontend:
         hint = frame.get("demand_bytes")
         if isinstance(hint, int) and not isinstance(hint, bool) and hint > 0:
             demand_hint["llc"] = hint
+        if self._shed_new_client(request.client):
+            self.c_brownout_shed.inc()
+            await send(protocol.error_reply(
+                request.id, ErrorCode.OVERLOAD,
+                "cluster is in brownout: shedding new clients",
+                retry_after_s=self.cfg.brownout_retry_s,
+            ))
+            return False
         try:
             shard = self.placer.place(request.client, demand_hint)
         except ClusterError:
@@ -779,6 +845,14 @@ class ClusterFrontend:
         shard: Optional[ShardState] = None,
     ) -> None:
         if shard is None:
+            if self._shed_new_client(client_id):
+                self.c_brownout_shed.inc()
+                await send(protocol.error_reply(
+                    first_frame.get("id"), ErrorCode.OVERLOAD,
+                    "cluster is in brownout: shedding new clients",
+                    retry_after_s=self.cfg.brownout_retry_s,
+                ))
+                return
             try:
                 shard = self.placer.place(client_id)
             except ClusterError:

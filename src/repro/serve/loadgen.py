@@ -88,6 +88,14 @@ class LoadgenConfig:
     #: target is a cluster front-end: clients are resilient and follow
     #: REDIRECT replies to their assigned shard
     cluster: bool = False
+    #: resilient clients: override the transport-retry backoff ceiling
+    #: (None keeps the client's own default)
+    client_backoff_cap_s: Optional[float] = None
+    #: resilient clients: open the circuit breaker after this many
+    #: consecutive connect/hello failures (None = breaker disabled)
+    breaker_threshold: Optional[int] = None
+    #: resilient clients: breaker reset window (half-open probe after)
+    breaker_reset_s: float = 1.0
     #: RNG seed (arrival gaps, script order)
     seed: int = 0
 
@@ -108,6 +116,9 @@ class _Tally:
     park_timeouts: int = 0
     draining_rejects: int = 0
     protocol_errors: int = 0
+    overload_sheds: int = 0
+    shed_calls: int = 0
+    sheds_without_hint: int = 0
     reconnects: int = 0
     lost_periods: int = 0
     deduped: int = 0
@@ -135,6 +146,13 @@ class LoadgenReport:
     park_timeouts: int
     draining_rejects: int
     protocol_errors: int
+    #: terminal OVERLOAD sheds (cluster brownout), anywhere in a session
+    overload_sheds: int
+    #: calls that terminally ended shed — RETRY_AFTER exhausted/dropped,
+    #: TIMEOUT/PARK_TIMEOUT, or OVERLOAD — as opposed to admitted/errored
+    shed_calls: int
+    #: shed replies missing the mandated retry hint (should stay 0)
+    sheds_without_hint: int
     reconnects: int
     lost_periods: int
     deduped: int
@@ -162,6 +180,9 @@ class LoadgenReport:
             "park_timeouts": self.park_timeouts,
             "draining_rejects": self.draining_rejects,
             "protocol_errors": self.protocol_errors,
+            "overload_sheds": self.overload_sheds,
+            "shed_calls": self.shed_calls,
+            "sheds_without_hint": self.sheds_without_hint,
             "reconnects": self.reconnects,
             "lost_periods": self.lost_periods,
             "deduped": self.deduped,
@@ -189,6 +210,16 @@ class LoadgenReport:
             f"{self.park_timeouts} park timeout(s), "
             f"{self.draining_rejects} draining reject(s), "
             f"{self.protocol_errors} protocol error(s)",
+            f"  outcomes: {self.admitted} admitted, "
+            f"{self.shed_calls} shed ({self.overload_sheds} OVERLOAD), "
+            f"{self.protocol_errors} errored — shed rate "
+            f"{self.shed_calls / self.calls if self.calls else 0.0:.1%}"
+            + (
+                f", {self.sheds_without_hint} shed reply(ies) MISSING a "
+                "retry hint"
+                if self.sheds_without_hint
+                else ""
+            ),
             f"  resilience: {self.reconnects} reconnect(s), "
             f"{self.deduped} deduped begin(s), "
             f"{self.redirects} redirect(s), "
@@ -297,6 +328,9 @@ class _Runner:
                 )
             return client
         self._next_client += 1
+        extra: Dict[str, Any] = {}
+        if self.cfg.client_backoff_cap_s is not None:
+            extra["backoff_cap_s"] = self.cfg.client_backoff_cap_s
         client = ResilientServeClient(
             **self.connect_kwargs,
             client_id=f"loadgen-{self.cfg.seed}-{self._next_client}",
@@ -307,7 +341,10 @@ class _Runner:
             retry_admission=False,
             binary=self.cfg.binary,
             follow_redirects=self.cfg.cluster,
+            breaker_threshold=self.cfg.breaker_threshold,
+            breaker_reset_s=self.cfg.breaker_reset_s,
             rng=random.Random(self.rng.randrange(1 << 30)),
+            **extra,
         )
         await client.connect()
         return client
@@ -334,20 +371,34 @@ class _Runner:
                     sharing_key=call.sharing_key,
                 )
             except ServeReplyError as exc:
+                if exc.code in (
+                    ErrorCode.RETRY_AFTER,
+                    ErrorCode.PARK_TIMEOUT,
+                    ErrorCode.OVERLOAD,
+                ) and exc.retry_after_s is None:
+                    # every shed reply must carry a retry hint
+                    tally.sheds_without_hint += 1
                 if exc.code == ErrorCode.RETRY_AFTER:
                     tally.retries += 1
                     if not self._budget_left():
                         # the run is over; don't keep knocking past the
                         # deadline just because the server is saturated
                         tally.dropped_calls += 1
+                        tally.shed_calls += 1
                         return False
                     await asyncio.sleep(
                         self._retry_sleep_s(attempt, exc.retry_after_s)
                     )
                     continue
-                if exc.code == ErrorCode.TIMEOUT:
+                if exc.code in (ErrorCode.TIMEOUT, ErrorCode.PARK_TIMEOUT):
                     tally.park_timeouts += 1
+                    tally.shed_calls += 1
                     return True  # period cancelled server-side; move on
+                if exc.code == ErrorCode.OVERLOAD:
+                    # cluster brownout: this client was shed outright
+                    tally.overload_sheds += 1
+                    tally.shed_calls += 1
+                    return False
                 if exc.code == ErrorCode.DRAINING:
                     tally.draining_rejects += 1
                     self._stop = True
@@ -367,7 +418,9 @@ class _Runner:
                 await asyncio.sleep(hold)
             await client.pp_end(reply["pp_id"])
             return True
+        # max_retries exhausted: the call ends shed, not errored
         tally.dropped_calls += 1
+        tally.shed_calls += 1
         return True
 
     async def _run_session(self, client: Any, script: SessionScript) -> None:
@@ -395,6 +448,16 @@ class _Runner:
     async def _open_session(self, script: SessionScript) -> None:
         try:
             client = await self._make_client()
+        except ServeReplyError as exc:
+            # a cluster front-end in brownout sheds new clients at hello
+            if exc.code == ErrorCode.OVERLOAD:
+                self.tally.overload_sheds += 1
+                self.tally.shed_calls += 1
+                if exc.retry_after_s is None:
+                    self.tally.sheds_without_hint += 1
+            self.tally.sessions_started += 1
+            self.tally.sessions_failed += 1
+            return
         except (OSError, ServeError):
             self.tally.sessions_started += 1
             self.tally.sessions_failed += 1
@@ -473,6 +536,9 @@ class _Runner:
             park_timeouts=tally.park_timeouts,
             draining_rejects=tally.draining_rejects,
             protocol_errors=tally.protocol_errors,
+            overload_sheds=tally.overload_sheds,
+            shed_calls=tally.shed_calls,
+            sheds_without_hint=tally.sheds_without_hint,
             reconnects=tally.reconnects,
             lost_periods=tally.lost_periods,
             deduped=tally.deduped,

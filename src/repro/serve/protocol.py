@@ -93,6 +93,8 @@ class ErrorCode:
     UNKNOWN_PERIOD = "UNKNOWN_PERIOD"  # pp_id not open on this connection
     RETRY_AFTER = "RETRY_AFTER"  # pending-admission queue full
     TIMEOUT = "TIMEOUT"  # parked longer than the park timeout
+    PARK_TIMEOUT = "PARK_TIMEOUT"  # parked past the sojourn deadline
+    OVERLOAD = "OVERLOAD"  # cluster brownout: shedding new clients
     DRAINING = "DRAINING"  # server no longer admits new periods
     NOT_BOUND = "NOT_BOUND"  # heartbeat before hello (no client identity)
     REDIRECT = "REDIRECT"  # speak to the shard named in error.shard instead

@@ -39,6 +39,7 @@ import asyncio
 import contextlib
 import itertools
 import random
+import time
 import uuid
 from typing import Any, Dict, Optional
 
@@ -91,6 +92,8 @@ class ResilientServeClient:
         binary: bool = False,
         follow_redirects: bool = True,
         max_redirects: int = 8,
+        breaker_threshold: Optional[int] = None,
+        breaker_reset_s: float = 1.0,
         rng: Optional[random.Random] = None,
     ) -> None:
         if unix_path is None and (host is None or port is None):
@@ -117,12 +120,22 @@ class ResilientServeClient:
         self.backoff_cap_s = backoff_cap_s
         self.retry_admission = retry_admission
         self.lease_ttl_s: Optional[float] = None
+        #: circuit breaker: after ``breaker_threshold`` consecutive
+        #: connect/hello failures, further connection attempts fail fast
+        #: for a jittered ``breaker_reset_s``; then one half-open probe
+        #: either closes the breaker or re-opens it.  None = disabled.
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
+        self._breaker_failures = 0
+        self._breaker_open_until: Optional[float] = None
         #: fault counters, exposed for reports and tests
         self.reconnects = 0
         self.retries = 0
         self.lost_periods = 0
         self.deduped = 0
         self.redirects = 0
+        self.breaker_opens = 0
+        self.breaker_fast_fails = 0
         self._rng = rng if rng is not None else random.Random()
         self._ids = itertools.count(1)
         self._conn: Optional[ServeClient] = None
@@ -175,7 +188,43 @@ class ResilientServeClient:
             "lost_periods": self.lost_periods,
             "deduped": self.deduped,
             "redirects": self.redirects,
+            "breaker_opens": self.breaker_opens,
+            "breaker_fast_fails": self.breaker_fast_fails,
         }
+
+    # ------------------------------------------------------------------
+    # circuit breaker
+    # ------------------------------------------------------------------
+    def _breaker_check(self) -> None:
+        """Fail fast while the breaker is open; past the reset deadline the
+        caller proceeds as the single half-open probe (serialized by the
+        connection lock, so exactly one probe is in flight)."""
+        if self._breaker_open_until is None:
+            return
+        if time.monotonic() < self._breaker_open_until:
+            self.breaker_fast_fails += 1
+            raise ServeError(
+                f"circuit breaker open after {self._breaker_failures} "
+                f"consecutive connection failures; retry later"
+            )
+        # Half-open: allow this one attempt through.  Success closes the
+        # breaker (_breaker_success); failure re-opens it immediately.
+        self._breaker_open_until = None
+
+    def _breaker_failure(self) -> None:
+        if self.breaker_threshold is None:
+            return
+        self._breaker_failures += 1
+        if self._breaker_failures >= self.breaker_threshold:
+            self.breaker_opens += 1
+            # Jittered so a fleet sharing a seed doesn't re-probe in sync.
+            self._breaker_open_until = time.monotonic() + (
+                self.breaker_reset_s * (1.0 + 0.25 * self._rng.random())
+            )
+
+    def _breaker_success(self) -> None:
+        self._breaker_failures = 0
+        self._breaker_open_until = None
 
     # ------------------------------------------------------------------
     # connection machinery
@@ -191,11 +240,13 @@ class ResilientServeClient:
             redirects_left = self.max_redirects
             attempt = 0
             while attempt < self.max_attempts:
+                self._breaker_check()
                 try:
                     conn = await ServeClient.connect(
                         timeout=self.connect_timeout_s, **self._target
                     )
                 except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                    self._breaker_failure()
                     last_exc = exc
                     attempt += 1
                     if self._target != self._home:
@@ -232,11 +283,13 @@ class ResilientServeClient:
                 except (ConnectionError, asyncio.TimeoutError) as exc:
                     await conn.close()
                     self._conn = None
+                    self._breaker_failure()
                     last_exc = exc
                     attempt += 1
                     await asyncio.sleep(self._backoff(attempt))
                     continue
                 if hello.get("ok"):
+                    self._breaker_success()
                     self.lease_ttl_s = hello.get("lease_ttl_s")
                     # Keep the lease warm by default: a third of the TTL
                     # unless the caller picked a cadence.

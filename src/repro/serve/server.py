@@ -75,8 +75,56 @@ __all__ = [
     "ServiceSanitizer",
     "AdmissionService",
     "AdmissionServer",
+    "adaptive_retry_hint_s",
+    "quota_admits",
     "serve_until_drained",
 ]
+
+
+def adaptive_retry_hint_s(
+    occupancy: float,
+    latency_p50_s: float,
+    floor_s: float,
+    cap_s: float,
+) -> float:
+    """The adaptive RETRY_AFTER hint for one shed request.
+
+    ``occupancy`` is the pending-queue fill fraction (clamped to [0, 1])
+    and ``latency_p50_s`` the median observed admission latency.  The hint
+    is the median latency (floored at ``floor_s``) scaled up to 4x as the
+    queue fills::
+
+        hint = clamp(max(floor, p50) * (1 + 3 * occupancy), floor, cap)
+
+    Monotone non-decreasing in occupancy and always within
+    ``[floor_s, cap_s]`` (the cap is raised to the floor if inverted) —
+    both properties are pinned by hypothesis tests.
+    """
+    if cap_s < floor_s:
+        cap_s = floor_s
+    occupancy = min(1.0, max(0.0, occupancy))
+    base = max(floor_s, latency_p50_s)
+    return min(cap_s, max(floor_s, base * (1.0 + 3.0 * occupancy)))
+
+
+def quota_admits(
+    waiting_by_client: Dict[str, int],
+    client: str,
+    max_pending: int,
+    max_pending_per_client: Optional[int],
+) -> bool:
+    """Would one more parked admission from ``client`` be within quota?
+
+    True iff the aggregate pending queue stays within ``max_pending`` AND
+    the client stays within ``max_pending_per_client`` (None = unbounded).
+    Pure so the fairness math is property-testable apart from the server.
+    """
+    total = sum(waiting_by_client.values())
+    if total >= max_pending:
+        return False
+    if max_pending_per_client is None:
+        return True
+    return waiting_by_client.get(client, 0) < max_pending_per_client
 
 
 @dataclass(frozen=True)
@@ -93,8 +141,24 @@ class ServeConfig:
     max_pending: int = 1024
     #: hint returned with RETRY_AFTER replies
     retry_after_s: float = 0.05
+    #: floor of the adaptive retry hint; with ``retry_hint_cap_s`` set,
+    #: RETRY_AFTER hints scale with queue occupancy and observed admission
+    #: latency instead of the constant ``retry_after_s`` (None = constant)
+    retry_hint_floor_s: Optional[float] = None
+    #: cap of the adaptive retry hint (None = constant ``retry_after_s``)
+    retry_hint_cap_s: Optional[float] = None
     #: how long one client may stay parked before a TIMEOUT reply
     park_timeout_s: Optional[float] = 30.0
+    #: CoDel-style sojourn bound on parked pp_begins: past it the period
+    #: is cancelled with a typed PARK_TIMEOUT error carrying a retry hint
+    #: (None = only the legacy park_timeout_s applies)
+    park_deadline_s: Optional[float] = None
+    #: per-client bound on parked admissions, so one storm client cannot
+    #: occupy the whole pending queue (None = no per-client bound)
+    max_pending_per_client: Optional[int] = None
+    #: slow-consumer defense: disconnect a session whose writer.drain()
+    #: stalls past this deadline (None = wait forever, legacy behavior)
+    write_timeout_s: Optional[float] = None
     #: per-connection read idle timeout (None = wait forever)
     idle_timeout_s: Optional[float] = None
     #: period of the background starvation-guard sweep
@@ -261,6 +325,19 @@ class AdmissionService:
         self.c_park_timeout = m.counter(
             "park_timeouts_total", "parked periods that hit the park timeout"
         )
+        self.c_park_deadline = m.counter(
+            "park_deadline_timeouts_total",
+            "parked periods shed by the CoDel-style sojourn deadline",
+        )
+        self.c_quota_rejects = m.counter(
+            "quota_rejects_total",
+            "pp_begin rejected by the per-client pending quota",
+        )
+        self.c_slow_disconnects = m.counter(
+            "slow_consumer_disconnects_total",
+            "sessions disconnected because writer.drain() stalled past "
+            "the write timeout",
+        )
         self.c_disconnect_cancel = m.counter(
             "cancelled_on_disconnect_total",
             "periods cancelled because their client vanished",
@@ -292,6 +369,10 @@ class AdmissionService:
         self.h_admission = m.histogram(
             "admission_latency_s",
             "pp_begin receipt to admitted reply (park time included)",
+        )
+        self.h_sojourn = m.histogram(
+            "queue_sojourn_s",
+            "time spent parked on the pending queue, however the park ended",
         )
         self.c_hello = m.counter("hello_total", "hello handshakes")
         self.c_heartbeats = m.counter("heartbeats_total", "lease heartbeats")
@@ -470,6 +551,7 @@ class _Session:
 
     def __init__(self, service: AdmissionService, writer: asyncio.StreamWriter) -> None:
         self.id = next(self._ids)
+        self.service = service
         self.record = service.make_record()
         self.record.session = self
         self.writer = writer
@@ -489,9 +571,22 @@ class _Session:
         encode = (
             protocol.encode_binary_frame if self.binary else protocol.encode_frame
         )
+        timeout = self.service.cfg.write_timeout_s
         try:
             self.writer.write(encode(frame))
-            await self.writer.drain()
+            if timeout is None:
+                await self.writer.drain()
+            else:
+                await asyncio.wait_for(self.writer.drain(), timeout)
+        except asyncio.TimeoutError:
+            # Slow-consumer defense: a peer that stops reading (slowloris)
+            # must not pin this session's write buffer forever.  Abort the
+            # transport; the read side raises and the normal cleanup path
+            # reclaims the session (and, via the reaper, its lease).
+            self.closed = True
+            self.service.c_slow_disconnects.inc()
+            with contextlib.suppress(Exception):
+                self.writer.transport.abort()
         except (ConnectionError, RuntimeError):
             self.closed = True
 
@@ -862,8 +957,25 @@ class AdmissionServer:
                 request.id, ErrorCode.RETRY_AFTER,
                 f"pending-admission queue is full "
                 f"({self.cfg.max_pending} waiter(s))",
-                retry_after_s=self.cfg.retry_after_s,
+                retry_after_s=self._retry_hint_s(),
             )
+        # Fairness: the bounded queue is also bounded *per client*, so one
+        # storm client cannot occupy the whole waitlist.
+        if self.cfg.max_pending_per_client is not None:
+            waiting = sum(
+                1
+                for pp_id in record.api.open_ids()
+                if record.api.period(pp_id).state is PeriodState.WAITING
+            )
+            if waiting >= self.cfg.max_pending_per_client:
+                service.c_quota_rejects.inc()
+                service.c_retry_after.inc()
+                return protocol.error_reply(
+                    request.id, ErrorCode.RETRY_AFTER,
+                    f"client has {waiting} parked admission(s), at the "
+                    f"per-client quota of {self.cfg.max_pending_per_client}",
+                    retry_after_s=self._retry_hint_s(),
+                )
         sharing_key = (
             ("serve", request.sharing_key) if request.sharing_key is not None else None
         )
@@ -894,6 +1006,30 @@ class AdmissionServer:
             return self._admitted_reply(request.id, period)
         return await self._park(session, reader, request, period)
 
+    def _retry_hint_s(self) -> float:
+        """The retry hint carried by shed replies.
+
+        With both adaptive bounds configured, the hint scales with live
+        queue occupancy and the observed median admission latency
+        (:func:`adaptive_retry_hint_s`); otherwise it is the constant
+        ``cfg.retry_after_s``, byte-identical to the legacy behavior.
+        """
+        cfg = self.cfg
+        if cfg.retry_hint_floor_s is None or cfg.retry_hint_cap_s is None:
+            return cfg.retry_after_s
+        service = self.service
+        occupancy = (
+            len(service.waitlist) / cfg.max_pending if cfg.max_pending else 1.0
+        )
+        p50 = (
+            service.h_admission.percentile(50.0)
+            if service.h_admission.count
+            else 0.0
+        )
+        return adaptive_retry_hint_s(
+            occupancy, p50, cfg.retry_hint_floor_s, cfg.retry_hint_cap_s
+        )
+
     async def _park(
         self,
         session: _Session,
@@ -914,11 +1050,26 @@ class AdmissionServer:
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._parked[period.pp_id] = future
+        parked_at = loop.time()
         deadline = (
             None
             if self.cfg.park_timeout_s is None
-            else loop.time() + self.cfg.park_timeout_s
+            else parked_at + self.cfg.park_timeout_s
         )
+        # CoDel-style sojourn bound: a separate, typically much tighter
+        # deadline that sheds the period with PARK_TIMEOUT + a retry hint
+        # instead of the legacy terminal TIMEOUT.
+        sojourn_deadline = (
+            None
+            if self.cfg.park_deadline_s is None
+            else parked_at + self.cfg.park_deadline_s
+        )
+        if sojourn_deadline is not None and (
+            deadline is None or sojourn_deadline < deadline
+        ):
+            deadline, shed_deadline = sojourn_deadline, True
+        else:
+            shed_deadline = False
         read_task: Optional[asyncio.Task] = None
         try:
             while True:
@@ -969,9 +1120,20 @@ class AdmissionServer:
                     break
                 if not done and read_task is not None:
                     # Pure timeout: cancel the period and tell the client.
-                    service.c_park_timeout.inc()
                     self._wake(self._cancel_period(session.record, period.pp_id))
                     self._wake(service.rescue_starved())
+                    if shed_deadline:
+                        # Sojourn bound: the wait is shed, not failed —
+                        # the typed error carries a retry hint.
+                        service.c_park_deadline.inc()
+                        return protocol.error_reply(
+                            request.id, ErrorCode.PARK_TIMEOUT,
+                            f"parked past the {self.cfg.park_deadline_s} s "
+                            "sojourn deadline; period cancelled",
+                            waited_s=self.cfg.park_deadline_s,
+                            retry_after_s=self._retry_hint_s(),
+                        )
+                    service.c_park_timeout.inc()
                     return protocol.error_reply(
                         request.id, ErrorCode.TIMEOUT,
                         f"parked longer than the {self.cfg.park_timeout_s} s "
@@ -980,6 +1142,7 @@ class AdmissionServer:
                     )
         finally:
             self._parked.pop(period.pp_id, None)
+            service.h_sojourn.observe(max(0.0, loop.time() - parked_at))
             if read_task is not None:
                 read_task.cancel()
                 with contextlib.suppress(

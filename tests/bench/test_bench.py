@@ -123,7 +123,9 @@ class TestCompare:
 
 class TestRunner:
     def test_area_names_match_files(self):
-        assert AREA_NAMES == ("sim", "serve", "cluster", "fleet")
+        assert AREA_NAMES == (
+            "sim", "serve", "cluster", "fleet", "serve_overload"
+        )
         assert set(BENCH_FILES) == set(AREA_NAMES)
 
     def test_unknown_area_is_rejected(self, tmp_path):

@@ -151,3 +151,52 @@ class TestExecution:
         sock = str(tmp_path / "absent.sock")
         assert main(["loadgen", "--socket", sock, "--sessions", "1"]) == 1
         assert "loadgen:" in capsys.readouterr().err
+
+
+class TestOverloadFlags:
+    def test_serve_overload_knobs_parse_and_default_off(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.park_deadline is None
+        assert args.retry_hint_floor is None and args.retry_hint_cap is None
+        assert args.max_pending_per_client is None
+        assert args.write_timeout is None
+        args = parser.parse_args([
+            "serve", "--park-deadline", "0.5", "--retry-hint-floor", "0.05",
+            "--retry-hint-cap", "2.0", "--max-pending-per-client", "2",
+            "--write-timeout", "1.0",
+        ])
+        assert args.park_deadline == 0.5 and args.retry_hint_floor == 0.05
+        assert args.retry_hint_cap == 2.0
+        assert args.max_pending_per_client == 2 and args.write_timeout == 1.0
+
+    def test_breaker_and_backoff_flags_on_loadgen_and_chaos(self):
+        parser = build_parser()
+        for cmd in (["loadgen"], ["chaos"]):
+            args = parser.parse_args(cmd + [
+                "--backoff-cap", "0.5", "--breaker-threshold", "3",
+                "--breaker-reset", "0.1",
+            ])
+            assert args.backoff_cap == 0.5
+            assert args.breaker_threshold == 3 and args.breaker_reset == 0.1
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--park-deadline", "0"],
+        ["serve", "--retry-hint-floor", "-1"],
+        ["serve", "--max-pending-per-client", "0"],
+        ["serve", "--write-timeout", "nope"],
+        ["loadgen", "--backoff-cap", "-0.5"],
+        ["loadgen", "--breaker-threshold", "0"],
+        ["chaos", "--breaker-reset", "0"],
+        ["chaos", "--storm-rate", "-5"],
+    ])
+    def test_nonpositive_tuning_values_are_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_chaos_overload_parses_and_excludes_cluster(self, capsys):
+        args = build_parser().parse_args(["chaos", "--overload"])
+        assert args.overload and args.storm_rate == 150.0
+        assert args.slowloris == 2 and args.p99_bound == 5.0
+        assert main(["chaos", "--overload", "--cluster"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
