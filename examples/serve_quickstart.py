@@ -17,7 +17,11 @@ reconnecting, idempotent.  Three acts:
    ``pp_end``; the live ``stats`` verb shows the park-time histogram, and
 3. the server is killed mid-period and rebooted from its admission
    journal — the client reconnects on its next call and the recovered
-   ledger still charges its demand.
+   ledger still charges its demand, and
+4. a client that declares 4 MB but really touches 1 MB reports the truth
+   at each ``pp_end`` — after three sessions the server's online demand
+   estimator (``--predict``, docs/PREDICTION.md) stops believing the
+   declaration and admits the fourth period at the *learned* size.
 
 Run:  python examples/serve_quickstart.py
 """
@@ -126,6 +130,32 @@ async def crash_and_recover(server: AdmissionServer, sock: str,
     return reborn
 
 
+async def prediction_corrects_a_liar(sock: str) -> None:
+    print()
+    print("=" * 64)
+    print("4. declare 4 MB, touch 1 MB — the estimator learns the truth")
+    print("=" * 64)
+    client = ResilientServeClient(unix_path=sock, client_id="liar")
+
+    # three honest-on-close sessions teach the server this client's
+    # declarations run 4x hot for the "dgemm-small" working set
+    for _ in range(3):
+        reply = await client.pp_begin(MB(4), reuse="high", label="dgemm-small")
+        await client.pp_end(reply["pp_id"], observed_bytes=MB(1))
+
+    reply = await client.pp_begin(MB(4), reuse="high", label="dgemm-small")
+    snapshot = await client.query()
+    charged = snapshot["resources"]["llc"]["usage_bytes"]
+    stats = await client.stats()
+    predicted = stats["counters"]["predicted_admits_total"]
+    print(f"4th pp_begin declared {MB(4) / 2**20:.0f} MiB but charged only "
+          f"{charged / 2**20:.0f} MiB "
+          f"(predicted_admits_total={predicted})")
+
+    await client.pp_end(reply["pp_id"], observed_bytes=MB(1))
+    await client.close()
+
+
 async def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         sock = f"{tmp}/rda.sock"
@@ -135,6 +165,7 @@ async def main() -> None:
                 policy=StrictPolicy(),
                 machine=_machine_with_capacity(14.0),
                 journal_path=f"{tmp}/admission.ndjson",
+                predict=True,
             )
 
         server = AdmissionServer(make_config())
@@ -143,6 +174,7 @@ async def main() -> None:
             await figure4_over_the_wire(sock)
             await contention_parks_the_third_client(sock)
             server = await crash_and_recover(server, sock, make_config)
+            await prediction_corrects_a_liar(sock)
         finally:
             server.request_drain()
             await server.run_until_drained()

@@ -8,6 +8,7 @@ directory::
     BENCH_cluster.json        admissions/sec through the sharded placer front-end
     BENCH_fleet.json          sims/sec through run_grid and its result cache
     BENCH_serve_overload.json shed throughput and bounded sojourn under storm
+    BENCH_serve_predict.json  admission throughput with demand prediction on
 
 ``--quick`` times each workload once (the sub-second serve and cluster
 areas keep min-of-3 even in quick mode — their latency tails need it);
@@ -37,6 +38,7 @@ BENCH_FILES: Dict[str, str] = {
     "cluster": "BENCH_cluster.json",
     "fleet": "BENCH_fleet.json",
     "serve_overload": "BENCH_serve_overload.json",
+    "serve_predict": "BENCH_serve_predict.json",
 }
 AREA_NAMES = tuple(BENCH_FILES)
 
@@ -44,8 +46,9 @@ AREA_NAMES = tuple(BENCH_FILES)
 FULL_REPS = 3
 #: ...except for the sub-second serve/cluster areas, whose latency tails
 #: need min-of-N even in quick mode (three reps still finish in <1 s);
-#: serve_overload runs seconds-long saturated reps, so quick keeps 2
-QUICK_REPS = {"serve": 3, "cluster": 3, "serve_overload": 2}
+#: serve_overload and serve_predict run seconds-long reps, so quick keeps 2
+QUICK_REPS = {"serve": 3, "cluster": 3, "serve_overload": 2,
+              "serve_predict": 2}
 
 
 @dataclass
@@ -76,6 +79,8 @@ def _run_area(name: str, opts: BenchOptions) -> List[BenchRecord]:
         )
     if name == "serve_overload":
         return areas.bench_serve_overload(opts.seed, reps)
+    if name == "serve_predict":
+        return areas.bench_serve_predict(opts.seed, reps)
     raise BenchError(f"unknown bench area {name!r}; choose from {AREA_NAMES}")
 
 

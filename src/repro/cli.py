@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .cliutil import positive_float, positive_int
 from .core.policy import CompromisePolicy, SchedulingPolicy, StrictPolicy
 from .errors import ReproError
 from .experiments import figures, report
@@ -46,26 +47,10 @@ def policy_by_name(name: str) -> Optional[SchedulingPolicy]:
     )
 
 
-def _positive_float(text: str) -> float:
-    """Argparse type: a strictly positive float."""
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
-    return value
-
-
-def _positive_int(text: str) -> int:
-    """Argparse type: a strictly positive integer."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
-    if value <= 0:
-        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
-    return value
+# Shared validators (repro.cliutil); the underscore aliases keep the
+# historical names used throughout this module.
+_positive_float = positive_float
+_positive_int = positive_int
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +215,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="lease reaper sweep interval",
     )
     serve_p.add_argument(
+        "--predict", action="store_true",
+        help="online demand prediction + elastic re-admission: admit on "
+        "max(predicted, floor) once the per-key estimator is confident, "
+        "detect mispredictions at close and resize running reservations "
+        "(default: off — admission is byte-identical without it)",
+    )
+    serve_p.add_argument(
+        "--predict-error-band", type=positive_float, default=0.25,
+        metavar="FRACTION",
+        help="relative-error band beyond which a close counts as a "
+        "misprediction (default 0.25)",
+    )
+    serve_p.add_argument(
+        "--predict-min-samples", type=positive_int, default=3, metavar="N",
+        help="observations per (client, key) before the estimator may "
+        "override the declared demand (default 3)",
+    )
+    serve_p.add_argument(
+        "--predict-history", type=positive_int, default=32, metavar="N",
+        help="demand samples retained per key (default 32)",
+    )
+    serve_p.add_argument(
+        "--predict-hysteresis", type=positive_int, default=2, metavar="N",
+        help="consecutive same-direction mispredictions before an elastic "
+        "resize (default 2)",
+    )
+    serve_p.add_argument(
         "--shards", type=int, default=1, metavar="N",
         help="run N admission shards behind a demand-aware placer "
         "front-end on --socket (shard i listens on <socket>.shard<i>; "
@@ -323,6 +335,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster", action="store_true",
         help="target is a placer front-end: use resilient clients that "
         "follow REDIRECT replies to their assigned shard",
+    )
+    load_p.add_argument(
+        "--overdeclare", type=positive_float, default=1.0, metavar="FACTOR",
+        help="declare each call's demand at this multiple of the scripted "
+        "working set (models annotation error; default 1.0 = honest)",
+    )
+    load_p.add_argument(
+        "--observe", action="store_true",
+        help="report the scripted (true) working set as observed_bytes on "
+        "every pp_end, feeding a serve --predict estimator",
     )
     _add_resilient_client_options(load_p)
 
@@ -424,8 +446,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_p.add_argument(
         "--areas", nargs="*",
-        choices=("sim", "serve", "fleet", "cluster", "serve_overload"),
-        default=("sim", "serve", "fleet", "cluster", "serve_overload"),
+        choices=(
+            "sim", "serve", "fleet", "cluster", "serve_overload",
+            "serve_predict",
+        ),
+        default=(
+            "sim", "serve", "fleet", "cluster", "serve_overload",
+            "serve_predict",
+        ),
         help="benchmark areas to run (default: all)",
     )
     bench_p.add_argument(
@@ -615,6 +643,11 @@ def _cmd_serve(args) -> int:
         journal_compact_every=args.journal_compact_every,
         lease_ttl_s=args.lease_ttl,
         lease_check_s=args.lease_check,
+        predict=args.predict,
+        predict_error_band=args.predict_error_band,
+        predict_min_samples=args.predict_min_samples,
+        predict_history=args.predict_history,
+        predict_hysteresis=args.predict_hysteresis,
     )
 
     async def run() -> int:
@@ -769,6 +802,8 @@ def _cmd_loadgen(args) -> int:
         breaker_reset_s=(
             args.breaker_reset if args.breaker_reset is not None else 1.0
         ),
+        overdeclare=args.overdeclare,
+        report_observed=args.observe,
         seed=args.seed,
     )
     try:

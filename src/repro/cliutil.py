@@ -1,0 +1,34 @@
+"""Shared argparse value validators.
+
+Several subcommands (``serve``, ``loadgen``, ``chaos``, ``bench`` and the
+``--predict-*`` family) take strictly-positive numeric flags; the
+validators live here so each front-end stops re-declaring them.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["positive_float", "positive_int"]
+
+
+def positive_float(text: str) -> float:
+    """Argparse type: a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value
+
+
+def positive_int(text: str) -> int:
+    """Argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {text!r}")
+    return value

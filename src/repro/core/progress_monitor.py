@@ -14,6 +14,7 @@ actual thread pause/wake calls on the simulated kernel.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Optional
 
 from ..errors import ProgressPeriodError
@@ -103,6 +104,36 @@ class ProgressMonitor:
             p.state = PeriodState.RUNNING
             p.admit_time = now
         return admitted
+
+    # ------------------------------------------------------------------
+    def resize(
+        self, pp_id: int, new_demand_bytes: int
+    ) -> tuple[ProgressPeriod, list[ProgressPeriod]]:
+        """Elastically re-size a RUNNING period's reservation in place.
+
+        Used by the prediction subsystem when a learned working-set
+        estimate diverges from the demand a period was admitted on.  The
+        charged bytes move to ``new_demand_bytes`` and the period's request
+        is rewritten so the eventual ``pp_end`` releases what is charged.
+        A shrink frees capacity, so the waitlist is re-tried; returns
+        ``(period, admitted)``.
+        """
+        if new_demand_bytes < 0:
+            raise ProgressPeriodError(
+                f"resize to negative demand {new_demand_bytes}"
+            )
+        period = self.registry.get(pp_id)
+        if period.state is not PeriodState.RUNNING:
+            raise ProgressPeriodError(
+                f"period #{pp_id} is {period.state.value}; only RUNNING "
+                "periods can be resized"
+            )
+        delta = self.resources.resize_load(period.request, new_demand_bytes)
+        period.request = replace(period.request, demand_bytes=new_demand_bytes)
+        admitted: list[ProgressPeriod] = []
+        if delta < 0:
+            admitted = self._retry_waiters(period)
+        return period, admitted
 
     # ------------------------------------------------------------------
     def cancel(self, pp_id: int) -> tuple[ProgressPeriod, list[ProgressPeriod]]:

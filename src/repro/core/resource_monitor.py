@@ -81,6 +81,35 @@ class ResourceState:
             )
         return charged
 
+    def resize(self, request: PeriodRequest, new_bytes: int) -> int:
+        """Re-size a *charged* request in place; returns the signed delta.
+
+        Elastic re-admission (``repro.predict``) shrinks or grows a running
+        reservation without releasing it.  For a shared working set the
+        stored per-key charge is rewritten (all holders are billed once, so
+        one resize covers them); for a private one the delta against the
+        request's current demand is applied.  The caller is responsible for
+        updating the period's ``PeriodRequest`` so the eventual release
+        matches what is now charged.
+        """
+        if new_bytes < 0:
+            raise ResourceError(f"{self.kind}: resize to negative demand {new_bytes}")
+        key = request.sharing_key
+        if key is not None:
+            if self._shared_holders.get(key, 0) <= 0:
+                raise ResourceError(f"resize of unheld shared key {key!r}")
+            old = self._shared_bytes[key]
+            self._shared_bytes[key] = new_bytes
+        else:
+            old = request.demand_bytes
+        delta = new_bytes - old
+        self.usage_bytes += delta
+        if self.usage_bytes < 0:
+            raise ResourceError(
+                f"{self.kind}: usage went negative ({self.usage_bytes})"
+            )
+        return delta
+
     def would_add(self, request: PeriodRequest) -> int:
         """Bytes that *would* be charged by ``charge`` (0 for a held shared set)."""
         key = request.sharing_key
@@ -131,6 +160,19 @@ class ResourceMonitor:
         for observer in self.observers:
             observer.on_release(request, removed)
         return removed
+
+    def resize_load(self, request: PeriodRequest, new_bytes: int) -> int:
+        """Re-size a charged request; observers see the delta as a partial
+        charge (growth) or partial release (shrink) so conservation ledgers
+        stay balanced."""
+        delta = self.state(request.resource).resize(request, new_bytes)
+        if delta > 0:
+            for observer in self.observers:
+                observer.on_charge(request, delta)
+        elif delta < 0:
+            for observer in self.observers:
+                observer.on_release(request, -delta)
+        return delta
 
     def snapshot(self) -> Dict[ResourceKind, tuple[int, int]]:
         """Mapping of resource → (usage, capacity), for reports and tests."""

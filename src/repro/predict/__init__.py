@@ -1,0 +1,25 @@
+"""Online demand prediction and elastic re-admission.
+
+Three transport-free pieces the admission service composes when started
+with ``--predict`` (see docs/PREDICTION.md):
+
+* :class:`OnlineWssEstimator` — per-(client, sharing-key) incremental
+  ``wss = a + b·ln(declared)`` regression over observed demand samples;
+* :class:`MispredictDetector` — classifies charged-vs-observed divergence
+  at period close against a relative-error band;
+* :class:`ElasticController` — hysteresis-gated shrink/grow decisions for
+  running reservations.
+"""
+
+from .controller import ElasticController, ElasticDecision
+from .detector import Misprediction, MispredictDetector
+from .estimator import EstimatorKey, OnlineWssEstimator
+
+__all__ = [
+    "ElasticController",
+    "ElasticDecision",
+    "EstimatorKey",
+    "Misprediction",
+    "MispredictDetector",
+    "OnlineWssEstimator",
+]

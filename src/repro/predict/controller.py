@@ -1,0 +1,78 @@
+"""Elastic re-admission decisions with hysteresis.
+
+The controller turns a stream of per-key misprediction classifications
+into discrete *elastic actions*:
+
+* sustained **over**-prediction → ``shrink``: the key's running
+  reservations are larger than its real working set; resizing them down
+  releases headroom that immediately admits parked waiters;
+* sustained **under**-prediction → ``grow``: the reservations are too
+  small and the working set is overflowing; grow them if the policy bound
+  allows (if not, the larger learned demand simply parks the key's *next*
+  period — the admission predicate does that for free).
+
+"Sustained" means ``hysteresis`` *consecutive* classifications in the
+same direction: a single noisy sample never moves a reservation, and the
+streak resets after every action (and on any ``ok`` sample), so
+reservations cannot thrash between grow and shrink on alternating noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable
+
+from .detector import Misprediction
+
+__all__ = ["ElasticController", "ElasticDecision"]
+
+
+@dataclass
+class _Streak:
+    direction: str = "ok"
+    length: int = 0
+
+
+@dataclass(frozen=True)
+class ElasticDecision:
+    """What the controller wants done to a key's running reservations."""
+
+    key: Hashable
+    action: str  # "shrink" | "grow"
+    #: the misprediction that tripped the hysteresis threshold
+    trigger: Misprediction
+
+
+class ElasticController:
+    """Per-key directional streak counter with reset-after-act."""
+
+    def __init__(self, hysteresis: int = 2) -> None:
+        if hysteresis < 1:
+            raise ValueError("hysteresis must be >= 1")
+        self.hysteresis = hysteresis
+        self._streaks: Dict[Hashable, _Streak] = {}
+
+    def update(self, key: Hashable, sample: Misprediction) -> ElasticDecision | None:
+        """Fold one classified sample in; maybe emit an action."""
+        streak = self._streaks.get(key)
+        if streak is None:
+            streak = self._streaks[key] = _Streak()
+        if sample.direction == "ok":
+            streak.direction = "ok"
+            streak.length = 0
+            return None
+        if sample.direction == streak.direction:
+            streak.length += 1
+        else:
+            streak.direction = sample.direction
+            streak.length = 1
+        if streak.length < self.hysteresis:
+            return None
+        # act, then reset so the next action needs a fresh streak
+        streak.direction = "ok"
+        streak.length = 0
+        action = "shrink" if sample.direction == "over" else "grow"
+        return ElasticDecision(key=key, action=action, trigger=sample)
+
+    def forget(self, key: Hashable) -> None:
+        self._streaks.pop(key, None)

@@ -1,0 +1,73 @@
+"""Misprediction detection at period close.
+
+When a period ends, the service knows two numbers: the bytes it *charged*
+to the resource ledger (the declared demand, or the estimator's prediction
+when ``--predict`` admitted on one) and the working set the client
+*actually observed* (the optional ``observed_bytes`` field on ``pp_end``).
+The detector compares them, classifies the error against a relative-error
+band, and hands the signed relative error back so the estimator's
+confidence gate and the elastic controller can react.
+
+Direction convention (from the resource's point of view):
+
+* ``over``  — charged > observed: the reservation was too large; capacity
+  sat idle that waiters could have used.
+* ``under`` — charged < observed: the reservation was too small; the
+  period overflowed its partition (the paper's "performance interference"
+  failure mode).
+* ``ok``    — within the band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Misprediction", "MispredictDetector"]
+
+#: cap on |relative error| so a zero-observed pathological sample cannot
+#: push infinities into histograms or the controller
+_REL_ERROR_CAP = 1e6
+
+
+@dataclass(frozen=True)
+class Misprediction:
+    """One classified prediction-vs-reality comparison."""
+
+    direction: str  # "over" | "under" | "ok"
+    rel_error: float  # signed: (charged - observed) / observed
+    charged_bytes: int
+    observed_bytes: int
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.direction != "ok"
+
+
+class MispredictDetector:
+    """Classifies charged-vs-observed divergence beyond a relative band."""
+
+    def __init__(self, error_band: float = 0.25) -> None:
+        if error_band <= 0:
+            raise ValueError("error_band must be positive")
+        self.error_band = error_band
+
+    def classify(self, charged_bytes: int, observed_bytes: int) -> Misprediction:
+        charged = max(0, int(charged_bytes))
+        observed = max(0, int(observed_bytes))
+        if observed == 0:
+            rel = 0.0 if charged == 0 else _REL_ERROR_CAP
+        else:
+            rel = (charged - observed) / observed
+            rel = max(-_REL_ERROR_CAP, min(_REL_ERROR_CAP, rel))
+        if rel > self.error_band:
+            direction = "over"
+        elif rel < -self.error_band:
+            direction = "under"
+        else:
+            direction = "ok"
+        return Misprediction(
+            direction=direction,
+            rel_error=rel,
+            charged_bytes=charged,
+            observed_bytes=observed,
+        )

@@ -1,0 +1,204 @@
+"""Online working-set-size estimation (closing the loop on §4.4).
+
+The paper's profiler fits ``wss = a + b·ln(input)`` *offline* over the
+first three input scales (:mod:`repro.profiler.regression`).  The serving
+layer, however, admits progress periods on whatever demand the client
+*declares* — and clients lie, both ways.  This module reuses the same
+logarithmic model online: every completed period contributes an
+``(declared, observed)`` sample, and once a key has enough history the
+estimator predicts the true working set from the declared demand (the
+declared size plays the role of the profiler's "input size": it is the
+only a-priori signal of scale the service gets).
+
+Design points:
+
+* **Per-key state.**  Keys are ``(client_id, sharing_key-or-label)``
+  tuples; a working set is a property of the code phase, not of a single
+  connection, so anonymous sessions share the ``""`` client bucket.
+* **Ring-buffered history.**  Only the newest ``history`` samples per key
+  are kept, so drifting workloads re-learn and memory stays bounded.
+* **Minimum-sample and confidence gates.**  Below ``min_samples``
+  observations — or while recent predictions have mostly fallen outside
+  the error band — ``predict`` returns ``None`` and the caller falls back
+  to the declared demand.
+* **Bounded predictions.**  The regression output is clamped to the
+  ``[min(observed), max(observed)]`` range of the current window: a
+  log-curve extrapolated far outside its support is noise, and the clamp
+  also makes predictions provably bounded and monotone-preserving (the
+  property tests rely on this).
+
+The estimator is deliberately transport-free: the admission service owns
+journaling and metric emission.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import ProfilerError
+from ..profiler.regression import LogRegression, fit_log_regression
+
+__all__ = ["OnlineWssEstimator", "EstimatorKey"]
+
+#: (client_id, sharing_key-or-label) — see module docstring.
+EstimatorKey = Tuple[str, str]
+
+
+class OnlineWssEstimator:
+    """Incremental per-key ``wss = a + b·ln(declared)`` estimator."""
+
+    def __init__(
+        self,
+        history: int = 32,
+        min_samples: int = 3,
+        error_band: float = 0.25,
+        confidence_window: int = 8,
+        min_confidence: float = 0.5,
+    ) -> None:
+        if history < 2:
+            raise ValueError("history must be >= 2")
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2 (regression needs 2 points)")
+        if error_band <= 0:
+            raise ValueError("error_band must be positive")
+        self.history = history
+        self.min_samples = min_samples
+        self.error_band = error_band
+        self.confidence_window = confidence_window
+        self.min_confidence = min_confidence
+        self._samples: Dict[EstimatorKey, Deque[Tuple[int, int]]] = {}
+        #: rolling record of recent |relative error| per key, fed back by
+        #: the misprediction detector via note_error()
+        self._errors: Dict[EstimatorKey, Deque[float]] = {}
+        #: newest declared demand per key — the input to hello placement hints
+        self._last_declared: Dict[EstimatorKey, int] = {}
+        #: cached fit per key, invalidated on observe()
+        self._fits: Dict[EstimatorKey, Optional[LogRegression]] = {}
+
+    # ------------------------------------------------------------------ ingest
+
+    def observe(self, key: EstimatorKey, declared_bytes: int, observed_bytes: int) -> None:
+        """Record one completed period's (declared, observed) demand pair.
+
+        Before the sample is absorbed, the model trained on the *prior*
+        samples is scored against it (prequential evaluation) and the
+        error feeds the confidence gate.  Scoring the model's own
+        prediction — not the admission decision — is what lets confidence
+        recover after a drift: the admission error stays large exactly
+        while predictions are suppressed, so gating on it would deadlock.
+        """
+        if declared_bytes <= 0 or observed_bytes <= 0:
+            return  # zero-demand periods carry no working-set information
+        prior = self._predict_value(key, int(declared_bytes))
+        if prior is not None:
+            self.note_error(key, (prior - observed_bytes) / observed_bytes)
+        ring = self._samples.get(key)
+        if ring is None:
+            ring = self._samples[key] = deque(maxlen=self.history)
+        ring.append((int(declared_bytes), int(observed_bytes)))
+        self._fits.pop(key, None)
+
+    def note_error(self, key: EstimatorKey, rel_error: float) -> None:
+        """Feed back a prediction's relative error (from the detector)."""
+        ring = self._errors.get(key)
+        if ring is None:
+            ring = self._errors[key] = deque(maxlen=self.confidence_window)
+        ring.append(abs(rel_error))
+
+    # ----------------------------------------------------------------- predict
+
+    def sample_count(self, key: EstimatorKey) -> int:
+        ring = self._samples.get(key)
+        return len(ring) if ring else 0
+
+    def confidence(self, key: EstimatorKey) -> float:
+        """Fraction of recently-observed errors inside the error band.
+
+        1.0 when no feedback has arrived yet — a fresh model is trusted
+        until the detector says otherwise.
+        """
+        ring = self._errors.get(key)
+        if not ring:
+            return 1.0
+        within = sum(1 for e in ring if e <= self.error_band)
+        return within / len(ring)
+
+    def predict(self, key: EstimatorKey, declared_bytes: int) -> Optional[int]:
+        """Predicted working-set bytes, or ``None`` → use the declared demand.
+
+        ``None`` is returned below the minimum-sample gate, below the
+        confidence gate, or for non-positive declared demands.
+        """
+        if declared_bytes <= 0:
+            return None
+        if self.confidence(key) < self.min_confidence:
+            return None
+        value = self._predict_value(key, int(declared_bytes))
+        if value is not None:
+            self._last_declared[key] = int(declared_bytes)
+        return value
+
+    def _predict_value(
+        self, key: EstimatorKey, declared_bytes: int
+    ) -> Optional[int]:
+        """Model output without the confidence gate (also the self-score
+        path in :meth:`observe`, which must bypass that gate)."""
+        ring = self._samples.get(key)
+        if ring is None or len(ring) < self.min_samples:
+            return None
+        fit = self._fit(key)
+        lo = min(y for _, y in ring)
+        hi = max(y for _, y in ring)
+        if fit is None:
+            value = (lo + hi) / 2.0
+        else:
+            try:
+                value = float(fit.predict(float(declared_bytes)))
+            except ProfilerError:
+                return None
+        clamped = min(max(value, float(lo)), float(hi))
+        return max(1, int(round(clamped)))
+
+    def _fit(self, key: EstimatorKey) -> Optional[LogRegression]:
+        if key in self._fits:
+            return self._fits[key]
+        ring = self._samples[key]
+        xs = [float(x) for x, _ in ring]
+        ys = [float(y) for _, y in ring]
+        try:
+            fit: Optional[LogRegression] = fit_log_regression(xs, ys)
+        except ProfilerError:
+            fit = None
+        self._fits[key] = fit
+        return fit
+
+    def predicted_for_client(self, client_id: str) -> Optional[int]:
+        """Largest confident prediction across a client's keys.
+
+        Feeds the ``hello`` reply's placement hint: a frontend placing
+        this client wants its peak expected footprint.
+        """
+        best: Optional[int] = None
+        for key, declared in self._last_declared.items():
+            if key[0] != client_id:
+                continue
+            value = self.predict(key, declared)
+            if value is not None and (best is None or value > best):
+                best = value
+        return best
+
+    # ------------------------------------------------------------ persistence
+
+    def export_samples(self) -> Iterator[Tuple[EstimatorKey, int, int]]:
+        """All retained samples in per-key insertion order (for snapshots)."""
+        for key, ring in self._samples.items():
+            for declared, observed in ring:
+                yield key, declared, observed
+
+    def load_samples(
+        self, samples: List[Tuple[EstimatorKey, int, int]]
+    ) -> None:
+        """Re-feed journaled samples (replay order preserves recency)."""
+        for key, declared, observed in samples:
+            self.observe(tuple(key), declared, observed)  # type: ignore[arg-type]

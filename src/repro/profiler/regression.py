@@ -57,7 +57,16 @@ def fit_log_regression(
         raise ProfilerError("need at least two points to fit")
     if np.any(x <= 0):
         raise ProfilerError("input sizes must be positive")
-    b, a = np.polyfit(np.log(x), y, deg=1)
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ProfilerError("input sizes and wss values must be finite")
+    logx = np.log(x)
+    # A constant-x series (zero variance in ln x) makes the Vandermonde
+    # system rank-deficient: polyfit emits a RankWarning and returns
+    # garbage coefficients.  The least-squares-optimal degenerate fit is
+    # the flat line through the mean.
+    if np.ptp(logx) <= 1e-12 * max(1.0, abs(float(logx[0]))):
+        return LogRegression(a=float(np.mean(y)), b=0.0)
+    b, a = np.polyfit(logx, y, deg=1)
     return LogRegression(a=float(a), b=float(b))
 
 

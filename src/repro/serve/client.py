@@ -206,9 +206,18 @@ class ServeClient:
         return await self.call("pp_begin", timeout=timeout, **fields)
 
     async def pp_end(
-        self, pp_id: int, timeout: Optional[float] = None
+        self,
+        pp_id: int,
+        timeout: Optional[float] = None,
+        observed_bytes: Optional[int] = None,
     ) -> Dict[str, Any]:
-        return await self.call("pp_end", pp_id=pp_id, timeout=timeout)
+        """End a period.  ``observed_bytes`` optionally reports the working
+        set actually touched, feeding the server's demand estimator when
+        it runs with ``--predict``."""
+        fields: Dict[str, Any] = {"pp_id": pp_id}
+        if observed_bytes is not None:
+            fields["observed_bytes"] = observed_bytes
+        return await self.call("pp_end", timeout=timeout, **fields)
 
     async def query(self, pp_id: Optional[int] = None) -> Dict[str, Any]:
         if pp_id is None:

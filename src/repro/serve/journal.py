@@ -47,8 +47,9 @@ from __future__ import annotations
 import asyncio
 import json
 import os
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..errors import JournalError
 
@@ -110,6 +111,10 @@ class AdmitRecord:
             raise JournalError(f"malformed admit record: {exc}") from None
 
 
+#: one learned demand sample: (client, sharing-key-or-label, declared, observed)
+ObsSample = Tuple[str, str, int, int]
+
+
 @dataclass
 class JournalState:
     """What replay recovered: the open admitted set and id high-water."""
@@ -117,6 +122,22 @@ class JournalState:
     open: Dict[int, AdmitRecord]
     max_pp_id: int
     events_replayed: int
+    #: demand-estimator samples, in append order (oldest first) — re-fed
+    #: to the prediction subsystem so learned state survives restarts
+    obs: List[ObsSample] = field(default_factory=list)
+
+
+def _parse_obs(frame_or_entry: Any, where: str) -> ObsSample:
+    try:
+        client, skey, declared, observed = (
+            frame_or_entry["client"],
+            frame_or_entry["key"],
+            frame_or_entry["x"],
+            frame_or_entry["y"],
+        )
+        return (str(client), str(skey), int(declared), int(observed))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JournalError(f"malformed obs record in {where}: {exc}") from None
 
 
 def _parse_line(line: bytes) -> Optional[Dict[str, Any]]:
@@ -180,6 +201,7 @@ def replay_journal(path: str) -> JournalState:
                 record = AdmitRecord.from_frame(entry)
                 state.open[record.pp_id] = record
                 state.max_pp_id = max(state.max_pp_id, record.pp_id)
+            state.obs = [_parse_obs(entry, path) for entry in frame.get("obs", ())]
         elif kind == "admit":
             record = AdmitRecord.from_frame(frame)
             state.open[record.pp_id] = record
@@ -192,6 +214,17 @@ def replay_journal(path: str) -> JournalState:
             # a torn tail of the *previous* incarnation; ignore it.
             state.open.pop(pp_id, None)
             state.max_pp_id = max(state.max_pp_id, pp_id)
+        elif kind == "resize":
+            pp_id = frame.get("pp")
+            demand = frame.get("demand")
+            if not isinstance(pp_id, int) or not isinstance(demand, int):
+                raise JournalError(f"{path}: malformed resize record")
+            # Like close: the admit may have died in a prior torn tail.
+            record = state.open.get(pp_id)
+            if record is not None:
+                state.open[pp_id] = replace(record, demand_bytes=demand)
+        elif kind == "obs":
+            state.obs.append(_parse_obs(frame, path))
         else:
             raise JournalError(f"{path}: unknown record kind {kind!r}")
     return state
@@ -205,6 +238,7 @@ class AdmissionJournal:
         path: str,
         fsync_interval_s: float = 0.0,
         compact_every: int = 1000,
+        obs_history: int = 32,
     ) -> None:
         if compact_every < 1:
             raise JournalError("compact_every must be >= 1")
@@ -213,6 +247,10 @@ class AdmissionJournal:
         self.compact_every = compact_every
         #: live admitted entries — mirrors the server's RUNNING journaled set
         self.open: Dict[int, AdmitRecord] = {}
+        #: newest demand samples per (client, key), carried across
+        #: compactions so the estimator's learned state survives restarts
+        self.obs_history = obs_history
+        self.obs: Dict[Tuple[str, str], Deque[Tuple[int, int]]] = {}
         self.events_total = 0
         self.syncs_total = 0
         self.compactions_total = 0
@@ -230,8 +268,19 @@ class AdmissionJournal:
         self._sweep_stale_tmp()
         state = replay_journal(self.path)
         self.open = dict(state.open)
+        self.obs = {}
+        for client, skey, declared, observed in state.obs:
+            self._store_obs(client, skey, declared, observed)
         self._rewrite_snapshot()
         return state
+
+    def _store_obs(
+        self, client: str, skey: str, declared: int, observed: int
+    ) -> None:
+        ring = self.obs.get((client, skey))
+        if ring is None:
+            ring = self.obs[(client, skey)] = deque(maxlen=self.obs_history)
+        ring.append((declared, observed))
 
     def _sweep_stale_tmp(self) -> None:
         """Remove temp snapshots a crash left behind mid-compaction.
@@ -305,6 +354,35 @@ class AdmissionJournal:
         self._append({"k": "close", "pp": pp_id})
         return True
 
+    def record_resize(self, pp_id: int, new_demand_bytes: int) -> bool:
+        """Persist an elastic resize of a journaled open period.
+
+        Replay rewrites the open admit record's demand so a post-crash
+        restore charges what was actually reserved at the time of death.
+        Returns ``False`` for periods that were never journaled.
+        """
+        record = self.open.get(pp_id)
+        if record is None:
+            return False
+        self.open[pp_id] = replace(record, demand_bytes=new_demand_bytes)
+        self._append({"k": "resize", "pp": pp_id, "demand": new_demand_bytes})
+        return True
+
+    def record_obs(
+        self, client: str, skey: str, declared_bytes: int, observed_bytes: int
+    ) -> None:
+        """Persist one demand-estimator sample (learned state)."""
+        self._store_obs(client, skey, declared_bytes, observed_bytes)
+        self._append(
+            {
+                "k": "obs",
+                "client": client,
+                "key": skey,
+                "x": int(declared_bytes),
+                "y": int(observed_bytes),
+            }
+        )
+
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
@@ -373,6 +451,12 @@ class AdmissionJournal:
             "v": JOURNAL_VERSION,
             "open": [r.to_frame() for r in self.open.values()],
         }
+        if self.obs:
+            snap["obs"] = [
+                {"client": client, "key": skey, "x": x, "y": y}
+                for (client, skey), ring in self.obs.items()
+                for x, y in ring
+            ]
         tmp = f"{self.path}.tmp.{os.getpid()}"
         with open(tmp, "wb") as fh:
             fh.write(json.dumps(snap, separators=(",", ":")).encode() + b"\n")

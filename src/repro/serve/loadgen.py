@@ -96,6 +96,12 @@ class LoadgenConfig:
     breaker_threshold: Optional[int] = None
     #: resilient clients: breaker reset window (half-open probe after)
     breaker_reset_s: float = 1.0
+    #: declare each call's demand at this multiple of the scripted (true)
+    #: working set — models annotation error; 1.0 = honest clients
+    overdeclare: float = 1.0
+    #: report the scripted demand as ``observed_bytes`` on every pp_end,
+    #: feeding a ``serve --predict`` server's online estimator
+    report_observed: bool = False
     #: RNG seed (arrival gaps, script order)
     seed: int = 0
 
@@ -361,11 +367,14 @@ class _Runner:
         """One begin/hold/end round-trip.  Returns False to end the session."""
         tally = self.tally
         tally.calls += 1
+        declared = call.demand_bytes
+        if self.cfg.overdeclare != 1.0:
+            declared = max(1, int(call.demand_bytes * self.cfg.overdeclare))
         for attempt in range(self.cfg.max_retries + 1):
             t0 = time.monotonic()
             try:
                 reply = await client.pp_begin(
-                    demand_bytes=call.demand_bytes,
+                    demand_bytes=declared,
                     reuse=call.reuse,
                     label=call.label,
                     sharing_key=call.sharing_key,
@@ -416,7 +425,12 @@ class _Runner:
             hold = self._hold_s(call)
             if hold > 0:
                 await asyncio.sleep(hold)
-            await client.pp_end(reply["pp_id"])
+            if self.cfg.report_observed:
+                await client.pp_end(
+                    reply["pp_id"], observed_bytes=call.demand_bytes
+                )
+            else:
+                await client.pp_end(reply["pp_id"])
             return True
         # max_retries exhausted: the call ends shed, not errored
         tally.dropped_calls += 1

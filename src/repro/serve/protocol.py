@@ -123,6 +123,9 @@ class Request:
     client: Optional[str] = None
     #: pp_end / query field
     pp_id: Optional[int] = None
+    #: pp_end field: working-set bytes the client actually observed over
+    #: the period — feeds the online demand estimator when present
+    observed_bytes: Optional[int] = None
     #: raw frame, for logging
     raw: Dict[str, Any] = field(default_factory=dict, repr=False)
 
@@ -390,9 +393,12 @@ def parse_request(frame: Dict[str, Any]) -> Request:
         return Request(op=op, id=request_id, client=client, raw=frame)
 
     if op == "pp_end":
+        observed = None
+        if frame.get("observed_bytes") is not None:
+            observed = _require_int(frame, "observed_bytes", minimum=0)
         return Request(
             op=op, id=request_id, pp_id=_require_int(frame, "pp_id", minimum=1),
-            raw=frame,
+            observed_bytes=observed, raw=frame,
         )
 
     # heartbeat / query / stats / drain: pp_id optional on query only

@@ -136,6 +136,9 @@ class ResilientServeClient:
         self.redirects = 0
         self.breaker_opens = 0
         self.breaker_fast_fails = 0
+        #: learned peak-demand estimate from the last hello reply; echoed
+        #: back as the `hello demand_bytes` cluster placement hint
+        self.predicted_demand_bytes: Optional[int] = None
         self._rng = rng if rng is not None else random.Random()
         self._ids = itertools.count(1)
         self._conn: Optional[ServeClient] = None
@@ -275,6 +278,10 @@ class ResilientServeClient:
                     hello_fields["binary"] = True
                 if self.follow_redirects:
                     hello_fields["redirect"] = True
+                if self.predicted_demand_bytes is not None:
+                    # placement hint: a demand-aware frontend scores shards
+                    # against the learned footprint, not the declared one
+                    hello_fields["demand_bytes"] = self.predicted_demand_bytes
                 try:
                     hello = await self._roundtrip(
                         conn, "hello", timeout=self.connect_timeout_s,
@@ -291,6 +298,9 @@ class ResilientServeClient:
                 if hello.get("ok"):
                     self._breaker_success()
                     self.lease_ttl_s = hello.get("lease_ttl_s")
+                    hint = hello.get("predicted_demand_bytes")
+                    if isinstance(hint, int) and hint > 0:
+                        self.predicted_demand_bytes = hint
                     # Keep the lease warm by default: a third of the TTL
                     # unless the caller picked a cadence.
                     interval = self.heartbeat_interval_s
@@ -521,11 +531,17 @@ class ResilientServeClient:
             return reply
 
     async def pp_end(
-        self, pp_id: int, timeout: Optional[float] = None
+        self,
+        pp_id: int,
+        timeout: Optional[float] = None,
+        observed_bytes: Optional[int] = None,
     ) -> Dict[str, Any]:
         """End a period; tolerate one the lease reaper already reclaimed."""
+        fields: Dict[str, Any] = {"pp_id": pp_id}
+        if observed_bytes is not None:
+            fields["observed_bytes"] = observed_bytes
         try:
-            return await self.call("pp_end", pp_id=pp_id, timeout=timeout)
+            return await self.call("pp_end", timeout=timeout, **fields)
         except ServeReplyError as exc:
             if exc.code == ErrorCode.UNKNOWN_PERIOD:
                 # The reaper (or a crash) released it first.  The demand is

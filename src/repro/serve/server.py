@@ -47,7 +47,7 @@ import os
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import MachineConfig, default_machine_config
 from ..core.policy import AlwaysAdmitPolicy, SchedulingPolicy
@@ -64,6 +64,8 @@ from ..core.progress_period import (
 from ..core.resource_monitor import ResourceMonitor
 from ..core.waitlist import Waitlist
 from ..errors import ProgressPeriodError, ProtocolError, ServeError
+from ..predict import ElasticController, MispredictDetector, OnlineWssEstimator
+from ..predict.estimator import EstimatorKey
 from . import protocol
 from .journal import AdmissionJournal, AdmitRecord
 from .leases import ClientRecord, LeaseTable
@@ -186,6 +188,22 @@ class ServeConfig:
     journal_compact_every: int = 1000
     #: cluster shard label surfaced in query snapshots (None = standalone)
     shard_name: Optional[str] = None
+    #: online demand prediction + elastic re-admission (repro.predict);
+    #: default-off — admission behavior is byte-identical when False
+    predict: bool = False
+    #: relative-error band beyond which a closed period counts as a
+    #: misprediction (|charged − observed| / observed)
+    predict_error_band: float = 0.25
+    #: observations per (client, key) before the estimator may override
+    #: the declared demand
+    predict_min_samples: int = 3
+    #: ring-buffer length of retained demand samples per key
+    predict_history: int = 32
+    #: consecutive same-direction mispredictions before an elastic resize
+    predict_hysteresis: int = 2
+    #: predicted admissions are floored at this fraction of the declared
+    #: demand, bounding how far a confident model can undercut a declaration
+    predict_floor_frac: float = 0.25
 
 
 class ServiceSanitizer:
@@ -294,12 +312,26 @@ class AdmissionService:
         self.leases = LeaseTable(cfg.lease_ttl_s)
         self.journal: Optional[AdmissionJournal] = None
         self.replayed_periods = 0
+        self.estimator: Optional[OnlineWssEstimator] = None
+        self.detector: Optional[MispredictDetector] = None
+        self.elastic: Optional[ElasticController] = None
+        #: open tracked periods: pp_id -> (key, declared, charged bytes)
+        self._predictions: Dict[int, Tuple[EstimatorKey, int, int]] = {}
+        if cfg.predict:
+            self.estimator = OnlineWssEstimator(
+                history=cfg.predict_history,
+                min_samples=cfg.predict_min_samples,
+                error_band=cfg.predict_error_band,
+            )
+            self.detector = MispredictDetector(cfg.predict_error_band)
+            self.elastic = ElasticController(cfg.predict_hysteresis)
         self._build_metrics()
         if cfg.journal_path:
             self.journal = AdmissionJournal(
                 cfg.journal_path,
                 fsync_interval_s=cfg.journal_fsync_s,
                 compact_every=cfg.journal_compact_every,
+                obs_history=cfg.predict_history,
             )
             self._recover()
 
@@ -388,6 +420,34 @@ class AdmissionService:
             "lease_reclaimed_periods_total",
             "running periods cancelled by the lease reaper",
         )
+        if self.cfg.predict:
+            self.c_predicted_admits = m.counter(
+                "predicted_admits_total",
+                "pp_begin admissions charged on a learned demand estimate "
+                "instead of the declared demand",
+            )
+            self.c_mispredicts_over = m.counter(
+                "mispredicts_over_total",
+                "closed periods whose charge exceeded the observed demand "
+                "beyond the error band",
+            )
+            self.c_mispredicts_under = m.counter(
+                "mispredicts_under_total",
+                "closed periods whose charge fell short of the observed "
+                "demand beyond the error band",
+            )
+            self.c_elastic_shrinks = m.counter(
+                "elastic_shrinks_total",
+                "running reservations shrunk by the elastic controller",
+            )
+            self.c_elastic_grows = m.counter(
+                "elastic_grows_total",
+                "running reservations grown by the elastic controller",
+            )
+            self.h_rel_error = m.histogram(
+                "prediction_rel_error",
+                "|charged − observed| / observed at period close",
+            )
         m.gauge("clients", fn=lambda: len(self.leases))
         self.g_replayed = m.gauge(
             "journal_replayed_periods", "periods restored from the journal at boot"
@@ -466,10 +526,166 @@ class AdmissionService:
             record.bind_token(rec.token, rec.pp_id)
             self.leases.renew(record)  # a fresh TTL of grace to reconnect
             self.replayed_periods += 1
+            if self.estimator is not None:
+                # the journaled demand is what is charged *now* (resizes
+                # included); it doubles as the declared value for the
+                # eventual close's estimator sample
+                self._predictions[rec.pp_id] = (
+                    (rec.client, rec.sharing_key or rec.label or ""),
+                    rec.demand_bytes,
+                    rec.demand_bytes,
+                )
+        if self.estimator is not None:
+            for client, skey, declared, observed in state.obs:
+                self.estimator.observe((client, skey), declared, observed)
         ensure_pp_ids_above(state.max_pp_id)
         self.g_replayed.set(self.replayed_periods)
         if self.replayed_periods:
             self.note_usage()
+
+    # ------------------------------------------------------------------
+    # demand prediction and elastic re-admission (repro.predict)
+    # ------------------------------------------------------------------
+    def predict_key(
+        self, record: ClientRecord, request: protocol.Request
+    ) -> EstimatorKey:
+        """Estimator key for a begin: (client, sharing-key-or-label).
+
+        A working set is a property of the code phase, not of one
+        connection, so anonymous sessions share the ``""`` client bucket
+        and periods without a sharing key fall back to their label.
+        """
+        client = getattr(record, "client_id", None) or ""
+        return (client, request.sharing_key or request.label or "")
+
+    def predicted_demand(
+        self, record: ClientRecord, request: protocol.Request
+    ) -> Tuple[int, bool]:
+        """Bytes to admit a pp_begin on: (demand, used_prediction).
+
+        With prediction off — or while the estimator is below its sample
+        or confidence gates — this is exactly the declared demand.  A
+        confident estimate replaces it, floored at
+        ``predict_floor_frac × declared`` so a confident-but-wrong model
+        cannot collapse a reservation to nothing.
+        """
+        if self.estimator is None:
+            return request.demand_bytes, False
+        key = self.predict_key(record, request)
+        predicted = self.estimator.predict(key, request.demand_bytes)
+        if predicted is None:
+            return request.demand_bytes, False
+        floor = int(request.demand_bytes * self.cfg.predict_floor_frac)
+        return max(predicted, floor, 1), True
+
+    def track_open(
+        self,
+        pp_id: int,
+        record: ClientRecord,
+        request: protocol.Request,
+        admit_bytes: int,
+    ) -> None:
+        """Remember an open period's declared/charged demand (predict on)."""
+        if self.estimator is None:
+            return
+        key = self.predict_key(record, request)
+        self._predictions[pp_id] = (key, request.demand_bytes, admit_bytes)
+
+    def forget_prediction(self, pp_id: int) -> None:
+        self._predictions.pop(pp_id, None)
+
+    def observe_close(
+        self, pp_id: int, charged_bytes: int, observed_bytes: Optional[int]
+    ) -> List[ProgressPeriod]:
+        """Ingest a closed period's observed demand; maybe resize peers.
+
+        Feeds the estimator (journaling the sample), classifies the
+        charge-vs-observation error, updates the elastic controller and —
+        past its hysteresis — shrinks or grows the key's still-running
+        reservations.  Returns waiters admitted by any elastic shrink.
+        """
+        info = self._predictions.pop(pp_id, None)
+        if (
+            self.estimator is None
+            or self.detector is None
+            or self.elastic is None
+            or info is None
+            or observed_bytes is None
+            or observed_bytes <= 0
+        ):
+            return []
+        key, declared, _ = info
+        if declared <= 0:
+            return []
+        self.estimator.observe(key, declared, observed_bytes)
+        if self.journal is not None:
+            self.journal.record_obs(key[0], key[1], declared, observed_bytes)
+        sample = self.detector.classify(charged_bytes, observed_bytes)
+        self.h_rel_error.observe(abs(sample.rel_error))
+        if sample.direction == "over":
+            self.c_mispredicts_over.inc()
+        elif sample.direction == "under":
+            self.c_mispredicts_under.inc()
+        decision = self.elastic.update(key, sample)
+        if decision is None:
+            return []
+        return self._apply_elastic(key, decision.action, observed_bytes)
+
+    def _apply_elastic(
+        self, key: EstimatorKey, action: str, observed_bytes: int
+    ) -> List[ProgressPeriod]:
+        """Resize the key's RUNNING reservations toward the learned demand.
+
+        Growth is bounded by the policy's demand bound (the sanitizer
+        enforces it): when there is no headroom the larger learned demand
+        simply parks the key's *next* period via the admission predicate.
+        """
+        assert self.estimator is not None
+        admitted: List[ProgressPeriod] = []
+        llc = self.resources.state(ResourceKind.LLC)
+        bound = self.policy.demand_bound(llc.capacity_bytes)
+        for pp_id, (peer_key, declared, _) in list(self._predictions.items()):
+            if peer_key != key:
+                continue
+            period = self.monitor.registry.find(pp_id)
+            if period is None or period.state is not PeriodState.RUNNING:
+                continue
+            current = period.request.demand_bytes
+            target = self.estimator.predict(key, declared)
+            if target is None:
+                target = observed_bytes
+            target = max(
+                target, max(1, int(declared * self.cfg.predict_floor_frac))
+            )
+            if action == "shrink":
+                if target >= current:
+                    continue
+                _, woken = self.monitor.resize(pp_id, target)
+                self.c_elastic_shrinks.inc()
+                admitted.extend(woken)
+            else:  # grow
+                if target <= current:
+                    continue
+                headroom = bound - llc.usage_bytes
+                grow_to = min(target, current + int(headroom))
+                if grow_to <= current:
+                    continue
+                self.monitor.resize(pp_id, grow_to)
+                self.c_elastic_grows.inc()
+            if self.journal is not None:
+                self.journal.record_resize(pp_id, period.request.demand_bytes)
+            self._predictions[pp_id] = (
+                peer_key, declared, period.request.demand_bytes,
+            )
+        if admitted:
+            self.note_usage()
+        return admitted
+
+    def predicted_for_client(self, client_id: Optional[str]) -> Optional[int]:
+        """Confident peak-demand estimate for a client (placement hints)."""
+        if self.estimator is None or not client_id:
+            return None
+        return self.estimator.predicted_for_client(client_id)
 
     # ------------------------------------------------------------------
     def knows(self, kind: ResourceKind) -> bool:
@@ -535,6 +751,12 @@ class AdmissionService:
                 "events_total": self.journal.events_total,
                 "open": len(self.journal.open),
                 "replayed_periods": self.replayed_periods,
+            }
+        if self.estimator is not None:
+            snap["predict"] = {
+                "error_band": self.cfg.predict_error_band,
+                "min_samples": self.cfg.predict_min_samples,
+                "tracked_periods": len(self._predictions),
             }
         return snap
 
@@ -979,13 +1201,19 @@ class AdmissionServer:
         sharing_key = (
             ("serve", request.sharing_key) if request.sharing_key is not None else None
         )
+        # With --predict, a confident learned estimate replaces the
+        # declared demand: admit on max(predicted, floor).
+        admit_bytes, used_prediction = service.predicted_demand(record, request)
+        if used_prediction:
+            service.c_predicted_admits.inc()
         pp_id = record.api.pp_begin(
             request.resource,
-            request.demand_bytes,
+            admit_bytes,
             request.reuse,
             label=request.label,
             sharing_key=sharing_key,
         )
+        service.track_open(pp_id, record, request, admit_bytes)
         period = record.api.period(pp_id)
         # Bind the token *before* any admission so _wake-time journaling
         # of after-park admissions can read it off the owner record.
@@ -1262,6 +1490,11 @@ class AdmissionServer:
         )
         if binary:
             reply["binary"] = True
+        # Learned peak demand doubles as a cluster placement hint: the
+        # client forwards it as `hello demand_bytes` on its next connect.
+        hint = self.service.predicted_for_client(record.client_id)
+        if hint is not None:
+            reply["predicted_demand_bytes"] = hint
         return reply
 
     def _op_heartbeat(
@@ -1300,12 +1533,18 @@ class AdmissionServer:
         # crash in between replays a *closed* period as closed (the client
         # saw no reply and will retry pp_end, which is tolerated).
         record.drop_token(request.pp_id)
+        charged = period.request.demand_bytes
         service.journal_close(request.pp_id)
         admitted = record.api.pp_end(request.pp_id)
         service.c_end.inc()
         if period.admit_time is not None and period.end_time is not None:
             service.h_service.observe(period.end_time - period.admit_time)
         self._wake(admitted)
+        # Demand prediction: ingest the client's observed working set,
+        # detect mispredictions and elastically resize the key's peers.
+        self._wake(
+            service.observe_close(request.pp_id, charged, request.observed_bytes)
+        )
         self._wake(service.rescue_starved())
         return protocol.ok_reply(
             request.id, pp_id=request.pp_id, released=True,
@@ -1373,6 +1612,7 @@ class AdmissionServer:
         paths race by design and the loser must be a no-op.
         """
         record.drop_token(pp_id)
+        self.service.forget_prediction(pp_id)
         try:
             record.api.period(pp_id)
         except ProgressPeriodError:

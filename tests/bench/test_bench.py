@@ -124,7 +124,8 @@ class TestCompare:
 class TestRunner:
     def test_area_names_match_files(self):
         assert AREA_NAMES == (
-            "sim", "serve", "cluster", "fleet", "serve_overload"
+            "sim", "serve", "cluster", "fleet", "serve_overload",
+            "serve_predict",
         )
         assert set(BENCH_FILES) == set(AREA_NAMES)
 

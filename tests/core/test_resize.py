@@ -1,0 +1,169 @@
+"""Elastic reservation resize: resource accounting and period workflows.
+
+``ResourceState.resize`` / ``ResourceMonitor.resize_load`` /
+``ProgressMonitor.resize`` back the prediction subsystem's elastic
+re-admission (:mod:`repro.predict`): a running period's charge moves to
+the learned demand without a release/re-admit cycle, observers see the
+delta so conservation ledgers stay balanced, and a shrink immediately
+re-tries the waitlist.
+"""
+
+import pytest
+
+from repro.core.policy import StrictPolicy
+from repro.core.predicate import SchedulingPredicate
+from repro.core.progress_monitor import ProgressMonitor
+from repro.core.progress_period import (
+    PeriodRequest,
+    PeriodState,
+    ResourceKind,
+    ReuseLevel,
+)
+from repro.core.resource_monitor import ResourceMonitor
+from repro.errors import ProgressPeriodError, ResourceError
+
+CAP = 10_000
+
+
+def req(demand, key=None):
+    return PeriodRequest(ResourceKind.LLC, demand, ReuseLevel.HIGH, sharing_key=key)
+
+
+def monitor():
+    m = ResourceMonitor()
+    m.register(ResourceKind.LLC, CAP)
+    return m
+
+
+class LedgerObserver:
+    """Mimics the sanitizer's conservation ledger."""
+
+    def __init__(self):
+        self.balance = 0
+
+    def on_charge(self, request, added):
+        assert added > 0
+        self.balance += added
+
+    def on_release(self, request, removed):
+        assert removed > 0
+        self.balance -= removed
+
+
+class TestResourceResize:
+    def test_private_shrink_and_grow(self):
+        m = monitor()
+        r = req(4000)
+        m.increment_load(r)
+        assert m.resize_load(r, 1000) == -3000
+        assert m.state(ResourceKind.LLC).usage_bytes == 1000
+        # the caller rewrites the request after a resize; model that here
+        assert m.resize_load(req(1000), 6000) == 5000
+        assert m.state(ResourceKind.LLC).usage_bytes == 6000
+
+    def test_noop_resize_returns_zero_delta(self):
+        m = monitor()
+        m.increment_load(req(4000))
+        assert m.resize_load(req(4000), 4000) == 0
+
+    def test_negative_target_rejected(self):
+        m = monitor()
+        m.increment_load(req(4000))
+        with pytest.raises(ResourceError):
+            m.resize_load(req(4000), -1)
+
+    def test_shared_key_resize_rewrites_the_stored_charge(self):
+        m = monitor()
+        m.increment_load(req(3000, key="p1"))
+        m.increment_load(req(3000, key="p1"))  # second holder: charged once
+        assert m.resize_load(req(3000, key="p1"), 1200) == -1800
+        assert m.state(ResourceKind.LLC).usage_bytes == 1200
+        # last holder's release frees the *resized* charge exactly
+        assert m.release_load(req(1200, key="p1")) == 0
+        assert m.release_load(req(1200, key="p1")) == 1200
+        assert m.state(ResourceKind.LLC).usage_bytes == 0
+
+    def test_unheld_shared_key_rejected(self):
+        m = monitor()
+        with pytest.raises(ResourceError):
+            m.resize_load(req(3000, key="nope"), 1000)
+
+    def test_observers_see_the_delta(self):
+        m = monitor()
+        ledger = LedgerObserver()
+        m.observers.append(ledger)
+        m.increment_load(req(5000))
+        assert ledger.balance == 5000
+        m.resize_load(req(5000), 2000)
+        assert ledger.balance == 2000
+        m.resize_load(req(2000), 3000)
+        assert ledger.balance == 3000
+        m.release_load(req(3000))
+        assert ledger.balance == 0
+
+    def test_observers_silent_on_noop(self):
+        m = monitor()
+        m.increment_load(req(5000))
+        ledger = LedgerObserver()
+        m.observers.append(ledger)
+        m.resize_load(req(5000), 5000)
+        assert ledger.balance == 0
+
+
+class TestProgressResize:
+    def make(self):
+        resources = monitor()
+        return ProgressMonitor(
+            resources=resources,
+            predicate=SchedulingPredicate(resources, StrictPolicy()),
+            clock=lambda: 0.0,
+        )
+
+    def test_resize_updates_charge_and_request(self):
+        pm = self.make()
+        pp = pm.begin("t1", req(8000))
+        period, admitted = pm.resize(pp.pp_id, 2000)
+        assert period is pp
+        assert admitted == []
+        assert pp.request.demand_bytes == 2000
+        assert pm.resources.state(ResourceKind.LLC).usage_bytes == 2000
+
+    def test_end_after_resize_releases_the_new_charge(self):
+        pm = self.make()
+        pp = pm.begin("t1", req(8000))
+        pm.resize(pp.pp_id, 2000)
+        pm.end(pp.pp_id)
+        assert pm.resources.state(ResourceKind.LLC).usage_bytes == 0
+
+    def test_shrink_admits_waiters(self):
+        pm = self.make()
+        first = pm.begin("t1", req(9000))
+        waiting = pm.begin("t2", req(5000))
+        assert waiting.state is PeriodState.WAITING
+        _, admitted = pm.resize(first.pp_id, 3000)
+        assert admitted == [waiting]
+        assert waiting.state is PeriodState.RUNNING
+
+    def test_grow_admits_nobody(self):
+        pm = self.make()
+        first = pm.begin("t1", req(2000))
+        pm.begin("t2", req(9000))
+        _, admitted = pm.resize(first.pp_id, 4000)
+        assert admitted == []
+
+    def test_waiting_period_cannot_be_resized(self):
+        pm = self.make()
+        pm.begin("t1", req(9000))
+        waiting = pm.begin("t2", req(5000))
+        with pytest.raises(ProgressPeriodError):
+            pm.resize(waiting.pp_id, 1000)
+
+    def test_unknown_period_raises(self):
+        with pytest.raises(ProgressPeriodError):
+            self.make().resize(999, 1000)
+
+    def test_negative_demand_rejected(self):
+        pm = self.make()
+        pp = pm.begin("t1", req(1000))
+        with pytest.raises(ProgressPeriodError):
+            pm.resize(pp.pp_id, -1)

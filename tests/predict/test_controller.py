@@ -1,0 +1,76 @@
+"""Elastic re-admission controller: hysteresis and streak bookkeeping."""
+
+from repro.predict import ElasticController, MispredictDetector
+
+KEY = ("c1", "dgemm")
+
+
+def sample(charged, observed):
+    return MispredictDetector(error_band=0.25).classify(charged, observed)
+
+
+OVER = sample(200, 100)
+UNDER = sample(50, 100)
+OK = sample(100, 100)
+
+
+class TestHysteresis:
+    def test_single_misprediction_does_not_act(self):
+        c = ElasticController(hysteresis=2)
+        assert c.update(KEY, OVER) is None
+
+    def test_sustained_overprediction_shrinks(self):
+        c = ElasticController(hysteresis=2)
+        assert c.update(KEY, OVER) is None
+        decision = c.update(KEY, OVER)
+        assert decision is not None
+        assert decision.action == "shrink"
+        assert decision.key == KEY
+
+    def test_sustained_underprediction_grows(self):
+        c = ElasticController(hysteresis=2)
+        c.update(KEY, UNDER)
+        decision = c.update(KEY, UNDER)
+        assert decision is not None and decision.action == "grow"
+
+    def test_ok_resets_the_streak(self):
+        c = ElasticController(hysteresis=2)
+        c.update(KEY, OVER)
+        c.update(KEY, OK)
+        assert c.update(KEY, OVER) is None
+
+    def test_direction_flip_restarts_the_streak(self):
+        c = ElasticController(hysteresis=2)
+        c.update(KEY, OVER)
+        assert c.update(KEY, UNDER) is None
+        decision = c.update(KEY, UNDER)
+        assert decision is not None and decision.action == "grow"
+
+    def test_streak_resets_after_acting(self):
+        c = ElasticController(hysteresis=2)
+        c.update(KEY, OVER)
+        assert c.update(KEY, OVER) is not None
+        # needs a fresh full streak before the next action
+        assert c.update(KEY, OVER) is None
+        assert c.update(KEY, OVER) is not None
+
+    def test_hysteresis_one_acts_immediately(self):
+        c = ElasticController(hysteresis=1)
+        decision = c.update(KEY, OVER)
+        assert decision is not None and decision.action == "shrink"
+
+    def test_keys_tracked_independently(self):
+        c = ElasticController(hysteresis=2)
+        other = ("c2", "fft")
+        c.update(KEY, OVER)
+        assert c.update(other, OVER) is None
+        assert c.update(KEY, OVER) is not None
+
+    def test_forget_clears_state(self):
+        c = ElasticController(hysteresis=2)
+        c.update(KEY, OVER)
+        c.forget(KEY)
+        assert c.update(KEY, OVER) is None
+
+    def test_forget_unknown_key_is_noop(self):
+        ElasticController().forget(("nobody", ""))

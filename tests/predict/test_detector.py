@@ -1,0 +1,71 @@
+"""Misprediction detector: error classification and its edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predict import MispredictDetector, Misprediction
+from repro.predict.detector import _REL_ERROR_CAP
+
+
+class TestClassify:
+    def test_within_band_is_ok(self):
+        d = MispredictDetector(error_band=0.25)
+        sample = d.classify(charged_bytes=110, observed_bytes=100)
+        assert sample.direction == "ok"
+        assert not sample.mispredicted
+        assert sample.rel_error == pytest.approx(0.10)
+
+    def test_overprediction(self):
+        d = MispredictDetector(error_band=0.25)
+        sample = d.classify(charged_bytes=200, observed_bytes=100)
+        assert sample.direction == "over"
+        assert sample.mispredicted
+        assert sample.rel_error == pytest.approx(1.0)
+
+    def test_underprediction(self):
+        d = MispredictDetector(error_band=0.25)
+        sample = d.classify(charged_bytes=50, observed_bytes=100)
+        assert sample.direction == "under"
+        assert sample.rel_error == pytest.approx(-0.5)
+
+    def test_band_edges_are_ok(self):
+        d = MispredictDetector(error_band=0.25)
+        assert d.classify(125, 100).direction == "ok"
+        assert d.classify(75, 100).direction == "ok"
+
+    def test_zero_observed_with_zero_charge_is_ok(self):
+        sample = MispredictDetector().classify(0, 0)
+        assert sample.direction == "ok"
+        assert sample.rel_error == 0.0
+
+    def test_zero_observed_with_charge_caps_the_error(self):
+        sample = MispredictDetector().classify(1000, 0)
+        assert sample.direction == "over"
+        assert sample.rel_error == _REL_ERROR_CAP
+
+    def test_huge_ratio_is_capped(self):
+        sample = MispredictDetector().classify(10**18, 1)
+        assert sample.rel_error == _REL_ERROR_CAP
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            MispredictDetector(error_band=0.0)
+
+    def test_sample_is_immutable(self):
+        sample = MispredictDetector().classify(100, 100)
+        assert isinstance(sample, Misprediction)
+        with pytest.raises(AttributeError):
+            sample.direction = "over"
+
+    @given(st.integers(min_value=0, max_value=2**50),
+           st.integers(min_value=1, max_value=2**50))
+    def test_error_is_finite_and_direction_consistent(self, charged, observed):
+        d = MispredictDetector(error_band=0.25)
+        s = d.classify(charged, observed)
+        assert abs(s.rel_error) <= _REL_ERROR_CAP
+        if s.direction == "over":
+            assert s.rel_error > 0.25
+        elif s.direction == "under":
+            assert s.rel_error < -0.25
+        else:
+            assert -0.25 <= s.rel_error <= 0.25

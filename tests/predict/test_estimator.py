@@ -1,0 +1,199 @@
+"""Online WSS estimator: unit behavior plus its contract properties.
+
+The property tests pin the three guarantees the admission service builds
+on: predictions are bounded by the observed window, monotone sample sets
+yield monotone predictions, and the estimator is a pure function of its
+sample history (determinism).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predict import OnlineWssEstimator
+
+KEY = ("client-1", "dgemm")
+
+
+def feed(est, pairs, key=KEY):
+    for declared, observed in pairs:
+        est.observe(key, declared, observed)
+
+
+class TestGates:
+    def test_below_min_samples_returns_none(self):
+        est = OnlineWssEstimator(min_samples=3)
+        feed(est, [(100, 50), (200, 60)])
+        assert est.predict(KEY, 100) is None
+
+    def test_at_min_samples_predicts(self):
+        est = OnlineWssEstimator(min_samples=3)
+        feed(est, [(100, 50), (200, 60), (400, 70)])
+        assert est.predict(KEY, 200) is not None
+
+    def test_nonpositive_declared_returns_none(self):
+        est = OnlineWssEstimator(min_samples=2)
+        feed(est, [(100, 50), (200, 60)])
+        assert est.predict(KEY, 0) is None
+        assert est.predict(KEY, -5) is None
+
+    def test_nonpositive_samples_ignored(self):
+        est = OnlineWssEstimator(min_samples=2)
+        est.observe(KEY, 0, 50)
+        est.observe(KEY, 100, 0)
+        assert est.sample_count(KEY) == 0
+
+    def test_unknown_key_returns_none(self):
+        assert OnlineWssEstimator().predict(("x", "y"), 100) is None
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            OnlineWssEstimator(history=1)
+        with pytest.raises(ValueError):
+            OnlineWssEstimator(min_samples=1)
+        with pytest.raises(ValueError):
+            OnlineWssEstimator(error_band=0.0)
+
+
+class TestLearning:
+    def test_constant_liar_is_corrected(self):
+        # a client declaring 2x its true working set converges onto the
+        # truth once the window holds only (2w, w) pairs
+        est = OnlineWssEstimator(min_samples=3)
+        feed(est, [(2000, 1000)] * 4)
+        assert est.predict(KEY, 2000) == 1000
+
+    def test_log_curve_is_recovered(self):
+        a, b = 1000.0, 300.0
+        pairs = [(x, int(a + b * math.log(x))) for x in (512, 2048, 8192)]
+        est = OnlineWssEstimator(min_samples=3)
+        feed(est, pairs)
+        expected = a + b * math.log(4096)
+        assert est.predict(KEY, 4096) == pytest.approx(expected, rel=0.01)
+
+    def test_keys_are_independent(self):
+        est = OnlineWssEstimator(min_samples=2)
+        feed(est, [(1000, 100)] * 3, key=("c1", "a"))
+        feed(est, [(1000, 900)] * 3, key=("c1", "b"))
+        assert est.predict(("c1", "a"), 1000) == 100
+        assert est.predict(("c1", "b"), 1000) == 900
+
+    def test_history_ring_forgets_old_samples(self):
+        est = OnlineWssEstimator(history=4, min_samples=2,
+                                 confidence_window=4)
+        feed(est, [(1000, 2000)] * 4)  # old regime
+        # enough new-regime samples to evict the ring AND displace the
+        # transition errors from the confidence window
+        feed(est, [(1000, 100)] * 8)
+        assert est.sample_count(KEY) == 4
+        assert est.predict(KEY, 1000) == 100
+
+
+class TestConfidence:
+    def test_fresh_model_is_trusted(self):
+        assert OnlineWssEstimator().confidence(KEY) == 1.0
+
+    def test_bad_feedback_suppresses_predictions(self):
+        est = OnlineWssEstimator(min_samples=2, confidence_window=4)
+        feed(est, [(1000, 500)] * 3)
+        for _ in range(4):
+            est.note_error(KEY, 5.0)
+        assert est.confidence(KEY) == 0.0
+        assert est.predict(KEY, 1000) is None
+
+    def test_confidence_recovers_after_drift(self):
+        # the regression-test for the gating deadlock: confidence is fed
+        # by the model scoring itself on each incoming sample, so after a
+        # drift the retrained model's small errors displace the large ones
+        est = OnlineWssEstimator(
+            history=4, min_samples=2, confidence_window=4
+        )
+        feed(est, [(1000, 100)] * 4)
+        assert est.predict(KEY, 1000) == 100
+        feed(est, [(1000, 800)] * 3)   # drift: errors blow the band
+        assert est.predict(KEY, 1000) is None
+        feed(est, [(1000, 800)] * 6)   # retrained + rescored
+        assert est.predict(KEY, 1000) == 800
+
+
+class TestPlacementHint:
+    def test_peak_confident_prediction_wins(self):
+        est = OnlineWssEstimator(min_samples=2)
+        feed(est, [(1000, 300)] * 3, key=("c1", "a"))
+        feed(est, [(1000, 700)] * 3, key=("c1", "b"))
+        assert est.predict(("c1", "a"), 1000) == 300
+        assert est.predict(("c1", "b"), 1000) == 700
+        assert est.predicted_for_client("c1") == 700
+        assert est.predicted_for_client("other") is None
+
+
+class TestPersistence:
+    def test_export_load_roundtrip(self):
+        est = OnlineWssEstimator(min_samples=2)
+        feed(est, [(1000, 400), (2000, 500), (4000, 600)])
+        clone = OnlineWssEstimator(min_samples=2)
+        clone.load_samples(list(est.export_samples()))
+        assert clone.predict(KEY, 3000) == est.predict(KEY, 3000)
+
+
+# one (declared, observed) sample: declared >= 1 byte, observed positive
+SAMPLE = st.tuples(
+    st.integers(min_value=1, max_value=2**40),
+    st.integers(min_value=1, max_value=2**40),
+)
+
+
+class TestProperties:
+    @given(st.lists(SAMPLE, min_size=3, max_size=24),
+           st.integers(min_value=1, max_value=2**41))
+    @settings(max_examples=200)
+    def test_prediction_bounded_by_observed_window(self, pairs, declared):
+        est = OnlineWssEstimator(min_samples=3)
+        feed(est, pairs)
+        value = est.predict(KEY, declared)
+        if value is not None:
+            lo = min(y for _, y in pairs[-est.history:])
+            hi = max(y for _, y in pairs[-est.history:])
+            assert lo <= value <= hi
+
+    @given(st.lists(SAMPLE, min_size=3, max_size=24),
+           st.integers(min_value=1, max_value=2**41),
+           st.integers(min_value=1, max_value=2**41))
+    @settings(max_examples=200)
+    def test_prediction_is_deterministic(self, pairs, d1, d2):
+        one = OnlineWssEstimator(min_samples=3)
+        two = OnlineWssEstimator(min_samples=3)
+        feed(one, pairs)
+        feed(two, pairs)
+        assert one.predict(KEY, d1) == two.predict(KEY, d1)
+        # repeated queries must not perturb the model either
+        assert one.predict(KEY, d2) == two.predict(KEY, d2)
+        assert one.predict(KEY, d1) == two.predict(KEY, d1)
+
+    @given(
+        st.lists(
+            st.integers(min_value=1, max_value=2**40),
+            min_size=3, max_size=16, unique=True,
+        ),
+        st.lists(st.integers(min_value=1, max_value=2**40),
+                 min_size=3, max_size=16),
+        st.integers(min_value=1, max_value=2**41),
+        st.integers(min_value=1, max_value=2**41),
+    )
+    @settings(max_examples=200)
+    def test_monotone_samples_give_monotone_predictions(
+        self, xs, ys, d1, d2
+    ):
+        # similarly-ordered samples (bigger declared -> bigger observed)
+        # must never predict a *smaller* working set for a *larger*
+        # declared demand; rounding to whole bytes may differ by one
+        n = min(len(xs), len(ys))
+        pairs = list(zip(sorted(xs)[:n], sorted(ys)[:n]))
+        est = OnlineWssEstimator(min_samples=3, history=16)
+        feed(est, pairs)
+        lo_d, hi_d = min(d1, d2), max(d1, d2)
+        p_lo = est.predict(KEY, lo_d)
+        p_hi = est.predict(KEY, hi_d)
+        if p_lo is not None and p_hi is not None:
+            assert p_lo <= p_hi + 1

@@ -49,6 +49,35 @@ class TestFit:
         with pytest.raises(ProfilerError):
             LogRegression(1, 1).predict(-1)
 
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ProfilerError):
+            fit_log_regression([-1, 2], [1, 2])
+
+    def test_nonfinite_inputs_rejected(self):
+        with pytest.raises(ProfilerError):
+            fit_log_regression([1.0, float("inf")], [1.0, 2.0])
+        with pytest.raises(ProfilerError):
+            fit_log_regression([1.0, 2.0], [float("nan"), 2.0])
+
+    def test_constant_x_falls_back_to_mean(self):
+        # all samples at one input size give a rank-deficient design
+        # matrix; the fit must degrade to the constant model, not emit a
+        # RankWarning and garbage coefficients
+        reg = fit_log_regression([4096, 4096, 4096], [10.0, 20.0, 30.0])
+        assert reg.b == 0.0
+        assert reg.a == pytest.approx(20.0)
+        assert reg.predict(1e9) == pytest.approx(20.0)
+
+    def test_nearly_constant_x_is_treated_as_constant(self):
+        x = 1e6
+        reg = fit_log_regression([x, x * (1 + 1e-15)], [5.0, 7.0])
+        assert reg.b == 0.0
+        assert reg.a == pytest.approx(6.0)
+
+    def test_constant_x_constant_y_is_exact(self):
+        reg = fit_log_regression([2.0, 2.0], [9.0, 9.0])
+        assert reg.predict(2.0) == pytest.approx(9.0)
+
 
 class TestAccuracy:
     def test_perfect_prediction(self):

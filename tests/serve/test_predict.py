@@ -1,0 +1,365 @@
+"""Demand prediction and elastic re-admission, end to end.
+
+The prediction subsystem (:mod:`repro.predict`) closes the loop on
+clients whose declared demands are wrong: the estimator learns the true
+working set from ``pp_end`` observations, new begins are admitted on the
+learned demand, and sustained mispredictions elastically resize running
+reservations.  These tests drive the full wire path — protocol parse,
+journal persistence, live server — under both kinds of liar.
+"""
+
+import asyncio
+from dataclasses import replace
+
+import pytest
+
+from repro.config import default_machine_config
+from repro.core.api import MB
+from repro.core.policy import StrictPolicy
+from repro.core.progress_period import ResourceKind
+from repro.errors import ProtocolError
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+from repro.serve.journal import AdmissionJournal, replay_journal
+from repro.serve.server import AdmissionServer, ServeConfig
+
+CAPACITY_MB = 4.0
+LABEL = "bench/dgemm"
+HALF_MB = MB(1) // 2
+
+
+def tiny_machine(capacity_mb: float = CAPACITY_MB):
+    machine = default_machine_config()
+    quantum = machine.llc.line_bytes * machine.llc.associativity
+    capacity = max(quantum, int(capacity_mb * 1024 * 1024) // quantum * quantum)
+    return replace(machine, llc=replace(machine.llc, capacity_bytes=capacity))
+
+
+def predict_cfg(**kwargs) -> ServeConfig:
+    defaults = dict(
+        policy=StrictPolicy(),
+        machine=tiny_machine(),
+        sanitize=True,
+        predict=True,
+        predict_min_samples=3,
+        predict_hysteresis=2,
+    )
+    defaults.update(kwargs)
+    return ServeConfig(**defaults)
+
+
+def usage(service) -> int:
+    return service.resources.state(ResourceKind.LLC).usage_bytes
+
+
+async def boot(tmp_path, cfg):
+    server = AdmissionServer(cfg)
+    sock = str(tmp_path / "serve.sock")
+    await server.start(unix_path=sock)
+    return server, sock
+
+
+async def lying_period(client, declared, observed, label=LABEL):
+    """One begin/end cycle whose declaration is off by design."""
+    reply = await client.pp_begin(declared, label=label)
+    await client.pp_end(reply["pp_id"], observed_bytes=observed)
+
+
+class TestProtocolObservedBytes:
+    def frame(self, **fields):
+        base = {"v": protocol.PROTOCOL_VERSION, "id": 1, "op": "pp_end",
+                "pp_id": 3}
+        base.update(fields)
+        return base
+
+    def test_observed_bytes_parsed(self):
+        request = protocol.parse_request(self.frame(observed_bytes=4096))
+        assert request.observed_bytes == 4096
+
+    def test_absent_observed_bytes_is_none(self):
+        assert protocol.parse_request(self.frame()).observed_bytes is None
+
+    def test_zero_observed_bytes_allowed(self):
+        assert protocol.parse_request(
+            self.frame(observed_bytes=0)
+        ).observed_bytes == 0
+
+    def test_negative_observed_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request(self.frame(observed_bytes=-1))
+
+    def test_non_integer_observed_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.parse_request(self.frame(observed_bytes="lots"))
+
+
+class TestJournalLearnedState:
+    def test_obs_records_replay(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_obs("alice", LABEL, 2048, 1024)
+        journal.record_obs("alice", LABEL, 4096, 2048)
+        journal.close()
+        state = replay_journal(path)
+        assert state.obs == [
+            ("alice", LABEL, 2048, 1024),
+            ("alice", LABEL, 4096, 2048),
+        ]
+
+    def test_obs_survive_compaction(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_obs("alice", LABEL, 2048, 1024)
+        journal.compact()
+        journal.close()
+        assert replay_journal(path).obs == [("alice", LABEL, 2048, 1024)]
+
+    def test_obs_ring_is_bounded(self, tmp_path):
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path, obs_history=4)
+        for i in range(10):
+            journal.record_obs("alice", LABEL, 1000 + i, 500 + i)
+        journal.compact()
+        journal.close()
+        state = replay_journal(path)
+        # only the newest obs_history samples survive compaction
+        assert [y for _, _, _, y in state.obs] == [506, 507, 508, 509]
+
+    def test_resize_replay_rewrites_the_open_demand(self, tmp_path):
+        from tests.serve.test_journal import record
+
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        assert journal.record_resize(1, 99) is True
+        journal.close()
+        state = replay_journal(path)
+        assert state.open[1].demand_bytes == 99
+
+    def test_resize_of_unjournaled_period_writes_nothing(self, tmp_path):
+        journal = AdmissionJournal(str(tmp_path / "j.ndjson"))
+        assert journal.record_resize(42, 99) is False
+        assert journal.events_total == 0
+
+
+class TestOverdeclaringClient:
+    def test_elastic_shrink_then_predicted_admission(self, tmp_path):
+        async def scenario():
+            server, sock = await boot(tmp_path, predict_cfg())
+            service = server.service
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("alice")
+
+            # a long-running period admitted on the inflated declaration
+            long_running = await client.pp_begin(MB(2), label=LABEL)
+            assert usage(service) == MB(2)
+
+            # two quick over-declared periods (same connection — a second
+            # hello would take over alice's lease) trip the detector
+            # streak: hysteresis 2 -> the second close shrinks the long
+            # runner onto its observed working set (floored at declared/4)
+            await lying_period(client, declared=MB(1), observed=HALF_MB)
+            assert service.c_mispredicts_over.value == 1
+            await lying_period(client, declared=MB(1), observed=HALF_MB)
+            assert service.c_elastic_shrinks.value == 1
+            assert usage(service) == HALF_MB
+
+            # a third sample reaches min_samples: the next begin is
+            # admitted on the learned demand, not the declared one
+            await lying_period(client, declared=MB(1), observed=HALF_MB)
+            predicted = await client.pp_begin(MB(1), label=LABEL)
+            assert service.c_predicted_admits.value == 1
+            assert usage(service) == HALF_MB + HALF_MB
+
+            # the learned estimate also feeds hello placement hints; the
+            # reattaching hello resumes alice's record (and supersedes the
+            # first connection), so the open periods stay addressable
+            fresh = await ServeClient.connect(unix_path=sock)
+            hello = await fresh.hello("alice")
+            assert hello["predicted_demand_bytes"] == HALF_MB
+
+            await fresh.pp_end(predicted["pp_id"], observed_bytes=HALF_MB)
+            await fresh.pp_end(long_running["pp_id"], observed_bytes=HALF_MB)
+            assert usage(service) == 0
+            assert service.sanitizer.ok, service.sanitizer.summary()
+            assert service.h_rel_error.count > 0
+
+            for c in (client, fresh):
+                await c.close()
+            server.request_drain()
+            await asyncio.wait_for(server.run_until_drained(), 10.0)
+
+        asyncio.run(scenario())
+
+    def test_shrink_admits_a_parked_waiter(self, tmp_path):
+        async def scenario():
+            server, sock = await boot(tmp_path, predict_cfg())
+            service = server.service
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("alice")
+
+            # 2 MB running on a (just under) 4 MB LLC; a 3 MB begin parks
+            long_running = await client.pp_begin(MB(2), label=LABEL)
+            waiter = await ServeClient.connect(unix_path=sock)
+            await waiter.hello("bob")
+            parked = asyncio.ensure_future(
+                waiter.pp_begin(MB(3), label="bob/fft")
+            )
+            await asyncio.sleep(0.05)
+            assert not parked.done()
+
+            # sustained over-prediction shrinks the runner onto the
+            # observed working set; the freed space admits the waiter
+            await lying_period(client, declared=MB(1), observed=HALF_MB)
+            await lying_period(client, declared=MB(1), observed=HALF_MB)
+            admitted = await asyncio.wait_for(parked, 5.0)
+            assert admitted["admitted"] is True
+            assert service.c_elastic_shrinks.value >= 1
+
+            await waiter.pp_end(admitted["pp_id"])
+            await client.pp_end(long_running["pp_id"], observed_bytes=HALF_MB)
+            assert usage(service) == 0
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+            for c in (client, waiter):
+                await c.close()
+            server.request_drain()
+            await asyncio.wait_for(server.run_until_drained(), 10.0)
+
+        asyncio.run(scenario())
+
+
+class TestUnderdeclaringClient:
+    def test_elastic_grow_within_the_policy_bound(self, tmp_path):
+        async def scenario():
+            server, sock = await boot(tmp_path, predict_cfg())
+            service = server.service
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("alice")
+
+            # understated long runner: declared 1 MB, really touches 3 MB
+            long_running = await client.pp_begin(MB(1), label=LABEL)
+
+            await lying_period(client, declared=MB(1), observed=MB(3))
+            assert service.c_mispredicts_under.value == 1
+            await lying_period(client, declared=MB(1), observed=MB(3))
+
+            # hysteresis hit: the runner's reservation grows onto the
+            # observed demand (3 MB fits the strict 4 MB bound)
+            assert service.c_elastic_grows.value == 1
+            assert usage(service) == MB(3)
+
+            await client.pp_end(long_running["pp_id"], observed_bytes=MB(3))
+            assert usage(service) == 0
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+            await client.close()
+            server.request_drain()
+            await asyncio.wait_for(server.run_until_drained(), 10.0)
+
+        asyncio.run(scenario())
+
+
+class TestPredictOff:
+    def test_observed_bytes_accepted_and_ignored(self, tmp_path):
+        async def scenario():
+            cfg = ServeConfig(
+                policy=StrictPolicy(), machine=tiny_machine(), sanitize=True
+            )
+            server, sock = await boot(tmp_path, cfg)
+            service = server.service
+            assert service.estimator is None
+
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("alice")
+            reply = await client.pp_begin(MB(2), label=LABEL)
+            assert usage(service) == MB(2)
+            await client.pp_end(reply["pp_id"], observed_bytes=MB(1))
+            assert usage(service) == 0
+
+            # no predict instruments are registered when the feature is off
+            stats = await client.stats()
+            assert "predicted_admits_total" not in stats["counters"]
+            assert "prediction_rel_error" not in stats["histograms"]
+            assert "predict" not in service.snapshot()
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+            await client.close()
+            server.request_drain()
+            await asyncio.wait_for(server.run_until_drained(), 10.0)
+
+        asyncio.run(scenario())
+
+
+class TestLearnedStateSurvivesRestart:
+    def test_estimator_is_rebuilt_from_the_journal(self, tmp_path):
+        async def scenario():
+            cfg = predict_cfg(
+                journal_path=str(tmp_path / "admission.ndjson"),
+                lease_ttl_s=10.0,
+            )
+            server, sock = await boot(tmp_path, cfg)
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("alice")
+            for _ in range(3):
+                await lying_period(client, declared=MB(2), observed=MB(1))
+            await server.abort()  # kill -9, in effigy
+            await client.close()
+
+            reborn = AdmissionServer(predict_cfg(
+                journal_path=str(tmp_path / "admission.ndjson"),
+                lease_ttl_s=10.0,
+            ))
+            service = reborn.service
+            # the learned samples were journaled and re-fed on boot
+            assert service.estimator.sample_count(("alice", LABEL)) == 3
+            await reborn.start(unix_path=sock)
+
+            # the very first begin after the restart is already predicted
+            client2 = await ServeClient.connect(unix_path=sock)
+            await client2.hello("alice")
+            reply = await client2.pp_begin(MB(2), label=LABEL)
+            assert service.c_predicted_admits.value == 1
+            assert usage(service) == MB(1)
+
+            await client2.pp_end(reply["pp_id"], observed_bytes=MB(1))
+            assert usage(service) == 0
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+            await client2.close()
+            reborn.request_drain()
+            await asyncio.wait_for(reborn.run_until_drained(), 10.0)
+
+        asyncio.run(scenario())
+
+    def test_resized_reservation_survives_a_crash(self, tmp_path):
+        async def scenario():
+            cfg = predict_cfg(
+                journal_path=str(tmp_path / "admission.ndjson"),
+                lease_ttl_s=10.0,
+            )
+            server, sock = await boot(tmp_path, cfg)
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("alice")
+            long_running = await client.pp_begin(MB(2), label=LABEL)
+
+            await lying_period(client, declared=MB(1), observed=HALF_MB)
+            await lying_period(client, declared=MB(1), observed=HALF_MB)
+            assert usage(server.service) == HALF_MB  # shrunk in place
+
+            await server.abort()
+            await client.close()
+
+            reborn = AdmissionServer(predict_cfg(
+                journal_path=str(tmp_path / "admission.ndjson"),
+                lease_ttl_s=10.0,
+            ))
+            service = reborn.service
+            # replay restores the post-resize charge, not the admit-time one
+            assert service.replayed_periods == 1
+            assert usage(service) == HALF_MB
+            period = service.monitor.registry.get(long_running["pp_id"])
+            assert period.request.demand_bytes == HALF_MB
+            assert service.sanitizer.ok, service.sanitizer.summary()
+
+        asyncio.run(scenario())

@@ -4,6 +4,7 @@ import argparse
 
 import pytest
 
+from repro import cliutil
 from repro.cli import build_parser, main, policy_by_name
 from repro.core.policy import CompromisePolicy, StrictPolicy
 
@@ -200,3 +201,62 @@ class TestOverloadFlags:
         assert args.slowloris == 2 and args.p99_bound == 5.0
         assert main(["chaos", "--overload", "--cluster"]) == 2
         assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestSharedValidators:
+    """repro.cliutil: the validators shared by every subcommand."""
+
+    def test_positive_float_accepts(self):
+        assert cliutil.positive_float("0.5") == 0.5
+        assert cliutil.positive_float("2") == 2.0
+
+    @pytest.mark.parametrize("text", ["0", "-1.5", "nan?", ""])
+    def test_positive_float_rejects(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            cliutil.positive_float(text)
+
+    def test_positive_int_accepts(self):
+        assert cliutil.positive_int("3") == 3
+
+    @pytest.mark.parametrize("text", ["0", "-2", "1.5", "x"])
+    def test_positive_int_rejects(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            cliutil.positive_int(text)
+
+
+class TestPredictFlags:
+    def test_serve_predict_flags_parse_and_default_off(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.predict is False
+        assert args.predict_error_band == 0.25
+        assert args.predict_min_samples == 3
+        assert args.predict_history == 32
+        assert args.predict_hysteresis == 2
+        args = parser.parse_args([
+            "serve", "--predict", "--predict-error-band", "0.1",
+            "--predict-min-samples", "5", "--predict-history", "16",
+            "--predict-hysteresis", "4",
+        ])
+        assert args.predict is True and args.predict_error_band == 0.1
+        assert args.predict_min_samples == 5 and args.predict_history == 16
+        assert args.predict_hysteresis == 4
+
+    def test_loadgen_overdeclare_and_observe(self):
+        parser = build_parser()
+        args = parser.parse_args(["loadgen"])
+        assert args.overdeclare == 1.0 and args.observe is False
+        args = parser.parse_args(["loadgen", "--overdeclare", "2", "--observe"])
+        assert args.overdeclare == 2.0 and args.observe is True
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--predict-error-band", "0"],
+        ["serve", "--predict-min-samples", "-1"],
+        ["serve", "--predict-history", "0"],
+        ["serve", "--predict-hysteresis", "1.5"],
+        ["loadgen", "--overdeclare", "0"],
+        ["loadgen", "--overdeclare", "-2"],
+    ])
+    def test_invalid_predict_values_are_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
