@@ -515,6 +515,8 @@ def bench_cluster(seed: int, reps: int) -> List[BenchRecord]:
             "placements": frontend.c_placements.value,
             "redirects": frontend.c_redirects.value,
             "forwards": frontend.c_forwards.value,
+            "migrations": frontend.c_migrations.value,
+            "fragmentation_peak": frontend._frag_peak,
         }
         return wall, report, counters
 
@@ -530,6 +532,12 @@ def bench_cluster(seed: int, reps: int) -> List[BenchRecord]:
                 seed=seed, config_digest=digest, wall_s=round(wall, 6),
             )
 
+        redirect_p99 = (
+            report.redirect_latency.p99 * 1e3
+            if report.redirect_latency.count else 0.0
+        )
+        # Placement-quality records use informational units so the compare
+        # gate leaves them out of the pass/fail decision.
         return [
             rec("admissions_per_s", round(report.admitted / wall, 1),
                 "admissions/s"),
@@ -537,6 +545,11 @@ def bench_cluster(seed: int, reps: int) -> List[BenchRecord]:
                 "placements/s"),
             rec("admitted_total", float(report.admitted), "admissions"),
             rec("redirects_total", float(counters["redirects"]), "redirects"),
+            rec("migrations_total", float(counters["migrations"]),
+                "migrations"),
+            rec("fragmentation_peak",
+                round(counters["fragmentation_peak"], 4), "ratio"),
+            rec("redirect_latency_p99", round(redirect_p99, 3), "ms"),
         ]
 
     return _merge_best([cluster_rep() for _ in range(max(1, reps))])

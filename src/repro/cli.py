@@ -251,6 +251,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--placer-seed", type=int, default=0, metavar="SEED",
         help="tie-break seed of the cluster placer (with --shards > 1)",
     )
+    serve_p.add_argument(
+        "--rebalance-fragmentation", type=_positive_float, default=0.5,
+        metavar="RATIO",
+        help="with --shards > 1: trigger proactive parked-client rebalance "
+        "when free-capacity fragmentation reaches this ratio (default 0.5)",
+    )
+    serve_p.add_argument(
+        "--no-supervise", action="store_true",
+        help="with --shards > 1: do not auto-restart dead shards from "
+        "their journals",
+    )
 
     place_p = sub.add_parser(
         "place",
@@ -395,7 +406,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.add_argument(
         "--shards", type=int, default=3, metavar="N",
-        help="shard count for --cluster (default 3)",
+        help="shard count for --cluster / --rolling (default 3)",
+    )
+    chaos_p.add_argument(
+        "--supervise", action="store_true",
+        help="--cluster: let the front-end supervisor restart killed "
+        "shards from their journals instead of the harness",
+    )
+    chaos_p.add_argument(
+        "--rolling", action="store_true",
+        help="rolling-restart campaign: drain and restart every shard of "
+        "a supervised cluster under live load, asserting zero lost periods",
+    )
+    chaos_p.add_argument(
+        "--rolling-grace", type=_positive_float, default=3.0,
+        metavar="SECONDS",
+        help="--rolling: per-shard drain grace before a forced restart "
+        "(default 3.0)",
     )
     chaos_p.add_argument(
         "--overload", action="store_true",
@@ -688,7 +715,11 @@ def _cmd_serve(args) -> int:
         from .serve.cluster import start_local_cluster
 
         cluster = await start_local_cluster(
-            cfg, args.shards, socket_path, seed=args.placer_seed
+            cfg, args.shards, socket_path, seed=args.placer_seed,
+            cluster_overrides={
+                "rebalance_fragmentation": args.rebalance_fragmentation,
+            },
+            supervise=not args.no_supervise,
         )
         cluster.install_signal_handlers()
         policy_name = cfg.policy.name if cfg.policy else "Always Admit"
@@ -826,12 +857,21 @@ def _cmd_chaos(args) -> int:
 
     from .serve.chaos import (
         ChaosConfig, run_chaos_sync, run_cluster_chaos_sync,
-        run_overload_chaos_sync,
+        run_overload_chaos_sync, run_rolling_chaos_sync,
     )
 
-    if args.overload and args.cluster:
-        print("chaos: --overload and --cluster are mutually exclusive",
-              file=sys.stderr)
+    exclusive = [
+        flag for flag in ("overload", "cluster", "rolling")
+        if getattr(args, flag)
+    ]
+    if len(exclusive) > 1:
+        print(
+            "chaos: --" + " and --".join(exclusive) + " are mutually "
+            "exclusive", file=sys.stderr,
+        )
+        return 2
+    if args.supervise and not args.cluster:
+        print("chaos: --supervise needs --cluster", file=sys.stderr)
         return 2
     cfg = ChaosConfig(
         seed=args.seed,
@@ -842,7 +882,9 @@ def _cmd_chaos(args) -> int:
         policy=args.policy,
         capacity_mb=args.capacity_mb,
         lease_ttl_s=args.lease_ttl,
-        shards=args.shards if args.cluster else 0,
+        shards=args.shards if (args.cluster or args.rolling) else 0,
+        supervise=args.supervise,
+        rolling_grace_s=args.rolling_grace,
         storm_rate=args.storm_rate,
         slowloris=args.slowloris,
         p99_bound_s=args.p99_bound,
@@ -854,6 +896,8 @@ def _cmd_chaos(args) -> int:
     )
     if args.overload:
         campaign = run_overload_chaos_sync
+    elif args.rolling:
+        campaign = run_rolling_chaos_sync
     elif args.cluster:
         campaign = run_cluster_chaos_sync
     else:

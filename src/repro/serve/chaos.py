@@ -51,6 +51,8 @@ __all__ = [
     "run_cluster_chaos_sync",
     "run_overload_chaos",
     "run_overload_chaos_sync",
+    "run_rolling_chaos",
+    "run_rolling_chaos_sync",
 ]
 
 #: fault kinds the proxy can inject, in threshold order
@@ -97,6 +99,11 @@ class ChaosConfig:
     #: cluster campaign: admission shards behind a placer front-end
     #: (0 = classic single-server campaign)
     shards: int = 0
+    #: cluster campaign: let the front-end's shard supervisor restart
+    #: killed shards (the campaign itself stops restarting them)
+    supervise: bool = False
+    #: rolling campaign: per-shard grace for running periods
+    rolling_grace_s: float = 3.0
     #: overload campaign: server-side overload knobs, passed to ``serve``
     #: only when set — the classic campaigns add no extra flags, and
     #: :func:`run_overload_chaos` fills in tight defaults for unset ones
@@ -350,7 +357,7 @@ class ServerProcess:
                         unix_path=self.socket_path, timeout=1.0
                     )
                     try:
-                        await probe.query()
+                        await probe.query(timeout=1.0)
                     finally:
                         await probe.close()
                     return
@@ -403,6 +410,14 @@ class ChaosReport:
     #: cluster campaigns: shard count and front-end counters (else 0/empty)
     shards: int = 0
     cluster_counters: Dict[str, int] = field(default_factory=dict)
+    #: supervised campaigns: restarts performed by the shard supervisor
+    supervised: bool = False
+    shard_restarts: int = 0
+    shards_alive_final: int = 0
+    shards_quarantined: int = 0
+    #: rolling campaigns: shards that completed a drain+restart cycle
+    rolling: bool = False
+    rolled_shards: int = 0
     #: overload campaigns: extra verdict inputs (inert for the others)
     overload: bool = False
     p99_bound_s: Optional[float] = None
@@ -422,6 +437,25 @@ class ChaosReport:
             and self.sanitizer_ok is not False
             and self.server_exit_code == 0
         )
+        if self.supervised:
+            # Self-healing contract: every kill was healed by the
+            # supervisor (capacity recovered to N shards alive) and
+            # nothing got stuck in quarantine.
+            verdict = (
+                verdict
+                and self.shard_restarts > 0
+                and self.shards_alive_final == self.shards
+                and self.shards_quarantined == 0
+            )
+        if self.rolling:
+            # Rolling-restart contract: every shard completed its
+            # drain+restart cycle and no admitted period was lost.
+            verdict = (
+                verdict
+                and self.rolled_shards == self.shards
+                and self.shards_alive_final == self.shards
+                and self.load.lost_periods == 0
+            )
         if self.overload:
             # Degradation contract: admitted calls stay fast, every shed
             # reply carries a retry hint, and dead slow consumers' leases
@@ -456,6 +490,12 @@ class ChaosReport:
             "server_exit_code": self.server_exit_code,
             "shards": self.shards,
             "cluster_counters": dict(self.cluster_counters),
+            "supervised": self.supervised,
+            "shard_restarts": self.shard_restarts,
+            "shards_alive_final": self.shards_alive_final,
+            "shards_quarantined": self.shards_quarantined,
+            "rolling": self.rolling,
+            "rolled_shards": self.rolled_shards,
             "overload": self.overload,
             "p99_bound_s": self.p99_bound_s,
             "p99_observed_s": self.p99_observed_s,
@@ -470,7 +510,11 @@ class ChaosReport:
             f"{self.faults[k]} {k}" for k in FAULT_KINDS if self.faults[k]
         )
         shape = (
-            f"cluster chaos campaign ({self.shards} shard(s), "
+            f"rolling restart campaign ({self.shards} shard(s), "
+            if self.rolling
+            else f"supervised cluster campaign ({self.shards} shard(s), "
+            if self.supervised
+            else f"cluster chaos campaign ({self.shards} shard(s), "
             if self.shards
             else "overload campaign ("
             if self.overload
@@ -504,6 +548,17 @@ class ChaosReport:
                     f"{v} {k}" for k, v in sorted(self.cluster_counters.items())
                 )
             )
+        if self.supervised or self.rolling:
+            bits = [
+                f"{self.shard_restarts} supervised restart(s)",
+                f"{self.shards_alive_final}/{self.shards} shard(s) alive",
+                f"{self.shards_quarantined} quarantined",
+            ]
+            if self.rolling:
+                bits.append(
+                    f"{self.rolled_shards}/{self.shards} rolled"
+                )
+            lines.append("  lifecycle: " + ", ".join(bits))
         if self.overload:
             p99 = (
                 f"{self.p99_observed_s * 1e3:.1f} ms"
@@ -599,7 +654,16 @@ async def run_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
     try:
         deadline = settle_t0 + cfg.settle_timeout_s
         while time.monotonic() < deadline:
-            q = await probe.query()
+            try:
+                q = await probe.query(timeout=10.0)
+            except asyncio.TimeoutError:
+                # a timed-out round trip leaves the connection
+                # desynchronized — reconnect and keep settling
+                await probe.close()
+                probe = await ServeClient.connect(
+                    unix_path=backend_path, timeout=5.0
+                )
+                continue
             final_open = int(q.get("open_periods", -1))
             final_waiting = int(q.get("waiting", -1))
             final_usage = sum(
@@ -611,11 +675,12 @@ async def run_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
                 settled = True
                 break
             await asyncio.sleep(0.1)
-        stats = await probe.stats()
-        sanitizer = stats.get("sanitizer")
-        if sanitizer is not None:
-            sanitizer_ok = bool(sanitizer.get("ok"))
-        await probe.drain()
+        with contextlib.suppress(asyncio.TimeoutError):
+            stats = await probe.stats(timeout=10.0)
+            sanitizer = stats.get("sanitizer")
+            if sanitizer is not None:
+                sanitizer_ok = bool(sanitizer.get("ok"))
+            await probe.drain(timeout=10.0)
     finally:
         await probe.close()
     settle_s = time.monotonic() - settle_t0
@@ -657,6 +722,25 @@ def run_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
 # ----------------------------------------------------------------------
 # cluster campaign
 # ----------------------------------------------------------------------
+def _subprocess_restarter(shard: ServerProcess):
+    """Restart hook handed to the front-end's shard supervisor: reap the
+    killed subprocess, then boot a fresh one on the same journal."""
+
+    async def restart() -> None:
+        try:
+            await shard.wait(timeout_s=15.0)
+        except asyncio.TimeoutError:
+            # The process never exited: the "death" was a probe flap
+            # under load.  Booting a second incarnation next to a live
+            # one would fight it for the socket and the journal lock, so
+            # leave it alone — the supervisor's ready-probe re-registers
+            # the survivor.
+            return
+        await shard.start()
+
+    return restart
+
+
 async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
     """Kill individual shards behind a placer front-end, then judge.
 
@@ -692,8 +776,18 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
         seed=cfg.seed,
         health_interval_s=0.1,
         probe_timeout_s=2.0,
+        # deliberate SIGKILLs are not crash loops: never quarantine a
+        # shard for dying on schedule
+        crash_loop_window_s=0.0,
+        restart_backoff_s=0.1,
+        restart_ready_timeout_s=cfg.server_start_timeout_s,
     ))
     await frontend.start(unix_path=placer_path)
+    if cfg.supervise:
+        for shard, address in zip(shards, addresses):
+            frontend.register_restarter(
+                address.name, _subprocess_restarter(shard)
+            )
     frontend_task = asyncio.ensure_future(frontend.run_until_drained())
 
     load_cfg = LoadgenConfig(
@@ -722,11 +816,23 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
             await asyncio.sleep(cfg.kill_interval_s)
             if load_task.done():
                 break
-            victim = shards[cycle % n_shards]
+            victim_idx = cycle % n_shards
+            if cfg.supervise:
+                # Pick a victim the supervisor has already healed — a
+                # still-dead shard yields no new kill to supervise.
+                for offset in range(n_shards):
+                    idx = (cycle + offset) % n_shards
+                    if frontend.placer.shards[f"shard{idx}"].alive:
+                        victim_idx = idx
+                        break
+                else:
+                    continue
+            victim = shards[victim_idx]
             victim.kill()
             await victim.wait()
             kills += 1
-            await victim.start()
+            if not cfg.supervise:
+                await victim.start()
         load = await load_task
     except BaseException:
         load_task.cancel()
@@ -756,7 +862,7 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
             unix_path=shard.socket_path, timeout=5.0
         )
         try:
-            return await probe.query()
+            return await probe.query(timeout=10.0)
         finally:
             await probe.close()
 
@@ -784,6 +890,16 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
         await asyncio.sleep(0.1)
     settle_s = time.monotonic() - settle_t0
 
+    # capacity-recovery verdict inputs, read *before* the shutdown drain
+    # below tears the shards down
+    await frontend._health_sweep()
+    shards_alive_final = len(frontend.placer.alive_shards())
+    shards_quarantined = len(frontend.quarantined)
+
+    # from here on every shard death is deliberate: stop the supervisor
+    # before it resurrects what the teardown drains
+    await frontend.disarm_supervision()
+
     # drain every shard, then the front-end, and collect verdicts
     exit_worst: Optional[int] = 0
     for shard in shards:
@@ -792,7 +908,7 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
                 unix_path=shard.socket_path, timeout=5.0
             )
             try:
-                stats = await probe.stats()
+                stats = await probe.stats(timeout=10.0)
                 sanitizer = stats.get("sanitizer")
                 if sanitizer is not None:
                     shard_ok = bool(sanitizer.get("ok"))
@@ -800,7 +916,7 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
                         shard_ok if sanitizer_ok is None
                         else sanitizer_ok and shard_ok
                     )
-                await probe.drain()
+                await probe.drain(timeout=10.0)
             finally:
                 await probe.close()
         except (ReproError, OSError, asyncio.TimeoutError):
@@ -823,8 +939,11 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
             ("forwards", frontend.c_forwards),
             ("migrations", frontend.c_migrations),
             ("migration_failures", frontend.c_migration_failures),
+            ("shard_restarts", frontend.c_shard_restarts),
+            ("rebalance_migrations", frontend.c_rebalances),
         )
     }
+    shard_restarts = frontend.c_shard_restarts.value
     frontend.request_drain()
     with contextlib.suppress(BaseException):
         await frontend_task
@@ -852,12 +971,236 @@ async def run_cluster_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
         server_output=output,
         shards=n_shards,
         cluster_counters=cluster_counters,
+        supervised=cfg.supervise,
+        shard_restarts=shard_restarts,
+        shards_alive_final=shards_alive_final,
+        shards_quarantined=shards_quarantined,
     )
 
 
 def run_cluster_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
     """Blocking wrapper around :func:`run_cluster_chaos` (CLI entry)."""
     return asyncio.run(run_cluster_chaos(cfg, workdir))
+
+
+# ----------------------------------------------------------------------
+# rolling restart campaign
+# ----------------------------------------------------------------------
+async def run_rolling_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """A full rolling restart under live load, losing nothing.
+
+    N subprocess shards behind a placer front-end, resilient clients
+    driving load throughout; after a warm-up the front-end drains,
+    restarts and rejoins every shard one at a time.  The verdict demands
+    every shard completed its cycle, capacity recovered to N shards
+    alive, zero admitted periods were lost, and the settled cluster is
+    as quiescent as after any other campaign.
+    """
+    from .cluster import ClusterConfig, ClusterFrontend
+    from .placer import ShardAddress
+
+    n_shards = max(1, cfg.shards or 3)
+    os.makedirs(workdir, exist_ok=True)
+    placer_path = os.path.join(workdir, "placer.sock")
+
+    t_start = time.monotonic()
+    shards: List[ServerProcess] = []
+    addresses: List[ShardAddress] = []
+    for i in range(n_shards):
+        socket_path = os.path.join(workdir, f"shard{i}.sock")
+        journal_path = os.path.join(workdir, f"shard{i}-journal.ndjson")
+        shard = ServerProcess(socket_path, journal_path, cfg)
+        await shard.start()
+        shards.append(shard)
+        addresses.append(ShardAddress(name=f"shard{i}", unix_path=socket_path))
+
+    frontend = ClusterFrontend(ClusterConfig(
+        shards=tuple(addresses),
+        seed=cfg.seed,
+        health_interval_s=0.1,
+        probe_timeout_s=2.0,
+        crash_loop_window_s=0.0,
+        restart_backoff_s=0.1,
+        restart_ready_timeout_s=cfg.server_start_timeout_s,
+        shard_drain_grace_s=cfg.rolling_grace_s,
+    ))
+    await frontend.start(unix_path=placer_path)
+    for shard, address in zip(shards, addresses):
+        frontend.register_restarter(address.name, _subprocess_restarter(shard))
+    frontend_task = asyncio.ensure_future(frontend.run_until_drained())
+
+    load_cfg = LoadgenConfig(
+        mode="closed",
+        clients=cfg.clients,
+        sessions=cfg.sessions,
+        duration_s=cfg.duration_s,
+        time_scale=1.0,
+        max_hold_s=max(cfg.hold_s, 0.25),
+        max_retries=100_000,
+        cluster=True,
+        call_timeout_s=2.0,
+        begin_timeout_s=cfg.park_timeout_s + 2.0,
+        seed=cfg.seed,
+    )
+    scripts = fig4_scripts(
+        n=max(8, cfg.clients * 2), demand_mb=cfg.demand_mb, hold_s=cfg.hold_s
+    )
+    load_task = asyncio.ensure_future(
+        run_loadgen(scripts, load_cfg, unix_path=placer_path)
+    )
+
+    rolled = 0
+    try:
+        # warm up: let the load establish leases and admitted periods
+        await asyncio.sleep(min(cfg.kill_interval_s, cfg.duration_s / 4))
+        results = await frontend.rolling_restart(grace_s=cfg.rolling_grace_s)
+        rolled = sum(1 for ok in results.values() if ok)
+        load = await load_task
+    except BaseException:
+        load_task.cancel()
+        with contextlib.suppress(BaseException):
+            await load_task
+        frontend.request_drain()
+        with contextlib.suppress(BaseException):
+            await frontend_task
+        for shard in shards:
+            shard.kill()
+            with contextlib.suppress(Exception):
+                await shard.wait(timeout_s=5.0)
+        raise
+
+    # ------------------------------------------------------------------
+    # settle: every shard must quiesce once the load's leases expire
+    # ------------------------------------------------------------------
+    settled = False
+    settle_t0 = time.monotonic()
+    final_open = final_usage = final_waiting = -1
+    sanitizer_ok: Optional[bool] = None
+    replayed = 0
+    deadline = settle_t0 + cfg.settle_timeout_s
+
+    async def probe_shard(shard: ServerProcess) -> Dict[str, Any]:
+        probe = await ServeClient.connect(
+            unix_path=shard.socket_path, timeout=5.0
+        )
+        try:
+            return await probe.query(timeout=10.0)
+        finally:
+            await probe.close()
+
+    while time.monotonic() < deadline:
+        final_open = final_usage = final_waiting = 0
+        replayed = 0
+        try:
+            for shard in shards:
+                q = await probe_shard(shard)
+                final_open += int(q.get("open_periods", 0))
+                final_waiting += int(q.get("waiting", 0))
+                final_usage += sum(
+                    int(state.get("usage_bytes", 0))
+                    for state in q.get("resources", {}).values()
+                )
+                replayed += int(
+                    (q.get("journal") or {}).get("replayed_periods", 0)
+                )
+        except (ReproError, OSError, asyncio.TimeoutError):
+            await asyncio.sleep(0.1)
+            continue
+        if final_open == 0 and final_usage == 0 and final_waiting == 0:
+            settled = True
+            break
+        await asyncio.sleep(0.1)
+    settle_s = time.monotonic() - settle_t0
+
+    await frontend._health_sweep()
+    shards_alive_final = len(frontend.placer.alive_shards())
+    shards_quarantined = len(frontend.quarantined)
+
+    # planned teardown from here: the supervisor must not resurrect the
+    # shards the shutdown drain takes down
+    await frontend.disarm_supervision()
+
+    exit_worst: Optional[int] = 0
+    for shard in shards:
+        try:
+            probe = await ServeClient.connect(
+                unix_path=shard.socket_path, timeout=5.0
+            )
+            try:
+                stats = await probe.stats(timeout=10.0)
+                sanitizer = stats.get("sanitizer")
+                if sanitizer is not None:
+                    shard_ok = bool(sanitizer.get("ok"))
+                    sanitizer_ok = (
+                        shard_ok if sanitizer_ok is None
+                        else sanitizer_ok and shard_ok
+                    )
+                await probe.drain(timeout=10.0)
+            finally:
+                await probe.close()
+        except (ReproError, OSError, asyncio.TimeoutError):
+            exit_worst = 1
+    for shard in shards:
+        code: Optional[int] = None
+        with contextlib.suppress(asyncio.TimeoutError):
+            code = await shard.wait(timeout_s=10.0)
+        if code is None:
+            shard.kill()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await shard.wait(timeout_s=5.0)
+        if code != 0 and exit_worst == 0:
+            exit_worst = code if code is not None else 1
+    cluster_counters = {
+        name: counter.value
+        for name, counter in (
+            ("placements", frontend.c_placements),
+            ("redirects", frontend.c_redirects),
+            ("forwards", frontend.c_forwards),
+            ("migrations", frontend.c_migrations),
+            ("migration_failures", frontend.c_migration_failures),
+            ("shard_restarts", frontend.c_shard_restarts),
+            ("shard_drains", frontend.c_shard_drains),
+        )
+    }
+    shard_restarts = frontend.c_shard_restarts.value
+    frontend.request_drain()
+    with contextlib.suppress(BaseException):
+        await frontend_task
+
+    output: List[str] = []
+    for i, shard in enumerate(shards):
+        output.extend(f"[shard{i}] {line}" for line in shard.output)
+
+    return ChaosReport(
+        seed=cfg.seed,
+        wall_s=time.monotonic() - t_start,
+        kills=0,
+        faults={kind: 0 for kind in FAULT_KINDS},
+        faults_total=0,
+        proxy_connections=0,
+        load=load,
+        replayed_periods_last_boot=replayed,
+        settled=settled,
+        settle_s=settle_s,
+        final_open_periods=final_open,
+        final_usage_bytes=final_usage,
+        final_waiting=final_waiting,
+        sanitizer_ok=sanitizer_ok,
+        server_exit_code=exit_worst,
+        server_output=output,
+        shards=n_shards,
+        cluster_counters=cluster_counters,
+        shard_restarts=shard_restarts,
+        shards_alive_final=shards_alive_final,
+        shards_quarantined=shards_quarantined,
+        rolling=True,
+        rolled_shards=rolled,
+    )
+
+
+def run_rolling_chaos_sync(cfg: ChaosConfig, workdir: str) -> ChaosReport:
+    """Blocking wrapper around :func:`run_rolling_chaos` (CLI entry)."""
+    return asyncio.run(run_rolling_chaos(cfg, workdir))
 
 
 # ----------------------------------------------------------------------
@@ -1047,7 +1390,16 @@ async def run_overload_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
     try:
         deadline = settle_t0 + cfg.settle_timeout_s
         while time.monotonic() < deadline:
-            q = await probe.query()
+            try:
+                q = await probe.query(timeout=10.0)
+            except asyncio.TimeoutError:
+                # a timed-out round trip leaves the connection
+                # desynchronized — reconnect and keep settling
+                await probe.close()
+                probe = await ServeClient.connect(
+                    unix_path=socket_path, timeout=5.0
+                )
+                continue
             final_open = int(q.get("open_periods", -1))
             final_waiting = int(q.get("waiting", -1))
             final_clients = int(q.get("clients", -1))
@@ -1065,11 +1417,12 @@ async def run_overload_chaos(cfg: ChaosConfig, workdir: str) -> ChaosReport:
                 settled = True
                 break
             await asyncio.sleep(0.1)
-        stats = await probe.stats()
-        sanitizer = stats.get("sanitizer")
-        if sanitizer is not None:
-            sanitizer_ok = bool(sanitizer.get("ok"))
-        await probe.drain()
+        with contextlib.suppress(asyncio.TimeoutError):
+            stats = await probe.stats(timeout=10.0)
+            sanitizer = stats.get("sanitizer")
+            if sanitizer is not None:
+                sanitizer_ok = bool(sanitizer.get("ok"))
+            await probe.drain(timeout=10.0)
     finally:
         await probe.close()
     settle_s = time.monotonic() - settle_t0

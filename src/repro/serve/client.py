@@ -219,13 +219,15 @@ class ServeClient:
             fields["observed_bytes"] = observed_bytes
         return await self.call("pp_end", timeout=timeout, **fields)
 
-    async def query(self, pp_id: Optional[int] = None) -> Dict[str, Any]:
+    async def query(
+        self, pp_id: Optional[int] = None, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
         if pp_id is None:
-            return await self.call("query")
-        return await self.call("query", pp_id=pp_id)
+            return await self.call("query", timeout=timeout)
+        return await self.call("query", timeout=timeout, pp_id=pp_id)
 
-    async def stats(self) -> Dict[str, Any]:
-        return (await self.call("stats"))["stats"]
+    async def stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return (await self.call("stats", timeout=timeout))["stats"]
 
-    async def drain(self) -> Dict[str, Any]:
-        return await self.call("drain")
+    async def drain(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return await self.call("drain", timeout=timeout)

@@ -103,6 +103,25 @@ class ClusterConfig:
     brownout_sweeps: int = 3
     #: cluster-wide retry hint carried by OVERLOAD sheds
     brownout_retry_s: float = 0.5
+    #: proactive rebalance: when the fragmentation gauge sits at/above
+    #: this threshold the ``migrate_after_s`` age gate is waived and
+    #: parked clients may move immediately (None = age-gated only)
+    rebalance_fragmentation: Optional[float] = 0.5
+    #: supervisor poll period (only matters once restarters registered)
+    supervise_interval_s: float = 0.1
+    #: base restart backoff; doubles per crash-loop streak entry
+    restart_backoff_s: float = 0.2
+    #: ceiling on the exponential restart backoff
+    restart_backoff_cap_s: float = 5.0
+    #: a shard death within this window of its last supervised restart
+    #: counts as a crash loop
+    crash_loop_window_s: float = 10.0
+    #: crash-loop streak length that quarantines the shard
+    quarantine_after: int = 3
+    #: budget for a restarted shard to answer its first probe
+    restart_ready_timeout_s: float = 15.0
+    #: rolling restart: grace for a draining shard's running periods
+    shard_drain_grace_s: float = 5.0
     #: largest accepted request frame
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     #: flat file the cluster metrics snapshot is dumped to
@@ -464,15 +483,47 @@ class ClusterFrontend:
         self.c_brownout_shed = self.metrics.counter(
             "brownout_shed_total", "new clients shed with OVERLOAD"
         )
+        self.c_shard_restarts = self.metrics.counter(
+            "shard_restarts_total", "dead shards restarted by the supervisor"
+        )
+        self.c_shard_drains = self.metrics.counter(
+            "shard_drains_total", "planned single-shard drains"
+        )
+        self.c_rebalances = self.metrics.counter(
+            "rebalance_migrations_total",
+            "migrations triggered by the fragmentation threshold",
+        )
         #: brownout state: set/cleared by the health loop
         self._brownout = False
         self._brownout_streak = 0
         #: per-resource high-water mark of declared demand, the yardstick
         #: for "could any shard even fit a typical new client?"
         self._peak_demand: Dict[str, int] = {}
+        #: supervision state: shard name -> async restart hook
+        self._restarters: Dict[str, Any] = {}
+        self._restarting: set = set()
+        self._quarantined: set = set()
+        self._restart_streak: Dict[str, int] = {}
+        self._last_restart: Dict[str, float] = {}
+        self._restart_tasks: set = set()
+        self._frag_peak = 0.0
         self.metrics.gauge(
             "fragmentation", "1 - largest_free/total_free over live shards",
             fn=self.placer.fragmentation,
+        )
+        self.metrics.gauge(
+            "fragmentation_peak", "high-water mark of the fragmentation gauge",
+            fn=lambda: self._frag_peak,
+        )
+        self.metrics.gauge(
+            "shards_quarantined", "crash-looping shards held out of service",
+            fn=lambda: float(len(self._quarantined)),
+        )
+        self.metrics.gauge(
+            "shards_draining", "shards in a planned drain/restart cycle",
+            fn=lambda: float(
+                sum(1 for s in self.placer.shards.values() if s.draining)
+            ),
         )
         self.metrics.gauge(
             "brownout", "1 while the front-end is shedding new clients",
@@ -538,6 +589,7 @@ class ClusterFrontend:
             )
         self._background.append(asyncio.ensure_future(self._health_loop()))
         self._background.append(asyncio.ensure_future(self._balance_loop()))
+        self._background.append(asyncio.ensure_future(self._supervise_loop()))
         if self.cfg.metrics_json:
             self._background.append(asyncio.ensure_future(self._metrics_loop()))
 
@@ -569,9 +621,10 @@ class ClusterFrontend:
             await pump.close()
         for server in self._servers:
             await server.wait_closed()
-        for task in self._background:
+        stopping = list(self._background) + list(self._restart_tasks)
+        for task in stopping:
             task.cancel()
-        await asyncio.gather(*self._background, return_exceptions=True)
+        await asyncio.gather(*stopping, return_exceptions=True)
         if self._unix_path and os.path.exists(self._unix_path):
             os.unlink(self._unix_path)
         if self.cfg.metrics_json:
@@ -586,15 +639,19 @@ class ClusterFrontend:
             if amount > self._peak_demand.get(resource, 0):
                 self._peak_demand[resource] = amount
         with contextlib.suppress(ClusterError):
-            self.placer.place(client_id, demand)
+            self.placer.observe_demand(client_id, demand)
 
     def shard_trouble(self, shard: ShardState) -> None:
         """A data-path failure implicating ``shard``: mark it dead now.
 
-        The health loop will resurrect it on the next successful probe;
-        marking it dead immediately keeps the placer from routing new
-        clients at a socket that just failed.
+        Marking it dead immediately keeps the placer from routing new
+        clients at a socket that just failed; the supervisor (or the
+        next successful probe) resurrects it.  A *draining* shard is
+        exempt — its connections are expected to drop during a planned
+        restart, and only the drain/restart cycle decides its liveness.
         """
+        if shard.draining:
+            return
         self.placer.mark_dead(shard.name)
 
     # ------------------------------------------------------------------
@@ -621,7 +678,14 @@ class ClusterFrontend:
         return reply
 
     async def _health_sweep(self) -> None:
-        shards = list(self.placer.shards.values())
+        # Draining and mid-restart shards are skipped entirely: a planned
+        # restart must not be mistaken for a death (that would skew
+        # shards_alive and could flip brownout on), and only the
+        # drain/restart cycle decides their liveness transitions.
+        shards = [
+            s for s in self.placer.shards.values()
+            if not s.draining and s.name not in self._restarting
+        ]
         replies = await asyncio.gather(
             *(self._probe(s) for s in shards), return_exceptions=True
         )
@@ -629,24 +693,32 @@ class ClusterFrontend:
             if not isinstance(reply, dict):
                 self.placer.observe(shard.name, alive=False)
                 continue
-            resources = reply.get("resources") or {}
-            usage = {
-                kind: entry.get("usage_bytes", 0)
-                for kind, entry in resources.items()
-            }
-            capacity = {
-                kind: entry.get("capacity_bytes", 0)
-                for kind, entry in resources.items()
-            }
-            self.placer.observe(
-                shard.name,
-                usage=usage,
-                capacity=capacity,
-                waiting=reply.get("waiting"),
-                open_periods=reply.get("open_periods"),
-                alive=True,
-            )
+            self._fold_probe(shard, reply)
+            # a shard that answers probes is serving: a stale quarantine
+            # (operator intervention, external restart) lifts itself
+            self._quarantined.discard(shard.name)
+        self._frag_peak = max(self._frag_peak, self.placer.fragmentation())
         self._update_brownout()
+
+    def _fold_probe(self, shard: ShardState, reply: Dict[str, Any]) -> None:
+        """Fold one successful query reply into the placer's shard model."""
+        resources = reply.get("resources") or {}
+        usage = {
+            kind: entry.get("usage_bytes", 0)
+            for kind, entry in resources.items()
+        }
+        capacity = {
+            kind: entry.get("capacity_bytes", 0)
+            for kind, entry in resources.items()
+        }
+        self.placer.observe(
+            shard.name,
+            usage=usage,
+            capacity=capacity,
+            waiting=reply.get("waiting"),
+            open_periods=reply.get("open_periods"),
+            alive=True,
+        )
 
     def _update_brownout(self) -> None:
         """Hysteretic brownout decision, one call per health sweep.
@@ -659,6 +731,12 @@ class ClusterFrontend:
         """
         threshold = self.cfg.brownout_fragmentation
         if threshold is None:
+            return
+        if self._restarting or any(
+            s.draining for s in self.placer.shards.values()
+        ):
+            # planned topology change: capacity is transiently reduced by
+            # design, so neither advance nor reset the saturation streak
             return
         live = self.placer.alive_shards()
         saturated = (
@@ -690,23 +768,254 @@ class ClusterFrontend:
             await asyncio.sleep(self.cfg.balance_interval_s)
             if not self.cfg.migration:
                 continue
-            for pump in list(self._pumps):
-                demand = pump.parked_demand(self.cfg.migrate_after_s)
-                if demand is None:
-                    continue
-                target = self.placer.migration_target(pump.client_id, demand)
-                if target is None:
-                    continue
-                if await pump.migrate_to(target):
-                    self.placer.migrate(pump.client_id, target)
-                    self.c_migrations.inc()
-                else:
-                    self.c_migration_failures.inc()
+            threshold = self.cfg.rebalance_fragmentation
+            fragmented = (
+                threshold is not None
+                and self.placer.fragmentation() >= threshold
+            )
+            # fragmented capacity: don't wait for parked begins to age —
+            # move them now, before the slivers deadlock each other
+            min_age = 0.0 if fragmented else self.cfg.migrate_after_s
+            await self._migrate_parked(min_age, rebalance=fragmented)
+
+    async def _migrate_parked(
+        self,
+        min_age_s: float,
+        only_shard: Optional[str] = None,
+        rebalance: bool = False,
+    ) -> int:
+        """One migration sweep over the forwarding pumps; returns moves."""
+        moved = 0
+        for pump in list(self._pumps):
+            if only_shard is not None and pump.shard.name != only_shard:
+                continue
+            demand = pump.parked_demand(min_age_s)
+            if demand is None:
+                continue
+            target = self.placer.migration_target(pump.client_id, demand)
+            if target is None:
+                continue
+            if await pump.migrate_to(target):
+                self.placer.migrate(pump.client_id, target)
+                self.c_migrations.inc()
+                if rebalance:
+                    self.c_rebalances.inc()
+                moved += 1
+            else:
+                self.c_migration_failures.inc()
+        return moved
 
     async def _metrics_loop(self) -> None:
         while True:
             await asyncio.sleep(self.cfg.metrics_interval_s)
             self.metrics.dump_json(self.cfg.metrics_json)
+
+    # ------------------------------------------------------------------
+    # shard supervision
+    # ------------------------------------------------------------------
+    def register_restarter(self, name: str, restarter) -> None:
+        """Arm the supervisor for shard ``name``.
+
+        ``restarter`` is an async callable that brings the (dead or
+        drained) shard process back up on its original address, where it
+        recovers by replaying its own journal.  Once at least one
+        restarter is registered the supervise loop restarts dead shards
+        automatically; :meth:`drain_shard`/:meth:`rolling_restart` use
+        the same hooks for planned cycles.
+        """
+        if name not in self.placer.shards:
+            raise ClusterError(f"unknown shard {name!r}")
+        self._restarters[name] = restarter
+
+    @property
+    def quarantined(self) -> set:
+        """Names of crash-looping shards held out of service."""
+        return set(self._quarantined)
+
+    async def disarm_supervision(self) -> None:
+        """Stop auto-restarting shards and wait out in-flight restarts.
+
+        Call before a planned whole-cluster teardown: otherwise the
+        supervisor resurrects every shard the shutdown just drained.
+        """
+        self._restarters.clear()
+        if self._restart_tasks:
+            await asyncio.gather(
+                *list(self._restart_tasks), return_exceptions=True
+            )
+
+    async def _supervise_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.cfg.supervise_interval_s)
+            for shard in self.placer.shards.values():
+                name = shard.name
+                if (
+                    shard.alive or shard.draining
+                    or name in self._restarting
+                    or name in self._quarantined
+                    or name not in self._restarters
+                ):
+                    continue
+                self._restarting.add(name)
+                task = asyncio.ensure_future(self._supervised_restart(shard))
+                self._restart_tasks.add(task)
+                task.add_done_callback(self._restart_tasks.discard)
+
+    async def _supervised_restart(self, shard: ShardState) -> bool:
+        """One supervised restart of a dead shard: backoff, flap guard,
+        restarter, probe-until-ready, revive.  Crash-looping shards (a
+        re-death inside ``crash_loop_window_s`` of the last restart)
+        escalate the backoff and are quarantined after
+        ``quarantine_after`` strikes instead of flapping forever."""
+        name = shard.name
+        try:
+            now = time.monotonic()
+            last = self._last_restart.get(name)
+            if last is not None and now - last < self.cfg.crash_loop_window_s:
+                self._restart_streak[name] = (
+                    self._restart_streak.get(name, 0) + 1
+                )
+            else:
+                self._restart_streak[name] = 0
+            streak = self._restart_streak[name]
+            if streak >= self.cfg.quarantine_after:
+                self._quarantined.add(name)
+                return False
+            await asyncio.sleep(min(
+                self.cfg.restart_backoff_s * (2 ** streak),
+                self.cfg.restart_backoff_cap_s,
+            ))
+            # flap guard: a probe that answers means the "death" was a
+            # transient (connection hiccup, mid-compaction stall) — the
+            # process never left, so re-register it instead of restarting
+            reply = await self._probe(shard)
+            if reply is not None:
+                self._fold_probe(shard, reply)
+                self.placer.revive(name)
+                return True
+            self._last_restart[name] = time.monotonic()
+            restarter = self._restarters.get(name)
+            if restarter is None:
+                return False  # disarmed while we backed off
+            try:
+                await restarter()
+            except Exception:
+                return False
+            if not await self._await_ready(shard):
+                return False
+            self.placer.revive(name)
+            self.c_shard_restarts.inc()
+            return True
+        finally:
+            self._restarting.discard(name)
+
+    async def _await_ready(self, shard: ShardState) -> bool:
+        """Probe a restarting shard until it answers (bounded)."""
+        deadline = time.monotonic() + self.cfg.restart_ready_timeout_s
+        while time.monotonic() < deadline:
+            reply = await self._probe(shard)
+            if reply is not None:
+                self._fold_probe(shard, reply)
+                return True
+            await asyncio.sleep(0.05)
+        return False
+
+    # ------------------------------------------------------------------
+    # planned drain / rolling restart
+    # ------------------------------------------------------------------
+    async def drain_shard(
+        self, name: str, *, grace_s: Optional[float] = None
+    ) -> bool:
+        """Planned drain of one shard.
+
+        The placer stops placing onto it immediately (sticky clients
+        re-place on their next hello), parked forwarded clients migrate
+        away via the normal ``migrate_to`` path, running periods get a
+        bounded grace window, and only then is the shard asked to drain.
+        Returns True when the shard acknowledged the drain (or was
+        already down).
+        """
+        shard = self.placer.shards.get(name)
+        if shard is None:
+            raise ClusterError(f"unknown shard {name!r}")
+        grace = self.cfg.shard_drain_grace_s if grace_s is None else grace_s
+        self.placer.mark_draining(name)
+        self.c_shard_drains.inc()
+        deadline = time.monotonic() + grace
+        acknowledged = False
+        while time.monotonic() < deadline:
+            await self._migrate_parked(0.0, only_shard=name)
+            reply = await self._probe(shard)
+            if reply is None:
+                break  # already down (crashed mid-drain)
+            if (
+                int(reply.get("open_periods") or 0) == 0
+                and not any(
+                    p.shard.name == name for p in self._pumps
+                    if not p._closed
+                )
+            ):
+                break
+            await asyncio.sleep(0.05)
+        try:
+            client = await ServeClient.connect(
+                timeout=self.cfg.probe_timeout_s,
+                **_connect_kwargs(shard.address),
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            acknowledged = True  # nothing left to drain
+        else:
+            try:
+                await client.drain()
+                acknowledged = True
+            except Exception:
+                acknowledged = False
+            finally:
+                with contextlib.suppress(Exception):
+                    await client.close()
+        # the shard is going down now; ``draining`` stays set so the
+        # health sweep keeps its hands off until the restart revives it
+        self.placer.mark_dead(name)
+        return acknowledged
+
+    async def restart_shard(self, name: str) -> bool:
+        """Restart a drained/dead shard via its registered restarter and
+        re-register it with the placer once it answers probes."""
+        restarter = self._restarters.get(name)
+        if restarter is None:
+            raise ClusterError(f"no restarter registered for shard {name!r}")
+        shard = self.placer.shards[name]
+        try:
+            await restarter()
+        except Exception:
+            self.placer.mark_draining(name, False)  # unplanned now
+            return False
+        if not await self._await_ready(shard):
+            self.placer.mark_draining(name, False)
+            return False
+        self.placer.revive(name)
+        self.c_shard_restarts.inc()
+        return True
+
+    async def rolling_restart(
+        self, *, grace_s: Optional[float] = None
+    ) -> Dict[str, bool]:
+        """Drain, restart and rejoin every shard, one at a time.
+
+        Returns shard name -> True when that shard completed its cycle.
+        Shards without a registered restarter are skipped (False).
+        """
+        results: Dict[str, bool] = {}
+        for name in sorted(self.placer.shards):
+            if name in self._quarantined:
+                results[name] = False
+                continue
+            if name not in self._restarters:
+                results[name] = False
+                continue
+            await self.drain_shard(name, grace_s=grace_s)
+            results[name] = await self.restart_shard(name)
+        return results
 
     # ------------------------------------------------------------------
     # connection handling
@@ -967,7 +1276,40 @@ class ClusterFrontend:
         }
 
     async def _op_drain(self, request: protocol.Request) -> Dict[str, Any]:
-        """Fan drain out to every shard, then drain the front-end."""
+        """Drain admin verb, three modes.
+
+        * ``{"op": "drain"}`` — fan out to every shard, then drain the
+          front-end itself (whole-cluster shutdown, the original verb).
+        * ``{"op": "drain", "shard": "shard1"}`` — rolling-restart *one*
+          shard: planned drain, restart via its registered restarter,
+          rejoin.  The cluster keeps serving throughout.
+        * ``{"op": "drain", "rolling": true}`` — a full rolling restart
+          over every shard, one at a time.
+        """
+        raw = request.raw
+        grace = raw.get("grace_s")
+        grace_s = float(grace) if isinstance(grace, (int, float)) else None
+        target = raw.get("shard")
+        if isinstance(target, str):
+            if target not in self.placer.shards:
+                return protocol.error_reply(
+                    request.id, ErrorCode.BAD_REQUEST,
+                    f"unknown shard {target!r}",
+                )
+            drained = await self.drain_shard(target, grace_s=grace_s)
+            restarted = False
+            if target in self._restarters:
+                restarted = await self.restart_shard(target)
+            return protocol.ok_reply(
+                request.id, shard=target,
+                drained=drained, restarted=restarted,
+            )
+        if raw.get("rolling"):
+            results = await self.rolling_restart(grace_s=grace_s)
+            return protocol.ok_reply(
+                request.id, rolling=True, shards=results,
+                rolled=sum(1 for ok in results.values() if ok),
+            )
         shards = list(self.placer.shards.values())
 
         async def drain_one(shard: ShardState) -> bool:
@@ -1004,6 +1346,8 @@ class LocalCluster:
 
     frontend: ClusterFrontend
     servers: List[AdmissionServer] = field(default_factory=list)
+    #: shards swapped out by a restart whose sanitizer was dirty
+    faulted: int = 0
 
     def request_drain(self) -> None:
         self.frontend.request_drain()
@@ -1011,15 +1355,22 @@ class LocalCluster:
     def install_signal_handlers(self) -> None:
         self.frontend.install_signal_handlers()
 
+    async def rolling_restart(
+        self, *, grace_s: Optional[float] = None
+    ) -> Dict[str, bool]:
+        """Drive a full rolling restart cycle over every shard."""
+        return await self.frontend.rolling_restart(grace_s=grace_s)
+
     async def run_until_drained(self) -> int:
         """Serve until the front-end drains, then drain every shard.
 
         Returns the worst shard exit disposition: 0 when every shard
-        drained with a clean sanitizer, 1 otherwise (mirrors the CLI
-        contract of a standalone ``repro serve``).
+        (including any swapped out by a restart) drained with a clean
+        sanitizer, 1 otherwise (mirrors the CLI contract of a
+        standalone ``repro serve``).
         """
         await self.frontend.run_until_drained()
-        worst = 0
+        worst = 1 if self.faulted else 0
         for server in self.servers:
             server.request_drain()
             await server.run_until_drained()
@@ -1029,6 +1380,42 @@ class LocalCluster:
         return worst
 
 
+def _local_restarter(cluster: LocalCluster, shard_cfg: ServeConfig, path: str):
+    """Restart hook for one in-process shard of a LocalCluster.
+
+    The journal handoff is sequenced, never concurrent: the old server
+    instance is fully drained (or was already aborted/SIGKILL-simulated,
+    in which case its journal handle is abandoned) before the fresh
+    instance opens the same journal path and replays it.  The old
+    instance is looked up by shard name, so tests that prune
+    ``cluster.servers`` stay correct.
+    """
+    name = shard_cfg.shard_name
+
+    async def restart() -> None:
+        old = next(
+            (s for s in cluster.servers if s.cfg.shard_name == name), None
+        )
+        if old is not None and not old.aborted:
+            old.request_drain()
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    old.run_until_drained(),
+                    old.cfg.drain_grace_s + 5.0,
+                )
+            sanitizer = old.service.sanitizer
+            if sanitizer is not None and not sanitizer.ok:
+                cluster.faulted += 1
+        server = AdmissionServer(shard_cfg)
+        await server.start(unix_path=path)
+        if old is not None:
+            cluster.servers[cluster.servers.index(old)] = server
+        else:
+            cluster.servers.append(server)
+
+    return restart
+
+
 async def start_local_cluster(
     cfg: ServeConfig,
     n_shards: int,
@@ -1036,6 +1423,8 @@ async def start_local_cluster(
     *,
     seed: int = 0,
     cluster_cfg: Optional[ClusterConfig] = None,
+    cluster_overrides: Optional[Dict[str, Any]] = None,
+    supervise: bool = True,
 ) -> LocalCluster:
     """Start N in-process shards plus a front-end on ``socket_path``.
 
@@ -1043,11 +1432,17 @@ async def start_local_cluster(
     ``<journal>.shard<i>`` (when journaling is on).  ``cfg`` describes
     *one* shard — capacity is per shard, so a 3-shard cluster manages
     3x the capacity of a standalone server with the same config.
+
+    With ``supervise`` (the default) every shard gets a restarter
+    registered with the front-end: dead shards are restarted from their
+    journal automatically and the cluster supports planned single-shard
+    drains and rolling restarts.
     """
     if n_shards < 1:
         raise ClusterError(f"need at least 1 shard, got {n_shards}")
     servers: List[AdmissionServer] = []
     addresses: List[ShardAddress] = []
+    shard_cfgs: List[ServeConfig] = []
     for i in range(n_shards):
         name = f"shard{i}"
         shard_cfg = dataclasses.replace(
@@ -1063,12 +1458,21 @@ async def start_local_cluster(
         await server.start(unix_path=path)
         servers.append(server)
         addresses.append(ShardAddress(name=name, unix_path=path))
-    frontend = ClusterFrontend(
-        cluster_cfg if cluster_cfg is not None else ClusterConfig(
+        shard_cfgs.append(shard_cfg)
+    if cluster_cfg is None:
+        cluster_cfg = ClusterConfig(
             shards=tuple(addresses),
             seed=seed,
             metrics_json=cfg.metrics_json,
+            **(cluster_overrides or {}),
         )
-    )
+    frontend = ClusterFrontend(cluster_cfg)
     await frontend.start(unix_path=socket_path)
-    return LocalCluster(frontend=frontend, servers=servers)
+    cluster = LocalCluster(frontend=frontend, servers=servers)
+    if supervise:
+        for address, shard_cfg in zip(addresses, shard_cfgs):
+            frontend.register_restarter(
+                address.name,
+                _local_restarter(cluster, shard_cfg, address.unix_path),
+            )
+    return cluster

@@ -389,7 +389,33 @@ class AdmissionJournal:
     def _ensure_fh(self):
         if self._fh is None:
             self._fh = open(self.path, "ab")
+            self._lock_fh(self._fh)
         return self._fh
+
+    def _lock_fh(self, fh) -> None:
+        """Advisory single-writer lock on the append handle.
+
+        A supervised restart hands the journal from the dying shard
+        incarnation to its replacement; the handoff is sequenced, but a
+        bug (or an operator starting a second shard on the same journal)
+        would interleave two incarnations' appends and corrupt the log.
+        ``flock`` conflicts per open file description, so it also
+        catches a double incarnation inside one process.  The kernel
+        drops the lock when the fd closes — including on SIGKILL — so a
+        crashed incarnation never wedges its successor.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-unix
+            return
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            fh.close()
+            raise JournalError(
+                f"{self.path}: journal is locked by another live shard "
+                f"incarnation"
+            ) from None
 
     def _append(self, frame: Dict[str, Any]) -> None:
         if self._dead:

@@ -129,6 +129,7 @@ class _Tally:
     lost_periods: int = 0
     deduped: int = 0
     redirects: int = 0
+    redirect_latency_s: List[float] = field(default_factory=list)
     latency_s: List[float] = field(default_factory=list)
     waited_s: List[float] = field(default_factory=list)
     utilization_samples: List[float] = field(default_factory=list)
@@ -168,6 +169,11 @@ class LoadgenReport:
     park_time: LatencySummary
     utilization_mean: float
     utilization_peak: float
+    #: client-observed REDIRECT → shard-hello completion time (cluster
+    #: runs only; empty against a bare server)
+    redirect_latency: LatencySummary = field(
+        default_factory=lambda: summarize_samples([])
+    )
     server_stats: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
@@ -196,6 +202,7 @@ class LoadgenReport:
             "throughput_pps": self.throughput_pps,
             "admission_latency_s": self.admission_latency.to_dict(),
             "park_time_s": self.park_time.to_dict(),
+            "redirect_latency_s": self.redirect_latency.to_dict(),
             "utilization_mean": self.utilization_mean,
             "utilization_peak": self.utilization_peak,
         }
@@ -234,6 +241,8 @@ class LoadgenReport:
             + self.admission_latency.describe(unit="ms", scale=1e3),
             "  park time         "
             + self.park_time.describe(unit="ms", scale=1e3),
+            "  redirect latency  "
+            + self.redirect_latency.describe(unit="ms", scale=1e3),
             f"  utilization: mean {self.utilization_mean:.1%}, "
             f"peak {self.utilization_peak:.1%}",
         ]
@@ -281,6 +290,7 @@ class _Runner:
         self._next_client = 0
         self._deadline: Optional[float] = None
         self._stop = False
+        self._sampler_stop = False
 
     # ------------------------------------------------------------------
     def _take_script(self) -> SessionScript:
@@ -361,6 +371,8 @@ class _Runner:
             self.tally.lost_periods += client.lost_periods
             self.tally.deduped += client.deduped
             self.tally.redirects += client.redirects
+            self.tally.redirect_latency_s.extend(client.redirect_latency_s)
+            client.redirect_latency_s = []
 
     # ------------------------------------------------------------------
     async def _run_call(self, client: Any, call: PpCall) -> bool:
@@ -410,7 +422,12 @@ class _Runner:
                     return False
                 if exc.code == ErrorCode.DRAINING:
                     tally.draining_rejects += 1
-                    self._stop = True
+                    # Against a bare server a drain means the run is over;
+                    # in a cluster it is one shard's planned (rolling)
+                    # restart — end this session, let the next one be
+                    # re-placed on a live shard.
+                    if not self.cfg.cluster:
+                        self._stop = True
                     return False
                 tally.protocol_errors += 1
                 return False
@@ -500,7 +517,12 @@ class _Runner:
         except OSError:
             return
         try:
-            while True:
+            # The stop flag backs up cancellation: the query round trip
+            # runs under asyncio.wait_for, and on 3.11 a cancel landing
+            # just as the inner future completes is swallowed (the task
+            # keeps running in "cancelling" state).  The flag turns that
+            # race into a normal exit one iteration later.
+            while not self._sampler_stop:
                 await asyncio.sleep(0.02)
                 reply = await client.call("query", timeout=5.0)
                 for state in reply.get("resources", {}).values():
@@ -528,6 +550,7 @@ class _Runner:
         else:
             await self._open_loop()
         wall_s = time.monotonic() - t_start
+        self._sampler_stop = True
         sampler.cancel()
         with_suppress = asyncio.gather(sampler, return_exceptions=True)
         await with_suppress
@@ -562,6 +585,7 @@ class _Runner:
             park_time=summarize_samples(
                 [w for w in tally.waited_s if w > 0.0]
             ),
+            redirect_latency=summarize_samples(tally.redirect_latency_s),
             utilization_mean=(
                 sum(samples) / len(samples) if samples else 0.0
             ),

@@ -100,12 +100,20 @@ class ShardState:
     #: clients currently placed on this shard -> their demand profile
     clients: Dict[str, Dict[str, int]] = field(default_factory=dict)
     alive: bool = True
+    #: a deliberately draining shard stays alive (it is still serving its
+    #: grace window) but must not receive new placements
+    draining: bool = False
     waiting: int = 0
     open_periods: int = 0
 
     @property
     def name(self) -> str:
         return self.address.name
+
+    @property
+    def placeable(self) -> bool:
+        """Eligible for new placements: alive and not draining."""
+        return self.alive and not self.draining
 
     def charge_estimate(self, resource: str) -> int:
         """The conservative view: max of observed usage and assignment."""
@@ -175,6 +183,7 @@ class DemandAwarePlacer:
         self.assignments: Dict[str, str] = {}
         self.placements_total = 0
         self.replacements_total = 0
+        self.revivals_total = 0
 
     # ------------------------------------------------------------------
     # observations
@@ -203,8 +212,26 @@ class DemandAwarePlacer:
     def mark_dead(self, name: str) -> None:
         self.shards[name].alive = False
 
+    def revive(self, name: str) -> None:
+        """Re-register a shard that came back (the inverse of
+        :meth:`mark_dead`): it is alive, done draining, and eligible for
+        placements again.  Usage/capacity refresh on the next probe."""
+        shard = self.shards[name]
+        shard.alive = True
+        shard.draining = False
+        self.revivals_total += 1
+
+    def mark_draining(self, name: str, draining: bool = True) -> None:
+        """Flag a shard as deliberately draining: it keeps serving its
+        grace window but stops receiving new placements, and sticky
+        clients re-place away from it on their next hello."""
+        self.shards[name].draining = draining
+
     def alive_shards(self) -> List[ShardState]:
         return [s for s in self.shards.values() if s.alive]
+
+    def placeable_shards(self) -> List[ShardState]:
+        return [s for s in self.shards.values() if s.placeable]
 
     # ------------------------------------------------------------------
     # placement
@@ -227,19 +254,20 @@ class DemandAwarePlacer:
     ) -> ShardState:
         """Assign (or re-confirm) the shard ``client_id`` should speak to.
 
-        Sticky: a client keeps its shard while it is alive.  Raises
-        :class:`ClusterError` when no shard is alive.
+        Sticky: a client keeps its shard while that shard is placeable
+        (alive and not draining).  Raises :class:`ClusterError` when no
+        shard is placeable.
         """
         demand = dict(demand or {})
         current = self.assignments.get(client_id)
         if current is not None:
             shard = self.shards[current]
-            if shard.alive:
+            if shard.placeable:
                 self._note_demand(shard, client_id, demand)
                 return shard
             self._unassign(client_id)
             self.replacements_total += 1
-        candidates = self.alive_shards()
+        candidates = self.placeable_shards()
         if not candidates:
             raise ClusterError("no live admission shard to place on")
         shard = min(candidates, key=lambda s: self._rank_key(s, demand))
@@ -289,13 +317,35 @@ class DemandAwarePlacer:
         reconnect), but its demand profile stops counting against the
         shard's scored capacity — observed usage carries the truth from
         here, and a reconnect re-declares the profile.
+
+        A *dead* shard's assignment is purged outright: stickiness to a
+        corpse buys nothing (the reconnect re-places anyway) and the
+        standing assignment would keep the fragmentation gauges counting
+        ghost capacity.
         """
         name = self.assignments.get(client_id)
         if name is None:
             return
         shard = self.shards[name]
+        if not shard.alive:
+            self._unassign(client_id)
+            return
         if shard.clients.pop(client_id, None) is not None:
             self._recompute_assigned(shard)
+
+    def observe_demand(self, client_id: str, demand: Dict[str, int]) -> None:
+        """Fold a demand observation into the client's *current* shard.
+
+        Unlike :meth:`place` this never re-places: mid-flight demand from
+        an established forwarding pump must land on the shard the bytes
+        actually flow to, even if that shard is draining or newly dead.
+        Unknown clients fall through to a normal placement.
+        """
+        shard = self.shard_of(client_id)
+        if shard is not None:
+            self._note_demand(shard, client_id, dict(demand))
+        else:
+            self.place(client_id, demand)
 
     def shard_of(self, client_id: str) -> Optional[ShardState]:
         name = self.assignments.get(client_id)
@@ -318,13 +368,13 @@ class DemandAwarePlacer:
         """
         current = self.shard_of(client_id)
         if (
-            current is not None and current.alive
+            current is not None and current.placeable
             and current.fits_observed(demand)
         ):
             return None  # the home shard will admit it; parking is transient
         options = [
             s
-            for s in self.alive_shards()
+            for s in self.placeable_shards()
             if (current is None or s.name != current.name)
             and s.fits_observed(demand)
         ]
@@ -362,11 +412,13 @@ class DemandAwarePlacer:
             "seed": self.seed,
             "placements_total": self.placements_total,
             "replacements_total": self.replacements_total,
+            "revivals_total": self.revivals_total,
             "fragmentation": self.fragmentation(),
             "shards": {
                 name: {
                     "address": shard.address.describe(),
                     "alive": shard.alive,
+                    "draining": shard.draining,
                     "capacity": dict(shard.capacity),
                     "usage": dict(shard.usage),
                     "assigned": dict(shard.assigned),

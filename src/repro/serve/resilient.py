@@ -41,7 +41,7 @@ import itertools
 import random
 import time
 import uuid
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from ..errors import ProtocolError, ServeError
 from . import protocol
@@ -136,6 +136,10 @@ class ResilientServeClient:
         self.redirects = 0
         self.breaker_opens = 0
         self.breaker_fast_fails = 0
+        #: client-observed redirect latency: seconds from receiving a
+        #: REDIRECT to completing the hello on the shard it named — the
+        #: placement-quality number the loadgen report summarizes
+        self.redirect_latency_s: List[float] = []
         #: learned peak-demand estimate from the last hello reply; echoed
         #: back as the `hello demand_bytes` cluster placement hint
         self.predicted_demand_bytes: Optional[int] = None
@@ -241,6 +245,7 @@ class ResilientServeClient:
                 return self._conn
             last_exc: Optional[BaseException] = None
             redirects_left = self.max_redirects
+            redirect_t0: Optional[float] = None
             attempt = 0
             while attempt < self.max_attempts:
                 self._breaker_check()
@@ -258,6 +263,7 @@ class ResilientServeClient:
                         # re-place us on a live shard.
                         self._target = dict(self._home)
                         redirects_left = self.max_redirects
+                        redirect_t0 = None
                     await asyncio.sleep(self._backoff(attempt))
                     continue
                 if self._connected_once:
@@ -293,9 +299,24 @@ class ResilientServeClient:
                     self._breaker_failure()
                     last_exc = exc
                     attempt += 1
+                    if self._target != self._home:
+                        # The redirected-to shard died mid-handshake: fall
+                        # back to the front-end for a re-placement, and
+                        # give that legitimate re-placement a fresh
+                        # redirect budget — without the reset, a client
+                        # riding out several shard deaths would exhaust
+                        # max_redirects and give up on a healthy cluster.
+                        self._target = dict(self._home)
+                        redirects_left = self.max_redirects
+                        redirect_t0 = None
                     await asyncio.sleep(self._backoff(attempt))
                     continue
                 if hello.get("ok"):
+                    if redirect_t0 is not None:
+                        self.redirect_latency_s.append(
+                            time.monotonic() - redirect_t0
+                        )
+                        redirect_t0 = None
                     self._breaker_success()
                     self.lease_ttl_s = hello.get("lease_ttl_s")
                     hint = hello.get("predicted_demand_bytes")
@@ -333,6 +354,8 @@ class ResilientServeClient:
                     redirects_left -= 1
                     self.redirects += 1
                     self._target = target
+                    if redirect_t0 is None:
+                        redirect_t0 = time.monotonic()
                     continue  # a redirect is progress, not a failed attempt
                 raise ServeReplyError(hello)
             raise ServeError(

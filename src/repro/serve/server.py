@@ -828,6 +828,10 @@ class AdmissionServer:
         self._servers: List[asyncio.AbstractServer] = []
         self._unix_path: Optional[str] = None
         self.draining = False
+        #: True once abort() ran — a supervisor restarting this shard
+        #: must skip the graceful drain (the journal handle is already
+        #: abandoned and the transports are gone)
+        self.aborted = False
         self._drain_requested = asyncio.Event()
         self._background: List[asyncio.Task] = []
         self.service.metrics.gauge("connections", fn=lambda: len(self.sessions))
@@ -933,6 +937,7 @@ class AdmissionServer:
         exactly as a power cut would.  Used by the crash-recovery tests
         and the chaos harness's in-process mode.
         """
+        self.aborted = True
         if self.service.journal is not None:
             self.service.journal.abandon()  # poison appends *first*
         for server in self._servers:

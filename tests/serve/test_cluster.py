@@ -26,13 +26,23 @@ def tiny_machine(capacity_mb: float = CAPACITY_MB):
 
 
 async def start_cluster(tmp_path, n=2, capacity_mb=CAPACITY_MB, seed=0,
+                        supervise=False, journal=False,
                         **frontend_overrides):
-    """A local cluster with test-speed health/balance loops."""
+    """A local cluster with test-speed health/balance loops.
+
+    Supervision is off by default so fault-path tests control shard
+    lifetime themselves; supervision tests opt in (usually together with
+    ``journal=True`` so restarts have something to replay).
+    """
     sock = str(tmp_path / "placer.sock")
     cfg = ServeConfig(
         policy=StrictPolicy(), machine=tiny_machine(capacity_mb), sanitize=True
     )
-    cluster = await start_local_cluster(cfg, n, sock, seed=seed)
+    if journal:
+        cfg = replace(cfg, journal_path=str(tmp_path / "shard.journal"))
+    cluster = await start_local_cluster(
+        cfg, n, sock, seed=seed, supervise=supervise
+    )
     overrides = dict(
         health_interval_s=0.05, balance_interval_s=0.05, migrate_after_s=0.1
     )
@@ -243,6 +253,230 @@ class TestEquivalence:
             cluster_decisions = await self._run_sessions(sock)
             assert await drain(cluster) == 0
             assert cluster_decisions == bare_decisions
+
+        asyncio.run(scenario())
+
+
+async def _wait_for(predicate, timeout_s=10.0, interval_s=0.05):
+    deadline = asyncio.get_event_loop().time() + timeout_s
+    while asyncio.get_event_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval_s)
+    return predicate()
+
+
+class TestSupervision:
+    OVERRIDES = dict(
+        supervise_interval_s=0.05, restart_backoff_s=0.05,
+        restart_backoff_cap_s=0.2, crash_loop_window_s=0.0,
+        restart_ready_timeout_s=10.0,
+    )
+
+    def test_supervisor_restarts_dead_shard_from_journal(self, tmp_path):
+        """SIGKILL-equivalent shard death: the supervisor restarts the
+        shard from its own journal and the open period is exactly
+        restored — admitted charge and all (satellite d)."""
+        async def scenario():
+            cluster, sock = await start_cluster(
+                tmp_path, n=2, supervise=True, journal=True, **self.OVERRIDES
+            )
+            fe = cluster.frontend
+            client = ResilientServeClient(
+                unix_path=sock, client_id="phoenix",
+                backoff_base_s=0.01, max_attempts=40,
+            )
+            begun = await client.pp_begin(MB(1))
+            assert begun["admitted"] is True
+            home = fe.placer.assignments["phoenix"]
+            victim = next(
+                s for s in cluster.servers if s.cfg.shard_name == home
+            )
+            await victim.abort()
+
+            assert await _wait_for(lambda: fe.c_shard_restarts.value >= 1)
+            assert fe.placer.shards[home].alive is True
+            assert fe.placer.revivals_total >= 1
+            assert fe.quarantined == set()
+            fresh = next(
+                s for s in cluster.servers if s.cfg.shard_name == home
+            )
+            assert fresh is not victim
+            assert fresh.service.replayed_periods == 1
+
+            # the restored period still charges the shard's capacity
+            probe = await ServeClient.connect(unix_path=f"{sock}.{home}")
+            q = await probe.query()
+            assert q["open_periods"] == 1
+            assert q["resources"]["llc"]["usage_bytes"] == MB(1)
+            await probe.close()
+
+            # and the client can close it out against the new incarnation
+            done = await asyncio.wait_for(client.pp_end(begun["pp_id"]), 10.0)
+            assert done["released"] is True
+            await client.close()
+            # the aborted incarnation was swapped out before its journal
+            # was flushed; the replacement drains with a clean sanitizer
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_draining_shard_is_not_marked_dead_by_the_sweep(self, tmp_path):
+        """A shard that is down because *we* are restarting it must not
+        be declared dead by the health sweep or the data path — that
+        would skew shards_alive and could flip brownout (satellite b)."""
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path, n=2)
+            fe = cluster.frontend
+            fe.placer.mark_draining("shard0")
+            victim = next(
+                s for s in cluster.servers if s.cfg.shard_name == "shard0"
+            )
+            await victim.abort()
+            for _ in range(3):
+                await fe._health_sweep()
+            assert fe.placer.shards["shard0"].alive is True
+            assert len(fe.placer.alive_shards()) == 2
+            # data-path trouble reports are ignored for draining shards too
+            fe.shard_trouble(fe.placer.shards["shard0"])
+            assert fe.placer.shards["shard0"].alive is True
+            # but the placer won't put anyone new on it
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("newcomer")
+            begun = await client.pp_begin(MB(1), timeout=5.0)
+            assert begun["admitted"] is True
+            assert fe.placer.assignments["newcomer"] == "shard1"
+            await client.pp_end(begun["pp_id"], timeout=5.0)
+            await client.close()
+            cluster.servers.remove(victim)
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_crash_looping_shard_is_quarantined(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(
+                tmp_path, n=2, supervise=True,
+                supervise_interval_s=0.05, restart_backoff_s=0.01,
+                restart_backoff_cap_s=0.05, crash_loop_window_s=60.0,
+                quarantine_after=2, restart_ready_timeout_s=0.2,
+            )
+            fe = cluster.frontend
+            attempts = 0
+
+            async def failing_restart():
+                nonlocal attempts
+                attempts += 1
+                raise RuntimeError("simulated restart failure")
+
+            fe.register_restarter("shard0", failing_restart)
+            victim = next(
+                s for s in cluster.servers if s.cfg.shard_name == "shard0"
+            )
+            await victim.abort()
+            cluster.servers.remove(victim)
+
+            assert await _wait_for(lambda: "shard0" in fe.quarantined)
+            assert attempts == 2
+            # a quarantined shard is not retried
+            await asyncio.sleep(0.3)
+            assert attempts == 2
+            assert fe.placer.shards["shard0"].alive is False
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_unknown_restarter_name_is_rejected(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(tmp_path, n=2)
+            with pytest.raises(Exception):
+                cluster.frontend.register_restarter(
+                    "shard9", lambda: None
+                )
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+
+class TestRollingRestart:
+    OVERRIDES = dict(
+        supervise_interval_s=0.05, restart_backoff_s=0.05,
+        restart_backoff_cap_s=0.2, crash_loop_window_s=0.0,
+        restart_ready_timeout_s=10.0, shard_drain_grace_s=2.0,
+    )
+
+    def test_rolling_restart_cycles_every_shard(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(
+                tmp_path, n=2, supervise=True, journal=True, **self.OVERRIDES
+            )
+            fe = cluster.frontend
+            before = list(cluster.servers)
+            results = await asyncio.wait_for(
+                cluster.rolling_restart(grace_s=1.0), 30.0
+            )
+            assert results == {"shard0": True, "shard1": True}
+            assert fe.c_shard_restarts.value == 2
+            assert fe.c_shard_drains.value == 2
+            assert len(fe.placer.alive_shards()) == 2
+            assert not any(s.draining for s in fe.placer.shards.values())
+            # every incarnation was actually replaced
+            assert all(s not in before for s in cluster.servers)
+            # and the rolled cluster still admits
+            client = await ServeClient.connect(unix_path=sock)
+            await client.hello("after-roll")
+            begun = await client.pp_begin(MB(1), timeout=5.0)
+            assert begun["admitted"] is True
+            await client.pp_end(begun["pp_id"], timeout=5.0)
+            await client.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_drain_verb_targets_one_shard(self, tmp_path):
+        """{"op": "drain", "shard": ...} drains and (with a restarter
+        armed) restarts exactly that shard through the admin path."""
+        async def scenario():
+            cluster, sock = await start_cluster(
+                tmp_path, n=2, supervise=True, journal=True, **self.OVERRIDES
+            )
+            fe = cluster.frontend
+            probe = await ServeClient.connect(unix_path=sock)
+            reply = await probe.call_raw(
+                "drain", shard="shard1", grace_s=1.0, timeout=20.0
+            )
+            assert reply["ok"] is True
+            assert reply["shard"] == "shard1"
+            assert reply["drained"] is True
+            assert reply["restarted"] is True
+            assert fe.c_shard_restarts.value == 1
+            assert len(fe.placer.alive_shards()) == 2
+
+            bad = await probe.call_raw("drain", shard="nope", timeout=5.0)
+            assert bad["ok"] is False
+            assert bad["error"]["code"] == ErrorCode.BAD_REQUEST
+            await probe.close()
+            assert await drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_rolling_verb_cycles_the_cluster(self, tmp_path):
+        async def scenario():
+            cluster, sock = await start_cluster(
+                tmp_path, n=2, supervise=True, journal=True, **self.OVERRIDES
+            )
+            fe = cluster.frontend
+            probe = await ServeClient.connect(unix_path=sock)
+            reply = await probe.call_raw(
+                "drain", rolling=True, grace_s=1.0, timeout=30.0
+            )
+            assert reply["ok"] is True
+            assert reply["rolling"] is True
+            assert reply["shards"] == {"shard0": True, "shard1": True}
+            assert reply["rolled"] == 2
+            assert fe.c_shard_restarts.value == 2
+            await probe.close()
+            assert await drain(cluster) == 0
 
         asyncio.run(scenario())
 

@@ -137,9 +137,13 @@ class TestOverloadBounded:
                 sanitize=True,
                 max_pending=1,
             )
-            scripts = fig4_scripts(n=4, demand_mb=3.0, hold_s=0.002)
+            # holds long enough and arrivals dense enough that sessions
+            # MUST overlap — with max_pending=1 a third concurrent begin
+            # is guaranteed, so backpressure (retries > 0) is not left to
+            # scheduling luck on a fast machine
+            scripts = fig4_scripts(n=4, demand_mb=3.0, hold_s=0.01)
             load_cfg = LoadgenConfig(
-                mode="open", rate=400.0, sessions=16, time_scale=1.0
+                mode="open", rate=2000.0, sessions=16, time_scale=1.0
             )
             server, report = await serve_and_load(
                 tmp_path, cfg, scripts, load_cfg

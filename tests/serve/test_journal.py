@@ -174,6 +174,34 @@ class TestCrashDiscipline:
         journal.record_close(1)  # e.g. cleanup of a parked handler
         assert set(replay_journal(path).open) == {1}
 
+    def test_second_live_incarnation_is_locked_out(self, tmp_path):
+        # restart handoff discipline: while one incarnation holds the
+        # journal, a second one must refuse to append to the same file
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        usurper = AdmissionJournal(path)
+        with pytest.raises(JournalError, match="locked"):
+            usurper.record_admit(record(2))
+        journal.close()
+        # ... and the lock dies with the holder's file handle
+        successor = AdmissionJournal(path)
+        successor.record_admit(record(2))
+        assert set(replay_journal(path).open) == {1, 2}
+        successor.close()
+
+    def test_abandon_releases_the_lock(self, tmp_path):
+        # SIGKILL analogue: an abandoned handle must not lock out the
+        # restarted incarnation
+        path = str(tmp_path / "j.ndjson")
+        journal = AdmissionJournal(path)
+        journal.record_admit(record(1))
+        journal.abandon()
+        reborn = AdmissionJournal(path)
+        reborn.record_admit(record(2))
+        assert set(replay_journal(path).open) == {1, 2}
+        reborn.close()
+
     def test_fsync_batching_keeps_every_flushed_record(self, tmp_path):
         path = str(tmp_path / "j.ndjson")
         journal = AdmissionJournal(path, fsync_interval_s=60.0)

@@ -90,6 +90,86 @@ class TestStickiness:
         assert home.assigned.get("llc", 0) == 0
 
 
+class TestLifecycle:
+    def test_revive_is_the_inverse_of_mark_dead(self):
+        placer = make_placer(shard("a"), shard("b"))
+        placer.mark_dead("a")
+        assert not placer.shards["a"].alive
+        placer.revive("a")
+        state = placer.shards["a"]
+        assert state.alive and not state.draining
+        assert placer.revivals_total == 1
+        assert {s.name for s in placer.alive_shards()} == {"a", "b"}
+
+    def test_revive_clears_draining(self):
+        placer = make_placer(shard("a"))
+        placer.mark_draining("a")
+        placer.mark_dead("a")
+        placer.revive("a")
+        state = placer.shards["a"]
+        assert state.alive and not state.draining and state.placeable
+
+    def test_draining_shard_is_skipped_by_placement(self):
+        placer = make_placer(shard("a", usage_mb=6), shard("b"))
+        # best-fit would pick "a"; draining takes it out of rotation
+        placer.mark_draining("a")
+        assert placer.place("c1", {"llc": MB}).name == "b"
+
+    def test_draining_breaks_stickiness(self):
+        placer = make_placer(shard("a"), shard("b"))
+        home = placer.place("c1", {"llc": MB})
+        placer.mark_draining(home.name)
+        moved = placer.place("c1", {"llc": MB})
+        assert moved.name != home.name
+
+    def test_draining_shard_is_not_a_migration_target(self):
+        a, b = shard("a", usage_mb=7), shard("b")
+        placer = make_placer(a, b)
+        placer.assignments["c1"] = "a"
+        placer.mark_draining("b")
+        assert placer.migration_target("c1", {"llc": 3 * MB}) is None
+
+    def test_draining_home_forces_a_migration_target(self):
+        # home still has headroom, but it is draining: the client must
+        # be offered somewhere else to go
+        a, b = shard("a"), shard("b")
+        placer = make_placer(a, b)
+        placer.place("c1", {"llc": MB})
+        home = placer.assignments["c1"]
+        placer.mark_draining(home)
+        target = placer.migration_target("c1", {"llc": MB})
+        assert target is not None and target.name != home
+
+    def test_release_purges_assignment_to_a_dead_shard(self):
+        # ghost capacity: a sticky assignment to a dead shard must not
+        # survive the client's last period ending
+        placer = make_placer(shard("a"), shard("b"))
+        home = placer.place("c1", {"llc": 5 * MB})
+        placer.mark_dead(home.name)
+        placer.release("c1")
+        assert "c1" not in placer.assignments
+        assert home.assigned.get("llc", 0) == 0
+
+    def test_observe_demand_folds_into_the_current_shard(self):
+        placer = make_placer(shard("a"), shard("b"))
+        home = placer.place("c1", {"llc": MB})
+        placer.observe_demand("c1", {"llc": 3 * MB})
+        # no re-placement happened, the reservation just grew in place
+        assert placer.assignments["c1"] == home.name
+        assert placer.placements_total == 1
+        assert home.assigned["llc"] == 3 * MB
+
+    def test_snapshot_reports_lifecycle_state(self):
+        placer = make_placer(shard("a"), shard("b"))
+        placer.mark_draining("a")
+        placer.mark_dead("b")
+        placer.revive("b")
+        snap = placer.snapshot()
+        assert snap["revivals_total"] == 1
+        assert snap["shards"]["a"]["draining"] is True
+        assert snap["shards"]["b"]["draining"] is False
+
+
 class TestDeterminismProperty:
     """Placement is a pure function of (seed, demands, capacities)."""
 

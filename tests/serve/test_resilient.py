@@ -203,6 +203,121 @@ class TestBinaryResilience:
         asyncio.run(scenario())
 
 
+class TestClusterFallback:
+    """Redirect-following clients riding out shard deaths (satellite of
+    the self-healing cluster work)."""
+
+    async def _cluster(self, tmp_path, n=2):
+        import dataclasses
+
+        from repro.serve.cluster import start_local_cluster
+
+        sock = str(tmp_path / "placer.sock")
+        cluster = await start_local_cluster(
+            ServeConfig(
+                policy=StrictPolicy(), machine=tiny_machine(), sanitize=True
+            ),
+            n, sock, supervise=False,
+        )
+        cluster.frontend.cfg = dataclasses.replace(
+            cluster.frontend.cfg, health_interval_s=0.05
+        )
+        return cluster, sock
+
+    async def _drain(self, cluster):
+        cluster.request_drain()
+        return await asyncio.wait_for(cluster.run_until_drained(), 20.0)
+
+    def test_shard_death_resets_the_redirect_budget(self, tmp_path):
+        """max_redirects=1 must still survive a shard death: falling
+        back to the front-end is a re-placement, not a redirect hop, so
+        the budget resets with it."""
+        async def scenario():
+            cluster, sock = await self._cluster(tmp_path)
+            client = ResilientServeClient(
+                unix_path=sock, client_id="hopper",
+                backoff_base_s=0.01, max_attempts=40, max_redirects=1,
+            )
+            begun = await client.pp_begin(MB(1))
+            assert begun["admitted"] is True
+            assert client.redirects == 1
+            home = cluster.frontend.placer.assignments["hopper"]
+            victim = next(
+                s for s in cluster.servers if s.cfg.shard_name == home
+            )
+            await victim.abort()
+            reply = await asyncio.wait_for(client.pp_begin(MB(1)), 15.0)
+            assert reply["admitted"] is True
+            # more hops than the per-sequence budget allows: every
+            # fallback to the front-end reset it
+            assert client.redirects >= 2
+            assert cluster.frontend.placer.assignments["hopper"] != home
+            await client.pp_end(reply["pp_id"])
+            await client.close()
+            cluster.servers.remove(victim)
+            assert await self._drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_mid_handshake_shard_death_falls_back_to_the_frontend(
+        self, tmp_path
+    ):
+        """The redirected-to address connects but drops the hello (a
+        shard dying mid-handshake): the client must go back to the
+        front-end instead of hammering the dead shard."""
+        async def scenario():
+            cluster, sock = await self._cluster(tmp_path)
+            client = ResilientServeClient(
+                unix_path=sock, client_id="hopper",
+                backoff_base_s=0.01, max_attempts=40, max_redirects=1,
+            )
+            begun = await client.pp_begin(MB(1))
+            assert begun["admitted"] is True
+            home = cluster.frontend.placer.assignments["hopper"]
+            victim = next(
+                s for s in cluster.servers if s.cfg.shard_name == home
+            )
+            await victim.abort()
+
+            # squat on the dead shard's socket with a listener that
+            # accepts and immediately hangs up: connects succeed, hellos
+            # die — the mid-handshake death path
+            async def hangup(reader, writer):
+                writer.close()
+
+            squatter = await asyncio.start_unix_server(
+                hangup, path=f"{sock}.{home}"
+            )
+            reply = await asyncio.wait_for(client.pp_begin(MB(1)), 15.0)
+            assert reply["admitted"] is True
+            assert cluster.frontend.placer.assignments["hopper"] != home
+            await client.pp_end(reply["pp_id"])
+            await client.close()
+            squatter.close()
+            await squatter.wait_closed()
+            cluster.servers.remove(victim)
+            assert await self._drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+    def test_redirect_latency_is_sampled(self, tmp_path):
+        async def scenario():
+            cluster, sock = await self._cluster(tmp_path)
+            client = ResilientServeClient(
+                unix_path=sock, client_id="timed",
+                backoff_base_s=0.01, max_attempts=10,
+            )
+            begun = await client.pp_begin(MB(1))
+            assert begun["admitted"] is True
+            assert len(client.redirect_latency_s) == 1
+            assert client.redirect_latency_s[0] > 0.0
+            await client.pp_end(begun["pp_id"])
+            await client.close()
+            assert await self._drain(cluster) == 0
+
+        asyncio.run(scenario())
+
+
 class TestBackoffFloor:
     def test_retry_after_hint_floors_above_the_cap(self):
         import random
